@@ -1,0 +1,122 @@
+package kmgraph
+
+// The benchmark harness: one testing.B benchmark per experiment E1..E12
+// (each reproducing a paper theorem/lemma/figure; see DESIGN.md §4), plus
+// direct algorithm benchmarks for profiling. The experiment benches run
+// the quick-mode sweep so `go test -bench=.` regenerates every paper
+// result end to end; `cmd/kmbench` prints the full tables.
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	e, err := ExperimentByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables, err := e.Run(ExperimentParams{Quick: true, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+// BenchmarkE1ConnectivityVsK reproduces Theorem 1's k-scaling comparison.
+func BenchmarkE1ConnectivityVsK(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkE2ConnectivityVsN reproduces Theorem 1's n-scaling.
+func BenchmarkE2ConnectivityVsN(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkE3DRRDepth reproduces Lemma 6 / Figure 2.
+func BenchmarkE3DRRDepth(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkE4Phases reproduces Lemma 7.
+func BenchmarkE4Phases(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkE5ProxyBalance reproduces Lemma 1/3's load balancing.
+func BenchmarkE5ProxyBalance(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkE6MSTVsK reproduces Theorem 2(a).
+func BenchmarkE6MSTVsK(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkE7MSTOutputModes reproduces Theorem 2(b)'s output separation.
+func BenchmarkE7MSTOutputModes(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkE8MinCut reproduces Theorem 3.
+func BenchmarkE8MinCut(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkE9Verification reproduces Theorem 4.
+func BenchmarkE9Verification(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkE10CollapseAblation reproduces the Lemma 5 ablation.
+func BenchmarkE10CollapseAblation(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkE11LowerBound reproduces Theorem 5 / Figure 1.
+func BenchmarkE11LowerBound(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkE12REPConversion reproduces §1.3/§2 (REP + Conversion Theorem).
+func BenchmarkE12REPConversion(b *testing.B) { benchExperiment(b, "E12") }
+
+// Direct algorithm benchmarks (wall-clock of the simulator, for profiling
+// the implementation rather than counting model rounds).
+
+func BenchmarkConnectivitySketch(b *testing.B) {
+	for _, size := range []struct{ n, k int }{{512, 4}, {1024, 8}, {2048, 16}} {
+		g := GNM(size.n, 3*size.n, 1)
+		b.Run(fmt.Sprintf("n%d_k%d", size.n, size.k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Connectivity(g, Config{K: size.k, Seed: int64(i)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkConnectivityEdgeCheck(b *testing.B) {
+	g := GNM(1024, 3072, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Connectivity(g, Config{K: 8, Seed: int64(i), EdgeCheckSelection: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMSTSketch(b *testing.B) {
+	g := WithDistinctWeights(GNM(512, 1536, 1), 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := MST(g, MSTConfig{Config: Config{K: 8, Seed: int64(i)}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFloodingBaseline(b *testing.B) {
+	g := GNM(1024, 3072, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := FloodingConnectivity(g, BaselineConfig{K: 8, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRefereeBaseline(b *testing.B) {
+	g := GNM(1024, 3072, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RefereeConnectivity(g, BaselineConfig{K: 8, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Command kmconnect runs the Õ(n/k²) connectivity algorithm (or a
+// baseline) on a generated graph and reports components and cost.
+//
+// Usage:
+//
+//	kmconnect [-gen gnm|gnp|path|cycle|star|components|planted]
+//	          [-n 4096] [-m 12288] [-p 0.01] [-c 5]
+//	          [-k 8] [-seed 1] [-algo sketch|edgecheck|flooding|referee]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kmgraph"
+)
+
+func buildGraph(gen string, n, m, c int, p float64, seed int64) (*kmgraph.Graph, error) {
+	switch gen {
+	case "gnm":
+		return kmgraph.GNM(n, m, seed), nil
+	case "gnp":
+		return kmgraph.GNP(n, p, seed), nil
+	case "path":
+		return kmgraph.Path(n), nil
+	case "cycle":
+		return kmgraph.Cycle(n), nil
+	case "star":
+		return kmgraph.Star(n), nil
+	case "components":
+		return kmgraph.DisjointComponents(n, c, 0.5, seed), nil
+	case "planted":
+		return kmgraph.PlantedPartition(n, c, 0.1, 0.001, seed), nil
+	case "powerlaw":
+		return kmgraph.ChungLu(n, 2.5, float64(m)*2/float64(n), seed), nil
+	default:
+		return nil, fmt.Errorf("unknown generator %q", gen)
+	}
+}
+
+func loadGraph(path string) (*kmgraph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return kmgraph.ReadEdgeList(f)
+}
+
+func main() {
+	gen := flag.String("gen", "gnm", "graph generator")
+	input := flag.String("input", "", "read an edge-list file instead of generating")
+	n := flag.Int("n", 4096, "vertices")
+	m := flag.Int("m", 0, "edges (gnm; default 3n)")
+	p := flag.Float64("p", 0.01, "edge probability (gnp)")
+	c := flag.Int("c", 5, "components/communities")
+	k := flag.Int("k", 8, "machines")
+	seed := flag.Int64("seed", 1, "seed")
+	algo := flag.String("algo", "sketch", "sketch|edgecheck|flooding|referee")
+	flag.Parse()
+
+	if *m == 0 {
+		*m = 3 * *n
+	}
+	var g *kmgraph.Graph
+	var err error
+	if *input != "" {
+		*gen = *input
+		g, err = loadGraph(*input)
+	} else {
+		g, err = buildGraph(*gen, *n, *m, *c, *p, *seed)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("graph: %s n=%d m=%d; cluster: k=%d B=%d bits/link/round\n",
+		*gen, g.N(), g.M(), *k, kmgraph.DefaultBandwidth(g.N()))
+
+	_, oracleCount := kmgraph.ComponentsOracle(g)
+	switch *algo {
+	case "sketch", "edgecheck":
+		cfg := kmgraph.Config{K: *k, Seed: *seed, EdgeCheckSelection: *algo == "edgecheck"}
+		res, err := kmgraph.Connectivity(g, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("components: %d (oracle: %d)\n", res.Components, oracleCount)
+		fmt.Printf("phases: %d  sketch failures: %d\n", res.Phases, res.SketchFailures)
+		fmt.Printf("cost: %s\n", res.Metrics.String())
+	case "flooding", "referee":
+		cfg := kmgraph.BaselineConfig{K: *k, Seed: *seed}
+		var res *kmgraph.BaselineResult
+		if *algo == "flooding" {
+			res, err = kmgraph.FloodingConnectivity(g, cfg)
+		} else {
+			res, err = kmgraph.RefereeConnectivity(g, cfg)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("components: %d (oracle: %d)\n", res.Components, oracleCount)
+		fmt.Printf("cost: %s\n", res.Metrics.String())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algo)
+		os.Exit(1)
+	}
+}

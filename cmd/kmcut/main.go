@@ -1,0 +1,54 @@
+// Command kmcut estimates the minimum cut of a generated network with the
+// O(log n)-approximation of Theorem 3 and compares it to the exact
+// Stoer–Wagner oracle.
+//
+// Usage:
+//
+//	kmcut [-graph cycle|bridged|complete|gnm] [-n 64] [-bridges 4] [-k 8] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kmgraph"
+)
+
+func main() {
+	kind := flag.String("graph", "bridged", "cycle|bridged|complete|gnm")
+	n := flag.Int("n", 64, "size parameter")
+	bridges := flag.Int("bridges", 4, "bridge edges (bridged)")
+	k := flag.Int("k", 8, "machines")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	var g *kmgraph.Graph
+	switch *kind {
+	case "cycle":
+		g = kmgraph.Cycle(*n)
+	case "bridged":
+		g = kmgraph.TwoCliquesBridged(*n/2, *bridges, *seed)
+	case "complete":
+		g = kmgraph.Complete(*n)
+	case "gnm":
+		g = kmgraph.GNM(*n, 4**n, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown graph %q\n", *kind)
+		os.Exit(1)
+	}
+
+	trueCut := kmgraph.MinCutOracle(g)
+	res, err := kmgraph.ApproxMinCut(g, kmgraph.MinCutConfig{
+		Config: kmgraph.Config{K: *k, Seed: *seed},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("graph: %s n=%d m=%d\n", *kind, g.N(), g.M())
+	fmt.Printf("true min cut (Stoer–Wagner oracle): %d\n", trueCut)
+	fmt.Printf("distributed estimate: %.1f (first disconnecting sampling level: %d)\n",
+		res.Estimate, res.Level)
+	fmt.Printf("cost: %d connectivity runs, %d rounds total\n", res.Runs, res.Rounds)
+}

@@ -1,0 +1,69 @@
+// Command kmverify runs one of the Theorem 4 verification problems on a
+// generated instance and reports the verdict and cost.
+//
+// Usage:
+//
+//	kmverify -problem bipartite|cycle|scs|stconn|cut [-n 1024] [-k 8] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kmgraph"
+)
+
+func main() {
+	problem := flag.String("problem", "bipartite", "bipartite|cycle|scs|stconn|cut")
+	n := flag.Int("n", 1024, "instance size")
+	k := flag.Int("k", 8, "machines")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+	cfg := kmgraph.Config{K: *k, Seed: *seed}
+
+	var out *kmgraph.VerifyOutcome
+	var err error
+	var desc string
+	switch *problem {
+	case "bipartite":
+		g := kmgraph.GNM(*n, 2**n, *seed)
+		desc = fmt.Sprintf("bipartiteness of GNM(n=%d, m=%d); oracle: %v",
+			g.N(), g.M(), kmgraph.IsBipartiteOracle(g))
+		out, err = kmgraph.VerifyBipartiteness(g, cfg)
+	case "cycle":
+		g := kmgraph.RandomTree(*n, *seed)
+		desc = fmt.Sprintf("cycle containment in a random tree (n=%d)", g.N())
+		out, err = kmgraph.VerifyCycleContainment(g, cfg)
+	case "scs":
+		g := kmgraph.RandomConnected(*n, 2**n, *seed)
+		tree, _ := kmgraph.MSTOracle(g)
+		desc = fmt.Sprintf("spanning connected subgraph: a spanning tree of GNM(n=%d)", g.N())
+		out, err = kmgraph.VerifySpanningConnectedSubgraph(g, tree, cfg)
+	case "stconn":
+		g := kmgraph.DisjointComponents(*n, 2, 0.4, *seed)
+		desc = fmt.Sprintf("s-t connectivity between vertices 0 and %d (2 components)", *n-1)
+		out, err = kmgraph.VerifySTConnectivity(g, 0, *n-1, cfg)
+	case "cut":
+		s := *n / 2
+		g := kmgraph.TwoCliquesBridged(s, 2, *seed)
+		var bridges []kmgraph.Edge
+		for _, e := range g.Edges() {
+			if (e.U < s) != (e.V < s) {
+				bridges = append(bridges, e)
+			}
+		}
+		desc = fmt.Sprintf("cut verification: the %d bridges of two K_%d cliques", len(bridges), s)
+		out, err = kmgraph.VerifyCut(g, bridges, cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown problem %q\n", *problem)
+		os.Exit(1)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(desc)
+	fmt.Printf("verdict: %v\n", out.Holds)
+	fmt.Printf("cost: %d connectivity runs, %d rounds total\n", out.Runs, out.Rounds)
+}

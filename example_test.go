@@ -1,0 +1,61 @@
+package kmgraph_test
+
+// Godoc examples for the public API. Each is a compiled, executed test
+// with deterministic output (the engine is deterministic in its seed).
+
+import (
+	"fmt"
+
+	"kmgraph"
+)
+
+func ExampleConnectivity() {
+	// Three planted components, 8 machines.
+	g := kmgraph.DisjointComponents(600, 3, 0.5, 4)
+	res, err := kmgraph.Connectivity(g, kmgraph.Config{K: 8, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("components:", res.Components)
+	// Output: components: 3
+}
+
+func ExampleMST() {
+	g := kmgraph.WithDistinctWeights(kmgraph.GNM(200, 600, 2), 3)
+	res, err := kmgraph.MST(g, kmgraph.MSTConfig{Config: kmgraph.Config{K: 4, Seed: 1}})
+	if err != nil {
+		panic(err)
+	}
+	_, oracle := kmgraph.MSTOracle(g)
+	fmt.Println("optimal:", res.TotalWeight == oracle)
+	// Output: optimal: true
+}
+
+func ExampleVerifyBipartiteness() {
+	grid := kmgraph.Grid(10, 10) // grids are 2-colorable
+	out, err := kmgraph.VerifyBipartiteness(grid, kmgraph.Config{K: 4, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("bipartite:", out.Holds)
+	// Output: bipartite: true
+}
+
+func ExampleRunLowerBound() {
+	inst := kmgraph.NewDisjointnessInstance(64, 5)
+	res, err := kmgraph.RunLowerBound(inst, kmgraph.Config{K: 4, Seed: 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("SCS == DISJ:", res.SCSHolds == res.Disjoint)
+	// Output: SCS == DISJ: true
+}
+
+func ExampleGraphBuilder() {
+	b := kmgraph.NewGraphBuilder(4)
+	b.AddEdge(0, 1, 5)
+	b.AddEdge(1, 2, 7)
+	g := b.Build()
+	fmt.Println(g.N(), "vertices,", g.M(), "edges")
+	// Output: 4 vertices, 2 edges
+}

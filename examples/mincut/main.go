@@ -1,0 +1,36 @@
+// Reliability analysis: estimate how many link failures disconnect a
+// network, using the paper's O(log n)-approximate min-cut (Theorem 3) —
+// Karger sampling at geometric rates with the fast connectivity algorithm
+// as the tester.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kmgraph"
+)
+
+func main() {
+	cases := []struct {
+		name string
+		g    *kmgraph.Graph
+	}{
+		{"ring of 200 routers", kmgraph.Cycle(200)},
+		{"two datacenters, 3 cross-links", kmgraph.TwoCliquesBridged(40, 3, 1)},
+		{"two datacenters, 12 cross-links", kmgraph.TwoCliquesBridged(40, 12, 2)},
+		{"full mesh of 60", kmgraph.Complete(60)},
+	}
+	for _, tc := range cases {
+		trueCut := kmgraph.MinCutOracle(tc.g)
+		res, err := kmgraph.ApproxMinCut(tc.g, kmgraph.MinCutConfig{
+			Config: kmgraph.Config{K: 8, Seed: 9},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-35s true λ=%-3d estimate=%-8.1f (%d sampling runs, %d rounds)\n",
+			tc.name, trueCut, res.Estimate, res.Runs, res.Rounds)
+	}
+	fmt.Println("\nestimates are within an O(log n) factor of λ w.h.p. (Theorem 3)")
+}

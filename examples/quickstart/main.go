@@ -1,0 +1,48 @@
+// Quickstart: build a graph, run the Õ(n/k²) connectivity and MST
+// algorithms on a simulated 8-machine cluster, and inspect the costs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kmgraph"
+)
+
+func main() {
+	// A random graph with 2,000 vertices and 6,000 edges, plus distinct
+	// edge weights so the MST is unique.
+	g := kmgraph.WithDistinctWeights(kmgraph.GNM(2000, 6000, 7), 8)
+	fmt.Printf("input: n=%d m=%d\n", g.N(), g.M())
+
+	// Connected components on k=8 machines (random vertex partition).
+	conn, err := kmgraph.Connectivity(g, kmgraph.Config{K: 8, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("connectivity: %d component(s) in %d rounds (%d Boruvka phases)\n",
+		conn.Components, conn.Metrics.Rounds, conn.Phases)
+
+	// Compare against the sequential oracle.
+	_, oracleCount := kmgraph.ComponentsOracle(g)
+	fmt.Printf("oracle agrees: %v\n", conn.Components == oracleCount)
+
+	// Minimum spanning tree on the same cluster.
+	mst, err := kmgraph.MST(g, kmgraph.MSTConfig{Config: kmgraph.Config{K: 8, Seed: 1}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, oracleWeight := kmgraph.MSTOracle(g)
+	fmt.Printf("mst: weight=%d (%d edges) in %d rounds; oracle match: %v\n",
+		mst.TotalWeight, len(mst.Edges), mst.Metrics.Rounds, mst.TotalWeight == oracleWeight)
+
+	// The speedup story (Theorem 1): rounds fall roughly like 1/k².
+	fmt.Println("\nscaling with machines:")
+	for _, k := range []int{2, 4, 8, 16} {
+		r, err := kmgraph.Connectivity(g, kmgraph.Config{K: k, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  k=%-3d rounds=%d\n", k, r.Metrics.Rounds)
+	}
+}

@@ -1,0 +1,51 @@
+// Distributed verification: the eight Theorem 4 problems on one scenario —
+// a road network (grid) with a proposed spanning backbone — each solved in
+// Õ(n/k²) rounds via reductions to the fast connectivity algorithm.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kmgraph"
+)
+
+func main() {
+	// A 32x32 road grid and a proposed backbone (a spanning tree).
+	g := kmgraph.Grid(32, 32)
+	backbone, _ := kmgraph.MSTOracle(g)
+	cfg := kmgraph.Config{K: 8, Seed: 21}
+	fmt.Printf("road grid: n=%d m=%d; backbone: %d roads\n\n", g.N(), g.M(), len(backbone))
+
+	report := func(name string, out *kmgraph.VerifyOutcome, err error) {
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("%-42s %-5v (%d runs, %d rounds)\n", name, out.Holds, out.Runs, out.Rounds)
+	}
+
+	out, err := kmgraph.VerifySpanningConnectedSubgraph(g, backbone, cfg)
+	report("backbone spans and connects the city?", out, err)
+
+	out, err = kmgraph.VerifyCut(g, backbone[:100], cfg)
+	report("do the first 100 backbone roads form a cut?", out, err)
+
+	out, err = kmgraph.VerifySTConnectivity(g, 0, g.N()-1, cfg)
+	report("corner-to-corner route exists?", out, err)
+
+	cross := kmgraph.Edge{U: 0, V: 1}
+	out, err = kmgraph.VerifyEdgeOnAllPaths(g, 0, 1, cross, cfg)
+	report("is road (0,1) the only way from 0 to 1?", out, err)
+
+	out, err = kmgraph.VerifySTCut(g, 0, g.N()-1, g.Edges()[:64], cfg)
+	report("do the first 64 roads separate the corners?", out, err)
+
+	out, err = kmgraph.VerifyBipartiteness(g, cfg)
+	report("is the grid two-colorable?", out, err)
+
+	out, err = kmgraph.VerifyCycleContainment(g, cfg)
+	report("does the grid contain a cycle?", out, err)
+
+	out, err = kmgraph.VerifyECycleContainment(g, cross, cfg)
+	report("is road (0,1) on some cycle?", out, err)
+}

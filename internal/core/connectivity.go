@@ -1,0 +1,815 @@
+// Package core implements the paper's primary contribution (§2, Theorem 1):
+// a Monte Carlo connectivity algorithm for the k-machine model running in
+// Õ(n/k²) rounds, improving the Õ(n/k) of Klauck et al. and matching the
+// Ω̃(n/k²) lower bound — plus the MST algorithm built on it (§3.1,
+// Theorem 2).
+//
+// The algorithm is Boruvka-style. Every vertex starts as its own component,
+// labeled by its vertex ID. Each phase:
+//
+//  1. Every machine builds, per component *part* it holds, the sum of fresh
+//     l0-sketches of its vertices' edge-incidence vectors (§2.3) and sends
+//     it to the component's random proxy machine h(phase, label) (§2.2).
+//  2. The proxy sums the part sketches — intra-component edges cancel by
+//     linearity — and samples one outgoing edge (§2.4).
+//  3. The proxy learns the label of the neighboring component by querying
+//     the sampled endpoint's home machine.
+//  4. Distributed random ranking (§2.5): the component connects to the
+//     sampled neighbor iff the neighbor's (shared-hash) rank is higher,
+//     yielding a forest of O(log n)-deep trees (Lemma 6).
+//  5. Each tree collapses to its root label. The default implementation is
+//     pointer doubling over per-iteration re-randomized proxies (O(log
+//     depth) iterations); CollapseLevelWise switches to the paper-exact
+//     one-step parent chase (O(depth) iterations, Lemma 5) for the E10
+//     ablation.
+//  6. Root labels are broadcast to all machines holding parts, which
+//     relabel their vertices. Phases repeat until no component merges and
+//     no sketch sampling failed (Lemma 7: O(log n) phases w.h.p.).
+//
+// EdgeCheckSelection replaces step 1–3 with the GHS-style strategy the
+// paper argues against (§1.2): every phase, query the current label of
+// every neighbor across every edge, and pick an outgoing edge directly.
+// Its per-phase traffic is Θ(m) instead of Θ̃(n), isolating exactly the
+// contribution of linear sketching (ablation in experiment E1).
+//
+// All communication goes through proxy.Comm exchanges, so the engine's
+// per-link bandwidth accounting prices every step exactly as Lemma 1 does.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"kmgraph/internal/graph"
+	"kmgraph/internal/hashing"
+	"kmgraph/internal/kmachine"
+	"kmgraph/internal/proxy"
+	"kmgraph/internal/sketch"
+	"kmgraph/internal/wire"
+)
+
+// Config parameterizes a connectivity run.
+type Config struct {
+	// K is the number of machines.
+	K int
+	// BandwidthBits is the per-link budget; 0 selects kmachine.Bandwidth(n).
+	BandwidthBits int
+	// Seed drives the random vertex partition and all private coins.
+	Seed int64
+	// MaxPhases caps Boruvka phases; 0 selects 12·ceil(log2 n) + 4
+	// (Lemma 7's bound plus slack).
+	MaxPhases int
+	// Sketch overrides sketch parameters; zero value selects
+	// sketch.DefaultParams(n).
+	Sketch sketch.Params
+	// CollapseLevelWise selects the paper-exact O(depth) tree collapse
+	// instead of pointer doubling (ablation E10).
+	CollapseLevelWise bool
+	// CoinMerge selects the paper's footnote-9 alternative to DRR trees:
+	// every component draws a shared-hash coin, and a merge happens only
+	// along edges from a 0-component to a 1-component. Trees have depth 1
+	// (no chains at all), at the cost of a lower per-phase merge
+	// probability (1/4 vs 1/2); the paper notes the same O~(n/k²) bound.
+	CoinMerge bool
+	// EdgeCheckSelection selects outgoing edges by querying every
+	// neighbor's label across every edge (GHS-style baseline) instead of
+	// by sketching.
+	EdgeCheckSelection bool
+	// FaithfulRandomness additionally distributes Θ(n/k) shared random
+	// bytes from machine 1 by relay broadcast and drives proxy selection
+	// through the d-wise independent polynomial family built from them
+	// (§2.2 faithful path; see DESIGN.md substitution #2).
+	FaithfulRandomness bool
+	// CountComponents additionally runs the paper's §2.6 output protocol:
+	// every machine reports each label it holds to that label's proxy,
+	// the proxies deduplicate and forward distinct labels to machine 0,
+	// which outputs the component count — all within the model. The count
+	// lands in Result.ProtocolCount.
+	CountComponents bool
+	// MaxRounds aborts runaway executions (0 = engine default).
+	MaxRounds int
+	// MessageOverheadBits models per-message framing (0 = 64).
+	MessageOverheadBits int
+}
+
+func (c Config) withDefaults(n int) Config {
+	if c.BandwidthBits == 0 {
+		c.BandwidthBits = kmachine.Bandwidth(n)
+	}
+	if c.MaxPhases == 0 {
+		l := 0
+		for s := 1; s < n; s <<= 1 {
+			l++
+		}
+		c.MaxPhases = 12*l + 4
+	}
+	if c.Sketch == (sketch.Params{}) {
+		c.Sketch = sketch.DefaultParams(n)
+	}
+	if c.MessageOverheadBits == 0 {
+		c.MessageOverheadBits = 64
+	}
+	return c
+}
+
+// Result is the outcome of a connectivity run.
+type Result struct {
+	// Labels[v] is the final component label of vertex v; two vertices
+	// have equal labels iff they are in the same connected component
+	// (w.h.p.). Labels are vertex IDs of component members.
+	Labels []uint64
+	// Components is the number of distinct labels.
+	Components int
+	// ProtocolCount is the component count computed *inside the model* by
+	// the §2.6 output protocol (only when Config.CountComponents is set;
+	// -1 otherwise). It must equal Components.
+	ProtocolCount int
+	// Phases is the number of Boruvka phases executed.
+	Phases int
+	// SketchFailures counts failed l0-sample recoveries across the run.
+	SketchFailures int64
+	// CollapseIters is the total number of tree-collapse iterations across
+	// all phases (pointer doubling: O(log depth) per phase; level-wise:
+	// O(depth) per phase — the Lemma 5 ablation quantity).
+	CollapseIters int
+	// PhaseRounds records the engine round count at the end of each phase
+	// (as observed by machine 0), for per-phase cost analysis.
+	PhaseRounds []int
+	// Metrics is the engine's cost accounting.
+	Metrics kmachine.Metrics
+}
+
+// machineOutput is each machine's designated output variable o_i.
+type machineOutput struct {
+	labels        map[int]uint64
+	failures      int64
+	phases        int
+	collapseIters int
+	protocolCount int // §2.6 count at machine 0; -1 elsewhere/disabled
+	phaseRounds   []int
+}
+
+// Run executes the connectivity algorithm on g under a fresh random vertex
+// partition and returns the component labeling.
+func Run(g *graph.Graph, cfg Config) (*Result, error) {
+	return RunWithPartition(g, kmachine.NewRVP(g, cfg.K, uint64(cfg.Seed)^0x9e37), cfg)
+}
+
+// RunWithPartition executes the connectivity algorithm under a caller-
+// provided vertex partition (the lower-bound harness prescribes placement
+// per the two-party reduction; everything else uses Run's RVP).
+func RunWithPartition(g *graph.Graph, part *kmachine.VertexPartition, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults(g.N())
+	cluster, err := kmachine.New(kmachine.Config{
+		K:                   cfg.K,
+		BandwidthBits:       cfg.BandwidthBits,
+		MessageOverheadBits: cfg.MessageOverheadBits,
+		Seed:                cfg.Seed,
+		MaxRounds:           cfg.MaxRounds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := cluster.Run(func(ctx *kmachine.Ctx) error {
+		m := newMachine(ctx, part.View(ctx.ID()), cfg)
+		return m.run()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return assemble(g.N(), res)
+}
+
+func assemble(n int, res *kmachine.Result) (*Result, error) {
+	out := &Result{Labels: make([]uint64, n), Metrics: res.Metrics, ProtocolCount: -1}
+	seen := make(map[uint64]bool)
+	assigned := 0
+	for i, o := range res.Outputs {
+		mo, ok := o.(*machineOutput)
+		if !ok {
+			return nil, fmt.Errorf("core: machine %d produced no output", i)
+		}
+		for v, l := range mo.labels {
+			out.Labels[v] = l
+			seen[l] = true
+			assigned++
+		}
+		out.SketchFailures += mo.failures
+		if mo.phases > out.Phases {
+			out.Phases = mo.phases
+		}
+		if mo.collapseIters > out.CollapseIters {
+			out.CollapseIters = mo.collapseIters
+		}
+		if mo.protocolCount >= 0 {
+			out.ProtocolCount = mo.protocolCount
+		}
+		if mo.phaseRounds != nil {
+			out.PhaseRounds = mo.phaseRounds
+		}
+	}
+	if assigned != n {
+		return nil, fmt.Errorf("core: %d of %d vertices labeled", assigned, n)
+	}
+	out.Components = len(seen)
+	return out, nil
+}
+
+// compState is the proxy-held state of one component during a phase.
+type compState struct {
+	label   uint64
+	cur     uint64 // current pointer (root so far); == label for roots
+	parent  uint64 // original DRR parent (level-wise mode answers this)
+	holders []byte // bitset of machines holding parts of the component
+
+	// MST fields (§3.1): the best (lightest) outgoing edge found so far
+	// during the elimination iterations, and whether elimination converged.
+	hasBest     bool
+	bestU       int
+	bestV       int
+	bestW       int64
+	targetLabel uint64
+	elimDone    bool
+}
+
+func (st *compState) encode(buf []byte) []byte {
+	buf = wire.AppendUvarint(buf, st.label)
+	buf = wire.AppendUvarint(buf, st.cur)
+	buf = wire.AppendUvarint(buf, st.parent)
+	buf = wire.AppendBytes(buf, st.holders)
+	buf = wire.AppendBool(buf, st.hasBest)
+	buf = wire.AppendUvarint(buf, uint64(st.bestU))
+	buf = wire.AppendUvarint(buf, uint64(st.bestV))
+	buf = wire.AppendVarint(buf, st.bestW)
+	buf = wire.AppendUvarint(buf, st.targetLabel)
+	buf = wire.AppendBool(buf, st.elimDone)
+	return buf
+}
+
+func decodeState(r *wire.Reader) *compState {
+	st := &compState{
+		label:  r.Uvarint(),
+		cur:    r.Uvarint(),
+		parent: r.Uvarint(),
+	}
+	st.holders = append([]byte(nil), r.Bytes()...)
+	st.hasBest = r.Bool()
+	st.bestU = int(r.Uvarint())
+	st.bestV = int(r.Uvarint())
+	st.bestW = r.Varint()
+	st.targetLabel = r.Uvarint()
+	st.elimDone = r.Bool()
+	return st
+}
+
+type machine struct {
+	ctx  *kmachine.Ctx
+	comm *proxy.Comm
+	view *kmachine.LocalView
+	cfg  Config
+	sh   *proxy.Shared
+	poly *hashing.Poly // non-nil in FaithfulRandomness mode
+
+	labels        map[int]uint64 // owned vertex -> component label
+	states        map[uint64]*compState
+	stateSlot     int // proxy slot currently holding component states
+	failures      int64
+	prevFailures  int64
+	collapseIters int
+	phase         int
+	// phaseActive counts components (proxied here) that found a valid
+	// outgoing edge this phase. The phase loop terminates when no
+	// component anywhere is active and nothing failed — "no merges" would
+	// be wrong for merge rules without a per-phase progress guarantee
+	// (the footnote-9 coin rule can have merge-free phases).
+	phaseActive uint64
+}
+
+func newMachine(ctx *kmachine.Ctx, view *kmachine.LocalView, cfg Config) *machine {
+	return &machine{
+		ctx:    ctx,
+		comm:   proxy.NewComm(ctx),
+		view:   view,
+		cfg:    cfg,
+		labels: make(map[int]uint64, len(view.Owned())),
+	}
+}
+
+// proxyOf selects the proxy machine for a component at a given state slot
+// within the current phase (the paper's h_{j,ρ}).
+func (m *machine) proxyOf(slot int, label uint64) int {
+	if m.poly != nil {
+		tweak := hashing.Hash3(m.sh.Seed(), uint64(m.phase), uint64(slot))
+		return hashing.RangeOf(m.poly.Eval(label^tweak)<<3, m.ctx.K())
+	}
+	return m.sh.ProxyOf(m.phase, slot, label, m.ctx.K())
+}
+
+// setup establishes shared randomness and the initial singleton labeling.
+func (m *machine) setup() error {
+	m.sh = proxy.Setup(m.comm)
+	if m.cfg.FaithfulRandomness {
+		d := m.view.N()/m.ctx.K() + 1
+		if d > 512 {
+			d = 512 // cap polynomial degree; see DESIGN.md substitution #2
+		}
+		if d < 8 {
+			d = 8
+		}
+		bits := proxy.SetupBits(m.comm, 8*d)
+		m.poly = hashing.NewPolyFromBits(bits, d)
+		if m.poly == nil {
+			return fmt.Errorf("core: polynomial construction failed")
+		}
+	}
+	for _, v := range m.view.Owned() {
+		m.labels[v] = uint64(v)
+	}
+	return nil
+}
+
+func (m *machine) run() error {
+	if err := m.setup(); err != nil {
+		return err
+	}
+	out := &machineOutput{}
+	for m.phase = 0; m.phase < m.cfg.MaxPhases; m.phase++ {
+		m.stateSlot = 0
+		m.phaseActive = 0
+		if m.cfg.EdgeCheckSelection {
+			m.selectEdgeCheck()
+		} else {
+			m.selectSketch()
+		}
+		m.collapse()
+		m.broadcastAndRelabel()
+		active := m.comm.AllSum(m.phaseActive)
+		failures := m.comm.AllSum(m.phaseFailures())
+		if m.ctx.ID() == 0 {
+			out.phaseRounds = append(out.phaseRounds, m.ctx.Round())
+		}
+		out.phases = m.phase + 1
+		if active == 0 && failures == 0 {
+			break
+		}
+	}
+	out.protocolCount = -1
+	if m.cfg.CountComponents {
+		out.protocolCount = m.countComponents()
+	}
+	out.labels = m.labels
+	out.failures = m.failures
+	out.collapseIters = m.collapseIters
+	m.ctx.SetOutput(out)
+	return nil
+}
+
+// countComponents is the paper's §2.6 output protocol: every machine sends
+// "YES" for each label it holds to that label's proxy (Lemma 1 pricing);
+// the proxies forward the distinct labels they proxy to machine 0, which
+// returns the count (and -1 is returned on all other machines).
+func (m *machine) countComponents() int {
+	var out []proxy.Out
+	seen := make(map[uint64]bool)
+	for _, l := range m.labels {
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, proxy.Out{
+				Dst:  m.proxyOf(0, l),
+				Data: wire.AppendUvarint(nil, l),
+			})
+		}
+	}
+	recv := m.comm.Exchange(out)
+	distinct := make(map[uint64]bool)
+	for _, msg := range recv {
+		r := wire.NewReader(msg.Data)
+		distinct[r.Uvarint()] = true
+	}
+	out = nil
+	for _, l := range sortedKeys(distinct) {
+		out = append(out, proxy.Out{Dst: 0, Data: wire.AppendUvarint(nil, l)})
+	}
+	recv = m.comm.Exchange(out)
+	if m.ctx.ID() != 0 {
+		return -1
+	}
+	count := make(map[uint64]bool)
+	for _, msg := range recv {
+		r := wire.NewReader(msg.Data)
+		count[r.Uvarint()] = true
+	}
+	return len(count)
+}
+
+// parts groups this machine's vertices by current component label.
+func (m *machine) parts() map[uint64][]int {
+	p := make(map[uint64][]int)
+	for _, v := range m.view.Owned() {
+		l := m.labels[v]
+		p[l] = append(p[l], v)
+	}
+	return p
+}
+
+func sortedKeys[V any](p map[uint64]V) []uint64 {
+	ls := make([]uint64, 0, len(p))
+	for l := range p {
+		ls = append(ls, l)
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	return ls
+}
+
+// phaseFailures returns failures recorded during the current phase only.
+func (m *machine) phaseFailures() uint64 {
+	d := m.failures - m.prevFailures
+	m.prevFailures = m.failures
+	return uint64(d)
+}
+
+// applyRank applies the merge rule to a component that sampled nbrLabel:
+// the DRR rule (§2.5, connect iff the neighbor's rank is higher) or the
+// footnote-9 coin rule (connect iff self drew 0 and the neighbor drew 1).
+func (m *machine) applyRank(st *compState, nbrLabel uint64) {
+	if m.cfg.CoinMerge {
+		self := m.sh.Rank(m.phase, st.label) & 1
+		nbr := m.sh.Rank(m.phase, nbrLabel) & 1
+		if self == 0 && nbr == 1 {
+			st.parent = nbrLabel
+			st.cur = nbrLabel
+		}
+		return
+	}
+	if m.sh.Rank(m.phase, nbrLabel) > m.sh.Rank(m.phase, st.label) {
+		st.parent = nbrLabel
+		st.cur = nbrLabel
+	}
+}
+
+// selectSketch is the paper's selection path: part sketches to proxies,
+// linear combination, l0-sample, neighbor-label resolution (§2.3–2.4).
+func (m *machine) selectSketch() {
+	k := m.ctx.K()
+	parts := m.parts()
+	seed := m.sh.SketchSeed(m.phase, 0)
+
+	// Part sketches to component proxies (Lemma 3).
+	var out []proxy.Out
+	for _, label := range sortedKeys(parts) {
+		sk := sketch.New(m.cfg.Sketch, seed)
+		for _, v := range parts[label] {
+			sk.AddVertex(v, m.view.Adj(v), nil)
+		}
+		buf := wire.AppendUvarint(nil, label)
+		buf = sk.EncodeTo(buf)
+		out = append(out, proxy.Out{Dst: m.proxyOf(0, label), Data: buf})
+	}
+	recv := m.comm.Exchange(out)
+
+	// Proxy side: sum part sketches per component, record part holders.
+	m.states = make(map[uint64]*compState)
+	sums := make(map[uint64]*sketch.Sketch)
+	for _, msg := range recv {
+		r := wire.NewReader(msg.Data)
+		label := r.Uvarint()
+		sk, err := sketch.Decode(m.cfg.Sketch, seed, msg.Data[len(msg.Data)-r.Len():])
+		if err != nil {
+			panic(fmt.Sprintf("core: bad sketch from %d: %v", msg.Src, err))
+		}
+		st := m.states[label]
+		if st == nil {
+			st = &compState{label: label, cur: label, parent: label, holders: make([]byte, (k+7)/8)}
+			m.states[label] = st
+			sums[label] = sk
+		} else if err := sums[label].Add(sk); err != nil {
+			panic(err)
+		}
+		st.holders[msg.Src/8] |= 1 << uint(msg.Src%8)
+	}
+
+	// Sample an outgoing edge per component; resolve the neighbor label by
+	// querying the outside endpoint's home machine.
+	out = nil
+	for _, label := range sortedKeys(m.states) {
+		sk := sums[label]
+		x, y, insideSmaller, st := sk.SampleEdge()
+		switch st {
+		case sketch.Empty:
+			// No outgoing edges: inactive root this phase.
+		case sketch.Failed:
+			m.failures++
+		case sketch.Sampled:
+			outside := x
+			if insideSmaller {
+				outside = y
+			}
+			q := wire.AppendUvarint(nil, uint64(outside))
+			q = wire.AppendUvarint(q, uint64(x))
+			q = wire.AppendUvarint(q, uint64(y))
+			q = wire.AppendUvarint(q, label)
+			out = append(out, proxy.Out{Dst: m.view.Home(outside), Data: q})
+		}
+	}
+	recv = m.comm.Exchange(out)
+
+	// Home machines answer label queries and validate the edge exists.
+	out = m.answerLabelQueries(recv)
+	recv = m.comm.Exchange(out)
+
+	// DRR ranking (§2.5).
+	for _, msg := range recv {
+		r := wire.NewReader(msg.Data)
+		askLabel := r.Uvarint()
+		nbrLabel := r.Uvarint()
+		valid := r.Bool()
+		r.Varint() // weight, unused for connectivity
+		st := m.states[askLabel]
+		if st == nil {
+			panic("core: reply for unknown component")
+		}
+		if !valid || nbrLabel == askLabel {
+			// Fingerprint collision produced garbage: count as failure.
+			m.failures++
+			continue
+		}
+		m.phaseActive++
+		m.applyRank(st, nbrLabel)
+	}
+}
+
+// answerLabelQueries serves queries of the form (outside, x, y, askLabel):
+// reply with outside's current label, whether edge (x,y) really exists,
+// and its weight.
+func (m *machine) answerLabelQueries(recv []kmachine.Message) []proxy.Out {
+	var out []proxy.Out
+	for _, msg := range recv {
+		r := wire.NewReader(msg.Data)
+		outside := int(r.Uvarint())
+		x := int(r.Uvarint())
+		y := int(r.Uvarint())
+		askLabel := r.Uvarint()
+		other := x
+		if other == outside {
+			other = y
+		}
+		valid := false
+		var w int64
+		for _, h := range m.view.Adj(outside) {
+			if h.To == other {
+				valid = true
+				w = h.W
+				break
+			}
+		}
+		rep := wire.AppendUvarint(nil, askLabel)
+		rep = wire.AppendUvarint(rep, m.labels[outside])
+		rep = wire.AppendBool(rep, valid)
+		rep = wire.AppendVarint(rep, w)
+		out = append(out, proxy.Out{Dst: msg.Src, Data: rep})
+	}
+	return out
+}
+
+// selectEdgeCheck is the GHS-style baseline: learn the label of every
+// neighbor across every edge (Θ(m) traffic per phase), then nominate the
+// smallest outgoing edge per part directly.
+func (m *machine) selectEdgeCheck() {
+	k := m.ctx.K()
+	parts := m.parts()
+
+	// Query each distinct neighbor's label, batched per home machine.
+	nbrByDst := make(map[int]map[int]bool)
+	for _, v := range m.view.Owned() {
+		for _, h := range m.view.Adj(v) {
+			dst := m.view.Home(h.To)
+			if nbrByDst[dst] == nil {
+				nbrByDst[dst] = make(map[int]bool)
+			}
+			nbrByDst[dst][h.To] = true
+		}
+	}
+	var out []proxy.Out
+	for dst := 0; dst < k; dst++ {
+		set := nbrByDst[dst]
+		if len(set) == 0 {
+			continue
+		}
+		vs := make([]int, 0, len(set))
+		for v := range set {
+			vs = append(vs, v)
+		}
+		sort.Ints(vs)
+		buf := wire.AppendUvarint(nil, uint64(len(vs)))
+		for _, v := range vs {
+			buf = wire.AppendUvarint(buf, uint64(v))
+		}
+		out = append(out, proxy.Out{Dst: dst, Data: buf})
+	}
+	recv := m.comm.Exchange(out)
+
+	// Answer label batches.
+	out = nil
+	for _, msg := range recv {
+		r := wire.NewReader(msg.Data)
+		cnt := int(r.Uvarint())
+		rep := wire.AppendUvarint(nil, uint64(cnt))
+		for i := 0; i < cnt; i++ {
+			v := int(r.Uvarint())
+			rep = wire.AppendUvarint(rep, uint64(v))
+			rep = wire.AppendUvarint(rep, m.labels[v])
+		}
+		out = append(out, proxy.Out{Dst: msg.Src, Data: rep})
+	}
+	recv = m.comm.Exchange(out)
+	nbrLabel := make(map[int]uint64)
+	for _, msg := range recv {
+		r := wire.NewReader(msg.Data)
+		cnt := int(r.Uvarint())
+		for i := 0; i < cnt; i++ {
+			v := int(r.Uvarint())
+			nbrLabel[v] = r.Uvarint()
+		}
+	}
+
+	// Nominate the minimum outgoing edge (by edge ID) per part.
+	n := m.view.N()
+	out = nil
+	for _, label := range sortedKeys(parts) {
+		bestID := uint64(1) << 63
+		var bestTarget uint64
+		found := false
+		for _, v := range parts[label] {
+			for _, h := range m.view.Adj(v) {
+				if nbrLabel[h.To] == label {
+					continue
+				}
+				id := graph.EdgeID(v, h.To, n)
+				if !found || id < bestID {
+					bestID, bestTarget, found = id, nbrLabel[h.To], true
+				}
+			}
+		}
+		buf := wire.AppendUvarint(nil, label)
+		buf = wire.AppendBool(buf, found)
+		buf = wire.AppendUvarint(buf, bestID)
+		buf = wire.AppendUvarint(buf, bestTarget)
+		out = append(out, proxy.Out{Dst: m.proxyOf(0, label), Data: buf})
+	}
+	recv = m.comm.Exchange(out)
+
+	// Proxy side: pick the overall minimum candidate per component.
+	m.states = make(map[uint64]*compState)
+	cand := make(map[uint64]uint64)   // label -> best edge id
+	target := make(map[uint64]uint64) // label -> target label
+	hasCand := make(map[uint64]bool)  // label -> any candidate
+	for _, msg := range recv {
+		r := wire.NewReader(msg.Data)
+		label := r.Uvarint()
+		found := r.Bool()
+		id := r.Uvarint()
+		tgt := r.Uvarint()
+		st := m.states[label]
+		if st == nil {
+			st = &compState{label: label, cur: label, parent: label, holders: make([]byte, (k+7)/8)}
+			m.states[label] = st
+		}
+		st.holders[msg.Src/8] |= 1 << uint(msg.Src%8)
+		if found && (!hasCand[label] || id < cand[label]) {
+			cand[label] = id
+			target[label] = tgt
+			hasCand[label] = true
+		}
+	}
+	for label, st := range m.states {
+		if hasCand[label] {
+			m.phaseActive++
+			m.applyRank(st, target[label])
+		}
+	}
+}
+
+// broadcastAndRelabel sends each merged component's root label to all
+// machines holding parts and applies the relabeling locally, returning the
+// local count of merged components.
+func (m *machine) broadcastAndRelabel() uint64 {
+	k := m.ctx.K()
+	var out []proxy.Out
+	var localMerges uint64
+	for _, label := range sortedKeys(m.states) {
+		st := m.states[label]
+		if st.cur == st.label {
+			continue
+		}
+		localMerges++
+		buf := wire.AppendUvarint(nil, st.label)
+		buf = wire.AppendUvarint(buf, st.cur)
+		for h := 0; h < k; h++ {
+			if st.holders[h/8]&(1<<uint(h%8)) != 0 {
+				out = append(out, proxy.Out{Dst: h, Data: buf})
+			}
+		}
+	}
+	recv := m.comm.Exchange(out)
+	relabel := make(map[uint64]uint64)
+	for _, msg := range recv {
+		r := wire.NewReader(msg.Data)
+		oldL := r.Uvarint()
+		newL := r.Uvarint()
+		relabel[oldL] = newL
+	}
+	if len(relabel) > 0 {
+		for v, l := range m.labels {
+			if nl, ok := relabel[l]; ok {
+				m.labels[v] = nl
+			}
+		}
+	}
+	return localMerges
+}
+
+// collapse resolves every component's pointer to its tree root. The
+// default is pointer doubling (cur <- cur's cur) with state handoff to
+// fresh proxies each iteration; level-wise mode answers the original
+// parent instead, walking one level per iteration as in Lemma 5.
+func (m *machine) collapse() {
+	for {
+		m.collapseIters++
+		// Queries: ask the proxy currently holding cur's state.
+		var out []proxy.Out
+		for _, label := range sortedKeys(m.states) {
+			st := m.states[label]
+			if st.cur == st.label {
+				continue
+			}
+			q := wire.AppendUvarint(nil, st.cur)
+			q = wire.AppendUvarint(q, st.label)
+			out = append(out, proxy.Out{Dst: m.proxyOf(m.stateSlot, st.cur), Data: q})
+		}
+		recv := m.comm.Exchange(out)
+
+		// Answers.
+		out = nil
+		for _, msg := range recv {
+			r := wire.NewReader(msg.Data)
+			target := r.Uvarint()
+			asker := r.Uvarint()
+			st := m.states[target]
+			if st == nil {
+				panic("core: query for component state not held here")
+			}
+			ans := st.cur
+			if m.cfg.CollapseLevelWise {
+				ans = st.parent
+			}
+			rep := wire.AppendUvarint(nil, asker)
+			rep = wire.AppendUvarint(rep, ans)
+			out = append(out, proxy.Out{Dst: msg.Src, Data: rep})
+		}
+		recv = m.comm.Exchange(out)
+
+		// Updates.
+		var changed uint64
+		for _, msg := range recv {
+			r := wire.NewReader(msg.Data)
+			asker := r.Uvarint()
+			newCur := r.Uvarint()
+			st := m.states[asker]
+			if st == nil {
+				panic("core: answer for unknown component")
+			}
+			if newCur != st.cur {
+				st.cur = newCur
+				changed++
+			}
+		}
+		if m.comm.AllSum(changed) == 0 {
+			return
+		}
+		m.handoffStates()
+	}
+}
+
+// handoffStates moves all component states to the next slot's proxies
+// (fresh h_{j,ρ} per iteration, as Lemma 5 requires for independence).
+func (m *machine) handoffStates() {
+	var out []proxy.Out
+	newStates := make(map[uint64]*compState)
+	for _, label := range sortedKeys(m.states) {
+		st := m.states[label]
+		dst := m.proxyOf(m.stateSlot+1, label)
+		if dst == m.ctx.ID() {
+			newStates[label] = st
+			continue
+		}
+		out = append(out, proxy.Out{Dst: dst, Data: st.encode(nil)})
+	}
+	recv := m.comm.Exchange(out)
+	for _, msg := range recv {
+		r := wire.NewReader(msg.Data)
+		st := decodeState(r)
+		newStates[st.label] = st
+	}
+	m.states = newStates
+	m.stateSlot++
+}

@@ -1,0 +1,477 @@
+// MST construction (§3.1, Theorem 2): Boruvka phases as in connectivity,
+// but each phase finds every component's minimum-weight outgoing edge
+// (MWOE) by repeated sketch-and-eliminate: sample a random outgoing edge,
+// broadcast its weight to the component's parts, re-sketch only strictly
+// lighter edges, and repeat until the sampler reports an empty vector —
+// the last sampled edge is then the MWOE w.h.p. Every MWOE is an MST edge
+// by the cut property (weights are totally ordered by (w, edge ID), so the
+// MST is unique); components then merge along DRR trees exactly as in the
+// connectivity algorithm.
+//
+// Output criteria (Theorem 2): by default every MST edge is known to at
+// least one machine (the proxy that recorded it), achieving Õ(n/k²)
+// rounds. StrongOutput additionally routes every MST edge to the home
+// machines of both endpoints — the classical output criterion — which the
+// paper proves costs Θ̃(n/k) in the worst case (experiment E7 reproduces
+// the star-graph separation).
+
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"kmgraph/internal/graph"
+	"kmgraph/internal/kmachine"
+	"kmgraph/internal/proxy"
+	"kmgraph/internal/sketch"
+	"kmgraph/internal/wire"
+)
+
+// MSTConfig parameterizes an MST run.
+type MSTConfig struct {
+	Config
+	// StrongOutput also delivers each MST edge to both endpoints' home
+	// machines (Theorem 2(b)).
+	StrongOutput bool
+	// MaxElimIters caps elimination iterations per phase; 0 selects
+	// 2·ceil(log2 n) + 8 (enough for w.h.p. convergence).
+	MaxElimIters int
+}
+
+// MSTResult is the outcome of an MST run.
+type MSTResult struct {
+	// Edges is the minimum spanning forest under the (weight, edge ID)
+	// order, in canonical form, sorted by edge ID.
+	Edges []graph.Edge
+	// TotalWeight is the forest weight.
+	TotalWeight int64
+	// Labels is the final component labeling (as in connectivity).
+	Labels []uint64
+	// Phases is the number of Boruvka phases executed.
+	Phases int
+	// ElimIters is the total number of elimination iterations.
+	ElimIters int
+	// SketchFailures counts sampling failures.
+	SketchFailures int64
+	// WeakRounds is the round count before strong-output dissemination
+	// (equals Metrics.Rounds when StrongOutput is false).
+	WeakRounds int
+	// VertexEdges, in StrongOutput mode, maps each vertex to the MST
+	// edges incident to it as known by its home machine.
+	VertexEdges map[int][]graph.Edge
+	// Metrics is the engine's cost accounting.
+	Metrics kmachine.Metrics
+}
+
+type mstOutput struct {
+	labels      map[int]uint64
+	edges       []graph.Edge
+	vertexEdges map[int][]graph.Edge
+	failures    int64
+	phases      int
+	elimIters   int
+	weakRounds  int
+}
+
+// RunMST executes the MST algorithm on g under a fresh random vertex
+// partition.
+func RunMST(g *graph.Graph, cfg MSTConfig) (*MSTResult, error) {
+	cfg.Config = cfg.Config.withDefaults(g.N())
+	if cfg.MaxElimIters == 0 {
+		l := 0
+		for s := 1; s < g.N(); s <<= 1 {
+			l++
+		}
+		cfg.MaxElimIters = 2*l + 8
+	}
+	part := kmachine.NewRVP(g, cfg.K, uint64(cfg.Seed)^0x9e37)
+	cluster, err := kmachine.New(kmachine.Config{
+		K:                   cfg.K,
+		BandwidthBits:       cfg.BandwidthBits,
+		MessageOverheadBits: cfg.MessageOverheadBits,
+		Seed:                cfg.Seed,
+		MaxRounds:           cfg.MaxRounds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := cluster.Run(func(ctx *kmachine.Ctx) error {
+		m := &mstMachine{machine: newMachine(ctx, part.View(ctx.ID()), cfg.Config), mstCfg: cfg}
+		return m.run()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return assembleMST(g.N(), res)
+}
+
+func assembleMST(n int, res *kmachine.Result) (*MSTResult, error) {
+	out := &MSTResult{Labels: make([]uint64, n), Metrics: res.Metrics}
+	byID := make(map[uint64]graph.Edge)
+	for i, o := range res.Outputs {
+		mo, ok := o.(*mstOutput)
+		if !ok {
+			return nil, fmt.Errorf("core: machine %d produced no MST output", i)
+		}
+		for v, l := range mo.labels {
+			out.Labels[v] = l
+		}
+		for _, e := range mo.edges {
+			byID[graph.EdgeID(e.U, e.V, n)] = e
+		}
+		out.SketchFailures += mo.failures
+		if mo.phases > out.Phases {
+			out.Phases = mo.phases
+		}
+		if mo.elimIters > out.ElimIters {
+			out.ElimIters = mo.elimIters
+		}
+		if mo.weakRounds > out.WeakRounds {
+			out.WeakRounds = mo.weakRounds
+		}
+		if mo.vertexEdges != nil {
+			if out.VertexEdges == nil {
+				out.VertexEdges = make(map[int][]graph.Edge)
+			}
+			for v, es := range mo.vertexEdges {
+				out.VertexEdges[v] = es
+			}
+		}
+	}
+	ids := make([]uint64, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		e := byID[id]
+		out.Edges = append(out.Edges, e)
+		out.TotalWeight += e.W
+	}
+	return out, nil
+}
+
+type mstMachine struct {
+	*machine
+	mstCfg    MSTConfig
+	mstEdges  map[uint64]graph.Edge
+	elimIters int
+}
+
+func (m *mstMachine) run() error {
+	if err := m.setup(); err != nil {
+		return err
+	}
+	m.mstEdges = make(map[uint64]graph.Edge)
+	out := &mstOutput{}
+	for m.phase = 0; m.phase < m.cfg.MaxPhases; m.phase++ {
+		m.stateSlot = 0
+		m.phaseActive = 0
+		m.selectMWOE()
+		m.collapse()
+		m.broadcastAndRelabel()
+		active := m.comm.AllSum(m.phaseActive)
+		failures := m.comm.AllSum(m.phaseFailures())
+		out.phases = m.phase + 1
+		if active == 0 && failures == 0 {
+			break
+		}
+	}
+	out.weakRounds = m.ctx.Round()
+
+	if m.mstCfg.StrongOutput {
+		out.vertexEdges = m.disseminateStrong()
+	}
+
+	out.labels = m.labels
+	out.failures = m.failures
+	out.elimIters = m.elimIters
+	var edges []graph.Edge
+	for _, id := range sortedKeys(m.mstEdges) {
+		edges = append(edges, m.mstEdges[id])
+	}
+	out.edges = edges
+	m.ctx.SetOutput(out)
+	return nil
+}
+
+const (
+	tagThreshold = byte(1)
+	tagState     = byte(2)
+)
+
+// edgeLessHalf reports whether edge (u, h) precedes threshold (tw, tid)
+// in the (weight, edge ID) total order.
+func edgeLessHalf(u int, h graph.Half, n int, tw int64, tid uint64) bool {
+	if h.W != tw {
+		return h.W < tw
+	}
+	return graph.EdgeID(u, h.To, n) < tid
+}
+
+// selectMWOE runs the per-phase elimination loop (§3.1) and leaves, in
+// m.states, each component's MWOE decision with DRR parent applied.
+func (m *mstMachine) selectMWOE() {
+	k := m.ctx.K()
+	n := m.view.N()
+	parts := m.parts()
+
+	// Iteration 0: unfiltered sketches, exactly as connectivity.
+	seed := m.sh.SketchSeed(m.phase, 0)
+	var out []proxy.Out
+	for _, label := range sortedKeys(parts) {
+		sk := sketch.New(m.cfg.Sketch, seed)
+		for _, v := range parts[label] {
+			sk.AddVertex(v, m.view.Adj(v), nil)
+		}
+		buf := wire.AppendUvarint(nil, label)
+		buf = sk.EncodeTo(buf)
+		out = append(out, proxy.Out{Dst: m.proxyOf(0, label), Data: buf})
+	}
+	recv := m.comm.Exchange(out)
+
+	m.states = make(map[uint64]*compState)
+	sums := make(map[uint64]*sketch.Sketch)
+	for _, msg := range recv {
+		r := wire.NewReader(msg.Data)
+		label := r.Uvarint()
+		sk, err := sketch.Decode(m.cfg.Sketch, seed, msg.Data[len(msg.Data)-r.Len():])
+		if err != nil {
+			panic(fmt.Sprintf("core: bad sketch from %d: %v", msg.Src, err))
+		}
+		st := m.states[label]
+		if st == nil {
+			st = &compState{label: label, cur: label, parent: label, holders: make([]byte, (k+7)/8)}
+			m.states[label] = st
+			sums[label] = sk
+		} else if err := sums[label].Add(sk); err != nil {
+			panic(err)
+		}
+		st.holders[msg.Src/8] |= 1 << uint(msg.Src%8)
+	}
+
+	active := m.sampleAndResolve(sums)
+
+	// Elimination iterations: threshold broadcast, filtered re-sketch,
+	// re-sample, until every component's sampler comes back empty.
+	for s := 1; m.comm.AllSum(active) > 0; s++ {
+		m.elimIters++
+		if s > m.mstCfg.MaxElimIters {
+			// Truncated: discard this phase's decision for the remaining
+			// active components (conservative; negligible probability).
+			for _, st := range m.states {
+				if !st.elimDone {
+					st.elimDone = true
+					st.hasBest = false
+					st.cur, st.parent = st.label, st.label
+					m.failures++
+				}
+			}
+			break
+		}
+
+		// Combined exchange: thresholds to part holders + state handoff.
+		out = nil
+		newStates := make(map[uint64]*compState)
+		thresholds := make(map[uint64][2]uint64) // label -> {weight(bits), id}
+		for _, label := range sortedKeys(m.states) {
+			st := m.states[label]
+			if st.hasBest && !st.elimDone {
+				buf := []byte{tagThreshold}
+				buf = wire.AppendUvarint(buf, st.label)
+				buf = wire.AppendVarint(buf, st.bestW)
+				buf = wire.AppendUvarint(buf, graph.EdgeID(st.bestU, st.bestV, n))
+				for h := 0; h < k; h++ {
+					if st.holders[h/8]&(1<<uint(h%8)) != 0 {
+						out = append(out, proxy.Out{Dst: h, Data: buf})
+					}
+				}
+			}
+			dst := m.proxyOf(m.stateSlot+1, label)
+			if dst == m.ctx.ID() {
+				newStates[label] = st
+			} else {
+				out = append(out, proxy.Out{Dst: dst, Data: append([]byte{tagState}, st.encode(nil)...)})
+			}
+		}
+		recv = m.comm.Exchange(out)
+		for _, msg := range recv {
+			switch msg.Data[0] {
+			case tagThreshold:
+				r := wire.NewReader(msg.Data[1:])
+				label := r.Uvarint()
+				w := r.Varint()
+				id := r.Uvarint()
+				thresholds[label] = [2]uint64{uint64(w), id}
+			case tagState:
+				r := wire.NewReader(msg.Data[1:])
+				st := decodeState(r)
+				newStates[st.label] = st
+			default:
+				panic("core: unknown elimination message tag")
+			}
+		}
+		m.states = newStates
+		m.stateSlot++
+
+		// Filtered part re-sketches to the (new) proxies.
+		seed = m.sh.SketchSeed(m.phase, s)
+		out = nil
+		for _, label := range sortedKeys(thresholds) {
+			th := thresholds[label]
+			tw, tid := int64(th[0]), th[1]
+			sk := sketch.New(m.cfg.Sketch, seed)
+			for _, v := range parts[label] {
+				sk.AddVertex(v, m.view.Adj(v), func(u int, h graph.Half) bool {
+					return edgeLessHalf(u, h, n, tw, tid)
+				})
+			}
+			buf := wire.AppendUvarint(nil, label)
+			buf = sk.EncodeTo(buf)
+			out = append(out, proxy.Out{Dst: m.proxyOf(m.stateSlot, label), Data: buf})
+		}
+		recv = m.comm.Exchange(out)
+
+		sums = make(map[uint64]*sketch.Sketch)
+		for _, msg := range recv {
+			r := wire.NewReader(msg.Data)
+			label := r.Uvarint()
+			sk, err := sketch.Decode(m.cfg.Sketch, seed, msg.Data[len(msg.Data)-r.Len():])
+			if err != nil {
+				panic(err)
+			}
+			if sums[label] == nil {
+				sums[label] = sk
+			} else if err := sums[label].Add(sk); err != nil {
+				panic(err)
+			}
+		}
+		active = m.sampleAndResolve(sums)
+	}
+
+	// Decisions: record MWOEs as MST edges and apply the merge rule.
+	for _, label := range sortedKeys(m.states) {
+		st := m.states[label]
+		if st.elimDone && st.hasBest {
+			u, v := st.bestU, st.bestV
+			m.mstEdges[graph.EdgeID(u, v, n)] = graph.Edge{U: u, V: v, W: st.bestW}
+			m.phaseActive++
+			m.applyRank(st, st.targetLabel)
+		}
+	}
+}
+
+// sampleAndResolve samples each summed sketch, resolves neighbor labels and
+// edge weights via home-machine queries, updates component states, and
+// returns the local count of components still eliminating.
+//
+// A component whose filtered vector comes back empty has converged: the
+// current best edge is the MWOE.
+func (m *mstMachine) sampleAndResolve(sums map[uint64]*sketch.Sketch) uint64 {
+	var out []proxy.Out
+	pendingEdge := make(map[uint64][2]int) // label -> sampled (x, y)
+	for _, label := range sortedKeys(sums) {
+		st := m.states[label]
+		if st == nil {
+			panic("core: sketch sum for unknown state")
+		}
+		if st.elimDone {
+			continue
+		}
+		x, y, insideSmaller, status := sums[label].SampleEdge()
+		switch status {
+		case sketch.Empty:
+			// Nothing lighter remains. If a best edge exists, it is the
+			// MWOE; otherwise the component has no outgoing edges at all.
+			st.elimDone = true
+		case sketch.Failed:
+			m.failures++
+			st.elimDone = true
+			st.hasBest = false
+		case sketch.Sampled:
+			outside := x
+			if insideSmaller {
+				outside = y
+			}
+			pendingEdge[label] = [2]int{x, y}
+			q := wire.AppendUvarint(nil, uint64(outside))
+			q = wire.AppendUvarint(q, uint64(x))
+			q = wire.AppendUvarint(q, uint64(y))
+			q = wire.AppendUvarint(q, label)
+			out = append(out, proxy.Out{Dst: m.view.Home(outside), Data: q})
+		}
+	}
+	recv := m.comm.Exchange(out)
+	out = m.answerLabelQueries(recv)
+	recv = m.comm.Exchange(out)
+
+	var active uint64
+	for _, msg := range recv {
+		r := wire.NewReader(msg.Data)
+		askLabel := r.Uvarint()
+		nbrLabel := r.Uvarint()
+		valid := r.Bool()
+		w := r.Varint()
+		st := m.states[askLabel]
+		if st == nil {
+			panic("core: MST reply for unknown component")
+		}
+		if !valid || nbrLabel == askLabel {
+			m.failures++
+			st.elimDone = true
+			st.hasBest = false
+			continue
+		}
+		xy := pendingEdge[askLabel]
+		st.hasBest = true
+		st.bestU, st.bestV = xy[0], xy[1]
+		st.bestW = w
+		st.targetLabel = nbrLabel
+		active++
+	}
+	return active
+}
+
+// disseminateStrong routes every recorded MST edge to the home machines of
+// both endpoints (Theorem 2(b)'s output criterion) and returns this
+// machine's vertex-to-incident-MST-edges map.
+func (m *mstMachine) disseminateStrong() map[int][]graph.Edge {
+	n := m.view.N()
+	var out []proxy.Out
+	for _, id := range sortedKeys(m.mstEdges) {
+		e := m.mstEdges[id]
+		buf := wire.AppendUvarint(nil, uint64(e.U))
+		buf = wire.AppendUvarint(buf, uint64(e.V))
+		buf = wire.AppendVarint(buf, e.W)
+		hu, hv := m.view.Home(e.U), m.view.Home(e.V)
+		out = append(out, proxy.Out{Dst: hu, Data: buf})
+		if hv != hu {
+			out = append(out, proxy.Out{Dst: hv, Data: buf})
+		}
+	}
+	recv := m.comm.Exchange(out)
+	seen := make(map[int]map[uint64]bool)
+	ve := make(map[int][]graph.Edge)
+	add := func(v int, e graph.Edge) {
+		if m.view.Home(v) != m.ctx.ID() {
+			return
+		}
+		id := graph.EdgeID(e.U, e.V, n)
+		if seen[v] == nil {
+			seen[v] = make(map[uint64]bool)
+		}
+		if seen[v][id] {
+			return
+		}
+		seen[v][id] = true
+		ve[v] = append(ve[v], e)
+	}
+	for _, msg := range recv {
+		r := wire.NewReader(msg.Data)
+		e := graph.Edge{U: int(r.Uvarint()), V: int(r.Uvarint()), W: r.Varint()}
+		add(e.U, e)
+		add(e.V, e)
+	}
+	return ve
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+
+	"kmgraph/internal/graph"
+)
+
+func checkMST(t *testing.T, name string, g *graph.Graph, cfg MSTConfig) *MSTResult {
+	t.Helper()
+	res, err := RunMST(g, cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	wantForest, wantTotal := graph.KruskalMST(g)
+	if len(res.Edges) != len(wantForest) {
+		t.Errorf("%s: %d edges, want %d", name, len(res.Edges), len(wantForest))
+	}
+	if res.TotalWeight != wantTotal {
+		t.Errorf("%s: total weight %d, want %d", name, res.TotalWeight, wantTotal)
+	}
+	// With distinct (weight, id) order the MST is unique: exact set match.
+	want := make(map[uint64]bool, len(wantForest))
+	for _, e := range wantForest {
+		want[graph.EdgeID(e.U, e.V, g.N())] = true
+	}
+	for _, e := range res.Edges {
+		if !want[graph.EdgeID(e.U, e.V, g.N())] {
+			t.Errorf("%s: edge %v not in the unique MST", name, e)
+		}
+	}
+	if res.Metrics.DroppedMessages != 0 {
+		t.Errorf("%s: dropped %d messages", name, res.Metrics.DroppedMessages)
+	}
+	return res
+}
+
+func TestMSTFamilies(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"tree", graph.WithDistinctWeights(graph.RandomTree(120, 1), 10)},
+		{"cycle", graph.WithDistinctWeights(graph.Cycle(80), 11)},
+		{"gnm", graph.WithDistinctWeights(graph.GNM(120, 400, 2), 12)},
+		{"dense", graph.WithDistinctWeights(graph.GNM(60, 1200, 3), 13)},
+		{"grid", graph.WithDistinctWeights(graph.Grid(8, 10), 14)},
+		{"complete", graph.WithDistinctWeights(graph.Complete(40), 15)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkMST(t, tc.name, tc.g, MSTConfig{Config: Config{K: 4, Seed: 21}})
+		})
+	}
+}
+
+func TestMSTTies(t *testing.T) {
+	// Uniform weights with many ties: the (weight, edge ID) order still
+	// defines a unique MST that both oracle and algorithm must agree on.
+	g := graph.WithUniformWeights(graph.GNM(100, 300, 5), 3, 6)
+	checkMST(t, "ties", g, MSTConfig{Config: Config{K: 4, Seed: 2}})
+}
+
+func TestMSTUnweighted(t *testing.T) {
+	// All weights 1: any spanning tree is minimum; check weight and span.
+	g := graph.GNM(100, 250, 7)
+	res, err := RunMST(g, MSTConfig{Config: Config{K: 4, Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wantTotal := graph.KruskalMST(g)
+	if res.TotalWeight != wantTotal {
+		t.Errorf("total = %d, want %d", res.TotalWeight, wantTotal)
+	}
+	sub := graph.FromEdges(g.N(), res.Edges)
+	if graph.ComponentCount(sub) != graph.ComponentCount(g) {
+		t.Error("result does not span the input's components")
+	}
+	if graph.HasCycle(sub) {
+		t.Error("result contains a cycle")
+	}
+}
+
+func TestMSTDisconnected(t *testing.T) {
+	g := graph.WithDistinctWeights(graph.DisjointComponents(150, 5, 0.4, 4), 16)
+	res := checkMST(t, "forest", g, MSTConfig{Config: Config{K: 5, Seed: 8}})
+	if len(res.Edges) != 150-5 {
+		t.Errorf("forest size %d, want 145", len(res.Edges))
+	}
+}
+
+func TestMSTAcrossKAndSeeds(t *testing.T) {
+	g := graph.WithDistinctWeights(graph.GNM(120, 360, 9), 17)
+	for _, k := range []int{2, 3, 6, 10} {
+		checkMST(t, "k", g, MSTConfig{Config: Config{K: k, Seed: 31}})
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		checkMST(t, "seed", g, MSTConfig{Config: Config{K: 4, Seed: seed}})
+	}
+}
+
+func TestMSTStrongOutput(t *testing.T) {
+	g := graph.WithDistinctWeights(graph.GNM(80, 200, 10), 18)
+	res := checkMST(t, "strong", g, MSTConfig{Config: Config{K: 4, Seed: 5}, StrongOutput: true})
+	if res.VertexEdges == nil {
+		t.Fatal("no vertex edges in strong mode")
+	}
+	// Every MST edge must be registered at both endpoints.
+	count := make(map[uint64]int)
+	for v, es := range res.VertexEdges {
+		for _, e := range es {
+			if e.U != v && e.V != v {
+				t.Fatalf("vertex %d given non-incident edge %v", v, e)
+			}
+			count[graph.EdgeID(e.U, e.V, g.N())]++
+		}
+	}
+	for _, e := range res.Edges {
+		if count[graph.EdgeID(e.U, e.V, g.N())] != 2 {
+			t.Errorf("edge %v not known at both endpoints", e)
+		}
+	}
+	// Strong output costs extra rounds.
+	if res.WeakRounds >= res.Metrics.Rounds {
+		t.Errorf("weak rounds %d >= total %d", res.WeakRounds, res.Metrics.Rounds)
+	}
+	// Weak mode does not populate vertex edges.
+	weak := checkMST(t, "weak", g, MSTConfig{Config: Config{K: 4, Seed: 5}})
+	if weak.VertexEdges != nil {
+		t.Error("weak mode should not disseminate")
+	}
+}
+
+func TestMSTElimIterationsLogarithmic(t *testing.T) {
+	g := graph.WithDistinctWeights(graph.GNM(200, 800, 11), 19)
+	res := checkMST(t, "elim", g, MSTConfig{Config: Config{K: 4, Seed: 6}})
+	if res.ElimIters == 0 {
+		t.Error("expected elimination iterations")
+	}
+	// Total elimination iterations across all phases stay modest:
+	// O(log n) per phase, O(log n) phases.
+	if res.ElimIters > 200 {
+		t.Errorf("elimination iterations %d unexpectedly high", res.ElimIters)
+	}
+}
+
+func TestMSTDeterminism(t *testing.T) {
+	g := graph.WithDistinctWeights(graph.GNM(90, 270, 12), 20)
+	cfg := MSTConfig{Config: Config{K: 4, Seed: 77}}
+	a, err := RunMST(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMST(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Metrics.Rounds != b.Metrics.Rounds || a.TotalWeight != b.TotalWeight {
+		t.Error("nondeterministic MST run")
+	}
+}
+
+func TestEdgeCheckSelectionConnectivity(t *testing.T) {
+	g := graph.DisjointComponents(250, 4, 0.4, 13)
+	res := checkAgainstOracle(t, "edgecheck", g, Config{K: 4, Seed: 9, EdgeCheckSelection: true})
+	if res.SketchFailures != 0 {
+		t.Errorf("edge-check mode reported %d sketch failures", res.SketchFailures)
+	}
+	// Edge-check must also work on dense graphs.
+	dense := graph.GNM(80, 2000, 14)
+	checkAgainstOracle(t, "edgecheck-dense", dense, Config{K: 4, Seed: 10, EdgeCheckSelection: true})
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 12 {
+		t.Fatalf("expected 12 experiments, got %d", len(all))
+	}
+	seen := map[string]bool{}
+	for i, e := range all {
+		want := "E" + strconv.Itoa(i+1)
+		if e.ID != want {
+			t.Errorf("experiment %d has ID %s, want %s", i, e.ID, want)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate ID %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.PaperRef == "" || e.Run == nil {
+			t.Errorf("%s: incomplete metadata", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("E3")
+	if err != nil || e.ID != "E3" {
+		t.Errorf("ByID(E3) = %v, %v", e.ID, err)
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Error("unknown ID should error")
+	}
+}
+
+// TestAllExperimentsQuick runs the entire harness in quick mode: the
+// integration test that every theorem's reproduction executes end to end.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick harness still takes a few seconds")
+	}
+	p := Params{Quick: true, Seed: 12345}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(p)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s: no tables", e.ID)
+			}
+			for _, tb := range tables {
+				out := tb.Render()
+				if !strings.Contains(out, "##") || len(tb.Rows) == 0 {
+					t.Errorf("%s: empty table %q", e.ID, tb.Title)
+				}
+				// Correctness-bearing cells must never say NO.
+				if strings.Contains(out, "NO") {
+					t.Errorf("%s: correctness violation in table:\n%s", e.ID, out)
+				}
+			}
+		})
+	}
+}
+
+func TestMeanOver(t *testing.T) {
+	calls := 0
+	got, err := meanOver(3, 10, func(seed int64) (float64, error) {
+		calls++
+		return float64(seed), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d", calls)
+	}
+	if got != (10+111+212)/3.0 {
+		t.Errorf("mean = %v", got)
+	}
+}

@@ -1,0 +1,332 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Generators for every workload family used by the experiments. All are
+// deterministic in the provided seed. Unless stated otherwise, edges get
+// weight 1; use WithDistinctWeights or WithUniformWeights to reweight.
+
+// Path returns the path 0-1-2-...-(n-1).
+func Path(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1, 1)
+	}
+	return b.Build()
+}
+
+// Cycle returns the n-cycle (n >= 3).
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic("graph: cycle needs n >= 3")
+	}
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n, 1)
+	}
+	return b.Build()
+}
+
+// Star returns the star with center 0 and n-1 leaves.
+func Star(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, i, 1)
+	}
+	return b.Build()
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(u, v, 1)
+		}
+	}
+	return b.Build()
+}
+
+// Grid returns the rows x cols grid graph.
+func Grid(rows, cols int) *Graph {
+	b := NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1), 1)
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c), 1)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// GNP returns an Erdős–Rényi G(n, p) graph, sampled with geometric edge
+// skipping so the cost is proportional to the number of edges generated.
+func GNP(n int, p float64, seed int64) *Graph {
+	b := NewBuilder(n)
+	if p <= 0 {
+		return b.Build()
+	}
+	if p >= 1 {
+		return Complete(n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	logq := math.Log(1 - p)
+	// Enumerate pairs (u,v), u<v, in lexicographic order; skip ahead by
+	// geometric gaps.
+	u, v := 0, 0
+	for u < n {
+		gap := int(math.Floor(math.Log(1-rng.Float64()) / logq))
+		v += gap + 1
+		for v >= n && u < n {
+			v = v - n + u + 2
+			u++
+		}
+		if u < n && v > u {
+			b.AddEdge(u, v, 1)
+		}
+	}
+	return b.Build()
+}
+
+// GNM returns a uniformly random graph with exactly m distinct edges.
+func GNM(n, m int, seed int64) *Graph {
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		panic(fmt.Sprintf("graph: GNM m=%d exceeds max %d", m, maxM))
+	}
+	b := NewBuilder(n)
+	rng := rand.New(rand.NewSource(seed))
+	if m > maxM/2 {
+		// Dense: sample the complement instead.
+		drop := make(map[uint64]bool, maxM-m)
+		for len(drop) < maxM-m {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			drop[EdgeID(u, v, n)] = true
+		}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if !drop[EdgeID(u, v, n)] {
+					b.AddEdge(u, v, 1)
+				}
+			}
+		}
+		return b.Build()
+	}
+	for b.M() < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		b.TryAddEdge(u, v, 1)
+	}
+	return b.Build()
+}
+
+// RandomTree returns a uniformly-shuffled random recursive tree on n
+// vertices: vertex i attaches to a uniform predecessor, then labels are
+// permuted so vertex IDs carry no structural information.
+func RandomTree(n int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		j := rng.Intn(i)
+		b.AddEdge(perm[i], perm[j], 1)
+	}
+	return b.Build()
+}
+
+// RandomConnected returns a connected graph with n vertices and m >= n-1
+// edges: a random tree plus m-(n-1) extra uniform non-duplicate edges.
+func RandomConnected(n, m int, seed int64) *Graph {
+	if m < n-1 {
+		panic("graph: RandomConnected needs m >= n-1")
+	}
+	if m > n*(n-1)/2 {
+		panic("graph: RandomConnected m too large")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		j := rng.Intn(i)
+		b.AddEdge(perm[i], perm[j], 1)
+	}
+	for b.M() < m {
+		b.TryAddEdge(rng.Intn(n), rng.Intn(n), 1)
+	}
+	return b.Build()
+}
+
+// DisjointComponents returns a graph with exactly c connected components:
+// vertices are split as evenly as possible into c groups (shuffled), and
+// each group is a random connected subgraph with the given average extra
+// edge fraction (0 => trees).
+func DisjointComponents(n, c int, extraFrac float64, seed int64) *Graph {
+	if c < 1 || c > n {
+		panic("graph: DisjointComponents needs 1 <= c <= n")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	b := NewBuilder(n)
+	start := 0
+	for i := 0; i < c; i++ {
+		size := n / c
+		if i < n%c {
+			size++
+		}
+		group := perm[start : start+size]
+		start += size
+		for j := 1; j < len(group); j++ {
+			b.AddEdge(group[j], group[rng.Intn(j)], 1)
+		}
+		extra := int(extraFrac * float64(size))
+		for e := 0; e < extra; e++ {
+			u, v := group[rng.Intn(size)], group[rng.Intn(size)]
+			b.TryAddEdge(u, v, 1)
+		}
+	}
+	return b.Build()
+}
+
+// Barbell returns two K_s cliques joined by a path with bridge vertices.
+// pathLen is the number of intermediate path vertices (may be 0 for a
+// single bridging edge). Total vertices: 2s + pathLen.
+func Barbell(s, pathLen int) *Graph {
+	if s < 1 {
+		panic("graph: Barbell needs s >= 1")
+	}
+	n := 2*s + pathLen
+	b := NewBuilder(n)
+	for u := 0; u < s; u++ {
+		for v := u + 1; v < s; v++ {
+			b.AddEdge(u, v, 1)
+		}
+	}
+	for u := s; u < 2*s; u++ {
+		for v := u + 1; v < 2*s; v++ {
+			b.AddEdge(u, v, 1)
+		}
+	}
+	prev := 0 // connect from a vertex of clique 1 ...
+	for i := 0; i < pathLen; i++ {
+		b.AddEdge(prev, 2*s+i, 1)
+		prev = 2*s + i
+	}
+	b.AddEdge(prev, s, 1) // ... to a vertex of clique 2
+	return b.Build()
+}
+
+// Lollipop returns K_s with a path of pathLen vertices hanging off vertex 0.
+func Lollipop(s, pathLen int) *Graph {
+	b := NewBuilder(s + pathLen)
+	for u := 0; u < s; u++ {
+		for v := u + 1; v < s; v++ {
+			b.AddEdge(u, v, 1)
+		}
+	}
+	prev := 0
+	for i := 0; i < pathLen; i++ {
+		b.AddEdge(prev, s+i, 1)
+		prev = s + i
+	}
+	return b.Build()
+}
+
+// RandomBipartite returns a random bipartite graph with sides of size a and
+// b and edge probability p between the sides. Vertices 0..a-1 form one
+// side, a..a+b-1 the other.
+func RandomBipartite(a, b int, p float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	bd := NewBuilder(a + b)
+	for u := 0; u < a; u++ {
+		for v := a; v < a+b; v++ {
+			if rng.Float64() < p {
+				bd.AddEdge(u, v, 1)
+			}
+		}
+	}
+	return bd.Build()
+}
+
+// PlantedPartition returns a stochastic block model graph: n vertices in c
+// equal communities, edge probability pIn inside a community and pOut
+// across. This is the "social network" workload of the examples.
+func PlantedPartition(n, c int, pIn, pOut float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	comm := make([]int, n)
+	for i := range comm {
+		comm[i] = i % c
+	}
+	rng.Shuffle(n, func(i, j int) { comm[i], comm[j] = comm[j], comm[i] })
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := pOut
+			if comm[u] == comm[v] {
+				p = pIn
+			}
+			if rng.Float64() < p {
+				b.AddEdge(u, v, 1)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// TwoCliquesBridged returns two K_s cliques connected by exactly c bridge
+// edges; its minimum cut is c (for c < s-1). Used by the min-cut tests.
+func TwoCliquesBridged(s, c int, seed int64) *Graph {
+	if c > s*s {
+		panic("graph: too many bridges")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(2 * s)
+	for u := 0; u < s; u++ {
+		for v := u + 1; v < s; v++ {
+			b.AddEdge(u, v, 1)
+			b.AddEdge(s+u, s+v, 1)
+		}
+	}
+	added := 0
+	for added < c {
+		if b.TryAddEdge(rng.Intn(s), s+rng.Intn(s), 1) {
+			added++
+		}
+	}
+	return b.Build()
+}
+
+// WithDistinctWeights returns a copy of g whose edge weights are a random
+// permutation of 1..m. Distinct weights make the MST unique, so the
+// distributed MST can be compared to the oracle by exact set equality.
+func WithDistinctWeights(g *Graph, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	edges := g.Edges()
+	perm := rng.Perm(len(edges))
+	b := NewBuilder(g.N())
+	for i, e := range edges {
+		b.AddEdge(e.U, e.V, int64(perm[i]+1))
+	}
+	return b.Build()
+}
+
+// WithUniformWeights returns a copy of g with i.i.d. uniform weights in
+// [1, maxW]. Ties are possible; the algorithms break them by edge ID.
+func WithUniformWeights(g *Graph, maxW int64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(g.N())
+	for _, e := range g.Edges() {
+		b.AddEdge(e.U, e.V, 1+rng.Int63n(maxW))
+	}
+	return b.Build()
+}

@@ -1,0 +1,176 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPathCycleStarComplete(t *testing.T) {
+	if g := Path(10); g.M() != 9 || !IsConnected(g) || Diameter(g) != 9 {
+		t.Error("path invariants")
+	}
+	if g := Path(1); g.M() != 0 || g.N() != 1 {
+		t.Error("trivial path")
+	}
+	if g := Cycle(10); g.M() != 10 || !IsConnected(g) || !HasCycle(g) {
+		t.Error("cycle invariants")
+	}
+	if g := Star(10); g.M() != 9 || g.Degree(0) != 9 || HasCycle(g) {
+		t.Error("star invariants")
+	}
+	if g := Complete(7); g.M() != 21 || Diameter(g) != 1 {
+		t.Error("complete invariants")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	if g.N() != 12 {
+		t.Fatalf("n = %d", g.N())
+	}
+	want := 3*3 + 2*4 // horizontal + vertical
+	if g.M() != want {
+		t.Errorf("m = %d, want %d", g.M(), want)
+	}
+	if !IsConnected(g) || !IsBipartite(g) {
+		t.Error("grid should be connected and bipartite")
+	}
+}
+
+func TestGNPEdgeCountConcentration(t *testing.T) {
+	n, p := 300, 0.05
+	g := GNP(n, p, 11)
+	mean := p * float64(n) * float64(n-1) / 2
+	if math.Abs(float64(g.M())-mean) > 4*math.Sqrt(mean) {
+		t.Errorf("GNP m=%d far from mean %.0f", g.M(), mean)
+	}
+	// Determinism.
+	if g2 := GNP(n, p, 11); g2.M() != g.M() {
+		t.Error("GNP not deterministic in seed")
+	}
+	if g3 := GNP(n, p, 12); g3.M() == g.M() && len(g3.Edges()) > 0 && g3.Edges()[0] == g.Edges()[0] {
+		t.Log("different seeds produced same first edge (possible but unlikely)")
+	}
+}
+
+func TestGNPDegenerate(t *testing.T) {
+	if g := GNP(10, 0, 1); g.M() != 0 {
+		t.Error("p=0 should be edgeless")
+	}
+	if g := GNP(10, 1, 1); g.M() != 45 {
+		t.Error("p=1 should be complete")
+	}
+}
+
+func TestGNMExact(t *testing.T) {
+	for _, m := range []int{0, 1, 50, 1000, 4950} {
+		g := GNM(100, m, 5)
+		if g.M() != m {
+			t.Errorf("GNM(100,%d) produced %d edges", m, g.M())
+		}
+	}
+}
+
+func TestRandomTreeIsTree(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := RandomTree(200, seed)
+		if g.M() != 199 || !IsConnected(g) || HasCycle(g) {
+			t.Errorf("seed %d: not a tree (m=%d)", seed, g.M())
+		}
+	}
+}
+
+func TestRandomConnected(t *testing.T) {
+	g := RandomConnected(100, 250, 3)
+	if g.M() != 250 || !IsConnected(g) {
+		t.Errorf("m=%d connected=%v", g.M(), IsConnected(g))
+	}
+}
+
+func TestDisjointComponentsCount(t *testing.T) {
+	for _, c := range []int{1, 2, 7, 25} {
+		g := DisjointComponents(100, c, 0.5, 42)
+		if got := ComponentCount(g); got != c {
+			t.Errorf("c=%d: got %d components", c, got)
+		}
+	}
+	// Edgeless extreme.
+	g := DisjointComponents(10, 10, 0, 1)
+	if g.M() != 0 {
+		t.Error("n singleton components should have no edges")
+	}
+}
+
+func TestBarbellLollipop(t *testing.T) {
+	g := Barbell(5, 3)
+	if g.N() != 13 || !IsConnected(g) {
+		t.Error("barbell")
+	}
+	if MinCut(g) != 1 {
+		t.Errorf("barbell min cut = %d, want 1", MinCut(g))
+	}
+	l := Lollipop(6, 4)
+	if l.N() != 10 || !IsConnected(l) {
+		t.Error("lollipop")
+	}
+	if l.M() != 15+4 {
+		t.Errorf("lollipop m = %d", l.M())
+	}
+}
+
+func TestRandomBipartiteIsBipartite(t *testing.T) {
+	g := RandomBipartite(40, 60, 0.1, 9)
+	if !IsBipartite(g) {
+		t.Error("bipartite generator produced odd cycle")
+	}
+	for _, e := range g.Edges() {
+		if (e.U < 40) == (e.V < 40) {
+			t.Fatalf("edge %v within one side", e)
+		}
+	}
+}
+
+func TestPlantedPartition(t *testing.T) {
+	g := PlantedPartition(120, 4, 0.3, 0.01, 17)
+	if g.N() != 120 {
+		t.Fatal("n")
+	}
+	// With these parameters each community is internally dense, so the
+	// number of components should be small (almost surely 4 or fewer
+	// communities merge via cross edges).
+	if cc := ComponentCount(g); cc > 8 {
+		t.Errorf("unexpectedly fragmented: %d components", cc)
+	}
+}
+
+func TestTwoCliquesBridged(t *testing.T) {
+	for _, c := range []int{1, 2, 3} {
+		g := TwoCliquesBridged(8, c, 5)
+		if got := MinCut(g); got != int64(c) {
+			t.Errorf("bridges=%d: min cut = %d", c, got)
+		}
+	}
+}
+
+func TestWithDistinctWeights(t *testing.T) {
+	g := WithDistinctWeights(GNM(50, 100, 2), 3)
+	seen := make(map[int64]bool)
+	for _, e := range g.Edges() {
+		if e.W < 1 || e.W > 100 {
+			t.Fatalf("weight %d out of range", e.W)
+		}
+		if seen[e.W] {
+			t.Fatalf("duplicate weight %d", e.W)
+		}
+		seen[e.W] = true
+	}
+}
+
+func TestWithUniformWeights(t *testing.T) {
+	g := WithUniformWeights(Cycle(30), 5, 4)
+	for _, e := range g.Edges() {
+		if e.W < 1 || e.W > 5 {
+			t.Fatalf("weight %d out of range", e.W)
+		}
+	}
+}

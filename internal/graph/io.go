@@ -1,0 +1,96 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Edge-list I/O in the ubiquitous whitespace-separated text format used
+// by SNAP and similar graph repositories:
+//
+//	# comment lines start with '#' (or '%')
+//	u v [w]
+//
+// so real-world graph files can be fed to the CLIs and examples.
+
+// WriteEdgeList writes g as "u v w" lines with a header comment.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# kmgraph edge list: n=%d m=%d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d %d\n", e.U, e.V, e.W); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses a whitespace-separated edge list. Vertex IDs are
+// non-negative integers; the graph gets N = maxID+1 vertices (IDs that
+// never appear become isolated vertices). Missing weights default to 1;
+// duplicate edges and self-loops are rejected.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	type rawEdge struct {
+		u, v int
+		w    int64
+	}
+	var raw []rawEdge
+	maxID := -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") || strings.HasPrefix(text, "%") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 && len(fields) != 3 {
+			return nil, fmt.Errorf("graph: line %d: want 'u v [w]', got %q", line, text)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad vertex %q", line, fields[0])
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad vertex %q", line, fields[1])
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative vertex ID", line)
+		}
+		w := int64(1)
+		if len(fields) == 3 {
+			w, err = strconv.ParseInt(fields[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight %q", line, fields[2])
+			}
+		}
+		if u == v {
+			return nil, fmt.Errorf("graph: line %d: self-loop at %d", line, u)
+		}
+		raw = append(raw, rawEdge{u, v, w})
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	b := NewBuilder(maxID + 1)
+	for i, e := range raw {
+		if !b.TryAddEdge(e.u, e.v, e.w) {
+			return nil, fmt.Errorf("graph: duplicate edge (%d,%d) (entry %d)", e.u, e.v, i+1)
+		}
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,93 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := WithDistinctWeights(GNM(80, 200, 1), 2)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != g.N() || h.M() != g.M() {
+		t.Fatalf("size mismatch: %d/%d vs %d/%d", h.N(), h.M(), g.N(), g.M())
+	}
+	he, ge := h.Edges(), g.Edges()
+	for i := range ge {
+		if he[i] != ge[i] {
+			t.Fatalf("edge %d: %v vs %v", i, he[i], ge[i])
+		}
+	}
+}
+
+func TestReadEdgeListFormats(t *testing.T) {
+	in := `# a comment
+% another comment style
+
+0 1
+2 0 7
+	3   1   5
+`
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if w, _ := g.Weight(0, 2); w != 7 {
+		t.Error("weight lost")
+	}
+	if w, _ := g.Weight(0, 1); w != 1 {
+		t.Error("default weight should be 1")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"fields", "0 1 2 3\n"},
+		{"badvertex", "a 1\n"},
+		{"badweight", "0 1 x\n"},
+		{"negative", "-1 2\n"},
+		{"selfloop", "3 3\n"},
+		{"duplicate", "0 1\n1 0\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestReadEdgeListEmpty(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("# nothing\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 0 || g.M() != 0 {
+		t.Errorf("n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestReadEdgeListIsolatedGaps(t *testing.T) {
+	// IDs 0 and 5 appear; 1..4 become isolated vertices.
+	g, err := ReadEdgeList(strings.NewReader("0 5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 6 || g.M() != 1 {
+		t.Errorf("n=%d m=%d", g.N(), g.M())
+	}
+	if got := ComponentCount(g); got != 5 {
+		t.Errorf("components = %d, want 5", got)
+	}
+}

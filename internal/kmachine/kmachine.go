@@ -1,0 +1,331 @@
+// Package kmachine implements the k-machine model of Klauck et al. (SODA
+// 2015) as adopted by the paper (§1.1): k >= 2 machines, pairwise
+// interconnected by bidirectional point-to-point links, computing in
+// synchronous rounds with O(polylog n) bits of bandwidth per link per
+// round. Local computation is free; the only measured cost is rounds.
+//
+// Each machine runs as a goroutine executing a Handler in SPMD style. A
+// coordinator goroutine enforces the round barrier over channels: a machine
+// ends its round by calling Ctx.Step, which submits its outgoing messages
+// and blocks until the next round's deliveries arrive. Every directed link
+// has a FIFO byte queue drained at BandwidthBits per round; a message is
+// delivered in the round its last bit arrives, so oversized messages
+// automatically cost multiple rounds, exactly as the model prescribes.
+//
+// The simulation is deterministic: machine code is deterministic given its
+// inputs and per-machine seeded RNG, events are processed in machine-ID
+// order, and deliveries are sorted by (source, send order).
+package kmachine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"kmgraph/internal/hashing"
+)
+
+// Config parameterizes a cluster.
+type Config struct {
+	// K is the number of machines (>= 2, or 1 for degenerate tests).
+	K int
+	// BandwidthBits is the per-round bit budget of each directed link.
+	// Use Bandwidth(n) for the standard polylog(n) setting.
+	BandwidthBits int
+	// MessageOverheadBits is added to every message's transmission cost,
+	// modeling addressing/framing headers (Θ(log n) in the model).
+	MessageOverheadBits int
+	// Seed drives all per-machine private randomness.
+	Seed int64
+	// MaxRounds aborts runaway executions. 0 means the default cap.
+	MaxRounds int
+}
+
+// Bandwidth returns the standard per-link budget used by the experiments:
+// 16·ceil(log2 n)^2 bits per round, a concrete O(polylog n).
+func Bandwidth(n int) int {
+	l := 1
+	for s := 1; s < n; s <<= 1 {
+		l++
+	}
+	return 16 * l * l
+}
+
+const defaultMaxRounds = 30_000_000
+
+// Message is a point-to-point message between machines.
+type Message struct {
+	Src, Dst int
+	Data     []byte
+}
+
+// Handler is the per-machine program. It runs on every machine (SPMD);
+// ctx.ID distinguishes them. Returning ends the machine's participation.
+type Handler func(ctx *Ctx) error
+
+// Cluster is a configured k-machine system; Run executes a Handler on it.
+type Cluster struct {
+	cfg Config
+}
+
+// New validates cfg and returns a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("kmachine: K = %d, need >= 1", cfg.K)
+	}
+	if cfg.BandwidthBits < 1 {
+		return nil, fmt.Errorf("kmachine: BandwidthBits = %d, need >= 1", cfg.BandwidthBits)
+	}
+	if cfg.MessageOverheadBits < 0 {
+		return nil, fmt.Errorf("kmachine: negative MessageOverheadBits")
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = defaultMaxRounds
+	}
+	return &Cluster{cfg: cfg}, nil
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Result carries the run metrics and each machine's designated output
+// variable o_i (§1.1), set via Ctx.SetOutput.
+type Result struct {
+	Metrics Metrics
+	Outputs []any
+}
+
+// ErrMaxRounds is returned when the round cap is exceeded.
+var ErrMaxRounds = errors.New("kmachine: exceeded MaxRounds")
+
+type event struct {
+	id     int
+	outbox []Message
+	done   bool
+	err    error
+	output any
+}
+
+type delivery struct {
+	msgs  []Message
+	abort bool
+}
+
+// Ctx is a machine's handle to the cluster, valid only inside its Handler.
+type Ctx struct {
+	id  int
+	cfg Config
+	rng *rand.Rand
+
+	round  int
+	outbox []Message
+	evCh   chan<- event
+	inCh   chan delivery
+	output any
+}
+
+// ID returns this machine's identifier in [0, K).
+func (c *Ctx) ID() int { return c.id }
+
+// K returns the number of machines.
+func (c *Ctx) K() int { return c.cfg.K }
+
+// Round returns the number of completed rounds.
+func (c *Ctx) Round() int { return c.round }
+
+// BandwidthBits returns the per-link per-round bit budget.
+func (c *Ctx) BandwidthBits() int { return c.cfg.BandwidthBits }
+
+// Rand returns this machine's private source of randomness (§1.1: each
+// machine has access to a private source of true random bits).
+func (c *Ctx) Rand() *rand.Rand { return c.rng }
+
+// SetOutput sets the machine's designated local output variable o_i.
+func (c *Ctx) SetOutput(v any) { c.output = v }
+
+// Send queues a message to machine dst for transmission starting next
+// round. Sending to self is free local bookkeeping delivered next round.
+func (c *Ctx) Send(dst int, data []byte) {
+	if dst < 0 || dst >= c.cfg.K {
+		panic(fmt.Sprintf("kmachine: send to invalid machine %d", dst))
+	}
+	c.outbox = append(c.outbox, Message{Src: c.id, Dst: dst, Data: data})
+}
+
+// Broadcast sends data to every other machine (K-1 messages).
+func (c *Ctx) Broadcast(data []byte) {
+	for d := 0; d < c.cfg.K; d++ {
+		if d != c.id {
+			c.Send(d, data)
+		}
+	}
+}
+
+type abortPanic struct{}
+
+// Step ends the current round and blocks until the coordinator advances
+// the cluster. It returns the messages whose transmission completed this
+// round, sorted by (Src, send order).
+func (c *Ctx) Step() []Message {
+	c.evCh <- event{id: c.id, outbox: c.outbox}
+	c.outbox = nil
+	d := <-c.inCh
+	if d.abort {
+		panic(abortPanic{})
+	}
+	c.round++
+	return d.msgs
+}
+
+// queued is an in-flight message with transmission progress.
+type queued struct {
+	msg      Message
+	sentBits int
+}
+
+func (q *queued) totalBits(overhead int) int {
+	b := 8*len(q.msg.Data) + overhead
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// Run executes h on every machine and returns the metrics and outputs.
+// It returns the first handler error, a panic converted to an error, or
+// ErrMaxRounds.
+func (c *Cluster) Run(h Handler) (*Result, error) {
+	k := c.cfg.K
+	evCh := make(chan event, k)
+	ctxs := make([]*Ctx, k)
+	for i := 0; i < k; i++ {
+		ctxs[i] = &Ctx{
+			id:   i,
+			cfg:  c.cfg,
+			rng:  rand.New(rand.NewSource(int64(hashing.Hash2(uint64(c.cfg.Seed), uint64(i)+0xabcd)))),
+			evCh: evCh,
+			inCh: make(chan delivery, 1),
+		}
+	}
+	for i := 0; i < k; i++ {
+		go func(ctx *Ctx) {
+			var err error
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						if _, isAbort := r.(abortPanic); isAbort {
+							err = ErrMaxRounds
+							return
+						}
+						err = fmt.Errorf("kmachine: machine %d panicked: %v", ctx.id, r)
+					}
+				}()
+				err = h(ctx)
+			}()
+			evCh <- event{id: ctx.id, outbox: ctx.outbox, done: true, err: err, output: ctx.output}
+		}(ctxs[i])
+	}
+
+	met := newMetrics(k)
+	res := &Result{Outputs: make([]any, k)}
+	queues := make([][]queued, k*k) // [src*k + dst]
+	var firstErr error
+	running := k
+	aborting := false
+
+	for running > 0 {
+		// Barrier: one event per running machine.
+		evs := make([]event, 0, running)
+		for len(evs) < running {
+			evs = append(evs, <-evCh)
+		}
+		sort.Slice(evs, func(i, j int) bool { return evs[i].id < evs[j].id })
+
+		stepped := make([]bool, k)
+		for _, e := range evs {
+			for _, m := range e.outbox {
+				queues[m.Src*k+m.Dst] = append(queues[m.Src*k+m.Dst], queued{msg: m})
+				met.SentMsgs[m.Src]++
+			}
+			if e.done {
+				running--
+				res.Outputs[e.id] = e.output
+				if e.err != nil && firstErr == nil && !errors.Is(e.err, ErrMaxRounds) {
+					firstErr = e.err
+				}
+			} else {
+				stepped[e.id] = true
+			}
+		}
+		if running == 0 {
+			break
+		}
+
+		// Transmit one round on every directed link.
+		met.Rounds++
+		inbox := make([][]Message, k)
+		for d := 0; d < k; d++ {
+			for s := 0; s < k; s++ {
+				q := queues[s*k+d]
+				if len(q) == 0 {
+					continue
+				}
+				budget := c.cfg.BandwidthBits
+				if s == d {
+					budget = 1 << 30 // local delivery is free
+				}
+				i := 0
+				for i < len(q) && budget > 0 {
+					total := q[i].totalBits(c.cfg.MessageOverheadBits)
+					rem := total - q[i].sentBits
+					take := rem
+					if take > budget {
+						take = budget
+					}
+					q[i].sentBits += take
+					budget -= take
+					if s != d {
+						met.LinkBits[s][d] += int64(take)
+					}
+					if q[i].sentBits == total {
+						inbox[d] = append(inbox[d], q[i].msg)
+						met.Messages++
+						met.PayloadBytes += int64(len(q[i].msg.Data))
+						met.RecvMsgs[d]++
+						i++
+					}
+				}
+				queues[s*k+d] = q[i:]
+			}
+		}
+
+		if met.Rounds > c.cfg.MaxRounds {
+			aborting = true
+		}
+		for id := 0; id < k; id++ {
+			if stepped[id] {
+				ctxs[id].inCh <- delivery{msgs: inbox[id], abort: aborting}
+			} else if len(inbox[id]) > 0 {
+				met.DroppedMessages += len(inbox[id])
+				for _, m := range inbox[id] {
+					met.DroppedBytes += int64(len(m.Data))
+				}
+			}
+		}
+		if aborting && firstErr == nil {
+			firstErr = ErrMaxRounds
+		}
+	}
+
+	// Undelivered queue remnants are protocol bugs; surface them.
+	for _, q := range queues {
+		for _, qm := range q {
+			met.DroppedMessages++
+			met.DroppedBytes += int64(len(qm.msg.Data))
+		}
+	}
+	met.finish()
+	res.Metrics = *met
+	return res, firstErr
+}

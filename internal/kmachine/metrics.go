@@ -1,0 +1,90 @@
+package kmachine
+
+import "fmt"
+
+// Metrics aggregates the cost of a run. Rounds is the model's complexity
+// measure; the byte/bit counters support the load-balancing (Lemma 1) and
+// lower-bound (Theorem 5) experiments.
+type Metrics struct {
+	// Rounds is the number of communication rounds executed.
+	Rounds int
+	// Messages is the number of messages delivered.
+	Messages int64
+	// PayloadBytes is the total payload delivered (headers excluded).
+	PayloadBytes int64
+	// LinkBits[s][d] is the total bits transmitted on the directed link
+	// s -> d (payload + overhead), excluding free self-delivery.
+	LinkBits [][]int64
+	// SentMsgs / RecvMsgs count messages per machine.
+	SentMsgs, RecvMsgs []int64
+	// MaxLinkBits is the maximum over directed links of LinkBits.
+	MaxLinkBits int64
+	// DroppedMessages / DroppedBytes count traffic addressed to machines
+	// that had already halted, or still queued at termination. A correct
+	// protocol leaves these at zero.
+	DroppedMessages int
+	DroppedBytes    int64
+}
+
+func newMetrics(k int) *Metrics {
+	lb := make([][]int64, k)
+	for i := range lb {
+		lb[i] = make([]int64, k)
+	}
+	return &Metrics{
+		LinkBits: lb,
+		SentMsgs: make([]int64, k),
+		RecvMsgs: make([]int64, k),
+	}
+}
+
+func (m *Metrics) finish() {
+	for _, row := range m.LinkBits {
+		for _, b := range row {
+			if b > m.MaxLinkBits {
+				m.MaxLinkBits = b
+			}
+		}
+	}
+}
+
+// TotalBits returns the total bits transmitted across all links.
+func (m *Metrics) TotalBits() int64 {
+	var t int64
+	for _, row := range m.LinkBits {
+		for _, b := range row {
+			t += b
+		}
+	}
+	return t
+}
+
+// CutBits returns the bits that crossed the cut between machines with
+// inA[i] true and the rest, in both directions. This is the quantity the
+// Theorem 5 simulation argument charges to the two-party protocol.
+func (m *Metrics) CutBits(inA []bool) int64 {
+	var t int64
+	for s, row := range m.LinkBits {
+		for d, b := range row {
+			if inA[s] != inA[d] {
+				t += b
+			}
+		}
+	}
+	return t
+}
+
+// MeanLinkBits returns the average load over the k(k-1) directed links.
+func (m *Metrics) MeanLinkBits() float64 {
+	k := len(m.LinkBits)
+	if k < 2 {
+		return 0
+	}
+	return float64(m.TotalBits()) / float64(k*(k-1))
+}
+
+// String summarizes the metrics.
+func (m *Metrics) String() string {
+	return fmt.Sprintf("rounds=%d msgs=%d payload=%dB maxLink=%db dropped=%d",
+		m.Rounds, m.Messages, m.PayloadBytes, m.MaxLinkBits, m.DroppedMessages)
+}

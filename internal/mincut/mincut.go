@@ -1,0 +1,118 @@
+// Package mincut implements the paper's O(log n)-approximate minimum cut
+// algorithm (§3.2, Theorem 3): sample edges with exponentially growing
+// probabilities and test connectivity of each sample with the fast
+// connectivity algorithm, leveraging Karger's sampling theorem — a graph
+// with edge connectivity λ sampled at rate p stays connected w.h.p. while
+// p·λ = Ω(log n), so the sampling rate at which samples start to
+// disconnect locates λ up to an O(log n) factor.
+//
+// Edge sampling needs no coordination: machines keep an edge iff a shared
+// hash of (trial, edge ID) clears the level's threshold, exactly like the
+// sketch subsampling levels.
+package mincut
+
+import (
+	"math"
+
+	"kmgraph/internal/core"
+	"kmgraph/internal/graph"
+	"kmgraph/internal/hashing"
+	"kmgraph/internal/kmachine"
+)
+
+// Config parameterizes a min-cut approximation run.
+type Config struct {
+	core.Config
+	// Trials is the number of independent samples per level (0 => 3).
+	Trials int
+	// MaxLevel caps the sampling levels (0 => 40).
+	MaxLevel int
+}
+
+// Result is the outcome of a min-cut approximation.
+type Result struct {
+	// Estimate is the O(log n)-approximation of the edge connectivity λ.
+	// Zero means the input graph is already disconnected.
+	Estimate float64
+	// Level is the first sampling level i (rate 2^-i) whose samples
+	// disconnected; -1 if the input itself is disconnected.
+	Level int
+	// Runs is the number of connectivity executions performed.
+	Runs int
+	// Rounds is the total k-machine rounds across all executions.
+	Rounds int
+	// Metrics aggregates bits/messages across all executions.
+	Metrics kmachine.Metrics
+}
+
+// Approximate estimates the edge connectivity of g within an O(log n)
+// factor w.h.p.
+func Approximate(g *graph.Graph, cfg Config) (*Result, error) {
+	if cfg.Trials == 0 {
+		cfg.Trials = 3
+	}
+	if cfg.MaxLevel == 0 {
+		cfg.MaxLevel = 40
+	}
+	res := &Result{}
+	sampleSeed := hashing.Hash2(uint64(cfg.Seed), 0x3c17)
+
+	runConn := func(sub *graph.Graph, seedTweak int64) (int, error) {
+		c := cfg.Config
+		c.Seed = cfg.Seed + seedTweak
+		r, err := core.Run(sub, c)
+		if err != nil {
+			return 0, err
+		}
+		res.Runs++
+		res.Rounds += r.Metrics.Rounds
+		res.Metrics.Rounds += r.Metrics.Rounds
+		res.Metrics.Messages += r.Metrics.Messages
+		res.Metrics.PayloadBytes += r.Metrics.PayloadBytes
+		return r.Components, nil
+	}
+
+	// Level 0 (p = 1) is the input graph itself.
+	base, err := runConn(g, 0)
+	if err != nil {
+		return nil, err
+	}
+	if base > 1 && g.N() > 0 {
+		res.Level = -1
+		res.Estimate = 0
+		return res, nil
+	}
+
+	logn := math.Log(float64(g.N()) + 2)
+	for level := 1; level <= cfg.MaxLevel; level++ {
+		threshold := uint64(1) << uint(64-level)
+		disconnected := 0
+		for trial := 0; trial < cfg.Trials; trial++ {
+			tseed := hashing.Hash3(sampleSeed, uint64(level), uint64(trial))
+			sub := g.Filter(func(e graph.Edge) bool {
+				return hashing.Hash2(tseed, graph.EdgeID(e.U, e.V, g.N())) < threshold
+			})
+			cc, err := runConn(sub, int64(level*100+trial+1))
+			if err != nil {
+				return nil, err
+			}
+			if cc > base {
+				disconnected++
+			}
+		}
+		if 2*disconnected >= cfg.Trials {
+			// Majority of samples at rate 2^-level disconnected:
+			// λ ≈ 2^level · ln n up to an O(log n) factor.
+			res.Level = level
+			res.Estimate = math.Exp2(float64(level-1)) * logn / 2
+			if res.Estimate < 1 {
+				res.Estimate = 1
+			}
+			return res, nil
+		}
+	}
+	// Never disconnected: λ exceeds every tested rate's threshold.
+	res.Level = cfg.MaxLevel + 1
+	res.Estimate = math.Exp2(float64(cfg.MaxLevel)) * logn / 2
+	return res, nil
+}

@@ -1,0 +1,377 @@
+// Package proxy provides the communication layer the paper's algorithms
+// are written against:
+//
+//   - Comm.Exchange, a deterministic bulk point-to-point collective
+//     (machines announce per-destination message counts, then stream
+//     payloads; the collective completes when every announced message has
+//     arrived). All higher-level protocols are built from exchanges.
+//   - RelayBroadcast, the paper's §2.2 routing trick: the source splits its
+//     payload into k-1 chunks, sends chunk i across link i, and every
+//     machine rebroadcasts its chunk — distributing b bits to all machines
+//     in O(b/(k·B)) rounds instead of O(b/B).
+//   - Shared randomness (Setup/SetupBits) and the derived proxy-selection
+//     hash h_{j,ρ}, component ranks, and per-phase sketch seeds.
+//
+// Communication via random proxy machines (Lemma 1) is then simply: send
+// each component part's message to Shared.ProxyOf(phase, iter, label) in
+// one Exchange.
+package proxy
+
+import (
+	"fmt"
+	"sort"
+
+	"kmgraph/internal/hashing"
+	"kmgraph/internal/kmachine"
+	"kmgraph/internal/wire"
+)
+
+// Out is an outgoing payload addressed to a machine.
+type Out struct {
+	Dst  int
+	Data []byte
+}
+
+const (
+	kindCount   = 0
+	kindPayload = 1
+)
+
+// Comm wraps a machine context with exchange sequencing. All machines must
+// execute the same sequence of collective calls (SPMD).
+type Comm struct {
+	ctx     *kmachine.Ctx
+	seq     uint64
+	pending map[uint64][]kmachine.Message
+}
+
+// NewComm returns a collective communicator over ctx.
+func NewComm(ctx *kmachine.Ctx) *Comm {
+	return &Comm{ctx: ctx, pending: make(map[uint64][]kmachine.Message)}
+}
+
+// Ctx returns the underlying machine context.
+func (c *Comm) Ctx() *kmachine.Ctx { return c.ctx }
+
+func frame(seq uint64, kind byte, payload []byte) []byte {
+	buf := make([]byte, 0, len(payload)+10)
+	buf = wire.AppendUvarint(buf, seq)
+	buf = append(buf, kind)
+	return append(buf, payload...)
+}
+
+// Exchange performs one collective all-to-all delivery: this machine sends
+// the given messages; the call returns every message addressed to this
+// machine in this collective, sorted by (source, send order). The round
+// cost is driven by the largest per-link traffic, which is how Lemma 1's
+// load-balancing manifests.
+func (c *Comm) Exchange(out []Out) []kmachine.Message {
+	k := c.ctx.K()
+	seq := c.seq
+	c.seq++
+
+	counts := make([]uint64, k)
+	for _, o := range out {
+		counts[o.Dst]++
+	}
+	// Announce counts to every machine (including zero counts, so
+	// receivers know when they are done).
+	for d := 0; d < k; d++ {
+		if d == c.ctx.ID() {
+			continue
+		}
+		c.ctx.Send(d, frame(seq, kindCount, wire.AppendUvarint(nil, counts[d])))
+	}
+	for _, o := range out {
+		c.ctx.Send(o.Dst, frame(seq, kindPayload, o.Data))
+	}
+
+	expected := make([]int64, k)
+	for i := range expected {
+		expected[i] = -1
+	}
+	expected[c.ctx.ID()] = int64(counts[c.ctx.ID()])
+	got := make([]int64, k)
+	var recv []kmachine.Message
+
+	process := func(m kmachine.Message) error {
+		r := wire.NewReader(m.Data)
+		mseq := r.Uvarint()
+		if r.Err() != nil {
+			return fmt.Errorf("proxy: bad frame from %d", m.Src)
+		}
+		if mseq != seq {
+			if mseq < seq {
+				return fmt.Errorf("proxy: stale frame seq %d < %d from %d", mseq, seq, m.Src)
+			}
+			c.pending[mseq] = append(c.pending[mseq], m)
+			return nil
+		}
+		if r.Len() < 1 {
+			return fmt.Errorf("proxy: empty frame from %d", m.Src)
+		}
+		kind := m.Data[len(m.Data)-r.Len()]
+		body := m.Data[len(m.Data)-r.Len()+1:]
+		switch kind {
+		case kindCount:
+			rr := wire.NewReader(body)
+			expected[m.Src] = int64(rr.Uvarint())
+			if rr.Done() != nil {
+				return fmt.Errorf("proxy: bad count frame from %d", m.Src)
+			}
+		case kindPayload:
+			recv = append(recv, kmachine.Message{Src: m.Src, Dst: m.Dst, Data: body})
+			got[m.Src]++
+		default:
+			return fmt.Errorf("proxy: unknown frame kind %d", kind)
+		}
+		return nil
+	}
+
+	done := func() bool {
+		for i := 0; i < k; i++ {
+			if expected[i] < 0 || got[i] < expected[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Drain frames buffered by earlier collectives first.
+	if buf, ok := c.pending[seq]; ok {
+		delete(c.pending, seq)
+		for _, m := range buf {
+			if err := process(m); err != nil {
+				panic(err)
+			}
+		}
+	}
+	for !done() {
+		for _, m := range c.ctx.Step() {
+			if err := process(m); err != nil {
+				panic(err)
+			}
+		}
+	}
+	sort.SliceStable(recv, func(i, j int) bool { return recv[i].Src < recv[j].Src })
+	return recv
+}
+
+// GatherTo sends data from every machine to root; root receives all k
+// blobs indexed by source machine, others receive nil.
+func (c *Comm) GatherTo(root int, data []byte) [][]byte {
+	recv := c.Exchange([]Out{{Dst: root, Data: data}})
+	if c.ctx.ID() != root {
+		return nil
+	}
+	out := make([][]byte, c.ctx.K())
+	for _, m := range recv {
+		out[m.Src] = m.Data
+	}
+	return out
+}
+
+// BroadcastFrom sends data from root to every machine directly (root's
+// links carry the full payload). Everyone returns the data.
+func (c *Comm) BroadcastFrom(root int, data []byte) []byte {
+	var out []Out
+	if c.ctx.ID() == root {
+		for d := 0; d < c.ctx.K(); d++ {
+			if d != root {
+				out = append(out, Out{Dst: d, Data: data})
+			}
+		}
+	}
+	recv := c.Exchange(out)
+	if c.ctx.ID() == root {
+		return data
+	}
+	if len(recv) != 1 {
+		panic(fmt.Sprintf("proxy: broadcast expected 1 message, got %d", len(recv)))
+	}
+	return recv[0].Data
+}
+
+// RelayBroadcast distributes data from root to all machines using the
+// paper's two-phase relay (§2.2): root scatters k-1 chunks, then every
+// machine rebroadcasts its chunk. For b bits this costs O(b/(kB)) rounds
+// instead of the O(b/B) of a direct broadcast. Everyone returns the data.
+func (c *Comm) RelayBroadcast(root int, data []byte) []byte {
+	k := c.ctx.K()
+	if k == 1 {
+		c.Exchange(nil)
+		c.Exchange(nil)
+		return data
+	}
+	// Phase 1: scatter chunk i to relay machine i.
+	var out []Out
+	if c.ctx.ID() == root {
+		// Relays are all machines except root; chunk r goes to relay r.
+		relays := make([]int, 0, k-1)
+		for d := 0; d < k; d++ {
+			if d != root {
+				relays = append(relays, d)
+			}
+		}
+		per := (len(data) + len(relays) - 1) / len(relays)
+		for i, d := range relays {
+			lo := i * per
+			hi := lo + per
+			if lo > len(data) {
+				lo = len(data)
+			}
+			if hi > len(data) {
+				hi = len(data)
+			}
+			body := wire.AppendUvarint(nil, uint64(i))
+			body = wire.AppendUvarint(body, uint64(len(data)))
+			body = wire.AppendBytes(body, data[lo:hi])
+			out = append(out, Out{Dst: d, Data: body})
+		}
+	}
+	recv := c.Exchange(out)
+
+	// Phase 2: every relay rebroadcasts its chunk.
+	out = nil
+	var myChunk []byte
+	if c.ctx.ID() != root && len(recv) == 1 {
+		myChunk = recv[0].Data
+		for d := 0; d < k; d++ {
+			if d != c.ctx.ID() && d != root {
+				out = append(out, Out{Dst: d, Data: myChunk})
+			}
+		}
+	}
+	recv = c.Exchange(out)
+	if c.ctx.ID() == root {
+		return data
+	}
+
+	// Reassemble: my own chunk plus everyone else's.
+	chunks := make(map[int][]byte)
+	var total uint64
+	add := func(body []byte) {
+		r := wire.NewReader(body)
+		idx := int(r.Uvarint())
+		total = r.Uvarint()
+		chunk := r.Bytes()
+		if r.Done() != nil {
+			panic("proxy: bad relay chunk")
+		}
+		chunks[idx] = chunk
+	}
+	if myChunk != nil {
+		add(myChunk)
+	}
+	for _, m := range recv {
+		add(m.Data)
+	}
+	outBuf := make([]byte, 0, total)
+	for i := 0; len(outBuf) < int(total); i++ {
+		ch, ok := chunks[i]
+		if !ok {
+			panic("proxy: missing relay chunk")
+		}
+		outBuf = append(outBuf, ch...)
+	}
+	return outBuf[:total]
+}
+
+// AllReduceU64 combines one value per machine with op (must be associative
+// and commutative) and returns the result on every machine. Implemented as
+// gather-to-0 plus broadcast: O(1) exchanges of O(k) tiny messages.
+func (c *Comm) AllReduceU64(x uint64, op func(a, b uint64) uint64) uint64 {
+	blobs := c.GatherTo(0, wire.AppendU64(nil, x))
+	var res uint64
+	var buf []byte
+	if c.ctx.ID() == 0 {
+		res = x
+		for src, b := range blobs {
+			if src == 0 || b == nil {
+				continue
+			}
+			r := wire.NewReader(b)
+			res = op(res, r.U64())
+		}
+		buf = wire.AppendU64(nil, res)
+	}
+	buf = c.BroadcastFrom(0, buf)
+	r := wire.NewReader(buf)
+	return r.U64()
+}
+
+// AllSum returns the sum of x over all machines, on every machine.
+func (c *Comm) AllSum(x uint64) uint64 {
+	return c.AllReduceU64(x, func(a, b uint64) uint64 { return a + b })
+}
+
+// AllMax returns the max of x over all machines, on every machine.
+func (c *Comm) AllMax(x uint64) uint64 {
+	return c.AllReduceU64(x, func(a, b uint64) uint64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+// Shared is the shared randomness established by Setup: a seed all
+// machines agree on, from which proxy hashes h_{j,ρ}, DRR ranks, and
+// per-phase sketch matrices are derived (DESIGN.md substitution #2; the
+// faithful bulk-bits path is SetupBits).
+type Shared struct {
+	seed uint64
+}
+
+// Setup has machine 0 draw 8 random bytes and relay-broadcast them; every
+// machine returns an identical Shared.
+func Setup(c *Comm) *Shared {
+	var data []byte
+	if c.ctx.ID() == 0 {
+		data = wire.AppendU64(nil, c.ctx.Rand().Uint64())
+	}
+	data = c.RelayBroadcast(0, data)
+	r := wire.NewReader(data)
+	return &Shared{seed: r.U64()}
+}
+
+// SetupBits distributes nBytes of true random bits from machine 0 to all
+// machines via the relay broadcast — the paper's faithful construction for
+// building d-wise independent hash functions from Θ(d log n) shared bits.
+// Every machine returns the identical byte string.
+func SetupBits(c *Comm, nBytes int) []byte {
+	var data []byte
+	if c.ctx.ID() == 0 {
+		data = make([]byte, nBytes)
+		for i := range data {
+			data[i] = byte(c.ctx.Rand().Intn(256))
+		}
+	}
+	return c.RelayBroadcast(0, data)
+}
+
+// NewSharedFromSeed builds a Shared directly (for tests).
+func NewSharedFromSeed(seed uint64) *Shared { return &Shared{seed: seed} }
+
+// Seed returns the shared seed.
+func (s *Shared) Seed() uint64 { return s.seed }
+
+// ProxyOf returns the proxy machine h_{phase,iter}(label) in [0, k) for a
+// component label at a given (phase, iteration). Fresh (phase, iter) pairs
+// give fresh independent assignments, as Lemma 5 requires.
+func (s *Shared) ProxyOf(phase, iter int, label uint64, k int) int {
+	return hashing.RangeOf(hashing.Hash4(s.seed^0x9909, uint64(phase), uint64(iter), label), k)
+}
+
+// Rank returns the DRR rank of a component for a phase (§2.5). Distinct
+// labels yield independent uniform 64-bit ranks, so ties are negligible —
+// the Θ(log n)-bit accuracy remark of the paper.
+func (s *Shared) Rank(phase int, label uint64) uint64 {
+	return hashing.Hash3(s.seed^0x4a4b, uint64(phase), label)
+}
+
+// SketchSeed derives the shared seed of the phase/iteration sketch matrix
+// L_j (a fresh linear projection per phase, §2.3).
+func (s *Shared) SketchSeed(phase, iter int) uint64 {
+	return hashing.Hash3(s.seed^0x5e7c, uint64(phase), uint64(iter))
+}

@@ -1,0 +1,55 @@
+package sketch
+
+import "math"
+
+// SupportSize returns an estimate of the number of nonzero slots of the
+// sketched vector (the component's outgoing-edge count, in the
+// connectivity setting), or 0 for a zero sketch.
+//
+// The estimator uses the geometric subsampling structure that is already
+// there for l0-sampling: a slot survives to level l with probability
+// 2^-l, so the deepest level that still contains *any* mass has, in
+// expectation, log2(support) levels above it. We locate, per repetition,
+// the highest level with a nonzero tester, correct by the expectation of
+// the maximum of geometric variables, and average across repetitions.
+// The result is a constant-factor approximation w.h.p. — the same
+// guarantee class as the AGM sketch toolbox's L0 estimation, and enough
+// for diagnostics and load prediction (how many sketches a proxy will
+// receive next phase).
+func (s *Sketch) SupportSize() float64 {
+	if s.IsZero() {
+		return 0
+	}
+	var topSum float64
+	reps := 0
+	for rep := 0; rep < s.p.Reps; rep++ {
+		top := -1
+		for level := s.p.Levels - 1; level >= 0; level-- {
+			nonzero := false
+			for b := 0; b < s.p.Buckets; b++ {
+				c := s.cellAt(rep, level, b)
+				if c.count != 0 || c.idSum != 0 || c.fp != 0 {
+					nonzero = true
+					break
+				}
+			}
+			if nonzero {
+				top = level
+				break
+			}
+		}
+		if top < 0 {
+			continue
+		}
+		topSum += float64(top)
+		reps++
+	}
+	if reps == 0 {
+		return 0
+	}
+	// For t nonzero slots, E[max level] ≈ log2(t) + 1 (max of t geometric
+	// variables with P(level ≥ l) = 2^-l; exactly 1 at t = 1). Average the
+	// *levels* across repetitions before exponentiating — averaging
+	// 2^level directly would be dominated by the geometric tail.
+	return math.Exp2(topSum/float64(reps) - 1)
+}

@@ -1,0 +1,188 @@
+package sketch
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"kmgraph/internal/hashing"
+)
+
+func TestSupportSizeZero(t *testing.T) {
+	s := New(DefaultParams(100), 1)
+	if got := s.SupportSize(); got != 0 {
+		t.Errorf("zero sketch estimate = %v", got)
+	}
+}
+
+func TestSupportSizeOrdersOfMagnitude(t *testing.T) {
+	// The median estimate over seeds should be within a small constant
+	// factor of the truth across several orders of magnitude (the
+	// guarantee is constant-factor w.h.p., so the median is the right
+	// summary; the mean would be tail-dominated).
+	p := DefaultParams(4000)
+	for _, support := range []int{1, 8, 64, 512, 4096} {
+		const seeds = 31
+		ests := make([]float64, 0, seeds)
+		for seed := uint64(0); seed < seeds; seed++ {
+			s := New(p, seed*977+3)
+			for i := 0; i < support; i++ {
+				id := hashing.Hash3(seed, 0xe57, uint64(i)) % (4000 * 4000)
+				s.AddItem(id, 1)
+			}
+			ests = append(ests, s.SupportSize())
+		}
+		sort.Float64s(ests)
+		median := ests[len(ests)/2]
+		ratio := median / float64(support)
+		if ratio < 1.0/4 || ratio > 4 {
+			t.Errorf("support %d: median estimate %.1f (ratio %.2f) outside [1/4, 4]",
+				support, median, ratio)
+		}
+	}
+}
+
+func TestSupportSizeMonotoneInExpectation(t *testing.T) {
+	p := DefaultParams(1000)
+	avg := func(support int) float64 {
+		var sum float64
+		for seed := uint64(0); seed < 40; seed++ {
+			s := New(p, seed*31+7)
+			for i := 0; i < support; i++ {
+				s.AddItem(hashing.Hash3(seed, 9, uint64(i))%(1000*1000), 1)
+			}
+			sum += s.SupportSize()
+		}
+		return sum / 40
+	}
+	small, big := avg(4), avg(400)
+	if big <= small {
+		t.Errorf("estimate not increasing: %v vs %v", small, big)
+	}
+}
+
+// Property-based tests on the sketch algebra (testing/quick).
+
+func TestQuickAddCommutative(t *testing.T) {
+	p := Params{N: 256, Levels: 10, Buckets: 4, Reps: 2}
+	f := func(idsA, idsB []uint16, seed uint16) bool {
+		sd := uint64(seed)
+		ab := New(p, sd)
+		ba := New(p, sd)
+		a1, b1 := New(p, sd), New(p, sd)
+		for _, id := range idsA {
+			a1.AddItem(uint64(id)%(256*256), 1)
+		}
+		for _, id := range idsB {
+			b1.AddItem(uint64(id)%(256*256), -1)
+		}
+		// ab = a + b ; ba = b + a
+		if err := ab.Add(a1); err != nil {
+			return false
+		}
+		if err := ab.Add(b1); err != nil {
+			return false
+		}
+		if err := ba.Add(b1); err != nil {
+			return false
+		}
+		if err := ba.Add(a1); err != nil {
+			return false
+		}
+		for i := range ab.cells {
+			if ab.cells[i] != ba.cells[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickInverseCancels(t *testing.T) {
+	p := Params{N: 256, Levels: 10, Buckets: 4, Reps: 2}
+	f := func(ids []uint16, seed uint16) bool {
+		s := New(p, uint64(seed))
+		for _, id := range ids {
+			s.AddItem(uint64(id)%(256*256), 1)
+		}
+		for _, id := range ids {
+			s.AddItem(uint64(id)%(256*256), -1)
+		}
+		return s.IsZero()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEncodeDecodeIdentity(t *testing.T) {
+	p := Params{N: 256, Levels: 10, Buckets: 4, Reps: 2}
+	f := func(ids []uint16, signs []bool, seed uint16) bool {
+		s := New(p, uint64(seed))
+		for i, id := range ids {
+			sign := 1
+			if i < len(signs) && signs[i] {
+				sign = -1
+			}
+			s.AddItem(uint64(id)%(256*256), sign)
+		}
+		d, err := Decode(p, uint64(seed), s.EncodeTo(nil))
+		if err != nil {
+			return false
+		}
+		for i := range s.cells {
+			if s.cells[i] != d.cells[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSampleSoundness(t *testing.T) {
+	// Whatever Sample returns on a nonzero multiset-of-±1 vector must be
+	// an id that was inserted with nonzero net count and the correct sign.
+	p := Params{N: 512, Levels: 12, Buckets: 6, Reps: 2}
+	f := func(ids []uint16, seed uint16) bool {
+		s := New(p, uint64(seed)+1)
+		net := map[uint64]int{}
+		for _, id := range ids {
+			slot := uint64(id) % (512 * 512)
+			s.AddItem(slot, 1)
+			net[slot]++
+		}
+		id, sign, st := s.Sample()
+		if st != Sampled {
+			return true // Empty or Failed: soundness not at issue
+		}
+		return net[id] > 0 && sign == 1 || (net[id] < 0 && sign == -1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSupportSizeLogSanity(t *testing.T) {
+	// The estimate's log should be within ~2 of the true log for a large
+	// support (tight version of the order-of-magnitude test).
+	p := DefaultParams(4000)
+	var sum float64
+	for seed := uint64(0); seed < 50; seed++ {
+		s := New(p, seed*13+1)
+		for i := 0; i < 1024; i++ {
+			s.AddItem(hashing.Hash3(seed, 2, uint64(i))%(4000*4000), 1)
+		}
+		sum += math.Log2(s.SupportSize() + 1)
+	}
+	mean := sum / 50
+	if math.Abs(mean-10) > 2 {
+		t.Errorf("mean log2 estimate %.2f, want ~10", mean)
+	}
+}

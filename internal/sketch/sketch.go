@@ -1,0 +1,341 @@
+// Package sketch implements the random linear graph sketches of paper §2.3:
+// AGM-style l0-samplers over edge-incidence vectors.
+//
+// For a vertex u of an n-vertex graph, the incidence vector a_u over the
+// (n choose 2) edge slots has a_u[(x,y)] = +1 if u = x < y and the edge
+// exists, -1 if x < y = u, and 0 otherwise. A sketch s_u is a small linear
+// projection of a_u from which one nonzero coordinate — one incident edge —
+// can be recovered. Linearity is the crucial property: s_u + s_v is a valid
+// sketch of a_u + a_v, in which the slot of edge (u,v) has cancelled to
+// zero. Summing the sketches of a whole component therefore yields a sketch
+// of its *outgoing* edges only, which is how the connectivity algorithm
+// samples inter-component edges without inspecting edge status (§2.1).
+//
+// Construction (following Jowhari–Saglam–Tardos l0-sampling via linear
+// projections, and Cormode–Firmani for the limited-independence variant the
+// paper cites): Reps independent repetitions, each with Levels nested
+// geometric subsampling levels (slot survives level l with probability
+// 2^-l) and Buckets one-sparse testers per level. A one-sparse tester keeps
+// (count, idSum, fingerprint) where the fingerprint is sum a_i * z^id_i
+// over GF(2^61-1); a bucket holding exactly one item passes the fingerprint
+// test and reveals (id, sign). All hash functions and the fingerprint base
+// z derive from a shared seed, so machines build *identical* projections —
+// the distributed analogue of the paper's shared sketch matrix L_j.
+package sketch
+
+import (
+	"fmt"
+
+	"kmgraph/internal/field"
+	"kmgraph/internal/graph"
+	"kmgraph/internal/hashing"
+	"kmgraph/internal/wire"
+)
+
+// Params fixes the shape of a sketch. All machines must use identical
+// Params and seed within a phase for sketches to be addable.
+type Params struct {
+	N       int // number of graph vertices; universe is the n*n edge-slot grid
+	Levels  int // geometric subsampling levels
+	Buckets int // one-sparse testers per level
+	Reps    int // independent repetitions
+}
+
+// DefaultParams returns parameters sized for an n-vertex graph:
+// Levels = 2*ceil(log2 n) + 2 (universe n^2), Buckets = 6, Reps = 2,
+// giving an empirical sampling failure rate well under 10%.
+func DefaultParams(n int) Params {
+	l := 2
+	for s := 1; s < n; s <<= 1 {
+		l += 2
+	}
+	return Params{N: n, Levels: l, Buckets: 6, Reps: 2}
+}
+
+// Cells returns the total number of one-sparse testers.
+func (p Params) Cells() int { return p.Levels * p.Buckets * p.Reps }
+
+// Status is the outcome of sampling from a sketch.
+type Status int
+
+const (
+	// Empty means the sketched vector is (or cancelled to) all zeros:
+	// the component has no outgoing edges.
+	Empty Status = iota
+	// Sampled means a nonzero slot was recovered.
+	Sampled
+	// Failed means the vector is nonzero but no level isolated a single
+	// slot; the caller should treat the component as inactive this phase
+	// (a low-probability Monte Carlo failure, as the paper permits).
+	Failed
+)
+
+func (s Status) String() string {
+	switch s {
+	case Empty:
+		return "empty"
+	case Sampled:
+		return "sampled"
+	case Failed:
+		return "failed"
+	}
+	return fmt.Sprintf("status(%d)", int(s))
+}
+
+type cell struct {
+	count int64
+	idSum uint64 // field element
+	fp    uint64 // field element
+}
+
+// Sketch is a linear l0-sampler over the edge-slot universe.
+type Sketch struct {
+	p     Params
+	seed  uint64
+	zbase uint64
+	cells []cell
+}
+
+// New returns an all-zero sketch for the given shared seed. Seeds must be
+// fresh per phase (the paper's per-phase sketch matrix L_j); derive them as
+// a shared hash of (master seed, phase, iteration).
+func New(p Params, seed uint64) *Sketch {
+	return &Sketch{
+		p:     p,
+		seed:  seed,
+		zbase: zBase(seed),
+		cells: make([]cell, p.Cells()),
+	}
+}
+
+func zBase(seed uint64) uint64 {
+	z := field.Reduce(hashing.Hash2(seed, 0x5eedba5e))
+	if z < 2 {
+		z += 2
+	}
+	return z
+}
+
+// Params returns the sketch shape.
+func (s *Sketch) Params() Params { return s.p }
+
+// Seed returns the shared seed the sketch was built with.
+func (s *Sketch) Seed() uint64 { return s.seed }
+
+func (s *Sketch) cellAt(rep, level, bucket int) *cell {
+	return &s.cells[(rep*s.p.Levels+level)*s.p.Buckets+bucket]
+}
+
+// levelOf returns the highest subsampling level slot id survives to,
+// capped at Levels-1. Nested: the slot is present in levels 0..levelOf.
+func (s *Sketch) levelOf(id uint64) int {
+	tz := hashing.TrailingZeros(hashing.Hash2(s.seed, 0xa11ce), id)
+	if tz >= s.p.Levels {
+		return s.p.Levels - 1
+	}
+	return tz
+}
+
+func (s *Sketch) bucketOf(rep, level int, id uint64) int {
+	return hashing.RangeOf(hashing.Hash4(s.seed, uint64(rep), uint64(level), id), s.p.Buckets)
+}
+
+// AddItem adds sign (+1 or -1) to slot id.
+func (s *Sketch) AddItem(id uint64, sign int) {
+	zid := field.Pow(s.zbase, id)
+	idf := field.Reduce(id)
+	top := s.levelOf(id)
+	for rep := 0; rep < s.p.Reps; rep++ {
+		for level := 0; level <= top; level++ {
+			c := s.cellAt(rep, level, s.bucketOf(rep, level, id))
+			if sign > 0 {
+				c.count++
+				c.idSum = field.Add(c.idSum, idf)
+				c.fp = field.Add(c.fp, zid)
+			} else {
+				c.count--
+				c.idSum = field.Sub(c.idSum, idf)
+				c.fp = field.Sub(c.fp, zid)
+			}
+		}
+	}
+}
+
+// AddVertex adds the full incidence vector of vertex u given its adjacency
+// list, including only edges for which filter returns true (nil = all).
+// The filter receives the origin vertex u and the half-edge, so callers can
+// threshold on the (weight, edge ID) total order — the "zero out all
+// entries referring to heavier edges" step of the paper's MST elimination
+// (§3.1). The sign convention implements a_u: +1 when u is the smaller
+// endpoint.
+func (s *Sketch) AddVertex(u int, adj []graph.Half, filter func(u int, h graph.Half) bool) {
+	for _, h := range adj {
+		if filter != nil && !filter(u, h) {
+			continue
+		}
+		id := graph.EdgeID(u, h.To, s.p.N)
+		if u < h.To {
+			s.AddItem(id, +1)
+		} else {
+			s.AddItem(id, -1)
+		}
+	}
+}
+
+// Add accumulates other into s (vector addition). Shapes and seeds must
+// match; this is the linearity that merges component parts (Lemma 2).
+func (s *Sketch) Add(other *Sketch) error {
+	if s.p != other.p || s.seed != other.seed {
+		return fmt.Errorf("sketch: shape/seed mismatch")
+	}
+	for i := range s.cells {
+		s.cells[i].count += other.cells[i].count
+		s.cells[i].idSum = field.Add(s.cells[i].idSum, other.cells[i].idSum)
+		s.cells[i].fp = field.Add(s.cells[i].fp, other.cells[i].fp)
+	}
+	return nil
+}
+
+// IsZero reports whether every tester is zero.
+func (s *Sketch) IsZero() bool {
+	for i := range s.cells {
+		c := &s.cells[i]
+		if c.count != 0 || c.idSum != 0 || c.fp != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// verify checks whether cell c holds exactly one slot and returns it.
+func (s *Sketch) verify(c *cell) (id uint64, sign int, ok bool) {
+	switch c.count {
+	case 1:
+		id = c.idSum
+		sign = +1
+	case -1:
+		id = field.Neg(c.idSum)
+		sign = -1
+	default:
+		return 0, 0, false
+	}
+	maxID := uint64(s.p.N) * uint64(s.p.N)
+	if id >= maxID {
+		return 0, 0, false
+	}
+	want := field.Pow(s.zbase, id)
+	if sign < 0 {
+		want = field.Neg(want)
+	}
+	if c.fp != want {
+		return 0, 0, false
+	}
+	return id, sign, true
+}
+
+// Sample recovers one nonzero slot of the sketched vector, scanning levels
+// from sparsest down. Among the verified slots of the first productive
+// level it returns the one maximizing a query hash, which approximates a
+// uniform sample over the support (the max-hash slot is the level's
+// "survivor"). The same sketch always returns the same answer.
+func (s *Sketch) Sample() (id uint64, sign int, st Status) {
+	if s.IsZero() {
+		return 0, 0, Empty
+	}
+	qsalt := hashing.Hash2(s.seed, 0x9a3f1e)
+	for level := s.p.Levels - 1; level >= 0; level-- {
+		var bestID uint64
+		var bestSign int
+		var bestH uint64
+		found := false
+		for rep := 0; rep < s.p.Reps; rep++ {
+			for b := 0; b < s.p.Buckets; b++ {
+				c := s.cellAt(rep, level, b)
+				cid, csign, ok := s.verify(c)
+				if !ok {
+					continue
+				}
+				// Consistency: the slot must actually belong here.
+				if s.levelOf(cid) < level || s.bucketOf(rep, level, cid) != b {
+					continue
+				}
+				h := hashing.Hash2(qsalt, cid)
+				if !found || h > bestH {
+					bestID, bestSign, bestH, found = cid, csign, h, true
+				}
+			}
+		}
+		if found {
+			return bestID, bestSign, Sampled
+		}
+	}
+	return 0, 0, Failed
+}
+
+// SampleEdge decodes a sampled slot into a canonical edge (x < y) plus the
+// side flag: insideSmaller reports whether the *smaller* endpoint x is the
+// one inside the sketched vertex set (sign +1), which the connectivity
+// algorithm uses to identify the neighboring component's endpoint.
+func (s *Sketch) SampleEdge() (x, y int, insideSmaller bool, st Status) {
+	id, sign, st := s.Sample()
+	if st != Sampled {
+		return 0, 0, false, st
+	}
+	x, y = graph.DecodeEdgeID(id, s.p.N)
+	return x, y, sign > 0, Sampled
+}
+
+// EncodeTo appends a compact wire encoding: per (rep, level) a bucket
+// bitmap of nonzero testers followed by their contents. Zero sketches cost
+// a few bytes; dense ones are bounded by Cells() * ~17 bytes.
+func (s *Sketch) EncodeTo(buf []byte) []byte {
+	for rep := 0; rep < s.p.Reps; rep++ {
+		for level := 0; level < s.p.Levels; level++ {
+			var bitmap uint64
+			for b := 0; b < s.p.Buckets; b++ {
+				c := s.cellAt(rep, level, b)
+				if c.count != 0 || c.idSum != 0 || c.fp != 0 {
+					bitmap |= 1 << uint(b)
+				}
+			}
+			buf = wire.AppendUvarint(buf, bitmap)
+			for b := 0; b < s.p.Buckets; b++ {
+				if bitmap&(1<<uint(b)) == 0 {
+					continue
+				}
+				c := s.cellAt(rep, level, b)
+				buf = wire.AppendVarint(buf, c.count)
+				buf = wire.AppendU64(buf, c.idSum)
+				buf = wire.AppendU64(buf, c.fp)
+			}
+		}
+	}
+	return buf
+}
+
+// Decode parses a sketch produced by EncodeTo with the same Params/seed.
+func Decode(p Params, seed uint64, data []byte) (*Sketch, error) {
+	if p.Buckets > 64 {
+		return nil, fmt.Errorf("sketch: bucket bitmap supports at most 64 buckets")
+	}
+	s := New(p, seed)
+	r := wire.NewReader(data)
+	for rep := 0; rep < p.Reps; rep++ {
+		for level := 0; level < p.Levels; level++ {
+			bitmap := r.Uvarint()
+			for b := 0; b < p.Buckets; b++ {
+				if bitmap&(1<<uint(b)) == 0 {
+					continue
+				}
+				c := s.cellAt(rep, level, b)
+				c.count = r.Varint()
+				c.idSum = r.U64()
+				c.fp = r.U64()
+			}
+		}
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

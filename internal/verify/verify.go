@@ -1,0 +1,171 @@
+// Package verify implements the paper's graph verification problems
+// (§3.3, Theorem 4), each as a reduction to one or two runs of the fast
+// connectivity algorithm, all in Õ(n/k²) rounds:
+//
+//   - spanning connected subgraph (SCS)
+//   - cut verification
+//   - s-t connectivity
+//   - edge on all paths
+//   - s-t cut verification
+//   - bipartiteness (via the bipartite double cover, following AGM §3.3)
+//   - cycle containment
+//   - e-cycle containment
+//
+// Subgraphs are presented as edge sets; filtering is local knowledge in
+// the model (every machine knows which of its vertices' incident edges are
+// in H), so running connectivity on the filtered graph under the same
+// partition is the faithful protocol.
+package verify
+
+import (
+	"fmt"
+
+	"kmgraph/internal/core"
+	"kmgraph/internal/graph"
+	"kmgraph/internal/kmachine"
+)
+
+// Outcome reports a verification verdict and its cost.
+type Outcome struct {
+	// Holds is the verification verdict.
+	Holds bool
+	// Runs is the number of connectivity executions used.
+	Runs int
+	// Rounds is the total k-machine rounds across executions.
+	Rounds int
+	// Metrics aggregates the executions' cost.
+	Metrics kmachine.Metrics
+}
+
+type runner struct {
+	cfg core.Config
+	out Outcome
+}
+
+func (r *runner) components(g *graph.Graph, tweak int64) (int, *core.Result, error) {
+	cfg := r.cfg
+	cfg.Seed += tweak
+	res, err := core.Run(g, cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	r.out.Runs++
+	r.out.Rounds += res.Metrics.Rounds
+	r.out.Metrics.Rounds += res.Metrics.Rounds
+	r.out.Metrics.Messages += res.Metrics.Messages
+	r.out.Metrics.PayloadBytes += res.Metrics.PayloadBytes
+	return res.Components, res, nil
+}
+
+func subgraph(g *graph.Graph, edges []graph.Edge) *graph.Graph {
+	keep := make(map[uint64]bool, len(edges))
+	for _, e := range edges {
+		e = e.Canon()
+		keep[graph.EdgeID(e.U, e.V, g.N())] = true
+	}
+	return g.Filter(func(e graph.Edge) bool { return keep[graph.EdgeID(e.U, e.V, g.N())] })
+}
+
+// SpanningConnectedSubgraph verifies whether the subgraph H of G (given as
+// an edge set over G's vertices) spans G and is connected.
+func SpanningConnectedSubgraph(g *graph.Graph, h []graph.Edge, cfg core.Config) (*Outcome, error) {
+	r := &runner{cfg: cfg}
+	cc, _, err := r.components(subgraph(g, h), 1)
+	if err != nil {
+		return nil, err
+	}
+	r.out.Holds = cc == 1 || g.N() <= 1
+	return &r.out, nil
+}
+
+// Cut verifies whether the given edge set is a cut of G: removing it must
+// increase the number of connected components.
+func Cut(g *graph.Graph, cut []graph.Edge, cfg core.Config) (*Outcome, error) {
+	r := &runner{cfg: cfg}
+	before, _, err := r.components(g, 1)
+	if err != nil {
+		return nil, err
+	}
+	after, _, err := r.components(g.RemoveEdges(cut), 2)
+	if err != nil {
+		return nil, err
+	}
+	r.out.Holds = after > before
+	return &r.out, nil
+}
+
+// STConnectivity verifies whether s and t are in the same connected
+// component of G.
+func STConnectivity(g *graph.Graph, s, t int, cfg core.Config) (*Outcome, error) {
+	if s < 0 || t < 0 || s >= g.N() || t >= g.N() {
+		return nil, fmt.Errorf("verify: s/t out of range")
+	}
+	r := &runner{cfg: cfg}
+	_, res, err := r.components(g, 1)
+	if err != nil {
+		return nil, err
+	}
+	r.out.Holds = res.Labels[s] == res.Labels[t]
+	return &r.out, nil
+}
+
+// EdgeOnAllPaths verifies whether edge e lies on every path between u and
+// v: true iff u and v are disconnected in G \ {e} (§3.3).
+func EdgeOnAllPaths(g *graph.Graph, u, v int, e graph.Edge, cfg core.Config) (*Outcome, error) {
+	out, err := STConnectivity(g.RemoveEdges([]graph.Edge{e}), u, v, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.Holds = !out.Holds
+	return out, nil
+}
+
+// STCut verifies whether the given edge set is an s-t cut: removing it
+// must disconnect s from t.
+func STCut(g *graph.Graph, s, t int, cut []graph.Edge, cfg core.Config) (*Outcome, error) {
+	out, err := STConnectivity(g.RemoveEdges(cut), s, t, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.Holds = !out.Holds
+	return out, nil
+}
+
+// Bipartiteness verifies whether G is bipartite using the double cover
+// reduction: G is bipartite iff its bipartite double cover has exactly
+// twice as many connected components as G.
+func Bipartiteness(g *graph.Graph, cfg core.Config) (*Outcome, error) {
+	r := &runner{cfg: cfg}
+	ccG, _, err := r.components(g, 1)
+	if err != nil {
+		return nil, err
+	}
+	ccD, _, err := r.components(g.DoubleCover(), 2)
+	if err != nil {
+		return nil, err
+	}
+	r.out.Holds = ccD == 2*ccG
+	return &r.out, nil
+}
+
+// CycleContainment verifies whether G contains any cycle:
+// m > n - #components.
+func CycleContainment(g *graph.Graph, cfg core.Config) (*Outcome, error) {
+	r := &runner{cfg: cfg}
+	cc, _, err := r.components(g, 1)
+	if err != nil {
+		return nil, err
+	}
+	r.out.Holds = g.M() > g.N()-cc
+	return &r.out, nil
+}
+
+// ECycleContainment verifies whether edge e lies on some cycle of G:
+// true iff its endpoints remain connected in G \ {e}.
+func ECycleContainment(g *graph.Graph, e graph.Edge, cfg core.Config) (*Outcome, error) {
+	e = e.Canon()
+	if !g.HasEdge(e.U, e.V) {
+		return nil, fmt.Errorf("verify: edge (%d,%d) not in graph", e.U, e.V)
+	}
+	return STConnectivity(g.RemoveEdges([]graph.Edge{e}), e.U, e.V, cfg)
+}

@@ -1,0 +1,166 @@
+// Package wire provides the byte-level encoding used for every message
+// exchanged between machines in the k-machine simulator.
+//
+// The k-machine model charges algorithms per *bit* crossing a link, so all
+// protocol messages are encoded into compact byte strings with these
+// helpers rather than passed as Go values. Encoders are append-style
+// (allocation-friendly); decoding uses a cursor type that latches errors so
+// call sites can decode whole messages and check failure once.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrTruncated is reported when a decode runs past the end of the buffer.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// ErrOverflow is reported when a varint does not fit the requested width.
+var ErrOverflow = errors.New("wire: varint overflow")
+
+// AppendUvarint appends x in unsigned LEB128 form.
+func AppendUvarint(b []byte, x uint64) []byte {
+	return binary.AppendUvarint(b, x)
+}
+
+// AppendVarint appends x in zig-zag signed LEB128 form.
+func AppendVarint(b []byte, x int64) []byte {
+	return binary.AppendVarint(b, x)
+}
+
+// AppendU64 appends x as 8 fixed little-endian bytes.
+func AppendU64(b []byte, x uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, x)
+}
+
+// AppendBytes appends a length-prefixed byte string.
+func AppendBytes(b, s []byte) []byte {
+	b = AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// AppendBool appends a single 0/1 byte.
+func AppendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// Reader is a decoding cursor over a received message. The first decoding
+// error is latched; subsequent reads return zero values. Check Err (or use
+// Done) after decoding a full message.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a cursor over buf.
+func NewReader(buf []byte) *Reader {
+	return &Reader{buf: buf}
+}
+
+// Err returns the first decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Len returns the number of unread bytes.
+func (r *Reader) Len() int { return len(r.buf) - r.off }
+
+// Uvarint decodes an unsigned LEB128 value.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	x, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		if n == 0 {
+			r.err = ErrTruncated
+		} else {
+			r.err = ErrOverflow
+		}
+		return 0
+	}
+	r.off += n
+	return x
+}
+
+// Varint decodes a zig-zag signed LEB128 value.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	x, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		if n == 0 {
+			r.err = ErrTruncated
+		} else {
+			r.err = ErrOverflow
+		}
+		return 0
+	}
+	r.off += n
+	return x
+}
+
+// U64 decodes 8 fixed little-endian bytes.
+func (r *Reader) U64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.Len() < 8 {
+		r.err = ErrTruncated
+		return 0
+	}
+	x := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return x
+}
+
+// Bytes decodes a length-prefixed byte string. The returned slice aliases
+// the underlying buffer.
+func (r *Reader) Bytes() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if uint64(r.Len()) < n {
+		r.err = ErrTruncated
+		return nil
+	}
+	s := r.buf[r.off : r.off+int(n)]
+	r.off += int(n)
+	return s
+}
+
+// Bool decodes a single 0/1 byte.
+func (r *Reader) Bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.Len() < 1 {
+		r.err = ErrTruncated
+		return false
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v != 0
+}
+
+// Int decodes a non-negative int encoded with AppendUvarint.
+func (r *Reader) Int() int {
+	return int(r.Uvarint())
+}
+
+// Done reports an error unless the message decoded cleanly and completely.
+func (r *Reader) Done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("wire: %d trailing bytes", r.Len())
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripScalars(t *testing.T) {
+	f := func(a uint64, b int64, c bool, s []byte) bool {
+		var buf []byte
+		buf = AppendUvarint(buf, a)
+		buf = AppendVarint(buf, b)
+		buf = AppendBool(buf, c)
+		buf = AppendBytes(buf, s)
+		buf = AppendU64(buf, a^uint64(b))
+
+		r := NewReader(buf)
+		ga := r.Uvarint()
+		gb := r.Varint()
+		gc := r.Bool()
+		gs := r.Bytes()
+		gu := r.U64()
+		if err := r.Done(); err != nil {
+			t.Logf("done: %v", err)
+			return false
+		}
+		return ga == a && gb == b && gc == c && bytes.Equal(gs, s) && gu == a^uint64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	var buf []byte
+	buf = AppendUvarint(buf, 300)
+	buf = AppendBytes(buf, []byte("hello"))
+
+	// Cut the buffer at every prefix length; decoding must either fail
+	// cleanly or report trailing state via Done, never panic.
+	for cut := 0; cut < len(buf); cut++ {
+		r := NewReader(buf[:cut])
+		_ = r.Uvarint()
+		_ = r.Bytes()
+		if r.Done() == nil {
+			t.Errorf("cut=%d: expected error", cut)
+		}
+	}
+}
+
+func TestErrorLatches(t *testing.T) {
+	r := NewReader(nil)
+	if r.U64() != 0 {
+		t.Error("U64 on empty should be 0")
+	}
+	if r.Err() != ErrTruncated {
+		t.Errorf("err = %v, want ErrTruncated", r.Err())
+	}
+	// Subsequent reads keep returning zero values without panicking.
+	if r.Uvarint() != 0 || r.Bool() || r.Bytes() != nil {
+		t.Error("latched reader should return zero values")
+	}
+}
+
+func TestTrailingBytes(t *testing.T) {
+	buf := AppendUvarint(nil, 5)
+	buf = append(buf, 0xff)
+	r := NewReader(buf)
+	_ = r.Uvarint()
+	if err := r.Done(); err == nil {
+		t.Error("Done should report trailing bytes")
+	}
+}
+
+func TestIntHelper(t *testing.T) {
+	buf := AppendUvarint(nil, 12345)
+	r := NewReader(buf)
+	if got := r.Int(); got != 12345 {
+		t.Errorf("Int = %d, want 12345", got)
+	}
+}
+
+func TestBytesAliasing(t *testing.T) {
+	buf := AppendBytes(nil, []byte{1, 2, 3})
+	r := NewReader(buf)
+	s := r.Bytes()
+	if len(s) != 3 || s[0] != 1 || s[2] != 3 {
+		t.Fatalf("bytes = %v", s)
+	}
+}

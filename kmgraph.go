@@ -1,0 +1,261 @@
+// Package kmgraph is a Go implementation of the algorithms from
+// "Fast Distributed Algorithms for Connectivity and MST in Large Graphs"
+// (Pandurangan, Robinson, Scquizzato; SPAA 2016), together with a faithful
+// simulator for the k-machine model they run in.
+//
+// The library provides:
+//
+//   - The Õ(n/k²)-round connectivity algorithm (Theorem 1) built from
+//     linear graph sketches, randomized proxy machines, and distributed
+//     random ranking.
+//   - The Õ(n/k²)-round MST algorithm (Theorem 2) with both output
+//     criteria.
+//   - The O(log n)-approximate min-cut (Theorem 3) and eight verification
+//     problems (Theorem 4).
+//   - Baselines (flooding, referee, GHS-style edge checking), the REP
+//     partition model, a congested-clique conversion simulator, and the
+//     Theorem 5 lower-bound harness.
+//   - A deterministic k-machine engine with per-link bandwidth accounting,
+//     so every reported cost is the model's round complexity.
+//
+// Quick start:
+//
+//	g := kmgraph.GNM(10_000, 30_000, 1)      // a random graph
+//	res, err := kmgraph.Connectivity(g, kmgraph.Config{K: 16, Seed: 7})
+//	// res.Components, res.Labels, res.Metrics.Rounds ...
+//
+// The experiment harness reproducing every theorem is available via
+// AllExperiments and the cmd/kmbench tool; EXPERIMENTS.md records
+// paper-vs-measured outcomes.
+package kmgraph
+
+import (
+	"kmgraph/internal/baseline"
+	"kmgraph/internal/congested"
+	"kmgraph/internal/core"
+	"kmgraph/internal/experiments"
+	"kmgraph/internal/graph"
+	"kmgraph/internal/kmachine"
+	"kmgraph/internal/lowerbound"
+	"kmgraph/internal/mincut"
+	"kmgraph/internal/rep"
+	"kmgraph/internal/verify"
+)
+
+// Graph is an immutable undirected (optionally weighted) input graph.
+type Graph = graph.Graph
+
+// Edge is a canonical undirected edge (U < V).
+type Edge = graph.Edge
+
+// GraphBuilder accumulates edges into a Graph.
+type GraphBuilder = graph.Builder
+
+// NewGraphBuilder returns a builder for an n-vertex graph.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// Generators (all deterministic in their seed).
+var (
+	// Path returns the n-vertex path graph.
+	Path = graph.Path
+	// Cycle returns the n-cycle.
+	Cycle = graph.Cycle
+	// Star returns a star with n-1 leaves.
+	Star = graph.Star
+	// Complete returns K_n.
+	Complete = graph.Complete
+	// Grid returns the rows x cols grid.
+	Grid = graph.Grid
+	// GNP returns an Erdős–Rényi G(n, p) graph.
+	GNP = graph.GNP
+	// GNM returns a uniform random graph with exactly m edges.
+	GNM = graph.GNM
+	// RandomTree returns a shuffled random recursive tree.
+	RandomTree = graph.RandomTree
+	// RandomConnected returns a connected random graph with m edges.
+	RandomConnected = graph.RandomConnected
+	// DisjointComponents returns a graph with exactly c components.
+	DisjointComponents = graph.DisjointComponents
+	// PlantedPartition returns a stochastic block model graph.
+	PlantedPartition = graph.PlantedPartition
+	// TwoCliquesBridged returns two cliques joined by c bridge edges.
+	TwoCliquesBridged = graph.TwoCliquesBridged
+	// PruferTree returns an exactly-uniform random labeled tree.
+	PruferTree = graph.PruferTree
+	// ChungLu returns a power-law (heavy-tailed) random graph — the web
+	// graph / social network workload of the paper's introduction.
+	ChungLu = graph.ChungLu
+	// WithDistinctWeights reweights edges with a random permutation of
+	// 1..m (makes the MST unique).
+	WithDistinctWeights = graph.WithDistinctWeights
+	// WithUniformWeights reweights edges i.i.d. uniform in [1, maxW].
+	WithUniformWeights = graph.WithUniformWeights
+	// ReadEdgeList parses a whitespace-separated edge-list file.
+	ReadEdgeList = graph.ReadEdgeList
+	// WriteEdgeList writes a graph as an edge-list file.
+	WriteEdgeList = graph.WriteEdgeList
+	// MaxDegree returns the maximum degree.
+	MaxDegree = graph.MaxDegree
+)
+
+// Sequential oracles, for validating distributed results.
+var (
+	// ComponentsOracle returns per-vertex component labels and the count.
+	ComponentsOracle = graph.Components
+	// MSTOracle returns the minimum spanning forest and its weight under
+	// the library's (weight, edge ID) total order.
+	MSTOracle = graph.KruskalMST
+	// MinCutOracle returns the exact minimum cut weight (Stoer–Wagner).
+	MinCutOracle = graph.MinCut
+	// IsBipartiteOracle reports 2-colorability.
+	IsBipartiteOracle = graph.IsBipartite
+)
+
+// Config parameterizes the connectivity algorithm (and is embedded by the
+// other algorithms' configs). The zero value of everything except K is
+// sensible: bandwidth defaults to DefaultBandwidth(n).
+type Config = core.Config
+
+// Result is a connectivity outcome: labels, component count, phases, and
+// engine metrics.
+type Result = core.Result
+
+// Connectivity runs the paper's Õ(n/k²) connected-components algorithm
+// (Theorem 1) on a random vertex partition of g across cfg.K machines.
+func Connectivity(g *Graph, cfg Config) (*Result, error) { return core.Run(g, cfg) }
+
+// MSTConfig parameterizes the MST algorithm.
+type MSTConfig = core.MSTConfig
+
+// MSTResult is an MST outcome.
+type MSTResult = core.MSTResult
+
+// MST runs the paper's Õ(n/k²) minimum-spanning-tree algorithm
+// (Theorem 2). Set StrongOutput for the both-endpoints output criterion.
+func MST(g *Graph, cfg MSTConfig) (*MSTResult, error) { return core.RunMST(g, cfg) }
+
+// SpanningTree computes a spanning forest of g in Õ(n/k²) rounds under
+// the relaxed (one-machine-per-edge) output criterion — the ST corollary
+// the paper's introduction highlights as breaking the Ω̃(n/k) barrier.
+// Implemented as MST over unit weights.
+func SpanningTree(g *Graph, cfg Config) (*MSTResult, error) {
+	return core.RunMST(g, core.MSTConfig{Config: cfg})
+}
+
+// MinCutConfig parameterizes the approximate min-cut.
+type MinCutConfig = mincut.Config
+
+// MinCutResult is a min-cut approximation outcome.
+type MinCutResult = mincut.Result
+
+// ApproxMinCut runs the O(log n)-approximate min-cut (Theorem 3).
+func ApproxMinCut(g *Graph, cfg MinCutConfig) (*MinCutResult, error) {
+	return mincut.Approximate(g, cfg)
+}
+
+// VerifyOutcome is a verification verdict with cost accounting.
+type VerifyOutcome = verify.Outcome
+
+// Verification problems (Theorem 4).
+var (
+	// VerifySpanningConnectedSubgraph checks whether H spans G and is
+	// connected.
+	VerifySpanningConnectedSubgraph = verify.SpanningConnectedSubgraph
+	// VerifyCut checks whether removing the edges disconnects G further.
+	VerifyCut = verify.Cut
+	// VerifySTConnectivity checks whether s and t are connected.
+	VerifySTConnectivity = verify.STConnectivity
+	// VerifyEdgeOnAllPaths checks whether e lies on every u-v path.
+	VerifyEdgeOnAllPaths = verify.EdgeOnAllPaths
+	// VerifySTCut checks whether the edge set separates s from t.
+	VerifySTCut = verify.STCut
+	// VerifyBipartiteness checks 2-colorability via the double cover.
+	VerifyBipartiteness = verify.Bipartiteness
+	// VerifyCycleContainment checks whether G has any cycle.
+	VerifyCycleContainment = verify.CycleContainment
+	// VerifyECycleContainment checks whether e lies on some cycle.
+	VerifyECycleContainment = verify.ECycleContainment
+)
+
+// BaselineConfig parameterizes the baseline algorithms.
+type BaselineConfig = baseline.Config
+
+// BaselineResult is a baseline outcome.
+type BaselineResult = baseline.Result
+
+// FloodingConnectivity runs the Θ(n/k + D) flooding baseline (§1.2).
+func FloodingConnectivity(g *Graph, cfg BaselineConfig) (*BaselineResult, error) {
+	return baseline.Flooding(g, cfg)
+}
+
+// RefereeConnectivity runs the collect-at-one-machine baseline (§2).
+func RefereeConnectivity(g *Graph, cfg BaselineConfig) (*BaselineResult, error) {
+	return baseline.Referee(g, cfg)
+}
+
+// REPConfig parameterizes the random-edge-partition algorithms (§1.3).
+type REPConfig = rep.Config
+
+// REPResult is a REP-model outcome.
+type REPResult = rep.Result
+
+// REPMST runs the Θ̃(n/k) REP-model MST (local filtering + conversion).
+func REPMST(g *Graph, cfg REPConfig) (*REPResult, error) { return rep.MST(g, cfg) }
+
+// REPConnectivity runs the REP-model spanning-forest algorithm.
+func REPConnectivity(g *Graph, cfg REPConfig) (*REPResult, error) {
+	return rep.Connectivity(g, cfg)
+}
+
+// CliqueTrace is a recorded congested-clique execution.
+type CliqueTrace = congested.Trace
+
+// ConvertConfig parameterizes a conversion-theorem replay.
+type ConvertConfig = congested.Config
+
+// ConvertResult reports a conversion-theorem replay.
+type ConvertResult = congested.ConvertResult
+
+// FloodingCongestedClique records a flooding run in the congested clique.
+func FloodingCongestedClique(g *Graph) ([]int, *CliqueTrace) { return congested.FloodingCC(g) }
+
+// ConvertCliqueTrace replays a clique trace in the k-machine model
+// (Õ(M/k² + Δ'T/k), Conversion Theorem).
+func ConvertCliqueTrace(tr *CliqueTrace, cfg ConvertConfig) (*ConvertResult, error) {
+	return congested.Convert(tr, cfg)
+}
+
+// DisjointnessInstance is a two-party set-disjointness instance for the
+// Theorem 5 lower-bound harness.
+type DisjointnessInstance = lowerbound.Instance
+
+// LowerBoundResult reports a lower-bound run (cut traffic, verdicts).
+type LowerBoundResult = lowerbound.Result
+
+// NewDisjointnessInstance samples a random-partition DISJ instance.
+func NewDisjointnessInstance(b int, seed int64) DisjointnessInstance {
+	return lowerbound.RandomInstance(b, seed, lowerbound.ForceNothing)
+}
+
+// RunLowerBound solves the Figure-1 SCS instance with the real algorithm
+// and meters the Alice/Bob cut traffic (Theorem 5).
+func RunLowerBound(inst DisjointnessInstance, cfg Config) (*LowerBoundResult, error) {
+	return lowerbound.RunSCS(inst, cfg)
+}
+
+// DefaultBandwidth returns the standard per-link budget, a concrete
+// O(polylog n): 16·ceil(log2 n)² bits per round.
+func DefaultBandwidth(n int) int { return kmachine.Bandwidth(n) }
+
+// Experiment is one unit of the paper-reproduction harness (E1..E12).
+type Experiment = experiments.Experiment
+
+// ExperimentParams controls harness runs.
+type ExperimentParams = experiments.Params
+
+// AllExperiments returns the full harness, one experiment per paper
+// table/figure/theorem (see DESIGN.md §4).
+func AllExperiments() []Experiment { return experiments.All() }
+
+// ExperimentByID returns a single experiment (e.g. "E1").
+func ExperimentByID(id string) (Experiment, error) { return experiments.ByID(id) }

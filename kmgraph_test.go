@@ -1,0 +1,121 @@
+package kmgraph
+
+import "testing"
+
+// Facade smoke tests: the public API end to end, the way a downstream
+// user would drive it.
+
+func TestFacadeConnectivity(t *testing.T) {
+	g := DisjointComponents(300, 3, 0.4, 1)
+	res, err := Connectivity(g, Config{K: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Components != 3 {
+		t.Errorf("components = %d, want 3", res.Components)
+	}
+	labels, count := ComponentsOracle(g)
+	if count != 3 {
+		t.Fatal("oracle disagrees with generator")
+	}
+	_ = labels
+}
+
+func TestFacadeMST(t *testing.T) {
+	g := WithDistinctWeights(GNM(150, 450, 3), 4)
+	res, err := MST(g, MSTConfig{Config: Config{K: 4, Seed: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, want := MSTOracle(g)
+	if res.TotalWeight != want {
+		t.Errorf("weight %d, want %d", res.TotalWeight, want)
+	}
+}
+
+func TestFacadeMinCut(t *testing.T) {
+	g := TwoCliquesBridged(12, 2, 6)
+	res, err := ApproxMinCut(g, MinCutConfig{Config: Config{K: 4, Seed: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate <= 0 {
+		t.Error("no estimate")
+	}
+	if MinCutOracle(g) != 2 {
+		t.Error("oracle")
+	}
+}
+
+func TestFacadeVerifyAndBaselines(t *testing.T) {
+	g := Grid(8, 9)
+	out, err := VerifyBipartiteness(g, Config{K: 4, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Holds || !IsBipartiteOracle(g) {
+		t.Error("grid is bipartite")
+	}
+	fl, err := FloodingConnectivity(g, BaselineConfig{K: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl.Components != 1 {
+		t.Error("grid is connected")
+	}
+	rf, err := RefereeConnectivity(g, BaselineConfig{K: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.Components != 1 {
+		t.Error("grid is connected (referee)")
+	}
+}
+
+func TestFacadeREPAndLowerBound(t *testing.T) {
+	g := WithDistinctWeights(GNM(100, 300, 10), 11)
+	res, err := REPMST(g, REPConfig{K: 4, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, want := MSTOracle(g)
+	if res.TotalWeight != want {
+		t.Error("REP MST weight mismatch")
+	}
+
+	inst := NewDisjointnessInstance(32, 13)
+	lb, err := RunLowerBound(inst, Config{K: 4, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb.SCSHolds != lb.Disjoint {
+		t.Error("SCS != DISJ")
+	}
+}
+
+func TestFacadeConversion(t *testing.T) {
+	g := GNM(120, 360, 15)
+	labels, tr := FloodingCongestedClique(g)
+	if len(labels) != 120 {
+		t.Fatal("labels")
+	}
+	res, err := ConvertCliqueTrace(tr, ConvertConfig{K: 4, Seed: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds <= 0 {
+		t.Error("no conversion cost")
+	}
+}
+
+func TestFacadeExperimentsRegistry(t *testing.T) {
+	if len(AllExperiments()) != 12 {
+		t.Error("expected 12 experiments")
+	}
+	if _, err := ExperimentByID("E1"); err != nil {
+		t.Error(err)
+	}
+	if DefaultBandwidth(1024) <= 0 {
+		t.Error("bandwidth")
+	}
+}
