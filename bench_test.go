@@ -64,6 +64,9 @@ func BenchmarkE11LowerBound(b *testing.B) { benchExperiment(b, "E11") }
 // BenchmarkE12REPConversion reproduces §1.3/§2 (REP + Conversion Theorem).
 func BenchmarkE12REPConversion(b *testing.B) { benchExperiment(b, "E12") }
 
+// BenchmarkE13Dynamic measures incremental vs static rounds under churn.
+func BenchmarkE13Dynamic(b *testing.B) { benchExperiment(b, "E13") }
+
 // Direct algorithm benchmarks (wall-clock of the simulator, for profiling
 // the implementation rather than counting model rounds).
 
@@ -100,6 +103,47 @@ func BenchmarkMSTSketch(b *testing.B) {
 		}
 	}
 }
+
+// benchDynamicBatch drives a resident dynamic session through b.N
+// churn batches (apply + query per iteration) and reports the mean
+// engine rounds per batch alongside wall-clock — the two costs future
+// PRs must not regress.
+func benchDynamicBatch(b *testing.B, delFrac float64) {
+	n, m, k := 1024, 3072, 8
+	stream := RandomChurnStream(n, m, b.N, 30, delFrac, 7)
+	// MaxRounds is cumulative over the resident session; lift the default
+	// cap so arbitrarily long -benchtime runs don't trip it.
+	sess, err := NewDynamic(stream.Initial, DynamicConfig{K: k, Seed: 7, MaxRounds: 1 << 60})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sess.Close()
+	if _, err := sess.Query(); err != nil { // build-up
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	rounds := 0
+	for i := 0; i < b.N; i++ {
+		br, err := sess.ApplyBatch(stream.Batches[i])
+		if err != nil {
+			b.Fatal(err)
+		}
+		q, err := sess.Query()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds += br.Rounds + q.Rounds
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rounds)/float64(b.N), "rounds/batch")
+}
+
+func BenchmarkDynamicBatchInsertOnly(b *testing.B) { benchDynamicBatch(b, 0) }
+
+func BenchmarkDynamicBatchMixedChurn(b *testing.B) { benchDynamicBatch(b, 0.5) }
+
+func BenchmarkDynamicBatchDeleteHeavy(b *testing.B) { benchDynamicBatch(b, 0.9) }
 
 func BenchmarkFloodingBaseline(b *testing.B) {
 	g := GNM(1024, 3072, 1)

@@ -1,0 +1,3 @@
+module kmgraph
+
+go 1.22

@@ -26,6 +26,9 @@
 //     relabel their vertices. Phases repeat until no component merges and
 //     no sketch sampling failed (Lemma 7: O(log n) phases w.h.p.).
 //
+// Steps 4–6 are the shared merge/DRR engine (Merger, merge.go), reused by
+// the MST algorithm and by the dynamic subsystem's incremental queries.
+//
 // EdgeCheckSelection replaces step 1–3 with the GHS-style strategy the
 // paper argues against (§1.2): every phase, query the current label of
 // every neighbor across every edge, and pick an outgoing edge directly.
@@ -41,7 +44,6 @@ import (
 	"sort"
 
 	"kmgraph/internal/graph"
-	"kmgraph/internal/hashing"
 	"kmgraph/internal/kmachine"
 	"kmgraph/internal/proxy"
 	"kmgraph/internal/sketch"
@@ -111,6 +113,11 @@ func (c Config) withDefaults(n int) Config {
 	}
 	return c
 }
+
+// WithDefaults resolves zero-valued fields for an n-vertex input exactly as
+// a static run would (exported for the dynamic subsystem, which shares the
+// configuration semantics).
+func (c Config) WithDefaults(n int) Config { return c.withDefaults(n) }
 
 // Result is the outcome of a connectivity run.
 type Result struct {
@@ -215,152 +222,49 @@ func assemble(n int, res *kmachine.Result) (*Result, error) {
 	return out, nil
 }
 
-// compState is the proxy-held state of one component during a phase.
-type compState struct {
-	label   uint64
-	cur     uint64 // current pointer (root so far); == label for roots
-	parent  uint64 // original DRR parent (level-wise mode answers this)
-	holders []byte // bitset of machines holding parts of the component
-
-	// MST fields (§3.1): the best (lightest) outgoing edge found so far
-	// during the elimination iterations, and whether elimination converged.
-	hasBest     bool
-	bestU       int
-	bestV       int
-	bestW       int64
-	targetLabel uint64
-	elimDone    bool
-}
-
-func (st *compState) encode(buf []byte) []byte {
-	buf = wire.AppendUvarint(buf, st.label)
-	buf = wire.AppendUvarint(buf, st.cur)
-	buf = wire.AppendUvarint(buf, st.parent)
-	buf = wire.AppendBytes(buf, st.holders)
-	buf = wire.AppendBool(buf, st.hasBest)
-	buf = wire.AppendUvarint(buf, uint64(st.bestU))
-	buf = wire.AppendUvarint(buf, uint64(st.bestV))
-	buf = wire.AppendVarint(buf, st.bestW)
-	buf = wire.AppendUvarint(buf, st.targetLabel)
-	buf = wire.AppendBool(buf, st.elimDone)
-	return buf
-}
-
-func decodeState(r *wire.Reader) *compState {
-	st := &compState{
-		label:  r.Uvarint(),
-		cur:    r.Uvarint(),
-		parent: r.Uvarint(),
-	}
-	st.holders = append([]byte(nil), r.Bytes()...)
-	st.hasBest = r.Bool()
-	st.bestU = int(r.Uvarint())
-	st.bestV = int(r.Uvarint())
-	st.bestW = r.Varint()
-	st.targetLabel = r.Uvarint()
-	st.elimDone = r.Bool()
-	return st
-}
-
+// machine is the static connectivity machine: the shared merge engine plus
+// the per-phase selection strategies.
 type machine struct {
-	ctx  *kmachine.Ctx
-	comm *proxy.Comm
-	view *kmachine.LocalView
-	cfg  Config
-	sh   *proxy.Shared
-	poly *hashing.Poly // non-nil in FaithfulRandomness mode
-
-	labels        map[int]uint64 // owned vertex -> component label
-	states        map[uint64]*compState
-	stateSlot     int // proxy slot currently holding component states
-	failures      int64
-	prevFailures  int64
-	collapseIters int
-	phase         int
-	// phaseActive counts components (proxied here) that found a valid
-	// outgoing edge this phase. The phase loop terminates when no
-	// component anywhere is active and nothing failed — "no merges" would
-	// be wrong for merge rules without a per-phase progress guarantee
-	// (the footnote-9 coin rule can have merge-free phases).
-	phaseActive uint64
+	*Merger
 }
 
 func newMachine(ctx *kmachine.Ctx, view *kmachine.LocalView, cfg Config) *machine {
-	return &machine{
-		ctx:    ctx,
-		comm:   proxy.NewComm(ctx),
-		view:   view,
-		cfg:    cfg,
-		labels: make(map[int]uint64, len(view.Owned())),
-	}
-}
-
-// proxyOf selects the proxy machine for a component at a given state slot
-// within the current phase (the paper's h_{j,ρ}).
-func (m *machine) proxyOf(slot int, label uint64) int {
-	if m.poly != nil {
-		tweak := hashing.Hash3(m.sh.Seed(), uint64(m.phase), uint64(slot))
-		return hashing.RangeOf(m.poly.Eval(label^tweak)<<3, m.ctx.K())
-	}
-	return m.sh.ProxyOf(m.phase, slot, label, m.ctx.K())
-}
-
-// setup establishes shared randomness and the initial singleton labeling.
-func (m *machine) setup() error {
-	m.sh = proxy.Setup(m.comm)
-	if m.cfg.FaithfulRandomness {
-		d := m.view.N()/m.ctx.K() + 1
-		if d > 512 {
-			d = 512 // cap polynomial degree; see DESIGN.md substitution #2
-		}
-		if d < 8 {
-			d = 8
-		}
-		bits := proxy.SetupBits(m.comm, 8*d)
-		m.poly = hashing.NewPolyFromBits(bits, d)
-		if m.poly == nil {
-			return fmt.Errorf("core: polynomial construction failed")
-		}
-	}
-	for _, v := range m.view.Owned() {
-		m.labels[v] = uint64(v)
-	}
-	return nil
+	return &machine{Merger: NewMerger(ctx, view, cfg)}
 }
 
 func (m *machine) run() error {
-	if err := m.setup(); err != nil {
+	if err := m.Setup(); err != nil {
 		return err
 	}
 	out := &machineOutput{}
-	for m.phase = 0; m.phase < m.cfg.MaxPhases; m.phase++ {
-		m.stateSlot = 0
-		m.phaseActive = 0
-		if m.cfg.EdgeCheckSelection {
+	for m.Phase = 0; m.Phase < m.Cfg.MaxPhases; m.Phase++ {
+		m.StateSlot = 0
+		m.PhaseActive = 0
+		if m.Cfg.EdgeCheckSelection {
 			m.selectEdgeCheck()
 		} else {
 			m.selectSketch()
 		}
-		m.collapse()
-		m.broadcastAndRelabel()
-		active := m.comm.AllSum(m.phaseActive)
-		failures := m.comm.AllSum(m.phaseFailures())
-		if m.ctx.ID() == 0 {
-			out.phaseRounds = append(out.phaseRounds, m.ctx.Round())
+		m.Collapse()
+		m.BroadcastAndRelabel()
+		active := m.Comm.AllSum(m.PhaseActive)
+		failures := m.Comm.AllSum(m.PhaseFailures())
+		if m.Ctx.ID() == 0 {
+			out.phaseRounds = append(out.phaseRounds, m.Ctx.Round())
 		}
-		out.phases = m.phase + 1
+		out.phases = m.Phase + 1
 		if active == 0 && failures == 0 {
 			break
 		}
 	}
 	out.protocolCount = -1
-	if m.cfg.CountComponents {
+	if m.Cfg.CountComponents {
 		out.protocolCount = m.countComponents()
 	}
-	out.labels = m.labels
-	out.failures = m.failures
-	out.collapseIters = m.collapseIters
-	m.ctx.SetOutput(out)
+	out.labels = m.Labels
+	out.failures = m.Failures
+	out.collapseIters = m.CollapseIters
+	m.Ctx.SetOutput(out)
 	return nil
 }
 
@@ -371,27 +275,27 @@ func (m *machine) run() error {
 func (m *machine) countComponents() int {
 	var out []proxy.Out
 	seen := make(map[uint64]bool)
-	for _, l := range m.labels {
+	for _, l := range m.Labels {
 		if !seen[l] {
 			seen[l] = true
 			out = append(out, proxy.Out{
-				Dst:  m.proxyOf(0, l),
+				Dst:  m.ProxyOf(0, l),
 				Data: wire.AppendUvarint(nil, l),
 			})
 		}
 	}
-	recv := m.comm.Exchange(out)
+	recv := m.Comm.Exchange(out)
 	distinct := make(map[uint64]bool)
 	for _, msg := range recv {
 		r := wire.NewReader(msg.Data)
 		distinct[r.Uvarint()] = true
 	}
 	out = nil
-	for _, l := range sortedKeys(distinct) {
+	for _, l := range SortedKeys(distinct) {
 		out = append(out, proxy.Out{Dst: 0, Data: wire.AppendUvarint(nil, l)})
 	}
-	recv = m.comm.Exchange(out)
-	if m.ctx.ID() != 0 {
+	recv = m.Comm.Exchange(out)
+	if m.Ctx.ID() != 0 {
 		return -1
 	}
 	count := make(map[uint64]bool)
@@ -402,103 +306,58 @@ func (m *machine) countComponents() int {
 	return len(count)
 }
 
-// parts groups this machine's vertices by current component label.
-func (m *machine) parts() map[uint64][]int {
-	p := make(map[uint64][]int)
-	for _, v := range m.view.Owned() {
-		l := m.labels[v]
-		p[l] = append(p[l], v)
-	}
-	return p
-}
-
-func sortedKeys[V any](p map[uint64]V) []uint64 {
-	ls := make([]uint64, 0, len(p))
-	for l := range p {
-		ls = append(ls, l)
-	}
-	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
-	return ls
-}
-
-// phaseFailures returns failures recorded during the current phase only.
-func (m *machine) phaseFailures() uint64 {
-	d := m.failures - m.prevFailures
-	m.prevFailures = m.failures
-	return uint64(d)
-}
-
-// applyRank applies the merge rule to a component that sampled nbrLabel:
-// the DRR rule (§2.5, connect iff the neighbor's rank is higher) or the
-// footnote-9 coin rule (connect iff self drew 0 and the neighbor drew 1).
-func (m *machine) applyRank(st *compState, nbrLabel uint64) {
-	if m.cfg.CoinMerge {
-		self := m.sh.Rank(m.phase, st.label) & 1
-		nbr := m.sh.Rank(m.phase, nbrLabel) & 1
-		if self == 0 && nbr == 1 {
-			st.parent = nbrLabel
-			st.cur = nbrLabel
-		}
-		return
-	}
-	if m.sh.Rank(m.phase, nbrLabel) > m.sh.Rank(m.phase, st.label) {
-		st.parent = nbrLabel
-		st.cur = nbrLabel
-	}
-}
-
 // selectSketch is the paper's selection path: part sketches to proxies,
 // linear combination, l0-sample, neighbor-label resolution (§2.3–2.4).
 func (m *machine) selectSketch() {
-	k := m.ctx.K()
-	parts := m.parts()
-	seed := m.sh.SketchSeed(m.phase, 0)
+	k := m.Ctx.K()
+	parts := m.Parts()
+	seed := m.Sh.SketchSeed(m.Phase, 0)
 
 	// Part sketches to component proxies (Lemma 3).
 	var out []proxy.Out
-	for _, label := range sortedKeys(parts) {
-		sk := sketch.New(m.cfg.Sketch, seed)
+	for _, label := range SortedKeys(parts) {
+		sk := sketch.New(m.Cfg.Sketch, seed)
 		for _, v := range parts[label] {
-			sk.AddVertex(v, m.view.Adj(v), nil)
+			sk.AddVertex(v, m.View.Adj(v), nil)
 		}
 		buf := wire.AppendUvarint(nil, label)
 		buf = sk.EncodeTo(buf)
-		out = append(out, proxy.Out{Dst: m.proxyOf(0, label), Data: buf})
+		out = append(out, proxy.Out{Dst: m.ProxyOf(0, label), Data: buf})
 	}
-	recv := m.comm.Exchange(out)
+	recv := m.Comm.Exchange(out)
 
 	// Proxy side: sum part sketches per component, record part holders.
-	m.states = make(map[uint64]*compState)
+	m.States = make(map[uint64]*CompState)
 	sums := make(map[uint64]*sketch.Sketch)
 	for _, msg := range recv {
 		r := wire.NewReader(msg.Data)
 		label := r.Uvarint()
-		sk, err := sketch.Decode(m.cfg.Sketch, seed, msg.Data[len(msg.Data)-r.Len():])
+		sk, err := sketch.Decode(m.Cfg.Sketch, seed, msg.Data[len(msg.Data)-r.Len():])
 		if err != nil {
 			panic(fmt.Sprintf("core: bad sketch from %d: %v", msg.Src, err))
 		}
-		st := m.states[label]
+		st := m.States[label]
 		if st == nil {
-			st = &compState{label: label, cur: label, parent: label, holders: make([]byte, (k+7)/8)}
-			m.states[label] = st
+			st = NewCompState(label, k)
+			m.States[label] = st
 			sums[label] = sk
 		} else if err := sums[label].Add(sk); err != nil {
 			panic(err)
 		}
-		st.holders[msg.Src/8] |= 1 << uint(msg.Src%8)
+		st.Holders[msg.Src/8] |= 1 << uint(msg.Src%8)
 	}
 
 	// Sample an outgoing edge per component; resolve the neighbor label by
 	// querying the outside endpoint's home machine.
 	out = nil
-	for _, label := range sortedKeys(m.states) {
+	for _, label := range SortedKeys(m.States) {
 		sk := sums[label]
 		x, y, insideSmaller, st := sk.SampleEdge()
 		switch st {
 		case sketch.Empty:
 			// No outgoing edges: inactive root this phase.
 		case sketch.Failed:
-			m.failures++
+			m.Failures++
 		case sketch.Sampled:
 			outside := x
 			if insideSmaller {
@@ -508,14 +367,14 @@ func (m *machine) selectSketch() {
 			q = wire.AppendUvarint(q, uint64(x))
 			q = wire.AppendUvarint(q, uint64(y))
 			q = wire.AppendUvarint(q, label)
-			out = append(out, proxy.Out{Dst: m.view.Home(outside), Data: q})
+			out = append(out, proxy.Out{Dst: m.View.Home(outside), Data: q})
 		}
 	}
-	recv = m.comm.Exchange(out)
+	recv = m.Comm.Exchange(out)
 
 	// Home machines answer label queries and validate the edge exists.
-	out = m.answerLabelQueries(recv)
-	recv = m.comm.Exchange(out)
+	out = m.AnswerLabelQueries(recv)
+	recv = m.Comm.Exchange(out)
 
 	// DRR ranking (§2.5).
 	for _, msg := range recv {
@@ -524,65 +383,32 @@ func (m *machine) selectSketch() {
 		nbrLabel := r.Uvarint()
 		valid := r.Bool()
 		r.Varint() // weight, unused for connectivity
-		st := m.states[askLabel]
+		st := m.States[askLabel]
 		if st == nil {
 			panic("core: reply for unknown component")
 		}
 		if !valid || nbrLabel == askLabel {
 			// Fingerprint collision produced garbage: count as failure.
-			m.failures++
+			m.Failures++
 			continue
 		}
-		m.phaseActive++
-		m.applyRank(st, nbrLabel)
+		m.PhaseActive++
+		m.ApplyRank(st, nbrLabel)
 	}
-}
-
-// answerLabelQueries serves queries of the form (outside, x, y, askLabel):
-// reply with outside's current label, whether edge (x,y) really exists,
-// and its weight.
-func (m *machine) answerLabelQueries(recv []kmachine.Message) []proxy.Out {
-	var out []proxy.Out
-	for _, msg := range recv {
-		r := wire.NewReader(msg.Data)
-		outside := int(r.Uvarint())
-		x := int(r.Uvarint())
-		y := int(r.Uvarint())
-		askLabel := r.Uvarint()
-		other := x
-		if other == outside {
-			other = y
-		}
-		valid := false
-		var w int64
-		for _, h := range m.view.Adj(outside) {
-			if h.To == other {
-				valid = true
-				w = h.W
-				break
-			}
-		}
-		rep := wire.AppendUvarint(nil, askLabel)
-		rep = wire.AppendUvarint(rep, m.labels[outside])
-		rep = wire.AppendBool(rep, valid)
-		rep = wire.AppendVarint(rep, w)
-		out = append(out, proxy.Out{Dst: msg.Src, Data: rep})
-	}
-	return out
 }
 
 // selectEdgeCheck is the GHS-style baseline: learn the label of every
 // neighbor across every edge (Θ(m) traffic per phase), then nominate the
 // smallest outgoing edge per part directly.
 func (m *machine) selectEdgeCheck() {
-	k := m.ctx.K()
-	parts := m.parts()
+	k := m.Ctx.K()
+	parts := m.Parts()
 
 	// Query each distinct neighbor's label, batched per home machine.
 	nbrByDst := make(map[int]map[int]bool)
-	for _, v := range m.view.Owned() {
-		for _, h := range m.view.Adj(v) {
-			dst := m.view.Home(h.To)
+	for _, v := range m.View.Owned() {
+		for _, h := range m.View.Adj(v) {
+			dst := m.View.Home(h.To)
 			if nbrByDst[dst] == nil {
 				nbrByDst[dst] = make(map[int]bool)
 			}
@@ -606,7 +432,7 @@ func (m *machine) selectEdgeCheck() {
 		}
 		out = append(out, proxy.Out{Dst: dst, Data: buf})
 	}
-	recv := m.comm.Exchange(out)
+	recv := m.Comm.Exchange(out)
 
 	// Answer label batches.
 	out = nil
@@ -617,11 +443,11 @@ func (m *machine) selectEdgeCheck() {
 		for i := 0; i < cnt; i++ {
 			v := int(r.Uvarint())
 			rep = wire.AppendUvarint(rep, uint64(v))
-			rep = wire.AppendUvarint(rep, m.labels[v])
+			rep = wire.AppendUvarint(rep, m.Labels[v])
 		}
 		out = append(out, proxy.Out{Dst: msg.Src, Data: rep})
 	}
-	recv = m.comm.Exchange(out)
+	recv = m.Comm.Exchange(out)
 	nbrLabel := make(map[int]uint64)
 	for _, msg := range recv {
 		r := wire.NewReader(msg.Data)
@@ -633,14 +459,14 @@ func (m *machine) selectEdgeCheck() {
 	}
 
 	// Nominate the minimum outgoing edge (by edge ID) per part.
-	n := m.view.N()
+	n := m.View.N()
 	out = nil
-	for _, label := range sortedKeys(parts) {
+	for _, label := range SortedKeys(parts) {
 		bestID := uint64(1) << 63
 		var bestTarget uint64
 		found := false
 		for _, v := range parts[label] {
-			for _, h := range m.view.Adj(v) {
+			for _, h := range m.View.Adj(v) {
 				if nbrLabel[h.To] == label {
 					continue
 				}
@@ -654,12 +480,12 @@ func (m *machine) selectEdgeCheck() {
 		buf = wire.AppendBool(buf, found)
 		buf = wire.AppendUvarint(buf, bestID)
 		buf = wire.AppendUvarint(buf, bestTarget)
-		out = append(out, proxy.Out{Dst: m.proxyOf(0, label), Data: buf})
+		out = append(out, proxy.Out{Dst: m.ProxyOf(0, label), Data: buf})
 	}
-	recv = m.comm.Exchange(out)
+	recv = m.Comm.Exchange(out)
 
 	// Proxy side: pick the overall minimum candidate per component.
-	m.states = make(map[uint64]*compState)
+	m.States = make(map[uint64]*CompState)
 	cand := make(map[uint64]uint64)   // label -> best edge id
 	target := make(map[uint64]uint64) // label -> target label
 	hasCand := make(map[uint64]bool)  // label -> any candidate
@@ -669,147 +495,22 @@ func (m *machine) selectEdgeCheck() {
 		found := r.Bool()
 		id := r.Uvarint()
 		tgt := r.Uvarint()
-		st := m.states[label]
+		st := m.States[label]
 		if st == nil {
-			st = &compState{label: label, cur: label, parent: label, holders: make([]byte, (k+7)/8)}
-			m.states[label] = st
+			st = NewCompState(label, k)
+			m.States[label] = st
 		}
-		st.holders[msg.Src/8] |= 1 << uint(msg.Src%8)
+		st.Holders[msg.Src/8] |= 1 << uint(msg.Src%8)
 		if found && (!hasCand[label] || id < cand[label]) {
 			cand[label] = id
 			target[label] = tgt
 			hasCand[label] = true
 		}
 	}
-	for label, st := range m.states {
+	for label, st := range m.States {
 		if hasCand[label] {
-			m.phaseActive++
-			m.applyRank(st, target[label])
+			m.PhaseActive++
+			m.ApplyRank(st, target[label])
 		}
 	}
-}
-
-// broadcastAndRelabel sends each merged component's root label to all
-// machines holding parts and applies the relabeling locally, returning the
-// local count of merged components.
-func (m *machine) broadcastAndRelabel() uint64 {
-	k := m.ctx.K()
-	var out []proxy.Out
-	var localMerges uint64
-	for _, label := range sortedKeys(m.states) {
-		st := m.states[label]
-		if st.cur == st.label {
-			continue
-		}
-		localMerges++
-		buf := wire.AppendUvarint(nil, st.label)
-		buf = wire.AppendUvarint(buf, st.cur)
-		for h := 0; h < k; h++ {
-			if st.holders[h/8]&(1<<uint(h%8)) != 0 {
-				out = append(out, proxy.Out{Dst: h, Data: buf})
-			}
-		}
-	}
-	recv := m.comm.Exchange(out)
-	relabel := make(map[uint64]uint64)
-	for _, msg := range recv {
-		r := wire.NewReader(msg.Data)
-		oldL := r.Uvarint()
-		newL := r.Uvarint()
-		relabel[oldL] = newL
-	}
-	if len(relabel) > 0 {
-		for v, l := range m.labels {
-			if nl, ok := relabel[l]; ok {
-				m.labels[v] = nl
-			}
-		}
-	}
-	return localMerges
-}
-
-// collapse resolves every component's pointer to its tree root. The
-// default is pointer doubling (cur <- cur's cur) with state handoff to
-// fresh proxies each iteration; level-wise mode answers the original
-// parent instead, walking one level per iteration as in Lemma 5.
-func (m *machine) collapse() {
-	for {
-		m.collapseIters++
-		// Queries: ask the proxy currently holding cur's state.
-		var out []proxy.Out
-		for _, label := range sortedKeys(m.states) {
-			st := m.states[label]
-			if st.cur == st.label {
-				continue
-			}
-			q := wire.AppendUvarint(nil, st.cur)
-			q = wire.AppendUvarint(q, st.label)
-			out = append(out, proxy.Out{Dst: m.proxyOf(m.stateSlot, st.cur), Data: q})
-		}
-		recv := m.comm.Exchange(out)
-
-		// Answers.
-		out = nil
-		for _, msg := range recv {
-			r := wire.NewReader(msg.Data)
-			target := r.Uvarint()
-			asker := r.Uvarint()
-			st := m.states[target]
-			if st == nil {
-				panic("core: query for component state not held here")
-			}
-			ans := st.cur
-			if m.cfg.CollapseLevelWise {
-				ans = st.parent
-			}
-			rep := wire.AppendUvarint(nil, asker)
-			rep = wire.AppendUvarint(rep, ans)
-			out = append(out, proxy.Out{Dst: msg.Src, Data: rep})
-		}
-		recv = m.comm.Exchange(out)
-
-		// Updates.
-		var changed uint64
-		for _, msg := range recv {
-			r := wire.NewReader(msg.Data)
-			asker := r.Uvarint()
-			newCur := r.Uvarint()
-			st := m.states[asker]
-			if st == nil {
-				panic("core: answer for unknown component")
-			}
-			if newCur != st.cur {
-				st.cur = newCur
-				changed++
-			}
-		}
-		if m.comm.AllSum(changed) == 0 {
-			return
-		}
-		m.handoffStates()
-	}
-}
-
-// handoffStates moves all component states to the next slot's proxies
-// (fresh h_{j,ρ} per iteration, as Lemma 5 requires for independence).
-func (m *machine) handoffStates() {
-	var out []proxy.Out
-	newStates := make(map[uint64]*compState)
-	for _, label := range sortedKeys(m.states) {
-		st := m.states[label]
-		dst := m.proxyOf(m.stateSlot+1, label)
-		if dst == m.ctx.ID() {
-			newStates[label] = st
-			continue
-		}
-		out = append(out, proxy.Out{Dst: dst, Data: st.encode(nil)})
-	}
-	recv := m.comm.Exchange(out)
-	for _, msg := range recv {
-		r := wire.NewReader(msg.Data)
-		st := decodeState(r)
-		newStates[st.label] = st
-	}
-	m.states = newStates
-	m.stateSlot++
 }

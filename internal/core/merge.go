@@ -1,0 +1,385 @@
+// The shared merge/DRR engine. Boruvka-style algorithms in this codebase —
+// static connectivity, MST, and the dynamic subsystem's incremental
+// queries — differ only in how each phase *selects* an outgoing edge per
+// component; everything after selection (distributed random ranking,
+// pointer-jumping tree collapse over re-randomized proxies, and the
+// root-label broadcast) is identical. Merger packages that shared state and
+// logic so all of them run the exact same §2.2–§2.5 machinery.
+
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"kmgraph/internal/graph"
+	"kmgraph/internal/hashing"
+	"kmgraph/internal/kmachine"
+	"kmgraph/internal/proxy"
+	"kmgraph/internal/wire"
+)
+
+// GraphView abstracts the graph knowledge a machine consults during the
+// merge phases: its owned vertices, their adjacency, and the globally
+// computable home hash. kmachine.LocalView implements it for static runs;
+// the dynamic subsystem substitutes a mutable view that tracks batched
+// edge insertions and deletions.
+type GraphView interface {
+	// N returns the number of vertices of the input graph.
+	N() int
+	// Owned returns this machine's vertices.
+	Owned() []int
+	// Home returns the home machine of any vertex.
+	Home(v int) int
+	// Adj returns the adjacency list of an owned vertex.
+	Adj(u int) []graph.Half
+}
+
+// CompState is the proxy-held state of one component during a phase.
+type CompState struct {
+	Label   uint64
+	Cur     uint64 // current pointer (root so far); == Label for roots
+	Parent  uint64 // original DRR parent (level-wise mode answers this)
+	Holders []byte // bitset of machines holding parts of the component
+
+	// MST / dynamic fields: the best outgoing edge found so far (for MST,
+	// the lightest; for dynamic queries, the sampled merge edge), and
+	// whether MST elimination converged.
+	HasBest     bool
+	BestU       int
+	BestV       int
+	BestW       int64
+	TargetLabel uint64
+	ElimDone    bool
+}
+
+// Encode appends the wire encoding of the state.
+func (st *CompState) Encode(buf []byte) []byte {
+	buf = wire.AppendUvarint(buf, st.Label)
+	buf = wire.AppendUvarint(buf, st.Cur)
+	buf = wire.AppendUvarint(buf, st.Parent)
+	buf = wire.AppendBytes(buf, st.Holders)
+	buf = wire.AppendBool(buf, st.HasBest)
+	buf = wire.AppendUvarint(buf, uint64(st.BestU))
+	buf = wire.AppendUvarint(buf, uint64(st.BestV))
+	buf = wire.AppendVarint(buf, st.BestW)
+	buf = wire.AppendUvarint(buf, st.TargetLabel)
+	buf = wire.AppendBool(buf, st.ElimDone)
+	return buf
+}
+
+// DecodeState parses a CompState produced by Encode.
+func DecodeState(r *wire.Reader) *CompState {
+	st := &CompState{
+		Label:  r.Uvarint(),
+		Cur:    r.Uvarint(),
+		Parent: r.Uvarint(),
+	}
+	st.Holders = append([]byte(nil), r.Bytes()...)
+	st.HasBest = r.Bool()
+	st.BestU = int(r.Uvarint())
+	st.BestV = int(r.Uvarint())
+	st.BestW = r.Varint()
+	st.TargetLabel = r.Uvarint()
+	st.ElimDone = r.Bool()
+	return st
+}
+
+// NewCompState returns a fresh root state for a component label.
+func NewCompState(label uint64, k int) *CompState {
+	return &CompState{Label: label, Cur: label, Parent: label, Holders: make([]byte, (k+7)/8)}
+}
+
+// Merger is the per-machine merge/DRR engine: component labels for owned
+// vertices, proxy-held component states, and the collapse/relabel
+// machinery. A selection step (sketch sampling, edge checking, MWOE
+// elimination, or dynamic bank sampling) fills States and applies the
+// merge rule; Collapse and BroadcastAndRelabel then finish the phase.
+type Merger struct {
+	Ctx  *kmachine.Ctx
+	Comm *proxy.Comm
+	View GraphView
+	Cfg  Config
+	Sh   *proxy.Shared
+	Poly *hashing.Poly // non-nil in FaithfulRandomness mode
+
+	Labels        map[int]uint64 // owned vertex -> component label
+	States        map[uint64]*CompState
+	StateSlot     int // proxy slot currently holding component states
+	Failures      int64
+	CollapseIters int
+	Phase         int
+	// PhaseActive counts components (proxied here) that found a valid
+	// outgoing edge this phase. The phase loop terminates when no
+	// component anywhere is active and nothing failed — "no merges" would
+	// be wrong for merge rules without a per-phase progress guarantee
+	// (the footnote-9 coin rule can have merge-free phases).
+	PhaseActive uint64
+
+	// OnRelabel, when non-nil, is invoked with each non-empty old-label ->
+	// root map just BEFORE owned labels are rewritten (so the hook still
+	// sees the pre-merge grouping). The dynamic subsystem uses it to merge
+	// maintained sketch-bank sums by linearity.
+	OnRelabel func(relabel map[uint64]uint64)
+
+	prevFailures int64
+}
+
+// NewMerger returns a merge engine for one machine.
+func NewMerger(ctx *kmachine.Ctx, view GraphView, cfg Config) *Merger {
+	return &Merger{
+		Ctx:    ctx,
+		Comm:   proxy.NewComm(ctx),
+		View:   view,
+		Cfg:    cfg,
+		Labels: make(map[int]uint64, len(view.Owned())),
+	}
+}
+
+// Setup establishes shared randomness and the initial singleton labeling.
+func (m *Merger) Setup() error {
+	m.Sh = proxy.Setup(m.Comm)
+	if m.Cfg.FaithfulRandomness {
+		d := m.View.N()/m.Ctx.K() + 1
+		if d > 512 {
+			d = 512 // cap polynomial degree; see DESIGN.md substitution #2
+		}
+		if d < 8 {
+			d = 8
+		}
+		bits := proxy.SetupBits(m.Comm, 8*d)
+		m.Poly = hashing.NewPolyFromBits(bits, d)
+		if m.Poly == nil {
+			return fmt.Errorf("core: polynomial construction failed")
+		}
+	}
+	for _, v := range m.View.Owned() {
+		m.Labels[v] = uint64(v)
+	}
+	return nil
+}
+
+// ProxyOf selects the proxy machine for a component at a given state slot
+// within the current phase (the paper's h_{j,ρ}).
+func (m *Merger) ProxyOf(slot int, label uint64) int {
+	if m.Poly != nil {
+		tweak := hashing.Hash3(m.Sh.Seed(), uint64(m.Phase), uint64(slot))
+		return hashing.RangeOf(m.Poly.Eval(label^tweak)<<3, m.Ctx.K())
+	}
+	return m.Sh.ProxyOf(m.Phase, slot, label, m.Ctx.K())
+}
+
+// Parts groups this machine's vertices by current component label.
+func (m *Merger) Parts() map[uint64][]int {
+	p := make(map[uint64][]int)
+	for _, v := range m.View.Owned() {
+		l := m.Labels[v]
+		p[l] = append(p[l], v)
+	}
+	return p
+}
+
+// SortedKeys returns the keys of a uint64-keyed map in ascending order
+// (deterministic iteration for SPMD protocols).
+func SortedKeys[V any](p map[uint64]V) []uint64 {
+	ls := make([]uint64, 0, len(p))
+	for l := range p {
+		ls = append(ls, l)
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	return ls
+}
+
+// PhaseFailures returns failures recorded during the current phase only.
+func (m *Merger) PhaseFailures() uint64 {
+	d := m.Failures - m.prevFailures
+	m.prevFailures = m.Failures
+	return uint64(d)
+}
+
+// ApplyRank applies the merge rule to a component that sampled nbrLabel:
+// the DRR rule (§2.5, connect iff the neighbor's rank is higher) or the
+// footnote-9 coin rule (connect iff self drew 0 and the neighbor drew 1).
+func (m *Merger) ApplyRank(st *CompState, nbrLabel uint64) {
+	if m.Cfg.CoinMerge {
+		self := m.Sh.Rank(m.Phase, st.Label) & 1
+		nbr := m.Sh.Rank(m.Phase, nbrLabel) & 1
+		if self == 0 && nbr == 1 {
+			st.Parent = nbrLabel
+			st.Cur = nbrLabel
+		}
+		return
+	}
+	if m.Sh.Rank(m.Phase, nbrLabel) > m.Sh.Rank(m.Phase, st.Label) {
+		st.Parent = nbrLabel
+		st.Cur = nbrLabel
+	}
+}
+
+// AnswerLabelQueries serves queries of the form (outside, x, y, askLabel):
+// reply with outside's current label, whether edge (x,y) really exists,
+// and its weight.
+func (m *Merger) AnswerLabelQueries(recv []kmachine.Message) []proxy.Out {
+	var out []proxy.Out
+	for _, msg := range recv {
+		r := wire.NewReader(msg.Data)
+		outside := int(r.Uvarint())
+		x := int(r.Uvarint())
+		y := int(r.Uvarint())
+		askLabel := r.Uvarint()
+		other := x
+		if other == outside {
+			other = y
+		}
+		valid := false
+		var w int64
+		for _, h := range m.View.Adj(outside) {
+			if h.To == other {
+				valid = true
+				w = h.W
+				break
+			}
+		}
+		rep := wire.AppendUvarint(nil, askLabel)
+		rep = wire.AppendUvarint(rep, m.Labels[outside])
+		rep = wire.AppendBool(rep, valid)
+		rep = wire.AppendVarint(rep, w)
+		out = append(out, proxy.Out{Dst: msg.Src, Data: rep})
+	}
+	return out
+}
+
+// BroadcastAndRelabel sends each merged component's root label to all
+// machines holding parts and applies the relabeling locally, returning the
+// local count of merged components.
+func (m *Merger) BroadcastAndRelabel() uint64 {
+	k := m.Ctx.K()
+	var out []proxy.Out
+	var localMerges uint64
+	for _, label := range SortedKeys(m.States) {
+		st := m.States[label]
+		if st.Cur == st.Label {
+			continue
+		}
+		localMerges++
+		buf := wire.AppendUvarint(nil, st.Label)
+		buf = wire.AppendUvarint(buf, st.Cur)
+		for h := 0; h < k; h++ {
+			if st.Holders[h/8]&(1<<uint(h%8)) != 0 {
+				out = append(out, proxy.Out{Dst: h, Data: buf})
+			}
+		}
+	}
+	recv := m.Comm.Exchange(out)
+	relabel := make(map[uint64]uint64)
+	for _, msg := range recv {
+		r := wire.NewReader(msg.Data)
+		oldL := r.Uvarint()
+		newL := r.Uvarint()
+		relabel[oldL] = newL
+	}
+	m.applyRelabel(relabel)
+	return localMerges
+}
+
+// applyRelabel notifies the relabel hook, then rewrites owned labels
+// through the old->root map.
+func (m *Merger) applyRelabel(relabel map[uint64]uint64) {
+	if len(relabel) == 0 {
+		return
+	}
+	if m.OnRelabel != nil {
+		m.OnRelabel(relabel)
+	}
+	for v, l := range m.Labels {
+		if nl, ok := relabel[l]; ok {
+			m.Labels[v] = nl
+		}
+	}
+}
+
+// Collapse resolves every component's pointer to its tree root. The
+// default is pointer doubling (cur <- cur's cur) with state handoff to
+// fresh proxies each iteration; level-wise mode answers the original
+// parent instead, walking one level per iteration as in Lemma 5.
+func (m *Merger) Collapse() {
+	for {
+		m.CollapseIters++
+		// Queries: ask the proxy currently holding cur's state.
+		var out []proxy.Out
+		for _, label := range SortedKeys(m.States) {
+			st := m.States[label]
+			if st.Cur == st.Label {
+				continue
+			}
+			q := wire.AppendUvarint(nil, st.Cur)
+			q = wire.AppendUvarint(q, st.Label)
+			out = append(out, proxy.Out{Dst: m.ProxyOf(m.StateSlot, st.Cur), Data: q})
+		}
+		recv := m.Comm.Exchange(out)
+
+		// Answers.
+		out = nil
+		for _, msg := range recv {
+			r := wire.NewReader(msg.Data)
+			target := r.Uvarint()
+			asker := r.Uvarint()
+			st := m.States[target]
+			if st == nil {
+				panic("core: query for component state not held here")
+			}
+			ans := st.Cur
+			if m.Cfg.CollapseLevelWise {
+				ans = st.Parent
+			}
+			rep := wire.AppendUvarint(nil, asker)
+			rep = wire.AppendUvarint(rep, ans)
+			out = append(out, proxy.Out{Dst: msg.Src, Data: rep})
+		}
+		recv = m.Comm.Exchange(out)
+
+		// Updates.
+		var changed uint64
+		for _, msg := range recv {
+			r := wire.NewReader(msg.Data)
+			asker := r.Uvarint()
+			newCur := r.Uvarint()
+			st := m.States[asker]
+			if st == nil {
+				panic("core: answer for unknown component")
+			}
+			if newCur != st.Cur {
+				st.Cur = newCur
+				changed++
+			}
+		}
+		if m.Comm.AllSum(changed) == 0 {
+			return
+		}
+		m.HandoffStates()
+	}
+}
+
+// HandoffStates moves all component states to the next slot's proxies
+// (fresh h_{j,ρ} per iteration, as Lemma 5 requires for independence).
+func (m *Merger) HandoffStates() {
+	var out []proxy.Out
+	newStates := make(map[uint64]*CompState)
+	for _, label := range SortedKeys(m.States) {
+		st := m.States[label]
+		dst := m.ProxyOf(m.StateSlot+1, label)
+		if dst == m.Ctx.ID() {
+			newStates[label] = st
+			continue
+		}
+		out = append(out, proxy.Out{Dst: dst, Data: st.Encode(nil)})
+	}
+	recv := m.Comm.Exchange(out)
+	for _, msg := range recv {
+		r := wire.NewReader(msg.Data)
+		st := DecodeState(r)
+		newStates[st.Label] = st
+	}
+	m.States = newStates
+	m.StateSlot++
+}

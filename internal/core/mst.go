@@ -160,39 +160,39 @@ type mstMachine struct {
 }
 
 func (m *mstMachine) run() error {
-	if err := m.setup(); err != nil {
+	if err := m.Setup(); err != nil {
 		return err
 	}
 	m.mstEdges = make(map[uint64]graph.Edge)
 	out := &mstOutput{}
-	for m.phase = 0; m.phase < m.cfg.MaxPhases; m.phase++ {
-		m.stateSlot = 0
-		m.phaseActive = 0
+	for m.Phase = 0; m.Phase < m.Cfg.MaxPhases; m.Phase++ {
+		m.StateSlot = 0
+		m.PhaseActive = 0
 		m.selectMWOE()
-		m.collapse()
-		m.broadcastAndRelabel()
-		active := m.comm.AllSum(m.phaseActive)
-		failures := m.comm.AllSum(m.phaseFailures())
-		out.phases = m.phase + 1
+		m.Collapse()
+		m.BroadcastAndRelabel()
+		active := m.Comm.AllSum(m.PhaseActive)
+		failures := m.Comm.AllSum(m.PhaseFailures())
+		out.phases = m.Phase + 1
 		if active == 0 && failures == 0 {
 			break
 		}
 	}
-	out.weakRounds = m.ctx.Round()
+	out.weakRounds = m.Ctx.Round()
 
 	if m.mstCfg.StrongOutput {
 		out.vertexEdges = m.disseminateStrong()
 	}
 
-	out.labels = m.labels
-	out.failures = m.failures
+	out.labels = m.Labels
+	out.failures = m.Failures
 	out.elimIters = m.elimIters
 	var edges []graph.Edge
-	for _, id := range sortedKeys(m.mstEdges) {
+	for _, id := range SortedKeys(m.mstEdges) {
 		edges = append(edges, m.mstEdges[id])
 	}
 	out.edges = edges
-	m.ctx.SetOutput(out)
+	m.Ctx.SetOutput(out)
 	return nil
 }
 
@@ -211,61 +211,61 @@ func edgeLessHalf(u int, h graph.Half, n int, tw int64, tid uint64) bool {
 }
 
 // selectMWOE runs the per-phase elimination loop (§3.1) and leaves, in
-// m.states, each component's MWOE decision with DRR parent applied.
+// m.States, each component's MWOE decision with DRR parent applied.
 func (m *mstMachine) selectMWOE() {
-	k := m.ctx.K()
-	n := m.view.N()
-	parts := m.parts()
+	k := m.Ctx.K()
+	n := m.View.N()
+	parts := m.Parts()
 
 	// Iteration 0: unfiltered sketches, exactly as connectivity.
-	seed := m.sh.SketchSeed(m.phase, 0)
+	seed := m.Sh.SketchSeed(m.Phase, 0)
 	var out []proxy.Out
-	for _, label := range sortedKeys(parts) {
-		sk := sketch.New(m.cfg.Sketch, seed)
+	for _, label := range SortedKeys(parts) {
+		sk := sketch.New(m.Cfg.Sketch, seed)
 		for _, v := range parts[label] {
-			sk.AddVertex(v, m.view.Adj(v), nil)
+			sk.AddVertex(v, m.View.Adj(v), nil)
 		}
 		buf := wire.AppendUvarint(nil, label)
 		buf = sk.EncodeTo(buf)
-		out = append(out, proxy.Out{Dst: m.proxyOf(0, label), Data: buf})
+		out = append(out, proxy.Out{Dst: m.ProxyOf(0, label), Data: buf})
 	}
-	recv := m.comm.Exchange(out)
+	recv := m.Comm.Exchange(out)
 
-	m.states = make(map[uint64]*compState)
+	m.States = make(map[uint64]*CompState)
 	sums := make(map[uint64]*sketch.Sketch)
 	for _, msg := range recv {
 		r := wire.NewReader(msg.Data)
 		label := r.Uvarint()
-		sk, err := sketch.Decode(m.cfg.Sketch, seed, msg.Data[len(msg.Data)-r.Len():])
+		sk, err := sketch.Decode(m.Cfg.Sketch, seed, msg.Data[len(msg.Data)-r.Len():])
 		if err != nil {
 			panic(fmt.Sprintf("core: bad sketch from %d: %v", msg.Src, err))
 		}
-		st := m.states[label]
+		st := m.States[label]
 		if st == nil {
-			st = &compState{label: label, cur: label, parent: label, holders: make([]byte, (k+7)/8)}
-			m.states[label] = st
+			st = NewCompState(label, k)
+			m.States[label] = st
 			sums[label] = sk
 		} else if err := sums[label].Add(sk); err != nil {
 			panic(err)
 		}
-		st.holders[msg.Src/8] |= 1 << uint(msg.Src%8)
+		st.Holders[msg.Src/8] |= 1 << uint(msg.Src%8)
 	}
 
 	active := m.sampleAndResolve(sums)
 
 	// Elimination iterations: threshold broadcast, filtered re-sketch,
 	// re-sample, until every component's sampler comes back empty.
-	for s := 1; m.comm.AllSum(active) > 0; s++ {
+	for s := 1; m.Comm.AllSum(active) > 0; s++ {
 		m.elimIters++
 		if s > m.mstCfg.MaxElimIters {
 			// Truncated: discard this phase's decision for the remaining
 			// active components (conservative; negligible probability).
-			for _, st := range m.states {
-				if !st.elimDone {
-					st.elimDone = true
-					st.hasBest = false
-					st.cur, st.parent = st.label, st.label
-					m.failures++
+			for _, st := range m.States {
+				if !st.ElimDone {
+					st.ElimDone = true
+					st.HasBest = false
+					st.Cur, st.Parent = st.Label, st.Label
+					m.Failures++
 				}
 			}
 			break
@@ -273,29 +273,29 @@ func (m *mstMachine) selectMWOE() {
 
 		// Combined exchange: thresholds to part holders + state handoff.
 		out = nil
-		newStates := make(map[uint64]*compState)
+		newStates := make(map[uint64]*CompState)
 		thresholds := make(map[uint64][2]uint64) // label -> {weight(bits), id}
-		for _, label := range sortedKeys(m.states) {
-			st := m.states[label]
-			if st.hasBest && !st.elimDone {
+		for _, label := range SortedKeys(m.States) {
+			st := m.States[label]
+			if st.HasBest && !st.ElimDone {
 				buf := []byte{tagThreshold}
-				buf = wire.AppendUvarint(buf, st.label)
-				buf = wire.AppendVarint(buf, st.bestW)
-				buf = wire.AppendUvarint(buf, graph.EdgeID(st.bestU, st.bestV, n))
+				buf = wire.AppendUvarint(buf, st.Label)
+				buf = wire.AppendVarint(buf, st.BestW)
+				buf = wire.AppendUvarint(buf, graph.EdgeID(st.BestU, st.BestV, n))
 				for h := 0; h < k; h++ {
-					if st.holders[h/8]&(1<<uint(h%8)) != 0 {
+					if st.Holders[h/8]&(1<<uint(h%8)) != 0 {
 						out = append(out, proxy.Out{Dst: h, Data: buf})
 					}
 				}
 			}
-			dst := m.proxyOf(m.stateSlot+1, label)
-			if dst == m.ctx.ID() {
+			dst := m.ProxyOf(m.StateSlot+1, label)
+			if dst == m.Ctx.ID() {
 				newStates[label] = st
 			} else {
-				out = append(out, proxy.Out{Dst: dst, Data: append([]byte{tagState}, st.encode(nil)...)})
+				out = append(out, proxy.Out{Dst: dst, Data: append([]byte{tagState}, st.Encode(nil)...)})
 			}
 		}
-		recv = m.comm.Exchange(out)
+		recv = m.Comm.Exchange(out)
 		for _, msg := range recv {
 			switch msg.Data[0] {
 			case tagThreshold:
@@ -306,38 +306,38 @@ func (m *mstMachine) selectMWOE() {
 				thresholds[label] = [2]uint64{uint64(w), id}
 			case tagState:
 				r := wire.NewReader(msg.Data[1:])
-				st := decodeState(r)
-				newStates[st.label] = st
+				st := DecodeState(r)
+				newStates[st.Label] = st
 			default:
 				panic("core: unknown elimination message tag")
 			}
 		}
-		m.states = newStates
-		m.stateSlot++
+		m.States = newStates
+		m.StateSlot++
 
 		// Filtered part re-sketches to the (new) proxies.
-		seed = m.sh.SketchSeed(m.phase, s)
+		seed = m.Sh.SketchSeed(m.Phase, s)
 		out = nil
-		for _, label := range sortedKeys(thresholds) {
+		for _, label := range SortedKeys(thresholds) {
 			th := thresholds[label]
 			tw, tid := int64(th[0]), th[1]
-			sk := sketch.New(m.cfg.Sketch, seed)
+			sk := sketch.New(m.Cfg.Sketch, seed)
 			for _, v := range parts[label] {
-				sk.AddVertex(v, m.view.Adj(v), func(u int, h graph.Half) bool {
+				sk.AddVertex(v, m.View.Adj(v), func(u int, h graph.Half) bool {
 					return edgeLessHalf(u, h, n, tw, tid)
 				})
 			}
 			buf := wire.AppendUvarint(nil, label)
 			buf = sk.EncodeTo(buf)
-			out = append(out, proxy.Out{Dst: m.proxyOf(m.stateSlot, label), Data: buf})
+			out = append(out, proxy.Out{Dst: m.ProxyOf(m.StateSlot, label), Data: buf})
 		}
-		recv = m.comm.Exchange(out)
+		recv = m.Comm.Exchange(out)
 
 		sums = make(map[uint64]*sketch.Sketch)
 		for _, msg := range recv {
 			r := wire.NewReader(msg.Data)
 			label := r.Uvarint()
-			sk, err := sketch.Decode(m.cfg.Sketch, seed, msg.Data[len(msg.Data)-r.Len():])
+			sk, err := sketch.Decode(m.Cfg.Sketch, seed, msg.Data[len(msg.Data)-r.Len():])
 			if err != nil {
 				panic(err)
 			}
@@ -351,13 +351,13 @@ func (m *mstMachine) selectMWOE() {
 	}
 
 	// Decisions: record MWOEs as MST edges and apply the merge rule.
-	for _, label := range sortedKeys(m.states) {
-		st := m.states[label]
-		if st.elimDone && st.hasBest {
-			u, v := st.bestU, st.bestV
-			m.mstEdges[graph.EdgeID(u, v, n)] = graph.Edge{U: u, V: v, W: st.bestW}
-			m.phaseActive++
-			m.applyRank(st, st.targetLabel)
+	for _, label := range SortedKeys(m.States) {
+		st := m.States[label]
+		if st.ElimDone && st.HasBest {
+			u, v := st.BestU, st.BestV
+			m.mstEdges[graph.EdgeID(u, v, n)] = graph.Edge{U: u, V: v, W: st.BestW}
+			m.PhaseActive++
+			m.ApplyRank(st, st.TargetLabel)
 		}
 	}
 }
@@ -371,12 +371,12 @@ func (m *mstMachine) selectMWOE() {
 func (m *mstMachine) sampleAndResolve(sums map[uint64]*sketch.Sketch) uint64 {
 	var out []proxy.Out
 	pendingEdge := make(map[uint64][2]int) // label -> sampled (x, y)
-	for _, label := range sortedKeys(sums) {
-		st := m.states[label]
+	for _, label := range SortedKeys(sums) {
+		st := m.States[label]
 		if st == nil {
 			panic("core: sketch sum for unknown state")
 		}
-		if st.elimDone {
+		if st.ElimDone {
 			continue
 		}
 		x, y, insideSmaller, status := sums[label].SampleEdge()
@@ -384,11 +384,11 @@ func (m *mstMachine) sampleAndResolve(sums map[uint64]*sketch.Sketch) uint64 {
 		case sketch.Empty:
 			// Nothing lighter remains. If a best edge exists, it is the
 			// MWOE; otherwise the component has no outgoing edges at all.
-			st.elimDone = true
+			st.ElimDone = true
 		case sketch.Failed:
-			m.failures++
-			st.elimDone = true
-			st.hasBest = false
+			m.Failures++
+			st.ElimDone = true
+			st.HasBest = false
 		case sketch.Sampled:
 			outside := x
 			if insideSmaller {
@@ -399,12 +399,12 @@ func (m *mstMachine) sampleAndResolve(sums map[uint64]*sketch.Sketch) uint64 {
 			q = wire.AppendUvarint(q, uint64(x))
 			q = wire.AppendUvarint(q, uint64(y))
 			q = wire.AppendUvarint(q, label)
-			out = append(out, proxy.Out{Dst: m.view.Home(outside), Data: q})
+			out = append(out, proxy.Out{Dst: m.View.Home(outside), Data: q})
 		}
 	}
-	recv := m.comm.Exchange(out)
-	out = m.answerLabelQueries(recv)
-	recv = m.comm.Exchange(out)
+	recv := m.Comm.Exchange(out)
+	out = m.AnswerLabelQueries(recv)
+	recv = m.Comm.Exchange(out)
 
 	var active uint64
 	for _, msg := range recv {
@@ -413,21 +413,21 @@ func (m *mstMachine) sampleAndResolve(sums map[uint64]*sketch.Sketch) uint64 {
 		nbrLabel := r.Uvarint()
 		valid := r.Bool()
 		w := r.Varint()
-		st := m.states[askLabel]
+		st := m.States[askLabel]
 		if st == nil {
 			panic("core: MST reply for unknown component")
 		}
 		if !valid || nbrLabel == askLabel {
-			m.failures++
-			st.elimDone = true
-			st.hasBest = false
+			m.Failures++
+			st.ElimDone = true
+			st.HasBest = false
 			continue
 		}
 		xy := pendingEdge[askLabel]
-		st.hasBest = true
-		st.bestU, st.bestV = xy[0], xy[1]
-		st.bestW = w
-		st.targetLabel = nbrLabel
+		st.HasBest = true
+		st.BestU, st.BestV = xy[0], xy[1]
+		st.BestW = w
+		st.TargetLabel = nbrLabel
 		active++
 	}
 	return active
@@ -437,24 +437,24 @@ func (m *mstMachine) sampleAndResolve(sums map[uint64]*sketch.Sketch) uint64 {
 // both endpoints (Theorem 2(b)'s output criterion) and returns this
 // machine's vertex-to-incident-MST-edges map.
 func (m *mstMachine) disseminateStrong() map[int][]graph.Edge {
-	n := m.view.N()
+	n := m.View.N()
 	var out []proxy.Out
-	for _, id := range sortedKeys(m.mstEdges) {
+	for _, id := range SortedKeys(m.mstEdges) {
 		e := m.mstEdges[id]
 		buf := wire.AppendUvarint(nil, uint64(e.U))
 		buf = wire.AppendUvarint(buf, uint64(e.V))
 		buf = wire.AppendVarint(buf, e.W)
-		hu, hv := m.view.Home(e.U), m.view.Home(e.V)
+		hu, hv := m.View.Home(e.U), m.View.Home(e.V)
 		out = append(out, proxy.Out{Dst: hu, Data: buf})
 		if hv != hu {
 			out = append(out, proxy.Out{Dst: hv, Data: buf})
 		}
 	}
-	recv := m.comm.Exchange(out)
+	recv := m.Comm.Exchange(out)
 	seen := make(map[int]map[uint64]bool)
 	ve := make(map[int][]graph.Edge)
 	add := func(v int, e graph.Edge) {
-		if m.view.Home(v) != m.ctx.ID() {
+		if m.View.Home(v) != m.Ctx.ID() {
 			return
 		}
 		id := graph.EdgeID(e.U, e.V, n)

@@ -1,0 +1,161 @@
+package dynamic
+
+import (
+	"sort"
+
+	"kmgraph/internal/graph"
+)
+
+// coordinator is machine 0's resident certificate state. As stream ingress,
+// machine 0 legitimately observes every accepted operation, so it can
+// maintain — in free local memory — a connectivity certificate of the
+// current graph: the spanning forest established by the last query plus
+// the net insertions since. Queries recompute certificate pieces locally
+// and ship only changed labels; everything machine 0 knows here it learned
+// through metered communication (op routing and verdict collection).
+type coordinator struct {
+	n       int
+	labels  []uint64              // authoritative labeling as of last sync
+	forest  map[uint64]graph.Edge // spanning forest of the last queried snapshot, minus deletions
+	pending map[uint64]graph.Edge // net accepted insertions since the last query
+}
+
+type vertLabel struct {
+	v     int
+	label uint64
+}
+
+func newCoordinator(n int) *coordinator {
+	c := &coordinator{
+		n:       n,
+		labels:  make([]uint64, n),
+		forest:  make(map[uint64]graph.Edge),
+		pending: make(map[uint64]graph.Edge),
+	}
+	for v := range c.labels {
+		c.labels[v] = uint64(v)
+	}
+	return c
+}
+
+// applyAccepted folds one accepted (graph-mutating) op into the
+// certificate. A deletion of a certificate edge shrinks it — the next
+// query's piece computation discovers any split; a deletion of a
+// non-certificate edge cannot change connectivity and is dropped.
+func (c *coordinator) applyAccepted(op graph.EdgeOp) {
+	id := graph.EdgeID(op.U, op.V, c.n)
+	if op.Del {
+		if _, ok := c.forest[id]; ok {
+			delete(c.forest, id)
+			return
+		}
+		delete(c.pending, id)
+		return
+	}
+	c.pending[id] = graph.Edge{U: op.U, V: op.V, W: op.W}
+}
+
+func sortedEdgeIDs(m map[uint64]graph.Edge) []uint64 {
+	ids := make([]uint64, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// recompute rebuilds piece labels from the certificate (forest ∪ pending),
+// folds the accepted union edges into the new forest, and returns the
+// vertices whose label changed plus the certificate size.
+//
+// Label choice is stability-first. Every label in use is the ID of a
+// member vertex, so each previous label L lives in exactly one piece: that
+// piece may keep L (distinctness is automatic). A piece containing
+// several previous-label vertices — components merged by insertions —
+// keeps the label of the largest previous class (ties to the smaller
+// label); pieces holding no previous-label vertex (fragments split off by
+// deletions) fall back to their minimum vertex ID, which cannot collide
+// with any kept label because that label's vertex sits in a different
+// piece. The common case — a big component shedding a small fragment —
+// therefore relabels only the fragment.
+func (c *coordinator) recompute() (changes []vertLabel, certEdges int) {
+	certEdges = len(c.forest) + len(c.pending)
+	uf := graph.NewUnionFind(c.n)
+	newForest := make(map[uint64]graph.Edge, len(c.forest))
+	for _, id := range sortedEdgeIDs(c.forest) {
+		e := c.forest[id]
+		if uf.Union(e.U, e.V) {
+			newForest[id] = e
+		}
+	}
+	for _, id := range sortedEdgeIDs(c.pending) {
+		e := c.pending[id]
+		if uf.Union(e.U, e.V) {
+			newForest[id] = e
+		}
+	}
+	c.forest = newForest
+	c.pending = make(map[uint64]graph.Edge)
+
+	classSize := make(map[uint64]int)
+	for v := 0; v < c.n; v++ {
+		classSize[c.labels[v]]++
+	}
+	pieceLabel := make(map[int]uint64)
+	for v := 0; v < c.n; v++ {
+		l := uint64(v)
+		if classSize[l] == 0 {
+			continue // v's ID is not a label in use
+		}
+		r := uf.Find(v)
+		cur, taken := pieceLabel[r]
+		if !taken || classSize[l] > classSize[cur] {
+			pieceLabel[r] = l
+		}
+	}
+	// Fallback: minimum vertex of the piece (ascending scan ⇒ first seen).
+	for v := 0; v < c.n; v++ {
+		r := uf.Find(v)
+		if _, ok := pieceLabel[r]; !ok {
+			pieceLabel[r] = uint64(v)
+		}
+	}
+	for v := 0; v < c.n; v++ {
+		nl := pieceLabel[uf.Find(v)]
+		if nl != c.labels[v] {
+			changes = append(changes, vertLabel{v: v, label: nl})
+			c.labels[v] = nl
+		}
+	}
+	return changes, certEdges
+}
+
+// relabelAndGrow applies a query's final sync: per-vertex label updates
+// from the merge phases and the freshly sampled merge edges that join the
+// forest.
+func (c *coordinator) relabelAndGrow(changes []vertLabel, merges []graph.Edge) {
+	for _, ch := range changes {
+		c.labels[ch.v] = ch.label
+	}
+	for _, e := range merges {
+		c.forest[graph.EdgeID(e.U, e.V, c.n)] = e
+	}
+}
+
+// components counts distinct labels.
+func (c *coordinator) components() int {
+	seen := make(map[uint64]bool)
+	for _, l := range c.labels {
+		seen[l] = true
+	}
+	return len(seen)
+}
+
+// forestEdges returns the current forest sorted by edge ID.
+func (c *coordinator) forestEdges() []graph.Edge {
+	out := make([]graph.Edge, 0, len(c.forest))
+	for _, id := range sortedEdgeIDs(c.forest) {
+		out = append(out, c.forest[id])
+	}
+	return out
+}

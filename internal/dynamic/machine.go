@@ -1,0 +1,454 @@
+package dynamic
+
+import (
+	"fmt"
+	"sort"
+
+	"kmgraph/internal/core"
+	"kmgraph/internal/graph"
+	"kmgraph/internal/kmachine"
+	"kmgraph/internal/proxy"
+	"kmgraph/internal/sketch"
+	"kmgraph/internal/wire"
+)
+
+// dynMachine is one machine's resident state for the lifetime of a
+// session: the shared merge engine (labels, proxy states), the mutable
+// adjacency view, the maintained sketch banks, and — on machine 0 — the
+// certificate coordinator. The machine executes host commands in SPMD
+// style; batch contents enter the cluster only through machine 0 (the
+// stream ingress) and are distributed by metered exchanges.
+type dynMachine struct {
+	s      *Session
+	ctx    *kmachine.Ctx
+	mg     *core.Merger
+	view   *dynView
+	banks  *bankCache
+	coord  *coordinator // machine 0 only
+	ccfg   core.Config
+	banksN int
+
+	// globalPhase never repeats within a session, so proxy assignments and
+	// DRR ranks stay fresh across queries (the paper's h_{j,ρ} freshness).
+	globalPhase int
+	mergeRecs   []graph.Edge
+}
+
+func (m *dynMachine) loop() error {
+	if err := m.mg.Setup(); err != nil {
+		return err
+	}
+	seeds := make([]uint64, m.banksN)
+	for b := range seeds {
+		seeds[b] = m.mg.Sh.BankSeed(b)
+	}
+	m.banks = newBankCache(m.ccfg.Sketch, seeds)
+	m.mg.OnRelabel = func(relabel map[uint64]uint64) {
+		m.banks.mergeRelabel(relabel, m.mg.Parts())
+	}
+	if m.ctx.ID() == 0 {
+		m.coord = newCoordinator(m.view.n)
+	}
+	m.reply(reply{}) // ready: setup done, rounds carried in the reply
+
+	for {
+		// Park while idling on the host: the round barrier proceeds
+		// without this machine, so peers still draining deliveries are
+		// never stalled. The ack/wake handshake then holds every machine
+		// back until all have unparked, keeping barrier grouping — and so
+		// round accounting — deterministic.
+		m.ctx.Park()
+		cmd := <-m.s.cmds[m.ctx.ID()]
+		m.ctx.Unpark()
+		m.s.ackCh <- m.ctx.ID()
+		<-cmd.wake
+		switch cmd.kind {
+		case cmdApply:
+			m.applyBatch(cmd.ops)
+		case cmdQuery:
+			m.query()
+		case cmdClose:
+			m.ctx.SetOutput(&struct{}{})
+			return nil
+		default:
+			return fmt.Errorf("dynamic: unknown command %d", cmd.kind)
+		}
+	}
+}
+
+func (m *dynMachine) reply(r reply) {
+	r.id = m.ctx.ID()
+	r.rounds = m.ctx.Round()
+	m.s.replyCh <- r
+}
+
+// applyBatch distributes a batch from the ingress to the endpoints' home
+// machines, applies it against the live adjacency and maintained banks,
+// and collects per-op accept/reject verdicts back at machine 0 (which
+// folds accepted ops into the certificate). Ops arrive canonicalized
+// (U < V); the home of U is the primary, responsible for the verdict.
+func (m *dynMachine) applyBatch(ops []graph.EdgeOp) {
+	k := m.ctx.K()
+
+	// Exchange 1: ingress routes each op to both endpoints' homes.
+	var out []proxy.Out
+	if m.ctx.ID() == 0 {
+		bufs := make([][]byte, k)
+		counts := make([]int, k)
+		addTo := func(dst, idx int, op graph.EdgeOp) {
+			b := bufs[dst]
+			b = wire.AppendUvarint(b, uint64(idx))
+			b = wire.AppendBool(b, op.Del)
+			b = wire.AppendUvarint(b, uint64(op.U))
+			b = wire.AppendUvarint(b, uint64(op.V))
+			b = wire.AppendVarint(b, op.W)
+			bufs[dst] = b
+			counts[dst]++
+		}
+		for i, op := range ops {
+			hu, hv := m.view.Home(op.U), m.view.Home(op.V)
+			addTo(hu, i, op)
+			if hv != hu {
+				addTo(hv, i, op)
+			}
+		}
+		for d := 0; d < k; d++ {
+			if counts[d] == 0 {
+				continue
+			}
+			data := wire.AppendUvarint(nil, uint64(counts[d]))
+			out = append(out, proxy.Out{Dst: d, Data: append(data, bufs[d]...)})
+		}
+	}
+	recv := m.mg.Comm.Exchange(out)
+
+	// Apply my ops in batch order; primaries record verdicts.
+	type rop struct {
+		idx  int
+		del  bool
+		u, v int
+		w    int64
+	}
+	var mine []rop
+	for _, msg := range recv {
+		r := wire.NewReader(msg.Data)
+		cnt := int(r.Uvarint())
+		for i := 0; i < cnt; i++ {
+			mine = append(mine, rop{
+				idx: int(r.Uvarint()),
+				del: r.Bool(),
+				u:   int(r.Uvarint()),
+				v:   int(r.Uvarint()),
+				w:   r.Varint(),
+			})
+		}
+	}
+	sort.Slice(mine, func(i, j int) bool { return mine[i].idx < mine[j].idx })
+	var verdicts []byte
+	nv := 0
+	for _, op := range mine {
+		acc := m.applyOp(op.del, op.u, op.v, op.w)
+		if m.view.Home(op.u) == m.ctx.ID() {
+			verdicts = wire.AppendUvarint(verdicts, uint64(op.idx))
+			verdicts = wire.AppendBool(verdicts, acc)
+			nv++
+		}
+	}
+
+	// Exchange 2: verdicts to the ingress.
+	out = nil
+	if nv > 0 {
+		data := wire.AppendUvarint(nil, uint64(nv))
+		out = append(out, proxy.Out{Dst: 0, Data: append(data, verdicts...)})
+	}
+	recv = m.mg.Comm.Exchange(out)
+	rep := reply{}
+	if m.ctx.ID() == 0 {
+		acc := make([]bool, len(ops))
+		for _, msg := range recv {
+			r := wire.NewReader(msg.Data)
+			cnt := int(r.Uvarint())
+			for i := 0; i < cnt; i++ {
+				idx := int(r.Uvarint())
+				a := r.Bool()
+				if idx < len(acc) {
+					acc[idx] = a
+				}
+			}
+		}
+		for i, op := range ops {
+			if !acc[i] {
+				if op.Del {
+					rep.rejDel++
+				} else {
+					rep.rejIns++
+				}
+				continue
+			}
+			rep.applied++
+			m.coord.applyAccepted(op)
+		}
+	}
+	m.reply(rep)
+}
+
+// applyOp mutates the live adjacency and the maintained banks for the
+// endpoints this machine owns. Both endpoint homes see identical prior
+// state for the edge, so their accept decisions agree. Sign convention
+// follows a_u (§2.3): +1 for the smaller endpoint's incidence, negated on
+// deletion.
+func (m *dynMachine) applyOp(del bool, u, v int, w int64) bool {
+	id := graph.EdgeID(u, v, m.view.n)
+	me := m.ctx.ID()
+	ownU := m.view.Home(u) == me
+	ownV := m.view.Home(v) == me
+	var present bool
+	if ownU {
+		present = m.view.has(u, v)
+	} else {
+		present = m.view.has(v, u)
+	}
+	if del {
+		if !present {
+			return false
+		}
+		if ownU {
+			m.view.remove(u, v)
+			m.banks.update(m.mg.Labels[u], id, -1)
+		}
+		if ownV {
+			m.view.remove(v, u)
+			m.banks.update(m.mg.Labels[v], id, +1)
+		}
+		return true
+	}
+	if present {
+		return false
+	}
+	if ownU {
+		m.view.insert(u, graph.Half{To: v, W: w})
+		m.banks.update(m.mg.Labels[u], id, +1)
+	}
+	if ownV {
+		m.view.insert(v, graph.Half{To: u, W: w})
+		m.banks.update(m.mg.Labels[v], id, -1)
+	}
+	return true
+}
+
+// query answers connectivity on the current graph: certificate piece
+// relabel (only changed labels travel), Boruvka merge phases over the
+// maintained banks via the shared engine, and a final sync that returns
+// fresh forest edges and label changes to the coordinator.
+func (m *dynMachine) query() {
+	startFail := m.mg.Failures
+	startCollapse := m.mg.CollapseIters
+	rep := reply{}
+
+	// Step 1: certificate piece relabel.
+	var out []proxy.Out
+	if m.ctx.ID() == 0 {
+		changes, cert := m.coord.recompute()
+		rep.relabeled = len(changes)
+		rep.certEdges = cert
+		k := m.ctx.K()
+		bufs := make([][]byte, k)
+		counts := make([]int, k)
+		for _, ch := range changes {
+			d := m.view.Home(ch.v)
+			bufs[d] = wire.AppendUvarint(bufs[d], uint64(ch.v))
+			bufs[d] = wire.AppendUvarint(bufs[d], ch.label)
+			counts[d]++
+		}
+		for d := 0; d < k; d++ {
+			if counts[d] == 0 {
+				continue
+			}
+			data := wire.AppendUvarint(nil, uint64(counts[d]))
+			out = append(out, proxy.Out{Dst: d, Data: append(data, bufs[d]...)})
+		}
+	}
+	recv := m.mg.Comm.Exchange(out)
+	for _, msg := range recv {
+		r := wire.NewReader(msg.Data)
+		cnt := int(r.Uvarint())
+		for i := 0; i < cnt; i++ {
+			v := int(r.Uvarint())
+			l := r.Uvarint()
+			m.banks.drop(m.mg.Labels[v])
+			m.banks.drop(l)
+			m.mg.Labels[v] = l
+		}
+	}
+	m.banks.retain(m.mg.Parts())
+
+	// Step 2: Boruvka merge phases from the piece labeling.
+	pre := make(map[int]uint64, len(m.mg.Labels))
+	for v, l := range m.mg.Labels {
+		pre[v] = l
+	}
+	m.mergeRecs = m.mergeRecs[:0]
+	phases := 0
+	converged := false
+	for phases < m.ccfg.MaxPhases {
+		m.mg.Phase = m.globalPhase
+		m.mg.StateSlot = 0
+		m.mg.PhaseActive = 0
+		m.selectBanks(phases % m.banksN)
+		m.mg.Collapse()
+		m.mg.BroadcastAndRelabel()
+		active := m.mg.Comm.AllSum(m.mg.PhaseActive)
+		failures := m.mg.Comm.AllSum(m.mg.PhaseFailures())
+		m.globalPhase++
+		phases++
+		if active == 0 && failures == 0 {
+			converged = true
+			break
+		}
+	}
+
+	// Step 3: final sync — Boruvka label changes and sampled merge edges
+	// flow to the coordinator, which grows the forest and counts
+	// components over its resident labeling.
+	var chg []byte
+	nc := 0
+	for _, v := range m.view.owned {
+		if m.mg.Labels[v] != pre[v] {
+			chg = wire.AppendUvarint(chg, uint64(v))
+			chg = wire.AppendUvarint(chg, m.mg.Labels[v])
+			nc++
+		}
+	}
+	data := wire.AppendUvarint(nil, uint64(nc))
+	data = append(data, chg...)
+	data = wire.AppendUvarint(data, uint64(len(m.mergeRecs)))
+	for _, e := range m.mergeRecs {
+		data = wire.AppendUvarint(data, uint64(e.U))
+		data = wire.AppendUvarint(data, uint64(e.V))
+		data = wire.AppendVarint(data, e.W)
+	}
+	recv = m.mg.Comm.Exchange([]proxy.Out{{Dst: 0, Data: data}})
+	if m.ctx.ID() == 0 {
+		var changes []vertLabel
+		var merges []graph.Edge
+		for _, msg := range recv {
+			r := wire.NewReader(msg.Data)
+			cnt := int(r.Uvarint())
+			for i := 0; i < cnt; i++ {
+				changes = append(changes, vertLabel{v: int(r.Uvarint()), label: r.Uvarint()})
+			}
+			me := int(r.Uvarint())
+			for i := 0; i < me; i++ {
+				merges = append(merges, graph.Edge{U: int(r.Uvarint()), V: int(r.Uvarint()), W: r.Varint()})
+			}
+		}
+		m.coord.relabelAndGrow(changes, merges)
+		rep.components = m.coord.components()
+		rep.forest = m.coord.forestEdges()
+		rep.mergeEdges = len(merges)
+	}
+	rep.phases = phases
+	rep.converged = converged
+	rep.failures = m.mg.Failures - startFail
+	rep.collapseIters = m.mg.CollapseIters - startCollapse
+	rep.labels = make(map[int]uint64, len(m.mg.Labels))
+	for v, l := range m.mg.Labels {
+		rep.labels[v] = l
+	}
+	m.reply(rep)
+}
+
+// selectBanks is the dynamic selection step: identical to the static
+// sketch path (§2.3–2.4) except that part sketches come from the
+// maintained banks instead of being built fresh against a per-phase
+// projection, and applied merges record their sampled edge for the
+// certificate forest.
+func (m *dynMachine) selectBanks(bank int) {
+	k := m.ctx.K()
+	parts := m.mg.Parts()
+	seed := m.banks.seeds[bank]
+
+	// Part bank-sums to component proxies.
+	var out []proxy.Out
+	for _, label := range core.SortedKeys(parts) {
+		sk := m.banks.get(label, bank, parts[label], m.view)
+		buf := wire.AppendUvarint(nil, label)
+		buf = sk.EncodeTo(buf)
+		out = append(out, proxy.Out{Dst: m.mg.ProxyOf(0, label), Data: buf})
+	}
+	recv := m.mg.Comm.Exchange(out)
+
+	// Proxy side: sum part sketches per component (linearity cancels
+	// intra-component edges), record part holders.
+	m.mg.States = make(map[uint64]*core.CompState)
+	sums := make(map[uint64]*sketch.Sketch)
+	for _, msg := range recv {
+		r := wire.NewReader(msg.Data)
+		label := r.Uvarint()
+		sk, err := sketch.Decode(m.ccfg.Sketch, seed, msg.Data[len(msg.Data)-r.Len():])
+		if err != nil {
+			panic(fmt.Sprintf("dynamic: bad sketch from %d: %v", msg.Src, err))
+		}
+		st := m.mg.States[label]
+		if st == nil {
+			st = core.NewCompState(label, k)
+			m.mg.States[label] = st
+			sums[label] = sk
+		} else if err := sums[label].Add(sk); err != nil {
+			panic(err)
+		}
+		st.Holders[msg.Src/8] |= 1 << uint(msg.Src%8)
+	}
+
+	// Sample an outgoing edge per component; resolve the neighbor label by
+	// querying the outside endpoint's home machine (live adjacency).
+	out = nil
+	pendingEdge := make(map[uint64][2]int)
+	for _, label := range core.SortedKeys(m.mg.States) {
+		x, y, insideSmaller, st := sums[label].SampleEdge()
+		switch st {
+		case sketch.Empty:
+			// No outgoing edges: inactive root this phase.
+		case sketch.Failed:
+			m.mg.Failures++
+		case sketch.Sampled:
+			outside := x
+			if insideSmaller {
+				outside = y
+			}
+			pendingEdge[label] = [2]int{x, y}
+			q := wire.AppendUvarint(nil, uint64(outside))
+			q = wire.AppendUvarint(q, uint64(x))
+			q = wire.AppendUvarint(q, uint64(y))
+			q = wire.AppendUvarint(q, label)
+			out = append(out, proxy.Out{Dst: m.view.Home(outside), Data: q})
+		}
+	}
+	recv = m.mg.Comm.Exchange(out)
+	out = m.mg.AnswerLabelQueries(recv)
+	recv = m.mg.Comm.Exchange(out)
+
+	// DRR ranking; applied merges record the sampled edge as a fresh
+	// forest edge.
+	for _, msg := range recv {
+		r := wire.NewReader(msg.Data)
+		askLabel := r.Uvarint()
+		nbrLabel := r.Uvarint()
+		valid := r.Bool()
+		w := r.Varint()
+		st := m.mg.States[askLabel]
+		if st == nil {
+			panic("dynamic: reply for unknown component")
+		}
+		if !valid || nbrLabel == askLabel {
+			m.mg.Failures++
+			continue
+		}
+		m.mg.PhaseActive++
+		m.mg.ApplyRank(st, nbrLabel)
+		if st.Parent != st.Label {
+			xy := pendingEdge[askLabel]
+			m.mergeRecs = append(m.mergeRecs, graph.Edge{U: xy[0], V: xy[1], W: w})
+		}
+	}
+}

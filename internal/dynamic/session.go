@@ -1,0 +1,321 @@
+package dynamic
+
+import (
+	"errors"
+
+	"kmgraph/internal/core"
+	"kmgraph/internal/graph"
+	"kmgraph/internal/kmachine"
+)
+
+const (
+	cmdApply = iota
+	cmdQuery
+	cmdClose
+)
+
+// hostCmd is a control-plane command: its arrival is free (the host tells
+// every machine what operation comes next), but batch contents ride only
+// on machine 0's copy and are distributed in-model at metered cost.
+//
+// wake is the determinism gate: each machine unparks and acks, then blocks
+// on wake until the host has seen all k acks. This guarantees every
+// machine has re-entered the round barrier before any machine steps, so
+// barrier grouping — and therefore per-command round counts — cannot
+// depend on goroutine scheduling.
+type hostCmd struct {
+	kind int
+	ops  []graph.EdgeOp // machine 0 (ingress) only
+	wake chan struct{}
+}
+
+// reply is one machine's out-of-band result for one command — the model's
+// designated output variables o_i, read between commands.
+type reply struct {
+	id     int
+	rounds int
+	// batch
+	applied int
+	rejIns  int
+	rejDel  int
+	// query
+	labels        map[int]uint64
+	components    int
+	forest        []graph.Edge
+	phases        int
+	failures      int64
+	collapseIters int
+	relabeled     int
+	certEdges     int
+	mergeEdges    int
+	converged     bool
+}
+
+// Session is a live dynamic-graph session: a k-machine cluster kept
+// resident, accepting update batches and connectivity queries until
+// closed. Sessions are not safe for concurrent use; commands are strictly
+// sequential, as the SPMD machines execute them in lockstep.
+type Session struct {
+	cfg    Config
+	ccfg   core.Config
+	n      int
+	k      int
+	banksN int
+
+	cmds    []chan hostCmd
+	replyCh chan reply
+	ackCh   chan int
+	done    chan struct{}
+	result  *kmachine.Result
+	runErr  error
+
+	lastMaxRound int
+	closed       bool
+	batches      int
+	queries      int
+}
+
+// NewSession loads g across a fresh cluster under a random vertex
+// partition and blocks until every machine finishes setup (shared
+// randomness, bank seeds, resident adjacency).
+func NewSession(g *graph.Graph, cfg Config) (*Session, error) {
+	n := g.N()
+	if err := validConfig(n, cfg); err != nil {
+		return nil, err
+	}
+	ccfg := cfg.coreConfig(n)
+	banksN := cfg.Banks
+	if banksN <= 0 {
+		banksN = defaultBanks(n)
+	}
+	cluster, err := kmachine.New(kmachine.Config{
+		K:                   ccfg.K,
+		BandwidthBits:       ccfg.BandwidthBits,
+		MessageOverheadBits: ccfg.MessageOverheadBits,
+		Seed:                ccfg.Seed,
+		MaxRounds:           ccfg.MaxRounds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	part := kmachine.NewRVP(g, ccfg.K, uint64(ccfg.Seed)^0x9e37)
+
+	s := &Session{
+		cfg:     cfg,
+		ccfg:    ccfg,
+		n:       n,
+		k:       ccfg.K,
+		banksN:  banksN,
+		cmds:    make([]chan hostCmd, ccfg.K),
+		replyCh: make(chan reply, ccfg.K),
+		ackCh:   make(chan int, ccfg.K),
+		done:    make(chan struct{}),
+	}
+	for i := range s.cmds {
+		s.cmds[i] = make(chan hostCmd, 1)
+	}
+	go func() {
+		res, err := cluster.Run(func(ctx *kmachine.Ctx) error {
+			lv := part.View(ctx.ID())
+			view := newDynView(n, ctx.ID(), lv.Home, lv.Owned(), lv.Adj)
+			m := &dynMachine{
+				s:      s,
+				ctx:    ctx,
+				mg:     core.NewMerger(ctx, view, ccfg),
+				view:   view,
+				ccfg:   ccfg,
+				banksN: banksN,
+			}
+			return m.loop()
+		})
+		s.result = res
+		s.runErr = err
+		close(s.done)
+	}()
+
+	rs, err := s.collect()
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rs {
+		if r.rounds > s.lastMaxRound {
+			s.lastMaxRound = r.rounds
+		}
+	}
+	return s, nil
+}
+
+func (s *Session) err() error {
+	if s.runErr != nil {
+		return s.runErr
+	}
+	return errors.New("dynamic: cluster terminated unexpectedly")
+}
+
+// collect gathers one reply per machine, preferring buffered replies over
+// the termination signal so late replies from a dying cluster still land.
+func (s *Session) collect() ([]reply, error) {
+	rs := make([]reply, s.k)
+	for got := 0; got < s.k; got++ {
+		select {
+		case r := <-s.replyCh:
+			rs[r.id] = r
+		default:
+			select {
+			case r := <-s.replyCh:
+				rs[r.id] = r
+			case <-s.done:
+				return nil, s.err()
+			}
+		}
+	}
+	return rs, nil
+}
+
+// dispatch sends a command to every machine and completes the wake
+// handshake: all machines unpark and ack before the gate opens and any of
+// them steps.
+func (s *Session) dispatch(c hostCmd) error {
+	c.wake = make(chan struct{})
+	for i := 0; i < s.k; i++ {
+		cc := c
+		if i != 0 {
+			cc.ops = nil
+		}
+		select {
+		case s.cmds[i] <- cc:
+		case <-s.done:
+			return s.err()
+		}
+	}
+	for i := 0; i < s.k; i++ {
+		select {
+		case <-s.ackCh:
+		case <-s.done:
+			return s.err()
+		}
+	}
+	close(c.wake)
+	return nil
+}
+
+// command broadcasts a command (control plane), waits for all replies, and
+// returns them plus the cluster-round delta the command cost.
+func (s *Session) command(c hostCmd) ([]reply, int, error) {
+	if s.closed {
+		return nil, 0, ErrClosed
+	}
+	if err := s.dispatch(c); err != nil {
+		return nil, 0, err
+	}
+	rs, err := s.collect()
+	if err != nil {
+		return nil, 0, err
+	}
+	maxR := s.lastMaxRound
+	for _, r := range rs {
+		if r.rounds > maxR {
+			maxR = r.rounds
+		}
+	}
+	delta := maxR - s.lastMaxRound
+	s.lastMaxRound = maxR
+	return rs, delta, nil
+}
+
+// ApplyBatch applies a batch of edge operations in order. Self-loops and
+// out-of-range endpoints are rejected at ingress; duplicate insertions and
+// deletions of absent edges are rejected by the endpoint home machines
+// (and counted), leaving the graph, sketches, and certificate untouched.
+func (s *Session) ApplyBatch(ops []graph.EdgeOp) (*BatchResult, error) {
+	clean := make([]graph.EdgeOp, 0, len(ops))
+	invalid := 0
+	for _, op := range ops {
+		op = op.Canon()
+		if op.U == op.V || op.U < 0 || op.V >= s.n {
+			invalid++
+			continue
+		}
+		clean = append(clean, op)
+	}
+	rs, rounds, err := s.command(hostCmd{kind: cmdApply, ops: clean})
+	if err != nil {
+		return nil, err
+	}
+	s.batches++
+	r0 := rs[0]
+	return &BatchResult{
+		Ops:             len(ops),
+		Applied:         r0.applied,
+		RejectedInserts: r0.rejIns,
+		RejectedDeletes: r0.rejDel,
+		RejectedInvalid: invalid,
+		Rounds:          rounds,
+	}, nil
+}
+
+// Query answers connectivity on the current graph: component labels, the
+// component count, and a spanning forest, plus this query's incremental
+// cost accounting.
+func (s *Session) Query() (*QueryResult, error) {
+	rs, rounds, err := s.command(hostCmd{kind: cmdQuery})
+	if err != nil {
+		return nil, err
+	}
+	s.queries++
+	res := &QueryResult{Labels: make([]uint64, s.n), Rounds: rounds}
+	converged := true
+	for _, r := range rs {
+		for v, l := range r.labels {
+			res.Labels[v] = l
+		}
+		if r.phases > res.Phases {
+			res.Phases = r.phases
+		}
+		if r.collapseIters > res.CollapseIters {
+			res.CollapseIters = r.collapseIters
+		}
+		res.SketchFailures += r.failures
+		converged = converged && r.converged
+	}
+	r0 := rs[0]
+	res.Components = r0.components
+	res.Forest = r0.forest
+	res.RelabeledVertices = r0.relabeled
+	res.CertificateEdges = r0.certEdges
+	res.MergeEdges = r0.mergeEdges
+	if !converged {
+		return res, ErrNotConverged
+	}
+	return res, nil
+}
+
+// N returns the (fixed) vertex count.
+func (s *Session) N() int { return s.n }
+
+// K returns the machine count.
+func (s *Session) K() int { return s.k }
+
+// Rounds returns the cumulative engine rounds consumed so far (setup
+// included).
+func (s *Session) Rounds() int { return s.lastMaxRound }
+
+// Batches returns the number of batches applied so far.
+func (s *Session) Batches() int { return s.batches }
+
+// Queries returns the number of queries answered so far.
+func (s *Session) Queries() int { return s.queries }
+
+// Close shuts the cluster down and returns the session-wide engine
+// metrics. Further commands return ErrClosed; Close is idempotent.
+func (s *Session) Close() (*sessionMetrics, error) {
+	if !s.closed {
+		s.closed = true
+		s.dispatch(hostCmd{kind: cmdClose})
+	}
+	<-s.done
+	if s.result != nil {
+		return &s.result.Metrics, s.runErr
+	}
+	return nil, s.runErr
+}

@@ -1,0 +1,198 @@
+package dynamic
+
+import (
+	"sort"
+
+	"kmgraph/internal/graph"
+	"kmgraph/internal/sketch"
+)
+
+// dynView is a machine's mutable graph knowledge: the adjacency of its
+// owned vertices, kept current under batched insertions and deletions. It
+// implements core.GraphView, so the shared merge engine consults the live
+// graph when validating sampled edges and answering label queries.
+type dynView struct {
+	n     int
+	id    int
+	home  func(v int) int
+	owned []int
+	adj   map[int][]graph.Half // owned vertex -> sorted adjacency
+}
+
+func newDynView(n, id int, home func(int) int, owned []int, initAdj func(v int) []graph.Half) *dynView {
+	v := &dynView{n: n, id: id, home: home, owned: owned, adj: make(map[int][]graph.Half, len(owned))}
+	for _, u := range owned {
+		v.adj[u] = append([]graph.Half(nil), initAdj(u)...)
+	}
+	return v
+}
+
+// N returns the vertex count.
+func (v *dynView) N() int { return v.n }
+
+// Owned returns this machine's vertices.
+func (v *dynView) Owned() []int { return v.owned }
+
+// Home returns the home machine of any vertex.
+func (v *dynView) Home(x int) int { return v.home(x) }
+
+// Adj returns the current adjacency list of an owned vertex.
+func (v *dynView) Adj(u int) []graph.Half { return v.adj[u] }
+
+func (v *dynView) find(u, to int) (int, bool) {
+	a := v.adj[u]
+	i := sort.Search(len(a), func(i int) bool { return a[i].To >= to })
+	return i, i < len(a) && a[i].To == to
+}
+
+// has reports whether the owned vertex u currently has an edge to `to`.
+func (v *dynView) has(u, to int) bool {
+	_, ok := v.find(u, to)
+	return ok
+}
+
+// insert adds the half-edge u->h, keeping the list sorted. It reports
+// false (and leaves the list unchanged) if the edge is already present.
+func (v *dynView) insert(u int, h graph.Half) bool {
+	i, ok := v.find(u, h.To)
+	if ok {
+		return false
+	}
+	a := v.adj[u]
+	a = append(a, graph.Half{})
+	copy(a[i+1:], a[i:])
+	a[i] = h
+	v.adj[u] = a
+	return true
+}
+
+// remove deletes the half-edge u->to, reporting whether it was present.
+func (v *dynView) remove(u, to int) bool {
+	i, ok := v.find(u, to)
+	if !ok {
+		return false
+	}
+	a := v.adj[u]
+	copy(a[i:], a[i+1:])
+	v.adj[u] = a[:len(a)-1]
+	return true
+}
+
+// bankCache maintains, per component part held on this machine and per
+// sketch bank, the sum of the part members' l0-sketches over the *current*
+// adjacency. Entries are built lazily (a rebuild is free local
+// computation), updated in O(1) per edge op by AddItem's ±1 linearity,
+// merged by sketch addition when components merge, and dropped — to be
+// rebuilt lazily — when the certificate step splits a part.
+type bankCache struct {
+	params sketch.Params
+	seeds  []uint64
+	parts  map[uint64]map[int]*sketch.Sketch // label -> bank -> sum
+}
+
+func newBankCache(params sketch.Params, seeds []uint64) *bankCache {
+	return &bankCache{params: params, seeds: seeds, parts: make(map[uint64]map[int]*sketch.Sketch)}
+}
+
+// get returns the bank sum for a part, building it from the live adjacency
+// on a cache miss.
+func (c *bankCache) get(label uint64, bank int, members []int, view *dynView) *sketch.Sketch {
+	e := c.parts[label]
+	if e == nil {
+		e = make(map[int]*sketch.Sketch)
+		c.parts[label] = e
+	}
+	if sk := e[bank]; sk != nil {
+		return sk
+	}
+	sk := sketch.New(c.params, c.seeds[bank])
+	for _, v := range members {
+		sk.AddVertex(v, view.Adj(v), nil)
+	}
+	e[bank] = sk
+	return sk
+}
+
+// update applies one endpoint's incidence delta to every materialized bank
+// of the endpoint's part: sign follows the a_u convention (+1 when the
+// endpoint is the smaller one), negated for deletions.
+func (c *bankCache) update(label uint64, id uint64, sign int) {
+	if e := c.parts[label]; e != nil {
+		for _, sk := range e {
+			sk.AddItem(id, sign)
+		}
+	}
+}
+
+// drop discards the cached sums of a part (it will rebuild lazily).
+func (c *bankCache) drop(label uint64) { delete(c.parts, label) }
+
+// retain prunes cache keys that are no longer live labels on this machine.
+func (c *bankCache) retain(live map[uint64][]int) {
+	for l := range c.parts {
+		if _, ok := live[l]; !ok {
+			delete(c.parts, l)
+		}
+	}
+}
+
+// mergeRelabel folds cached part sums through an old-label -> root map
+// (invoked before labels are rewritten, so localParts still reflects the
+// old grouping). For each root, the merged bank sum exists only if every
+// local source part has that bank materialized; otherwise the bank is
+// dropped and rebuilt lazily on next use.
+func (c *bankCache) mergeRelabel(relabel map[uint64]uint64, localParts map[uint64][]int) {
+	groups := make(map[uint64][]uint64)
+	for l := range localParts {
+		nl, ok := relabel[l]
+		if !ok {
+			nl = l
+		}
+		groups[nl] = append(groups[nl], l)
+	}
+	next := make(map[uint64]map[int]*sketch.Sketch, len(groups))
+	for nl, srcs := range groups {
+		if len(srcs) == 1 && srcs[0] == nl {
+			if e, ok := c.parts[nl]; ok {
+				next[nl] = e
+			}
+			continue
+		}
+		entries := make([]map[int]*sketch.Sketch, 0, len(srcs))
+		complete := true
+		for _, l := range srcs {
+			e, ok := c.parts[l]
+			if !ok {
+				complete = false
+				break
+			}
+			entries = append(entries, e)
+		}
+		if !complete {
+			continue
+		}
+		merged := make(map[int]*sketch.Sketch)
+		for b, sk := range entries[0] {
+			sum := sk.Clone()
+			all := true
+			for _, e := range entries[1:] {
+				o, ok := e[b]
+				if !ok {
+					all = false
+					break
+				}
+				if err := sum.Add(o); err != nil {
+					all = false
+					break
+				}
+			}
+			if all {
+				merged[b] = sum
+			}
+		}
+		if len(merged) > 0 {
+			next[nl] = merged
+		}
+	}
+	c.parts = next
+}

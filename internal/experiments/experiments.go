@@ -61,6 +61,7 @@ func All() []Experiment {
 	return []Experiment{
 		E1(), E2(), E3(), E4(), E5(), E6(),
 		E7(), E8(), E9(), E10(), E11(), E12(),
+		E13(),
 	}
 }
 

@@ -8,8 +8,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 12 {
-		t.Fatalf("expected 12 experiments, got %d", len(all))
+	if len(all) != 13 {
+		t.Fatalf("expected 13 experiments, got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for i, e := range all {

@@ -1,0 +1,330 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Update-stream generators for the dynamic subsystem: batched sequences of
+// edge insertions and deletions over a fixed vertex set. All generators are
+// deterministic in their seed and emit *clean* streams — when the batches
+// are applied in order, every insertion adds an absent edge and every
+// deletion removes a present one — so streams double as ground truth for
+// the dynamic engine's rejection accounting (rejections only appear when a
+// caller mutates a stream or replays it against the wrong snapshot).
+
+// EdgeOp is one update in a dynamic edge stream.
+type EdgeOp struct {
+	// Del selects deletion; otherwise the op is an insertion.
+	Del bool
+	// U, V are the endpoints (canonical U < V in generator output).
+	U, V int
+	// W is the edge weight (insertions only; 1 for unweighted streams).
+	W int64
+}
+
+// Canon returns op with endpoints swapped if necessary so that U < V.
+func (op EdgeOp) Canon() EdgeOp {
+	if op.U > op.V {
+		op.U, op.V = op.V, op.U
+	}
+	return op
+}
+
+func (op EdgeOp) String() string {
+	if op.Del {
+		return fmt.Sprintf("-(%d,%d)", op.U, op.V)
+	}
+	return fmt.Sprintf("+(%d,%d,w%d)", op.U, op.V, op.W)
+}
+
+// Stream is a batched update stream: an initial n-vertex graph followed by
+// batches of edge operations.
+type Stream struct {
+	// N is the (fixed) vertex count.
+	N int
+	// Initial is the graph the session starts from.
+	Initial *Graph
+	// Batches are the update batches, to be applied in order.
+	Batches [][]EdgeOp
+}
+
+// ApplyOps returns g after applying ops in order with the dynamic engine's
+// semantics: inserting a present edge and deleting an absent one are
+// no-ops. The returned graph is the oracle snapshot for validating dynamic
+// query answers.
+func ApplyOps(g *Graph, ops []EdgeOp) *Graph {
+	live := make(map[uint64]int64, g.M())
+	for _, e := range g.Edges() {
+		live[EdgeID(e.U, e.V, g.N())] = e.W
+	}
+	for _, op := range ops {
+		op = op.Canon()
+		if op.U == op.V || op.U < 0 || op.V >= g.N() {
+			continue
+		}
+		id := EdgeID(op.U, op.V, g.N())
+		if op.Del {
+			delete(live, id)
+		} else if _, dup := live[id]; !dup {
+			live[id] = op.W
+		}
+	}
+	b := NewBuilder(g.N())
+	for id, w := range live {
+		u, v := DecodeEdgeID(id, g.N())
+		b.AddEdge(u, v, w)
+	}
+	return b.Build()
+}
+
+// Snapshots returns the graph after each batch of s, starting from
+// Initial: Snapshots()[i] is the state the i-th query sees.
+func (s *Stream) Snapshots() []*Graph {
+	out := make([]*Graph, len(s.Batches))
+	g := s.Initial
+	for i, ops := range s.Batches {
+		g = ApplyOps(g, ops)
+		out[i] = g
+	}
+	return out
+}
+
+// edgeSet tracks a set of live edges supporting O(1) uniform sampling and
+// deletion (slice + index map).
+type edgeSet struct {
+	n     int
+	ids   []uint64
+	index map[uint64]int
+}
+
+func newEdgeSet(n int) *edgeSet {
+	return &edgeSet{n: n, index: make(map[uint64]int)}
+}
+
+func (s *edgeSet) has(id uint64) bool { _, ok := s.index[id]; return ok }
+
+func (s *edgeSet) add(id uint64) {
+	s.index[id] = len(s.ids)
+	s.ids = append(s.ids, id)
+}
+
+func (s *edgeSet) remove(id uint64) {
+	i := s.index[id]
+	last := len(s.ids) - 1
+	s.ids[i] = s.ids[last]
+	s.index[s.ids[i]] = i
+	s.ids = s.ids[:last]
+	delete(s.index, id)
+}
+
+// randomPresent returns a uniform live edge id (len(ids) must be > 0).
+func (s *edgeSet) randomPresent(rng *rand.Rand) uint64 {
+	return s.ids[rng.Intn(len(s.ids))]
+}
+
+// randomAbsent returns a uniform absent pair by rejection sampling.
+func (s *edgeSet) randomAbsent(rng *rand.Rand) (int, int, bool) {
+	if s.n < 2 {
+		return 0, 0, false
+	}
+	maxPairs := s.n * (s.n - 1) / 2
+	for tries := 0; tries < 64; tries++ {
+		u := rng.Intn(s.n)
+		v := rng.Intn(s.n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if !s.has(EdgeID(u, v, s.n)) {
+			return u, v, true
+		}
+	}
+	// Dense fallback: the graph is nearly complete; scan for a gap.
+	if len(s.ids) >= maxPairs {
+		return 0, 0, false
+	}
+	for u := 0; u < s.n; u++ {
+		for v := u + 1; v < s.n; v++ {
+			if !s.has(EdgeID(u, v, s.n)) {
+				return u, v, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+func setFromGraph(g *Graph) *edgeSet {
+	s := newEdgeSet(g.N())
+	for _, e := range g.Edges() {
+		s.add(EdgeID(e.U, e.V, g.N()))
+	}
+	return s
+}
+
+// RandomChurnStream generates the steady-state churn workload: an initial
+// G(n, m0) graph followed by batches in which each op deletes a uniformly
+// random live edge with probability delFrac and inserts a uniformly random
+// absent pair otherwise. With delFrac = 0.5 the edge count performs a
+// random walk around m0 — the "1% churn" serving pattern.
+func RandomChurnStream(n, m0, batches, batchSize int, delFrac float64, seed int64) *Stream {
+	rng := rand.New(rand.NewSource(seed ^ 0x5742ea11))
+	initial := GNM(n, m0, seed^0x77)
+	live := setFromGraph(initial)
+	st := &Stream{N: n, Initial: initial}
+	for b := 0; b < batches; b++ {
+		var ops []EdgeOp
+		for i := 0; i < batchSize; i++ {
+			if len(live.ids) > 0 && rng.Float64() < delFrac {
+				id := live.randomPresent(rng)
+				u, v := DecodeEdgeID(id, n)
+				live.remove(id)
+				ops = append(ops, EdgeOp{Del: true, U: u, V: v})
+				continue
+			}
+			u, v, ok := live.randomAbsent(rng)
+			if !ok {
+				continue
+			}
+			live.add(EdgeID(u, v, n))
+			ops = append(ops, EdgeOp{U: u, V: v, W: 1})
+		}
+		st.Batches = append(st.Batches, ops)
+	}
+	return st
+}
+
+// SlidingWindowStream generates the time-decay workload: random edges
+// arrive batchSize at a time, and every edge expires after it has been live
+// for `window` arrivals — each batch inserts the new arrivals and deletes
+// the expired ones. Initial is the first window of arrivals, so the session
+// starts warm.
+func SlidingWindowStream(n, window, batches, batchSize int, seed int64) *Stream {
+	rng := rand.New(rand.NewSource(seed ^ 0x3317d0))
+	live := newEdgeSet(n)
+	var fifo []uint64 // arrival order of live edges
+	arrive := func() (uint64, bool) {
+		u, v, ok := live.randomAbsent(rng)
+		if !ok {
+			return 0, false
+		}
+		id := EdgeID(u, v, n)
+		live.add(id)
+		fifo = append(fifo, id)
+		return id, true
+	}
+
+	b := NewBuilder(n)
+	for i := 0; i < window; i++ {
+		if id, ok := arrive(); ok {
+			u, v := DecodeEdgeID(id, n)
+			b.AddEdge(u, v, 1)
+		}
+	}
+	st := &Stream{N: n, Initial: b.Build()}
+
+	for bt := 0; bt < batches; bt++ {
+		var ops []EdgeOp
+		for i := 0; i < batchSize; i++ {
+			if id, ok := arrive(); ok {
+				u, v := DecodeEdgeID(id, n)
+				ops = append(ops, EdgeOp{U: u, V: v, W: 1})
+			}
+		}
+		for len(fifo) > window {
+			id := fifo[0]
+			fifo = fifo[1:]
+			u, v := DecodeEdgeID(id, n)
+			live.remove(id)
+			ops = append(ops, EdgeOp{Del: true, U: u, V: v})
+		}
+		st.Batches = append(st.Batches, ops)
+	}
+	return st
+}
+
+// SplitMergeStream generates the component-split/merge adversary: the
+// vertex set is divided into `comps` blocks, each internally wired as a
+// random tree plus shortcut edges, and adjacent blocks are joined by single
+// bridge edges — so connectivity hinges entirely on the bridges, which are
+// spanning-forest edges of every certificate. Odd batches delete all
+// current bridges (splitting one component into `comps`), even batches
+// re-insert fresh random bridges (merging them back). This is the worst
+// case for incremental engines that only reuse clean components.
+func SplitMergeStream(n, comps, batches int, seed int64) *Stream {
+	if comps < 2 {
+		panic("graph: SplitMergeStream needs comps >= 2")
+	}
+	if n < 2*comps {
+		panic("graph: SplitMergeStream needs n >= 2*comps")
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x59117))
+	blockOf := func(v int) int { return v * comps / n }
+	blockRange := func(c int) (lo, hi int) {
+		// Inverse of blockOf's balanced split.
+		lo = (c*n + comps - 1) / comps
+		for blockOf(lo) != c {
+			lo++
+		}
+		hi = lo
+		for hi < n && blockOf(hi) == c {
+			hi++
+		}
+		return lo, hi
+	}
+
+	b := NewBuilder(n)
+	for c := 0; c < comps; c++ {
+		lo, hi := blockRange(c)
+		for v := lo + 1; v < hi; v++ {
+			b.AddEdge(lo+rng.Intn(v-lo), v, 1) // random recursive tree
+		}
+		for t := 0; t < (hi-lo)/2; t++ { // shortcut edges
+			u := lo + rng.Intn(hi-lo)
+			v := lo + rng.Intn(hi-lo)
+			b.TryAddEdge(u, v, 1)
+		}
+	}
+	randBridge := func(c int) (int, int) {
+		lo0, hi0 := blockRange(c)
+		lo1, hi1 := blockRange(c + 1)
+		return lo0 + rng.Intn(hi0-lo0), lo1 + rng.Intn(hi1-lo1)
+	}
+	bridges := make([][2]int, comps-1)
+	for c := 0; c+1 < comps; c++ {
+		u, v := randBridge(c)
+		for b.Has(u, v) {
+			u, v = randBridge(c)
+		}
+		b.AddEdge(u, v, 1)
+		bridges[c] = [2]int{u, v}
+	}
+	st := &Stream{N: n, Initial: b.Build()}
+	present := setFromGraph(st.Initial)
+
+	for bt := 0; bt < batches; bt++ {
+		var ops []EdgeOp
+		if bt%2 == 0 {
+			// Split: delete every current bridge.
+			for _, br := range bridges {
+				ops = append(ops, EdgeOp{Del: true, U: br[0], V: br[1]}.Canon())
+				present.remove(EdgeID(br[0], br[1], n))
+			}
+		} else {
+			// Merge: re-insert fresh random bridges.
+			for c := 0; c+1 < comps; c++ {
+				u, v := randBridge(c)
+				for present.has(EdgeID(u, v, n)) {
+					u, v = randBridge(c)
+				}
+				bridges[c] = [2]int{u, v}
+				ops = append(ops, EdgeOp{U: u, V: v, W: 1}.Canon())
+				present.add(EdgeID(u, v, n))
+			}
+		}
+		st.Batches = append(st.Batches, ops)
+	}
+	return st
+}

@@ -1,0 +1,121 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+// assertClean replays the stream and checks every op applies cleanly:
+// inserts add absent edges, deletes remove present ones.
+func assertClean(t *testing.T, s *Stream) {
+	t.Helper()
+	live := make(map[uint64]bool)
+	for _, e := range s.Initial.Edges() {
+		live[EdgeID(e.U, e.V, s.N)] = true
+	}
+	for bi, ops := range s.Batches {
+		for oi, op := range ops {
+			if op.U < 0 || op.V < 0 || op.U >= s.N || op.V >= s.N || op.U == op.V {
+				t.Fatalf("batch %d op %d: invalid endpoints %v", bi, oi, op)
+			}
+			op = op.Canon()
+			id := EdgeID(op.U, op.V, s.N)
+			if op.Del {
+				if !live[id] {
+					t.Fatalf("batch %d op %d: delete of absent edge %v", bi, oi, op)
+				}
+				delete(live, id)
+			} else {
+				if live[id] {
+					t.Fatalf("batch %d op %d: duplicate insert %v", bi, oi, op)
+				}
+				live[id] = true
+			}
+		}
+	}
+}
+
+func TestRandomChurnStreamClean(t *testing.T) {
+	s := RandomChurnStream(200, 600, 8, 40, 0.5, 7)
+	if s.Initial.M() != 600 {
+		t.Fatalf("initial edges = %d, want 600", s.Initial.M())
+	}
+	if len(s.Batches) != 8 {
+		t.Fatalf("batches = %d, want 8", len(s.Batches))
+	}
+	assertClean(t, s)
+}
+
+func TestRandomChurnStreamDeterministic(t *testing.T) {
+	a := RandomChurnStream(100, 300, 5, 20, 0.4, 42)
+	b := RandomChurnStream(100, 300, 5, 20, 0.4, 42)
+	if !reflect.DeepEqual(a.Batches, b.Batches) {
+		t.Fatal("same seed produced different batches")
+	}
+	c := RandomChurnStream(100, 300, 5, 20, 0.4, 43)
+	if reflect.DeepEqual(a.Batches, c.Batches) {
+		t.Fatal("different seeds produced identical batches")
+	}
+}
+
+func TestSlidingWindowStream(t *testing.T) {
+	window, batchSize := 300, 50
+	s := SlidingWindowStream(150, window, 6, batchSize, 11)
+	if s.Initial.M() != window {
+		t.Fatalf("initial edges = %d, want %d", s.Initial.M(), window)
+	}
+	assertClean(t, s)
+	// After every batch the live set is exactly the window size.
+	for i, g := range s.Snapshots() {
+		if g.M() != window {
+			t.Fatalf("after batch %d: %d live edges, want %d", i, g.M(), window)
+		}
+	}
+}
+
+func TestSplitMergeStream(t *testing.T) {
+	comps := 4
+	s := SplitMergeStream(120, comps, 6, 3)
+	assertClean(t, s)
+	if _, c := Components(s.Initial); c != 1 {
+		t.Fatalf("initial components = %d, want 1", c)
+	}
+	for i, g := range s.Snapshots() {
+		_, c := Components(g)
+		want := 1
+		if i%2 == 0 {
+			want = comps // split batches disconnect the blocks
+		}
+		if c != want {
+			t.Fatalf("after batch %d: components = %d, want %d", i, c, want)
+		}
+	}
+}
+
+func TestApplyOpsSemantics(t *testing.T) {
+	g := Path(4) // 0-1-2-3
+	ops := []EdgeOp{
+		{Del: true, U: 1, V: 2}, // split
+		{U: 0, V: 3, W: 5},      // reconnect
+		{U: 0, V: 1, W: 9},      // duplicate insert: no-op
+		{Del: true, U: 0, V: 2}, // delete absent: no-op
+		{Del: true, U: 3, V: 0}, // non-canonical delete of (0,3)
+		{U: 2, V: 1, W: 7},      // reinsert previously deleted edge
+	}
+	got := ApplyOps(g, ops)
+	if got.M() != 3 {
+		t.Fatalf("edges = %d, want 3", got.M())
+	}
+	if w, ok := got.Weight(0, 1); !ok || w != 1 {
+		t.Fatalf("weight(0,1) = %d,%v; duplicate insert must not overwrite", w, ok)
+	}
+	if w, ok := got.Weight(1, 2); !ok || w != 7 {
+		t.Fatalf("weight(1,2) = %d,%v, want 7", w, ok)
+	}
+	if got.HasEdge(0, 3) {
+		t.Fatal("edge (0,3) should have been re-deleted")
+	}
+	if _, c := Components(got); c != 1 {
+		t.Fatalf("components = %d, want 1", c)
+	}
+}

@@ -103,6 +103,8 @@ type event struct {
 	id     int
 	outbox []Message
 	done   bool
+	park   bool
+	unpark bool
 	err    error
 	output any
 }
@@ -163,6 +165,24 @@ func (c *Ctx) Broadcast(data []byte) {
 }
 
 type abortPanic struct{}
+
+// Park withdraws this machine from the round barrier: the cluster keeps
+// advancing rounds without it, and messages addressed to it are buffered
+// for its next Step. Park lets a machine idle on external input (the
+// dynamic subsystem's command channel) without stalling machines that are
+// still draining in-flight deliveries — and, once every machine is parked,
+// the cluster is quiescent and no rounds pass at all. Any Sends still
+// queued (a collective can complete without a final Step when all its
+// frames pre-arrived) are submitted with the park event, exactly as a
+// Step or handler return would submit them. Call Unpark before
+// communicating again.
+func (c *Ctx) Park() {
+	c.evCh <- event{id: c.id, outbox: c.outbox, park: true}
+	c.outbox = nil
+}
+
+// Unpark re-enters the machine into the round barrier after a Park.
+func (c *Ctx) Unpark() { c.evCh <- event{id: c.id, unpark: true} }
 
 // Step ends the current round and blocks until the coordinator advances
 // the cluster. It returns the messages whose transmission completed this
@@ -230,15 +250,69 @@ func (c *Cluster) Run(h Handler) (*Result, error) {
 	met := newMetrics(k)
 	res := &Result{Outputs: make([]any, k)}
 	queues := make([][]queued, k*k) // [src*k + dst]
+	pendingInbox := make([][]Message, k)
+	parked := make([]bool, k)
+	nParked := 0
 	var firstErr error
 	running := k
 	aborting := false
 
+	anyQueued := func() bool {
+		for _, q := range queues {
+			if len(q) > 0 {
+				return true
+			}
+		}
+		return false
+	}
+
 	for running > 0 {
-		// Barrier: one event per running machine.
+		// Barrier: one event per running non-parked machine. Park/unpark
+		// events adjust the barrier size as they arrive.
 		evs := make([]event, 0, running)
-		for len(evs) < running {
-			evs = append(evs, <-evCh)
+		need := running - nParked
+		handle := func(e event) {
+			switch {
+			case e.park:
+				for _, m := range e.outbox {
+					queues[m.Src*k+m.Dst] = append(queues[m.Src*k+m.Dst], queued{msg: m})
+					met.SentMsgs[m.Src]++
+				}
+				parked[e.id] = true
+				nParked++
+			case e.unpark:
+				parked[e.id] = false
+				nParked--
+			default:
+				if e.done && parked[e.id] {
+					// A machine may return while parked; un-mark it so the
+					// barrier arithmetic stays consistent (the slot this
+					// event fills is the one the un-marking adds).
+					parked[e.id] = false
+					nParked--
+				}
+				evs = append(evs, e)
+			}
+			need = running - nParked
+		}
+		if aborting && running == nParked {
+			// Every survivor is parked on external input and will never
+			// observe the abort; end the run rather than hang.
+			if firstErr == nil {
+				firstErr = ErrMaxRounds
+			}
+			break
+		}
+		if need == 0 && !anyQueued() {
+			// Fully quiescent: every machine is parked and no bits are in
+			// flight. Block (without burning rounds) until one re-enters.
+			handle(<-evCh)
+			if len(evs) == 0 {
+				continue
+			}
+		}
+		for len(evs) < need {
+			handle(<-evCh)
 		}
 		sort.Slice(evs, func(i, j int) bool { return evs[i].id < evs[j].id })
 
@@ -260,6 +334,10 @@ func (c *Cluster) Run(h Handler) (*Result, error) {
 		}
 		if running == 0 {
 			break
+		}
+		if len(evs) == 0 && !anyQueued() {
+			// Only park/unpark churn: nothing to transmit, no round passes.
+			continue
 		}
 
 		// Transmit one round on every directed link.
@@ -304,9 +382,18 @@ func (c *Cluster) Run(h Handler) (*Result, error) {
 			aborting = true
 		}
 		for id := 0; id < k; id++ {
-			if stepped[id] {
-				ctxs[id].inCh <- delivery{msgs: inbox[id], abort: aborting}
-			} else if len(inbox[id]) > 0 {
+			switch {
+			case stepped[id]:
+				msgs := inbox[id]
+				if len(pendingInbox[id]) > 0 {
+					msgs = append(pendingInbox[id], msgs...)
+					pendingInbox[id] = nil
+				}
+				ctxs[id].inCh <- delivery{msgs: msgs, abort: aborting}
+			case parked[id]:
+				// Buffer for the machine's next Step after it unparks.
+				pendingInbox[id] = append(pendingInbox[id], inbox[id]...)
+			case len(inbox[id]) > 0:
 				met.DroppedMessages += len(inbox[id])
 				for _, m := range inbox[id] {
 					met.DroppedBytes += int64(len(m.Data))
@@ -318,11 +405,19 @@ func (c *Cluster) Run(h Handler) (*Result, error) {
 		}
 	}
 
-	// Undelivered queue remnants are protocol bugs; surface them.
+	// Undelivered queue remnants (including buffers for machines that
+	// returned while their deliveries were parked) are protocol bugs;
+	// surface them.
 	for _, q := range queues {
 		for _, qm := range q {
 			met.DroppedMessages++
 			met.DroppedBytes += int64(len(qm.msg.Data))
+		}
+	}
+	for _, p := range pendingInbox {
+		for _, m := range p {
+			met.DroppedMessages++
+			met.DroppedBytes += int64(len(m.Data))
 		}
 	}
 	met.finish()

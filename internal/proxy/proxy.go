@@ -375,3 +375,11 @@ func (s *Shared) Rank(phase int, label uint64) uint64 {
 func (s *Shared) SketchSeed(phase, iter int) uint64 {
 	return hashing.Hash3(s.seed^0x5e7c, uint64(phase), uint64(iter))
 }
+
+// BankSeed derives the shared seed of persistent sketch bank b: the
+// session-long linear projections the dynamic subsystem maintains
+// incrementally under edge churn (static runs instead draw fresh per-phase
+// seeds via SketchSeed). The namespace is disjoint from SketchSeed's.
+func (s *Shared) BankSeed(b int) uint64 {
+	return hashing.Hash3(s.seed^0xd1ba9c, 0x5e551011, uint64(b))
+}

@@ -182,6 +182,11 @@ func (s *Sketch) AddVertex(u int, adj []graph.Half, filter func(u int, h graph.H
 	}
 }
 
+// Clone returns an independent deep copy of s (same shape and seed).
+func (s *Sketch) Clone() *Sketch {
+	return &Sketch{p: s.p, seed: s.seed, zbase: s.zbase, cells: append([]cell(nil), s.cells...)}
+}
+
 // Add accumulates other into s (vector addition). Shapes and seeds must
 // match; this is the linearity that merges component parts (Lemma 2).
 func (s *Sketch) Add(other *Sketch) error {

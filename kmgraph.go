@@ -15,6 +15,10 @@
 //   - Baselines (flooding, referee, GHS-style edge checking), the REP
 //     partition model, a congested-clique conversion simulator, and the
 //     Theorem 5 lower-bound harness.
+//   - A dynamic-graph subsystem: batched edge insert/delete streams with
+//     incrementally maintained linear sketches, answering connectivity /
+//     component-count / spanning-forest queries between batches at a
+//     fraction of a static re-run's rounds (NewDynamic, cmd/kmstream).
 //   - A deterministic k-machine engine with per-link bandwidth accounting,
 //     so every reported cost is the model's round complexity.
 //
@@ -33,6 +37,7 @@ import (
 	"kmgraph/internal/baseline"
 	"kmgraph/internal/congested"
 	"kmgraph/internal/core"
+	"kmgraph/internal/dynamic"
 	"kmgraph/internal/experiments"
 	"kmgraph/internal/graph"
 	"kmgraph/internal/kmachine"
@@ -140,6 +145,57 @@ func MST(g *Graph, cfg MSTConfig) (*MSTResult, error) { return core.RunMST(g, cf
 // Implemented as MST over unit weights.
 func SpanningTree(g *Graph, cfg Config) (*MSTResult, error) {
 	return core.RunMST(g, core.MSTConfig{Config: cfg})
+}
+
+// EdgeOp is one update (insertion or deletion) in a dynamic edge stream.
+type EdgeOp = graph.EdgeOp
+
+// UpdateStream is a batched update stream: an initial graph plus batches
+// of edge operations, for replay against a dynamic session.
+type UpdateStream = graph.Stream
+
+// Update-stream generators and helpers (all deterministic in their seed).
+var (
+	// RandomChurnStream mixes random insertions and deletions around an
+	// initial G(n, m0) graph (the steady-state serving workload).
+	RandomChurnStream = graph.RandomChurnStream
+	// SlidingWindowStream inserts arriving edges and expires old ones
+	// (the time-decay workload).
+	SlidingWindowStream = graph.SlidingWindowStream
+	// SplitMergeStream alternately deletes and re-inserts the bridges
+	// joining component blocks (the forest-deletion adversary).
+	SplitMergeStream = graph.SplitMergeStream
+	// ApplyOps replays a batch onto an immutable snapshot (oracle side).
+	ApplyOps = graph.ApplyOps
+)
+
+// DynamicConfig parameterizes a dynamic session.
+type DynamicConfig = dynamic.Config
+
+// Dynamic is a live dynamic-graph session: the graph stays resident
+// across the k-machine cluster, per-part linear sketches are maintained
+// incrementally under batched edge insertions and deletions (AddItem's ±1
+// linearity), and connectivity/component-count/spanning-forest queries
+// between batches re-run only the merge/DRR phases from a certificate of
+// the previous answer.
+type Dynamic = dynamic.Session
+
+// BatchResult reports one applied update batch.
+type BatchResult = dynamic.BatchResult
+
+// QueryResult reports one dynamic connectivity query.
+type QueryResult = dynamic.QueryResult
+
+// ErrNotConverged is returned by Dynamic.Query when merge phases exhaust
+// the per-query cap (persistent sketch failures); the session stays
+// usable.
+var ErrNotConverged = dynamic.ErrNotConverged
+
+// NewDynamic starts a dynamic session on g across cfg.K machines. The
+// static Connectivity algorithm is the degenerate case: a fresh session's
+// first Query runs the same merge phases from singleton labels.
+func NewDynamic(g *Graph, cfg DynamicConfig) (*Dynamic, error) {
+	return dynamic.NewSession(g, cfg)
 }
 
 // MinCutConfig parameterizes the approximate min-cut.

@@ -108,9 +108,42 @@ func TestFacadeConversion(t *testing.T) {
 	}
 }
 
+func TestFacadeDynamic(t *testing.T) {
+	stream := RandomChurnStream(200, 500, 3, 20, 0.5, 9)
+	sess, err := NewDynamic(stream.Initial, DynamicConfig{K: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if _, err := sess.Query(); err != nil {
+		t.Fatal(err)
+	}
+	snap := stream.Initial
+	for i, ops := range stream.Batches {
+		br, err := sess.ApplyBatch(ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if br.Applied != len(ops) {
+			t.Fatalf("batch %d: applied %d of %d", i, br.Applied, len(ops))
+		}
+		snap = ApplyOps(snap, ops)
+		q, err := sess.Query()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, count := ComponentsOracle(snap); q.Components != count {
+			t.Fatalf("batch %d: %d components, oracle %d", i, q.Components, count)
+		}
+		if len(q.Forest) != snap.N()-q.Components {
+			t.Fatalf("batch %d: forest size %d", i, len(q.Forest))
+		}
+	}
+}
+
 func TestFacadeExperimentsRegistry(t *testing.T) {
-	if len(AllExperiments()) != 12 {
-		t.Error("expected 12 experiments")
+	if len(AllExperiments()) != 13 {
+		t.Error("expected 13 experiments")
 	}
 	if _, err := ExperimentByID("E1"); err != nil {
 		t.Error(err)
