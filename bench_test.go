@@ -7,6 +7,7 @@ package kmgraph
 // result end to end; `cmd/kmbench` prints the full tables.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 )
@@ -113,7 +114,7 @@ func benchDynamicBatch(b *testing.B, delFrac float64) {
 	stream := RandomChurnStream(n, m, b.N, 30, delFrac, 7)
 	// MaxRounds is cumulative over the resident session; lift the default
 	// cap so arbitrarily long -benchtime runs don't trip it.
-	sess, err := NewDynamic(stream.Initial, DynamicConfig{K: k, Seed: 7, MaxRounds: 1 << 60})
+	sess, err := NewDynamic(stream.Initial, DynamicConfig{K: k, Seed: 7, MaxRounds: 1 << 30})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -144,6 +145,54 @@ func BenchmarkDynamicBatchInsertOnly(b *testing.B) { benchDynamicBatch(b, 0) }
 func BenchmarkDynamicBatchMixedChurn(b *testing.B) { benchDynamicBatch(b, 0.5) }
 
 func BenchmarkDynamicBatchDeleteHeavy(b *testing.B) { benchDynamicBatch(b, 0.9) }
+
+// The Cluster-reuse benchmark pair: clusterReuseJobs connectivity
+// questions answered (a) as jobs on one resident Cluster — the graph is
+// loaded and partitioned once, and queries after the first run
+// incrementally — versus (b) as independent one-shot Connectivity calls,
+// each building a cluster, re-partitioning, and re-running from
+// singletons. Both report mean engine rounds per question alongside
+// wall-clock; EXPERIMENTS.md records the measured gap.
+const clusterReuseJobs = 8
+
+func BenchmarkClusterReuseResident(b *testing.B) {
+	g := GNM(1024, 3072, 7)
+	ctx := context.Background()
+	b.ReportAllocs()
+	rounds := 0
+	for i := 0; i < b.N; i++ {
+		c, err := NewCluster(g, WithK(8), WithSeed(7), WithMaxRounds(1<<30))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < clusterReuseJobs; j++ {
+			q, err := c.Connectivity(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rounds += q.Rounds
+		}
+		rounds += c.Metrics().LoadRounds
+		c.Close()
+	}
+	b.ReportMetric(float64(rounds)/float64(b.N*clusterReuseJobs), "rounds/job")
+}
+
+func BenchmarkClusterReuseOneShot(b *testing.B) {
+	g := GNM(1024, 3072, 7)
+	b.ReportAllocs()
+	rounds := 0
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < clusterReuseJobs; j++ {
+			r, err := Connectivity(g, Config{K: 8, Seed: 7})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rounds += r.Metrics.Rounds
+		}
+	}
+	b.ReportMetric(float64(rounds)/float64(b.N*clusterReuseJobs), "rounds/job")
+}
 
 func BenchmarkFloodingBaseline(b *testing.B) {
 	g := GNM(1024, 3072, 1)

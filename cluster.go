@@ -1,0 +1,237 @@
+// The resident Cluster API: load a graph onto k machines once, then run
+// every algorithm family as a cancellable job against that residency.
+// This is the library's serving front door; the one-shot free functions
+// (Connectivity, MST, ApproxMinCut, Verify*) remain as single-run
+// wrappers for experiments and ablations.
+
+package kmgraph
+
+import (
+	"context"
+
+	"kmgraph/internal/resident"
+	"kmgraph/internal/sketch"
+)
+
+// DefaultClusterK is the machine count NewCluster uses when WithK is not
+// given.
+const DefaultClusterK = 8
+
+// Cluster is a resident k-machine cluster: NewCluster loads and
+// partitions the graph exactly once, and every method call is a job
+// served by that residency — no per-call cluster construction, no graph
+// re-distribution. Jobs are serialized through an internal queue, so a
+// Cluster is safe for concurrent use; every job accepts a
+// context.Context and a cancelled job stops at the next phase boundary
+// without wedging the cluster.
+//
+// The residency keeps incremental state between jobs: maintained sketch
+// banks and a certificate forest make Connectivity after ApplyBatch far
+// cheaper than a static re-run, and Metrics() proves the load phase is
+// paid exactly once.
+type Cluster struct {
+	e *resident.Engine
+}
+
+// ClusterOption configures NewCluster (functional options replacing the
+// per-algorithm Config structs of the one-shot API).
+type ClusterOption func(*resident.Config)
+
+// WithK sets the machine count (default DefaultClusterK).
+func WithK(k int) ClusterOption { return func(c *resident.Config) { c.K = k } }
+
+// WithSeed sets the seed driving the vertex partition and all coins.
+func WithSeed(seed int64) ClusterOption { return func(c *resident.Config) { c.Seed = seed } }
+
+// WithBandwidth sets the per-link per-round bit budget (default
+// DefaultBandwidth(n)).
+func WithBandwidth(bits int) ClusterOption {
+	return func(c *resident.Config) { c.BandwidthBits = bits }
+}
+
+// WithMessageOverhead sets the per-message framing bits (default 64).
+func WithMessageOverhead(bits int) ClusterOption {
+	return func(c *resident.Config) { c.MessageOverheadBits = bits }
+}
+
+// WithMaxPhases caps Boruvka phases per job (default 12·ceil(log2 n)+4).
+func WithMaxPhases(p int) ClusterOption {
+	return func(c *resident.Config) { c.MaxPhasesPerQuery = p }
+}
+
+// WithBanks sets the number of persistent sketch banks (default
+// 2·ceil(log2 n)+4).
+func WithBanks(b int) ClusterOption { return func(c *resident.Config) { c.Banks = b } }
+
+// WithSketchParams overrides the sketch dimensions (default
+// sketch defaults for n).
+func WithSketchParams(p SketchParams) ClusterOption {
+	return func(c *resident.Config) { c.Sketch = p }
+}
+
+// WithCollapseLevelWise selects the paper-exact O(depth) tree collapse
+// (ablation E10).
+func WithCollapseLevelWise() ClusterOption {
+	return func(c *resident.Config) { c.CollapseLevelWise = true }
+}
+
+// WithCoinMerge selects the footnote-9 coin merge rule.
+func WithCoinMerge() ClusterOption { return func(c *resident.Config) { c.CoinMerge = true } }
+
+// WithFaithfulRandomness distributes shared random bits in-model and
+// drives proxy selection through the d-wise independent family (§2.2).
+func WithFaithfulRandomness() ClusterOption {
+	return func(c *resident.Config) { c.FaithfulRandomness = true }
+}
+
+// WithMaxRounds caps cumulative engine rounds for the whole session
+// (default 5,000,000).
+func WithMaxRounds(r int) ClusterOption { return func(c *resident.Config) { c.MaxRounds = r } }
+
+// WithMaxElimIters caps MST elimination iterations per phase (default
+// 2·ceil(log2 n)+8).
+func WithMaxElimIters(i int) ClusterOption {
+	return func(c *resident.Config) { c.MaxElimIters = i }
+}
+
+// WithObserver registers a per-phase progress hook: job start/done events
+// and one event per merge phase with the cluster round counter, active
+// component count, and failure count. The hook runs on engine goroutines
+// between metered rounds; it must be fast and goroutine-safe.
+func WithObserver(fn func(ClusterEvent)) ClusterOption {
+	return func(c *resident.Config) { c.Observer = fn }
+}
+
+// SketchParams fixes sketch dimensions (see WithSketchParams).
+type SketchParams = sketch.Params
+
+// ClusterEvent is a progress notification from a Cluster observer.
+type ClusterEvent = resident.Event
+
+// ClusterMetrics is a Cluster's cumulative cost accounting, split into
+// the one-time load and the running total.
+type ClusterMetrics = resident.Metrics
+
+// Problem identifies a Theorem 4 verification problem for Cluster.Verify.
+type Problem = resident.Problem
+
+// The eight verification problems (Theorem 4).
+const (
+	ProblemSpanningConnectedSubgraph = resident.SpanningConnectedSubgraph
+	ProblemCut                       = resident.CutVerification
+	ProblemSTConnectivity            = resident.STConnectivity
+	ProblemEdgeOnAllPaths            = resident.EdgeOnAllPaths
+	ProblemSTCut                     = resident.STCutVerification
+	ProblemBipartiteness             = resident.Bipartiteness
+	ProblemCycleContainment          = resident.CycleContainment
+	ProblemECycleContainment         = resident.ECycleContainment
+)
+
+// VerifyArgs carries the per-problem arguments of Cluster.Verify.
+type VerifyArgs = resident.VerifyArgs
+
+// ErrClusterClosed is returned by jobs submitted to a closed Cluster.
+var ErrClusterClosed = resident.ErrClosed
+
+// NewCluster loads g across a resident k-machine cluster (one graph
+// distribution, metered as Metrics().Load) and returns the job interface.
+// Close it when done.
+func NewCluster(g *Graph, opts ...ClusterOption) (*Cluster, error) {
+	cfg := resident.Config{K: DefaultClusterK}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	e, err := resident.New(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{e: e}, nil
+}
+
+// Connectivity answers components/labels/spanning-forest on the current
+// graph (Theorem 1 as a resident job). The first call costs about a
+// static run; calls after ApplyBatch run incrementally from the
+// certificate and maintained banks.
+func (c *Cluster) Connectivity(ctx context.Context) (*QueryResult, error) {
+	return c.e.Query(ctx)
+}
+
+// SpanningTree returns a spanning forest of the current graph — the ST
+// corollary the paper highlights as breaking the Ω̃(n/k) barrier —
+// served from the residency's certificate-backed connectivity query.
+func (c *Cluster) SpanningTree(ctx context.Context) (*QueryResult, error) {
+	return c.e.Query(ctx)
+}
+
+// MSTOption configures a Cluster MST job.
+type MSTOption func(*mstJobOpts)
+
+type mstJobOpts struct{ strong bool }
+
+// StrongOutput selects the Theorem 2(b) output criterion: every MST edge
+// is delivered to both endpoints' home machines.
+func StrongOutput() MSTOption { return func(o *mstJobOpts) { o.strong = true } }
+
+// MST constructs the minimum spanning forest of the current graph
+// (Theorem 2) against the residency.
+func (c *Cluster) MST(ctx context.Context, opts ...MSTOption) (*MSTResult, error) {
+	var o mstJobOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return c.e.MST(ctx, o.strong)
+}
+
+// MinCutOption configures a Cluster ApproxMinCut job.
+type MinCutOption func(*minCutJobOpts)
+
+type minCutJobOpts struct{ trials, maxLevel int }
+
+// WithTrials sets the independent samples per level (default 3).
+func WithTrials(t int) MinCutOption { return func(o *minCutJobOpts) { o.trials = t } }
+
+// WithMaxLevel caps the sampling levels (default 40).
+func WithMaxLevel(l int) MinCutOption { return func(o *minCutJobOpts) { o.maxLevel = l } }
+
+// ApproxMinCut estimates the edge connectivity of the current graph
+// within an O(log n) factor (Theorem 3), each sampling trial a
+// connectivity run on the residency.
+func (c *Cluster) ApproxMinCut(ctx context.Context, opts ...MinCutOption) (*MinCutResult, error) {
+	var o minCutJobOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return c.e.MinCut(ctx, o.trials, o.maxLevel)
+}
+
+// Verify runs one of the Theorem 4 verification problems on the current
+// graph.
+func (c *Cluster) Verify(ctx context.Context, p Problem, args VerifyArgs) (*VerifyOutcome, error) {
+	return c.e.Verify(ctx, p, args)
+}
+
+// ApplyBatch applies a batch of edge insertions/deletions to the resident
+// graph (the dynamic subsystem as a Cluster job): sketch banks update by
+// linearity and the certificate absorbs accepted ops, so the next
+// Connectivity call is incremental.
+func (c *Cluster) ApplyBatch(ctx context.Context, ops []EdgeOp) (*BatchResult, error) {
+	return c.e.ApplyBatch(ctx, ops)
+}
+
+// Metrics reports cumulative cost accounting: the one-time load cost, the
+// running total, job counters, and the live edge count. Safe to call
+// concurrently with running jobs.
+func (c *Cluster) Metrics() ClusterMetrics { return c.e.Metrics() }
+
+// N returns the vertex count.
+func (c *Cluster) N() int { return c.e.N() }
+
+// K returns the machine count.
+func (c *Cluster) K() int { return c.e.K() }
+
+// Close shuts the resident cluster down (waiting for the in-flight job,
+// if any). Further jobs return ErrClusterClosed; Close is idempotent.
+func (c *Cluster) Close() error {
+	_, err := c.e.Close()
+	return err
+}

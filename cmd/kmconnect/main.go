@@ -1,17 +1,22 @@
 // Command kmconnect runs the Õ(n/k²) connectivity algorithm (or a
-// baseline) on a generated graph and reports components and cost.
+// baseline) on a generated graph and reports components and cost. The
+// default sketch path serves the query from a resident Cluster; -timeout
+// bounds the whole job via context.WithTimeout.
 //
 // Usage:
 //
 //	kmconnect [-gen gnm|gnp|path|cycle|star|components|planted]
 //	          [-n 4096] [-m 12288] [-p 0.01] [-c 5]
-//	          [-k 8] [-seed 1] [-algo sketch|edgecheck|flooding|referee]
+//	          [-k 8] [-seed 1] [-timeout 0]
+//	          [-algo sketch|edgecheck|flooding|referee]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"kmgraph"
 )
@@ -48,6 +53,14 @@ func loadGraph(path string) (*kmgraph.Graph, error) {
 	return kmgraph.ReadEdgeList(f)
 }
 
+// jobCtx maps the -timeout flag to a job context (0 = no deadline).
+func jobCtx(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(context.Background(), timeout)
+	}
+	return context.WithCancel(context.Background())
+}
+
 func main() {
 	gen := flag.String("gen", "gnm", "graph generator")
 	input := flag.String("input", "", "read an edge-list file instead of generating")
@@ -57,6 +70,7 @@ func main() {
 	c := flag.Int("c", 5, "components/communities")
 	k := flag.Int("k", 8, "machines")
 	seed := flag.Int64("seed", 1, "seed")
+	timeout := flag.Duration("timeout", 0, "job deadline (0 = none), e.g. 30s")
 	algo := flag.String("algo", "sketch", "sketch|edgecheck|flooding|referee")
 	flag.Parse()
 
@@ -80,8 +94,27 @@ func main() {
 
 	_, oracleCount := kmgraph.ComponentsOracle(g)
 	switch *algo {
-	case "sketch", "edgecheck":
-		cfg := kmgraph.Config{K: *k, Seed: *seed, EdgeCheckSelection: *algo == "edgecheck"}
+	case "sketch":
+		cl, err := kmgraph.NewCluster(g, kmgraph.WithK(*k), kmgraph.WithSeed(*seed))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer cl.Close()
+		ctx, cancel := jobCtx(*timeout)
+		defer cancel()
+		res, err := cl.Connectivity(ctx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		met := cl.Metrics()
+		fmt.Printf("components: %d (oracle: %d)\n", res.Components, oracleCount)
+		fmt.Printf("phases: %d  sketch failures: %d\n", res.Phases, res.SketchFailures)
+		fmt.Printf("cost: load %d rounds (paid once) + query %d rounds\n",
+			met.LoadRounds, res.Rounds)
+	case "edgecheck":
+		cfg := kmgraph.Config{K: *k, Seed: *seed, EdgeCheckSelection: true}
 		res, err := kmgraph.Connectivity(g, cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

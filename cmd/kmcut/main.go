@@ -1,19 +1,31 @@
 // Command kmcut estimates the minimum cut of a generated network with the
-// O(log n)-approximation of Theorem 3 and compares it to the exact
-// Stoer–Wagner oracle.
+// O(log n)-approximation of Theorem 3 — served from a resident Cluster —
+// and compares it to the exact Stoer–Wagner oracle. -timeout bounds the
+// whole job via context.WithTimeout.
 //
 // Usage:
 //
-//	kmcut [-graph cycle|bridged|complete|gnm] [-n 64] [-bridges 4] [-k 8] [-seed 1]
+//	kmcut [-graph cycle|bridged|complete|gnm] [-n 64] [-bridges 4]
+//	      [-k 8] [-seed 1] [-timeout 0]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"kmgraph"
 )
+
+// jobCtx maps the -timeout flag to a job context (0 = no deadline).
+func jobCtx(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(context.Background(), timeout)
+	}
+	return context.WithCancel(context.Background())
+}
 
 func main() {
 	kind := flag.String("graph", "bridged", "cycle|bridged|complete|gnm")
@@ -21,6 +33,7 @@ func main() {
 	bridges := flag.Int("bridges", 4, "bridge edges (bridged)")
 	k := flag.Int("k", 8, "machines")
 	seed := flag.Int64("seed", 1, "seed")
+	timeout := flag.Duration("timeout", 0, "job deadline (0 = none), e.g. 30s")
 	flag.Parse()
 
 	var g *kmgraph.Graph
@@ -39,16 +52,24 @@ func main() {
 	}
 
 	trueCut := kmgraph.MinCutOracle(g)
-	res, err := kmgraph.ApproxMinCut(g, kmgraph.MinCutConfig{
-		Config: kmgraph.Config{K: *k, Seed: *seed},
-	})
+	cl, err := kmgraph.NewCluster(g, kmgraph.WithK(*k), kmgraph.WithSeed(*seed))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	defer cl.Close()
+	ctx, cancel := jobCtx(*timeout)
+	defer cancel()
+	res, err := cl.ApproxMinCut(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	met := cl.Metrics()
 	fmt.Printf("graph: %s n=%d m=%d\n", *kind, g.N(), g.M())
 	fmt.Printf("true min cut (Stoer–Wagner oracle): %d\n", trueCut)
 	fmt.Printf("distributed estimate: %.1f (first disconnecting sampling level: %d)\n",
 		res.Estimate, res.Level)
-	fmt.Printf("cost: %d connectivity runs, %d rounds total\n", res.Runs, res.Rounds)
+	fmt.Printf("cost: %d connectivity runs on one residency, load %d + trials %d rounds\n",
+		res.Runs, met.LoadRounds, res.Rounds)
 }

@@ -10,7 +10,8 @@
 //	kmstream [-gen churn|window|splitmerge]
 //	         [-n 10000] [-m 30000] [-batches 10] [-batchsize 300]
 //	         [-delfrac 0.5] [-window 30000] [-comps 8]
-//	         [-k 8] [-seed 1] [-static every|first|off] [-oracle]
+//	         [-k 8] [-seed 1] [-timeout 0]
+//	         [-static every|first|off] [-oracle]
 //
 // The acceptance workload of the dynamic subsystem is the default: a
 // 10k-vertex graph under 1% churn batches, where incremental per-batch
@@ -18,12 +19,22 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"kmgraph"
 )
+
+// jobCtx maps the -timeout flag to a job context (0 = no deadline).
+func jobCtx(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(context.Background(), timeout)
+	}
+	return context.WithCancel(context.Background())
+}
 
 func buildStream(gen string, n, m, batches, batchSize, window, comps int, delFrac float64, seed int64) (*kmgraph.UpdateStream, error) {
 	switch gen {
@@ -70,6 +81,7 @@ func main() {
 	comps := flag.Int("comps", 8, "component blocks (splitmerge)")
 	k := flag.Int("k", 8, "machines")
 	seed := flag.Int64("seed", 1, "seed")
+	timeout := flag.Duration("timeout", 0, "per-job deadline (0 = none), e.g. 30s")
 	static := flag.String("static", "every", "compare against a fresh static run: every|first|off")
 	oracle := flag.Bool("oracle", true, "check every query against the sequential oracle")
 	flag.Parse()
@@ -89,19 +101,20 @@ func main() {
 		os.Exit(1)
 	}
 
-	cfg := kmgraph.DynamicConfig{K: *k, Seed: *seed}
-	sess, err := kmgraph.NewDynamic(stream.Initial, cfg)
+	sess, err := kmgraph.NewCluster(stream.Initial, kmgraph.WithK(*k), kmgraph.WithSeed(*seed))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	defer sess.Close()
 
-	fmt.Printf("stream: %s n=%d m0=%d batches=%d; cluster: k=%d B=%d bits/link/round\n",
+	fmt.Printf("stream: %s n=%d m0=%d batches=%d; cluster: k=%d B=%d bits/link/round, load %d rounds\n",
 		*gen, stream.Initial.N(), stream.Initial.M(), len(stream.Batches), *k,
-		kmgraph.DefaultBandwidth(stream.Initial.N()))
+		kmgraph.DefaultBandwidth(stream.Initial.N()), sess.Metrics().LoadRounds)
 
-	q, err := sess.Query()
+	ctx, cancel := jobCtx(*timeout)
+	q, err := sess.Connectivity(ctx)
+	cancel()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "build-up query:", err)
 		os.Exit(1)
@@ -118,13 +131,17 @@ func main() {
 	ok := true
 	var sumApply, sumQuery, sumStatic, nStatic int
 	for i, ops := range stream.Batches {
-		br, err := sess.ApplyBatch(ops)
+		ctx, cancel := jobCtx(*timeout)
+		br, err := sess.ApplyBatch(ctx, ops)
+		cancel()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "batch %d: %v\n", i, err)
 			os.Exit(1)
 		}
 		snap = kmgraph.ApplyOps(snap, ops)
-		q, err := sess.Query()
+		ctx, cancel = jobCtx(*timeout)
+		q, err := sess.Connectivity(ctx)
+		cancel()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "query %d: %v\n", i, err)
 			os.Exit(1)

@@ -1,69 +1,114 @@
-// Command kmverify runs one of the Theorem 4 verification problems on a
-// generated instance and reports the verdict and cost.
+// Command kmverify runs one or more of the Theorem 4 verification
+// problems on a generated instance and reports verdicts and cost. All
+// problems run against one resident Cluster (the graph is loaded once);
+// -timeout bounds each job via context.WithTimeout.
 //
 // Usage:
 //
-//	kmverify -problem bipartite|cycle|scs|stconn|cut [-n 1024] [-k 8] [-seed 1]
+//	kmverify -problem bipartite|cycle|scs|stconn|cut|all
+//	         [-n 1024] [-k 8] [-seed 1] [-timeout 0]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"kmgraph"
 )
 
+// jobCtx maps the -timeout flag to a job context (0 = no deadline).
+func jobCtx(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(context.Background(), timeout)
+	}
+	return context.WithCancel(context.Background())
+}
+
 func main() {
-	problem := flag.String("problem", "bipartite", "bipartite|cycle|scs|stconn|cut")
+	problem := flag.String("problem", "bipartite", "bipartite|cycle|scs|stconn|cut|all")
 	n := flag.Int("n", 1024, "instance size")
 	k := flag.Int("k", 8, "machines")
 	seed := flag.Int64("seed", 1, "seed")
+	timeout := flag.Duration("timeout", 0, "per-job deadline (0 = none), e.g. 30s")
 	flag.Parse()
-	cfg := kmgraph.Config{K: *k, Seed: *seed}
 
-	var out *kmgraph.VerifyOutcome
-	var err error
-	var desc string
-	switch *problem {
-	case "bipartite":
-		g := kmgraph.GNM(*n, 2**n, *seed)
-		desc = fmt.Sprintf("bipartiteness of GNM(n=%d, m=%d); oracle: %v",
-			g.N(), g.M(), kmgraph.IsBipartiteOracle(g))
-		out, err = kmgraph.VerifyBipartiteness(g, cfg)
-	case "cycle":
-		g := kmgraph.RandomTree(*n, *seed)
-		desc = fmt.Sprintf("cycle containment in a random tree (n=%d)", g.N())
-		out, err = kmgraph.VerifyCycleContainment(g, cfg)
-	case "scs":
-		g := kmgraph.RandomConnected(*n, 2**n, *seed)
-		tree, _ := kmgraph.MSTOracle(g)
-		desc = fmt.Sprintf("spanning connected subgraph: a spanning tree of GNM(n=%d)", g.N())
-		out, err = kmgraph.VerifySpanningConnectedSubgraph(g, tree, cfg)
-	case "stconn":
-		g := kmgraph.DisjointComponents(*n, 2, 0.4, *seed)
-		desc = fmt.Sprintf("s-t connectivity between vertices 0 and %d (2 components)", *n-1)
-		out, err = kmgraph.VerifySTConnectivity(g, 0, *n-1, cfg)
-	case "cut":
-		s := *n / 2
-		g := kmgraph.TwoCliquesBridged(s, 2, *seed)
-		var bridges []kmgraph.Edge
-		for _, e := range g.Edges() {
-			if (e.U < s) != (e.V < s) {
-				bridges = append(bridges, e)
-			}
+	// One instance serves every problem: a two-community graph with a
+	// known bridge structure exercises all the reductions.
+	g := kmgraph.TwoCliquesBridged(*n/2, 2, *seed)
+	var bridgeSet []kmgraph.Edge
+	for _, e := range g.Edges() {
+		if (e.U < *n/2) != (e.V < *n/2) {
+			bridgeSet = append(bridgeSet, e)
 		}
-		desc = fmt.Sprintf("cut verification: the %d bridges of two K_%d cliques", len(bridges), s)
-		out, err = kmgraph.VerifyCut(g, bridges, cfg)
-	default:
+	}
+	tree, _ := kmgraph.MSTOracle(g)
+
+	type job struct {
+		name string
+		p    kmgraph.Problem
+		args kmgraph.VerifyArgs
+		desc string
+	}
+	jobs := map[string]job{
+		"bipartite": {
+			name: "bipartite", p: kmgraph.ProblemBipartiteness,
+			desc: fmt.Sprintf("bipartiteness (oracle: %v)", kmgraph.IsBipartiteOracle(g)),
+		},
+		"cycle": {
+			name: "cycle", p: kmgraph.ProblemCycleContainment,
+			desc: "cycle containment",
+		},
+		"scs": {
+			name: "scs", p: kmgraph.ProblemSpanningConnectedSubgraph,
+			args: kmgraph.VerifyArgs{H: tree},
+			desc: "spanning connected subgraph: a spanning tree",
+		},
+		"stconn": {
+			name: "stconn", p: kmgraph.ProblemSTConnectivity,
+			args: kmgraph.VerifyArgs{S: 0, T: g.N() - 1},
+			desc: fmt.Sprintf("s-t connectivity between 0 and %d", g.N()-1),
+		},
+		"cut": {
+			name: "cut", p: kmgraph.ProblemCut,
+			args: kmgraph.VerifyArgs{Cut: bridgeSet},
+			desc: fmt.Sprintf("cut verification: the %d bridges", len(bridgeSet)),
+		},
+	}
+	order := []string{"bipartite", "cycle", "scs", "stconn", "cut"}
+	var selected []job
+	if *problem == "all" {
+		for _, name := range order {
+			selected = append(selected, jobs[name])
+		}
+	} else if j, ok := jobs[*problem]; ok {
+		selected = []job{j}
+	} else {
 		fmt.Fprintf(os.Stderr, "unknown problem %q\n", *problem)
 		os.Exit(1)
 	}
+
+	cl, err := kmgraph.NewCluster(g, kmgraph.WithK(*k), kmgraph.WithSeed(*seed))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Println(desc)
-	fmt.Printf("verdict: %v\n", out.Holds)
-	fmt.Printf("cost: %d connectivity runs, %d rounds total\n", out.Runs, out.Rounds)
+	defer cl.Close()
+	fmt.Printf("graph: two bridged cliques, n=%d m=%d; k=%d, load %d rounds (paid once)\n",
+		g.N(), g.M(), *k, cl.Metrics().LoadRounds)
+
+	for _, j := range selected {
+		ctx, cancel := jobCtx(*timeout)
+		out, err := cl.Verify(ctx, j.p, j.args)
+		cancel()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", j.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-10s %s\n", j.name+":", j.desc)
+		fmt.Printf("           verdict: %v  cost: %d runs, %d rounds\n",
+			out.Holds, out.Runs, out.Rounds)
+	}
 }

@@ -1,8 +1,11 @@
-// Quickstart: build a graph, run the Õ(n/k²) connectivity and MST
-// algorithms on a simulated 8-machine cluster, and inspect the costs.
+// Quickstart: load a graph onto a simulated 8-machine resident cluster
+// once, then serve connectivity, MST, min-cut, verification, and a
+// dynamic update batch as jobs against that residency — the serving model
+// the paper's Õ(n/k²) algorithms are built for.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -10,25 +13,34 @@ import (
 )
 
 func main() {
-	// A random graph with 2,000 vertices and 6,000 edges, plus distinct
-	// edge weights so the MST is unique.
-	g := kmgraph.WithDistinctWeights(kmgraph.GNM(2000, 6000, 7), 8)
+	ctx := context.Background()
+
+	// A connected random graph with 2,000 vertices and 6,000 edges, plus
+	// distinct edge weights so the MST is unique.
+	g := kmgraph.WithDistinctWeights(kmgraph.RandomConnected(2000, 6000, 7), 8)
 	fmt.Printf("input: n=%d m=%d\n", g.N(), g.M())
 
-	// Connected components on k=8 machines (random vertex partition).
-	conn, err := kmgraph.Connectivity(g, kmgraph.Config{K: 8, Seed: 1})
+	// One graph load onto k=8 machines (random vertex partition). Every
+	// job below reuses this residency; Metrics proves the load is paid
+	// exactly once.
+	c, err := kmgraph.NewCluster(g, kmgraph.WithK(8), kmgraph.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("connectivity: %d component(s) in %d rounds (%d Boruvka phases)\n",
-		conn.Components, conn.Metrics.Rounds, conn.Phases)
+	defer c.Close()
+	fmt.Printf("cluster: k=%d, load=%d rounds (paid once)\n", c.K(), c.Metrics().LoadRounds)
 
-	// Compare against the sequential oracle.
+	// Connected components (Theorem 1).
+	conn, err := c.Connectivity(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
 	_, oracleCount := kmgraph.ComponentsOracle(g)
-	fmt.Printf("oracle agrees: %v\n", conn.Components == oracleCount)
+	fmt.Printf("connectivity: %d component(s) in %d rounds (%d phases); oracle agrees: %v\n",
+		conn.Components, conn.Rounds, conn.Phases, conn.Components == oracleCount)
 
-	// Minimum spanning tree on the same cluster.
-	mst, err := kmgraph.MST(g, kmgraph.MSTConfig{Config: kmgraph.Config{K: 8, Seed: 1}})
+	// Minimum spanning tree (Theorem 2) — same residency, no re-load.
+	mst, err := c.MST(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,8 +48,39 @@ func main() {
 	fmt.Printf("mst: weight=%d (%d edges) in %d rounds; oracle match: %v\n",
 		mst.TotalWeight, len(mst.Edges), mst.Metrics.Rounds, mst.TotalWeight == oracleWeight)
 
+	// O(log n)-approximate min cut (Theorem 3).
+	cut, err := c.ApproxMinCut(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("min cut: estimate %.1f (%d sampling runs, %d rounds)\n",
+		cut.Estimate, cut.Runs, cut.Rounds)
+
+	// A verification problem (Theorem 4).
+	bip, err := c.Verify(ctx, kmgraph.ProblemBipartiteness, kmgraph.VerifyArgs{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bipartite: %v (oracle: %v)\n", bip.Holds, kmgraph.IsBipartiteOracle(g))
+
+	// Mutate the resident graph and re-query: the second query runs
+	// incrementally from the certificate and maintained sketch banks.
+	if _, err := c.ApplyBatch(ctx, []kmgraph.EdgeOp{{U: 0, V: 1999, W: 1}}); err != nil {
+		log.Fatal(err)
+	}
+	conn2, err := c.Connectivity(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after batch: %d component(s) in %d incremental rounds (vs %d for the first query)\n",
+		conn2.Components, conn2.Rounds, conn.Rounds)
+
+	m := c.Metrics()
+	fmt.Printf("\ntotals: %d jobs, %d rounds = %d load (once) + %d job rounds\n",
+		m.Jobs, m.Total.Rounds, m.LoadRounds, m.Total.Rounds-m.LoadRounds)
+
 	// The speedup story (Theorem 1): rounds fall roughly like 1/k².
-	fmt.Println("\nscaling with machines:")
+	fmt.Println("\nscaling with machines (fresh one-shot runs):")
 	for _, k := range []int{2, 4, 8, 16} {
 		r, err := kmgraph.Connectivity(g, kmgraph.Config{K: k, Seed: 1})
 		if err != nil {

@@ -40,6 +40,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -159,13 +160,25 @@ type machineOutput struct {
 // Run executes the connectivity algorithm on g under a fresh random vertex
 // partition and returns the component labeling.
 func Run(g *graph.Graph, cfg Config) (*Result, error) {
-	return RunWithPartition(g, kmachine.NewRVP(g, cfg.K, uint64(cfg.Seed)^0x9e37), cfg)
+	return RunContext(context.Background(), g, cfg)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled or its
+// deadline passes, the underlying cluster aborts and ctx.Err() is
+// returned.
+func RunContext(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error) {
+	return RunWithPartitionContext(ctx, g, kmachine.NewRVP(g, cfg.K, uint64(cfg.Seed)^0x9e37), cfg)
 }
 
 // RunWithPartition executes the connectivity algorithm under a caller-
 // provided vertex partition (the lower-bound harness prescribes placement
 // per the two-party reduction; everything else uses Run's RVP).
 func RunWithPartition(g *graph.Graph, part *kmachine.VertexPartition, cfg Config) (*Result, error) {
+	return RunWithPartitionContext(context.Background(), g, part, cfg)
+}
+
+// RunWithPartitionContext is RunWithPartition with cancellation.
+func RunWithPartitionContext(ctx context.Context, g *graph.Graph, part *kmachine.VertexPartition, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults(g.N())
 	cluster, err := kmachine.New(kmachine.Config{
 		K:                   cfg.K,
@@ -177,8 +190,8 @@ func RunWithPartition(g *graph.Graph, part *kmachine.VertexPartition, cfg Config
 	if err != nil {
 		return nil, err
 	}
-	res, err := cluster.Run(func(ctx *kmachine.Ctx) error {
-		m := newMachine(ctx, part.View(ctx.ID()), cfg)
+	res, err := cluster.RunContext(ctx, func(mctx *kmachine.Ctx) error {
+		m := newMachine(mctx, part.View(mctx.ID()), cfg)
 		return m.run()
 	})
 	if err != nil {
@@ -243,12 +256,11 @@ func (m *machine) run() error {
 		if m.Cfg.EdgeCheckSelection {
 			m.selectEdgeCheck()
 		} else {
-			m.selectSketch()
+			m.SelectSketch()
 		}
 		m.Collapse()
 		m.BroadcastAndRelabel()
-		active := m.Comm.AllSum(m.PhaseActive)
-		failures := m.Comm.AllSum(m.PhaseFailures())
+		active, failures, _ := m.PhaseSync()
 		if m.Ctx.ID() == 0 {
 			out.phaseRounds = append(out.phaseRounds, m.Ctx.Round())
 		}
@@ -304,97 +316,6 @@ func (m *machine) countComponents() int {
 		count[r.Uvarint()] = true
 	}
 	return len(count)
-}
-
-// selectSketch is the paper's selection path: part sketches to proxies,
-// linear combination, l0-sample, neighbor-label resolution (§2.3–2.4).
-func (m *machine) selectSketch() {
-	k := m.Ctx.K()
-	parts := m.Parts()
-	seed := m.Sh.SketchSeed(m.Phase, 0)
-
-	// Part sketches to component proxies (Lemma 3).
-	var out []proxy.Out
-	for _, label := range SortedKeys(parts) {
-		sk := sketch.New(m.Cfg.Sketch, seed)
-		for _, v := range parts[label] {
-			sk.AddVertex(v, m.View.Adj(v), nil)
-		}
-		buf := wire.AppendUvarint(nil, label)
-		buf = sk.EncodeTo(buf)
-		out = append(out, proxy.Out{Dst: m.ProxyOf(0, label), Data: buf})
-	}
-	recv := m.Comm.Exchange(out)
-
-	// Proxy side: sum part sketches per component, record part holders.
-	m.States = make(map[uint64]*CompState)
-	sums := make(map[uint64]*sketch.Sketch)
-	for _, msg := range recv {
-		r := wire.NewReader(msg.Data)
-		label := r.Uvarint()
-		sk, err := sketch.Decode(m.Cfg.Sketch, seed, msg.Data[len(msg.Data)-r.Len():])
-		if err != nil {
-			panic(fmt.Sprintf("core: bad sketch from %d: %v", msg.Src, err))
-		}
-		st := m.States[label]
-		if st == nil {
-			st = NewCompState(label, k)
-			m.States[label] = st
-			sums[label] = sk
-		} else if err := sums[label].Add(sk); err != nil {
-			panic(err)
-		}
-		st.Holders[msg.Src/8] |= 1 << uint(msg.Src%8)
-	}
-
-	// Sample an outgoing edge per component; resolve the neighbor label by
-	// querying the outside endpoint's home machine.
-	out = nil
-	for _, label := range SortedKeys(m.States) {
-		sk := sums[label]
-		x, y, insideSmaller, st := sk.SampleEdge()
-		switch st {
-		case sketch.Empty:
-			// No outgoing edges: inactive root this phase.
-		case sketch.Failed:
-			m.Failures++
-		case sketch.Sampled:
-			outside := x
-			if insideSmaller {
-				outside = y
-			}
-			q := wire.AppendUvarint(nil, uint64(outside))
-			q = wire.AppendUvarint(q, uint64(x))
-			q = wire.AppendUvarint(q, uint64(y))
-			q = wire.AppendUvarint(q, label)
-			out = append(out, proxy.Out{Dst: m.View.Home(outside), Data: q})
-		}
-	}
-	recv = m.Comm.Exchange(out)
-
-	// Home machines answer label queries and validate the edge exists.
-	out = m.AnswerLabelQueries(recv)
-	recv = m.Comm.Exchange(out)
-
-	// DRR ranking (§2.5).
-	for _, msg := range recv {
-		r := wire.NewReader(msg.Data)
-		askLabel := r.Uvarint()
-		nbrLabel := r.Uvarint()
-		valid := r.Bool()
-		r.Varint() // weight, unused for connectivity
-		st := m.States[askLabel]
-		if st == nil {
-			panic("core: reply for unknown component")
-		}
-		if !valid || nbrLabel == askLabel {
-			// Fingerprint collision produced garbage: count as failure.
-			m.Failures++
-			continue
-		}
-		m.PhaseActive++
-		m.ApplyRank(st, nbrLabel)
-	}
 }
 
 // selectEdgeCheck is the GHS-style baseline: learn the label of every

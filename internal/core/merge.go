@@ -16,6 +16,7 @@ import (
 	"kmgraph/internal/hashing"
 	"kmgraph/internal/kmachine"
 	"kmgraph/internal/proxy"
+	"kmgraph/internal/sketch"
 	"kmgraph/internal/wire"
 )
 
@@ -122,7 +123,36 @@ type Merger struct {
 	// maintained sketch-bank sums by linearity.
 	OnRelabel func(relabel map[uint64]uint64)
 
+	// Cancelled, when non-nil, reports whether the current job was asked
+	// to stop. It is polled through PhaseSync's existing collectives, so
+	// every machine reaches the same verdict at the same point of the
+	// protocol and cancellation costs no extra rounds.
+	Cancelled func() bool
+
 	prevFailures int64
+}
+
+// cancelMask packs the cancellation flag into the high bits of the
+// failure/active AllSums: counts stay below 2^48, machine counts below
+// 2^16, so the two fields cannot collide.
+const cancelShift = 48
+
+// CancelBit returns 1 if this machine observes a cancellation request.
+func (m *Merger) CancelBit() uint64 {
+	if m.Cancelled != nil && m.Cancelled() {
+		return 1
+	}
+	return 0
+}
+
+// PhaseSync runs the end-of-phase collectives: the cluster-wide count of
+// active components, the cluster-wide failure count, and the jointly
+// agreed cancellation verdict (piggybacked on the failure sum, so polling
+// for cancellation is free).
+func (m *Merger) PhaseSync() (active, failures uint64, cancelled bool) {
+	active = m.Comm.AllSum(m.PhaseActive)
+	fc := m.Comm.AllSum(m.PhaseFailures() | m.CancelBit()<<cancelShift)
+	return active, fc & (1<<cancelShift - 1), fc>>cancelShift > 0
 }
 
 // NewMerger returns a merge engine for one machine.
@@ -134,6 +164,27 @@ func NewMerger(ctx *kmachine.Ctx, view GraphView, cfg Config) *Merger {
 		Cfg:    cfg,
 		Labels: make(map[int]uint64, len(view.Owned())),
 	}
+}
+
+// NewMergerOn returns a merge engine that shares an existing communicator
+// and already-established shared randomness — the resident substrate's
+// path: successive jobs on one loaded cluster must reuse the session
+// communicator (frame sequencing is cluster-global) and must not pay the
+// Setup broadcast again. Labels start as singletons over the view.
+func NewMergerOn(comm *proxy.Comm, view GraphView, cfg Config, sh *proxy.Shared, poly *hashing.Poly) *Merger {
+	m := &Merger{
+		Ctx:    comm.Ctx(),
+		Comm:   comm,
+		View:   view,
+		Cfg:    cfg,
+		Sh:     sh,
+		Poly:   poly,
+		Labels: make(map[int]uint64, len(view.Owned())),
+	}
+	for _, v := range view.Owned() {
+		m.Labels[v] = uint64(v)
+	}
+	return m
 }
 
 // Setup establishes shared randomness and the initial singleton labeling.
@@ -213,6 +264,101 @@ func (m *Merger) ApplyRank(st *CompState, nbrLabel uint64) {
 	if m.Sh.Rank(m.Phase, nbrLabel) > m.Sh.Rank(m.Phase, st.Label) {
 		st.Parent = nbrLabel
 		st.Cur = nbrLabel
+	}
+}
+
+// SelectSketch is the paper's per-phase selection path (§2.3–2.4): part
+// sketches to component proxies, linear combination, l0-sample, neighbor-
+// label resolution, DRR ranking. It fills m.States with each component's
+// merge decision; Collapse and BroadcastAndRelabel finish the phase. The
+// static connectivity machine and the resident substrate's derived-view
+// jobs both run exactly this code.
+func (m *Merger) SelectSketch() {
+	k := m.Ctx.K()
+	parts := m.Parts()
+	seed := m.Sh.SketchSeed(m.Phase, 0)
+
+	// Part sketches to component proxies (Lemma 3).
+	var out []proxy.Out
+	for _, label := range SortedKeys(parts) {
+		sk := sketch.New(m.Cfg.Sketch, seed)
+		for _, v := range parts[label] {
+			sk.AddVertex(v, m.View.Adj(v), nil)
+		}
+		buf := wire.AppendUvarint(nil, label)
+		buf = sk.EncodeTo(buf)
+		out = append(out, proxy.Out{Dst: m.ProxyOf(0, label), Data: buf})
+	}
+	recv := m.Comm.Exchange(out)
+
+	// Proxy side: sum part sketches per component, record part holders.
+	m.States = make(map[uint64]*CompState)
+	sums := make(map[uint64]*sketch.Sketch)
+	for _, msg := range recv {
+		r := wire.NewReader(msg.Data)
+		label := r.Uvarint()
+		sk, err := sketch.Decode(m.Cfg.Sketch, seed, msg.Data[len(msg.Data)-r.Len():])
+		if err != nil {
+			panic(fmt.Sprintf("core: bad sketch from %d: %v", msg.Src, err))
+		}
+		st := m.States[label]
+		if st == nil {
+			st = NewCompState(label, k)
+			m.States[label] = st
+			sums[label] = sk
+		} else if err := sums[label].Add(sk); err != nil {
+			panic(err)
+		}
+		st.Holders[msg.Src/8] |= 1 << uint(msg.Src%8)
+	}
+
+	// Sample an outgoing edge per component; resolve the neighbor label by
+	// querying the outside endpoint's home machine.
+	out = nil
+	for _, label := range SortedKeys(m.States) {
+		sk := sums[label]
+		x, y, insideSmaller, st := sk.SampleEdge()
+		switch st {
+		case sketch.Empty:
+			// No outgoing edges: inactive root this phase.
+		case sketch.Failed:
+			m.Failures++
+		case sketch.Sampled:
+			outside := x
+			if insideSmaller {
+				outside = y
+			}
+			q := wire.AppendUvarint(nil, uint64(outside))
+			q = wire.AppendUvarint(q, uint64(x))
+			q = wire.AppendUvarint(q, uint64(y))
+			q = wire.AppendUvarint(q, label)
+			out = append(out, proxy.Out{Dst: m.View.Home(outside), Data: q})
+		}
+	}
+	recv = m.Comm.Exchange(out)
+
+	// Home machines answer label queries and validate the edge exists.
+	out = m.AnswerLabelQueries(recv)
+	recv = m.Comm.Exchange(out)
+
+	// DRR ranking (§2.5).
+	for _, msg := range recv {
+		r := wire.NewReader(msg.Data)
+		askLabel := r.Uvarint()
+		nbrLabel := r.Uvarint()
+		valid := r.Bool()
+		r.Varint() // weight, unused for connectivity
+		st := m.States[askLabel]
+		if st == nil {
+			panic("core: reply for unknown component")
+		}
+		if !valid || nbrLabel == askLabel {
+			// Fingerprint collision produced garbage: count as failure.
+			m.Failures++
+			continue
+		}
+		m.PhaseActive++
+		m.ApplyRank(st, nbrLabel)
 	}
 }
 

@@ -18,14 +18,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"kmgraph/internal/graph"
 	"kmgraph/internal/kmachine"
-	"kmgraph/internal/proxy"
-	"kmgraph/internal/sketch"
-	"kmgraph/internal/wire"
 )
 
 // MSTConfig parameterizes an MST run.
@@ -74,16 +72,29 @@ type mstOutput struct {
 	weakRounds  int
 }
 
+// DefaultMaxElimIters returns the default per-phase elimination cap for an
+// n-vertex input: 2·ceil(log2 n) + 8, enough for w.h.p. convergence.
+func DefaultMaxElimIters(n int) int {
+	l := 0
+	for s := 1; s < n; s <<= 1 {
+		l++
+	}
+	return 2*l + 8
+}
+
 // RunMST executes the MST algorithm on g under a fresh random vertex
 // partition.
 func RunMST(g *graph.Graph, cfg MSTConfig) (*MSTResult, error) {
+	return RunMSTContext(context.Background(), g, cfg)
+}
+
+// RunMSTContext is RunMST with cancellation: when ctx is cancelled or its
+// deadline passes, the underlying cluster aborts and ctx.Err() is
+// returned.
+func RunMSTContext(ctx context.Context, g *graph.Graph, cfg MSTConfig) (*MSTResult, error) {
 	cfg.Config = cfg.Config.withDefaults(g.N())
 	if cfg.MaxElimIters == 0 {
-		l := 0
-		for s := 1; s < g.N(); s <<= 1 {
-			l++
-		}
-		cfg.MaxElimIters = 2*l + 8
+		cfg.MaxElimIters = DefaultMaxElimIters(g.N())
 	}
 	part := kmachine.NewRVP(g, cfg.K, uint64(cfg.Seed)^0x9e37)
 	cluster, err := kmachine.New(kmachine.Config{
@@ -96,8 +107,8 @@ func RunMST(g *graph.Graph, cfg MSTConfig) (*MSTResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := cluster.Run(func(ctx *kmachine.Ctx) error {
-		m := &mstMachine{machine: newMachine(ctx, part.View(ctx.ID()), cfg.Config), mstCfg: cfg}
+	res, err := cluster.RunContext(ctx, func(mctx *kmachine.Ctx) error {
+		m := &mstMachine{machine: newMachine(mctx, part.View(mctx.ID()), cfg.Config), mstCfg: cfg}
 		return m.run()
 	})
 	if err != nil {
@@ -154,25 +165,23 @@ func assembleMST(n int, res *kmachine.Result) (*MSTResult, error) {
 
 type mstMachine struct {
 	*machine
-	mstCfg    MSTConfig
-	mstEdges  map[uint64]graph.Edge
-	elimIters int
+	mstCfg MSTConfig
+	w      *MWOE
 }
 
 func (m *mstMachine) run() error {
 	if err := m.Setup(); err != nil {
 		return err
 	}
-	m.mstEdges = make(map[uint64]graph.Edge)
+	m.w = NewMWOE(m.Merger, m.mstCfg.MaxElimIters)
 	out := &mstOutput{}
 	for m.Phase = 0; m.Phase < m.Cfg.MaxPhases; m.Phase++ {
 		m.StateSlot = 0
 		m.PhaseActive = 0
-		m.selectMWOE()
+		m.w.Select()
 		m.Collapse()
 		m.BroadcastAndRelabel()
-		active := m.Comm.AllSum(m.PhaseActive)
-		failures := m.Comm.AllSum(m.PhaseFailures())
+		active, failures, _ := m.PhaseSync()
 		out.phases = m.Phase + 1
 		if active == 0 && failures == 0 {
 			break
@@ -181,297 +190,17 @@ func (m *mstMachine) run() error {
 	out.weakRounds = m.Ctx.Round()
 
 	if m.mstCfg.StrongOutput {
-		out.vertexEdges = m.disseminateStrong()
+		out.vertexEdges = m.w.DisseminateStrong()
 	}
 
 	out.labels = m.Labels
 	out.failures = m.Failures
-	out.elimIters = m.elimIters
+	out.elimIters = m.w.ElimIters
 	var edges []graph.Edge
-	for _, id := range SortedKeys(m.mstEdges) {
-		edges = append(edges, m.mstEdges[id])
+	for _, id := range SortedKeys(m.w.Edges) {
+		edges = append(edges, m.w.Edges[id])
 	}
 	out.edges = edges
 	m.Ctx.SetOutput(out)
 	return nil
-}
-
-const (
-	tagThreshold = byte(1)
-	tagState     = byte(2)
-)
-
-// edgeLessHalf reports whether edge (u, h) precedes threshold (tw, tid)
-// in the (weight, edge ID) total order.
-func edgeLessHalf(u int, h graph.Half, n int, tw int64, tid uint64) bool {
-	if h.W != tw {
-		return h.W < tw
-	}
-	return graph.EdgeID(u, h.To, n) < tid
-}
-
-// selectMWOE runs the per-phase elimination loop (§3.1) and leaves, in
-// m.States, each component's MWOE decision with DRR parent applied.
-func (m *mstMachine) selectMWOE() {
-	k := m.Ctx.K()
-	n := m.View.N()
-	parts := m.Parts()
-
-	// Iteration 0: unfiltered sketches, exactly as connectivity.
-	seed := m.Sh.SketchSeed(m.Phase, 0)
-	var out []proxy.Out
-	for _, label := range SortedKeys(parts) {
-		sk := sketch.New(m.Cfg.Sketch, seed)
-		for _, v := range parts[label] {
-			sk.AddVertex(v, m.View.Adj(v), nil)
-		}
-		buf := wire.AppendUvarint(nil, label)
-		buf = sk.EncodeTo(buf)
-		out = append(out, proxy.Out{Dst: m.ProxyOf(0, label), Data: buf})
-	}
-	recv := m.Comm.Exchange(out)
-
-	m.States = make(map[uint64]*CompState)
-	sums := make(map[uint64]*sketch.Sketch)
-	for _, msg := range recv {
-		r := wire.NewReader(msg.Data)
-		label := r.Uvarint()
-		sk, err := sketch.Decode(m.Cfg.Sketch, seed, msg.Data[len(msg.Data)-r.Len():])
-		if err != nil {
-			panic(fmt.Sprintf("core: bad sketch from %d: %v", msg.Src, err))
-		}
-		st := m.States[label]
-		if st == nil {
-			st = NewCompState(label, k)
-			m.States[label] = st
-			sums[label] = sk
-		} else if err := sums[label].Add(sk); err != nil {
-			panic(err)
-		}
-		st.Holders[msg.Src/8] |= 1 << uint(msg.Src%8)
-	}
-
-	active := m.sampleAndResolve(sums)
-
-	// Elimination iterations: threshold broadcast, filtered re-sketch,
-	// re-sample, until every component's sampler comes back empty.
-	for s := 1; m.Comm.AllSum(active) > 0; s++ {
-		m.elimIters++
-		if s > m.mstCfg.MaxElimIters {
-			// Truncated: discard this phase's decision for the remaining
-			// active components (conservative; negligible probability).
-			for _, st := range m.States {
-				if !st.ElimDone {
-					st.ElimDone = true
-					st.HasBest = false
-					st.Cur, st.Parent = st.Label, st.Label
-					m.Failures++
-				}
-			}
-			break
-		}
-
-		// Combined exchange: thresholds to part holders + state handoff.
-		out = nil
-		newStates := make(map[uint64]*CompState)
-		thresholds := make(map[uint64][2]uint64) // label -> {weight(bits), id}
-		for _, label := range SortedKeys(m.States) {
-			st := m.States[label]
-			if st.HasBest && !st.ElimDone {
-				buf := []byte{tagThreshold}
-				buf = wire.AppendUvarint(buf, st.Label)
-				buf = wire.AppendVarint(buf, st.BestW)
-				buf = wire.AppendUvarint(buf, graph.EdgeID(st.BestU, st.BestV, n))
-				for h := 0; h < k; h++ {
-					if st.Holders[h/8]&(1<<uint(h%8)) != 0 {
-						out = append(out, proxy.Out{Dst: h, Data: buf})
-					}
-				}
-			}
-			dst := m.ProxyOf(m.StateSlot+1, label)
-			if dst == m.Ctx.ID() {
-				newStates[label] = st
-			} else {
-				out = append(out, proxy.Out{Dst: dst, Data: append([]byte{tagState}, st.Encode(nil)...)})
-			}
-		}
-		recv = m.Comm.Exchange(out)
-		for _, msg := range recv {
-			switch msg.Data[0] {
-			case tagThreshold:
-				r := wire.NewReader(msg.Data[1:])
-				label := r.Uvarint()
-				w := r.Varint()
-				id := r.Uvarint()
-				thresholds[label] = [2]uint64{uint64(w), id}
-			case tagState:
-				r := wire.NewReader(msg.Data[1:])
-				st := DecodeState(r)
-				newStates[st.Label] = st
-			default:
-				panic("core: unknown elimination message tag")
-			}
-		}
-		m.States = newStates
-		m.StateSlot++
-
-		// Filtered part re-sketches to the (new) proxies.
-		seed = m.Sh.SketchSeed(m.Phase, s)
-		out = nil
-		for _, label := range SortedKeys(thresholds) {
-			th := thresholds[label]
-			tw, tid := int64(th[0]), th[1]
-			sk := sketch.New(m.Cfg.Sketch, seed)
-			for _, v := range parts[label] {
-				sk.AddVertex(v, m.View.Adj(v), func(u int, h graph.Half) bool {
-					return edgeLessHalf(u, h, n, tw, tid)
-				})
-			}
-			buf := wire.AppendUvarint(nil, label)
-			buf = sk.EncodeTo(buf)
-			out = append(out, proxy.Out{Dst: m.ProxyOf(m.StateSlot, label), Data: buf})
-		}
-		recv = m.Comm.Exchange(out)
-
-		sums = make(map[uint64]*sketch.Sketch)
-		for _, msg := range recv {
-			r := wire.NewReader(msg.Data)
-			label := r.Uvarint()
-			sk, err := sketch.Decode(m.Cfg.Sketch, seed, msg.Data[len(msg.Data)-r.Len():])
-			if err != nil {
-				panic(err)
-			}
-			if sums[label] == nil {
-				sums[label] = sk
-			} else if err := sums[label].Add(sk); err != nil {
-				panic(err)
-			}
-		}
-		active = m.sampleAndResolve(sums)
-	}
-
-	// Decisions: record MWOEs as MST edges and apply the merge rule.
-	for _, label := range SortedKeys(m.States) {
-		st := m.States[label]
-		if st.ElimDone && st.HasBest {
-			u, v := st.BestU, st.BestV
-			m.mstEdges[graph.EdgeID(u, v, n)] = graph.Edge{U: u, V: v, W: st.BestW}
-			m.PhaseActive++
-			m.ApplyRank(st, st.TargetLabel)
-		}
-	}
-}
-
-// sampleAndResolve samples each summed sketch, resolves neighbor labels and
-// edge weights via home-machine queries, updates component states, and
-// returns the local count of components still eliminating.
-//
-// A component whose filtered vector comes back empty has converged: the
-// current best edge is the MWOE.
-func (m *mstMachine) sampleAndResolve(sums map[uint64]*sketch.Sketch) uint64 {
-	var out []proxy.Out
-	pendingEdge := make(map[uint64][2]int) // label -> sampled (x, y)
-	for _, label := range SortedKeys(sums) {
-		st := m.States[label]
-		if st == nil {
-			panic("core: sketch sum for unknown state")
-		}
-		if st.ElimDone {
-			continue
-		}
-		x, y, insideSmaller, status := sums[label].SampleEdge()
-		switch status {
-		case sketch.Empty:
-			// Nothing lighter remains. If a best edge exists, it is the
-			// MWOE; otherwise the component has no outgoing edges at all.
-			st.ElimDone = true
-		case sketch.Failed:
-			m.Failures++
-			st.ElimDone = true
-			st.HasBest = false
-		case sketch.Sampled:
-			outside := x
-			if insideSmaller {
-				outside = y
-			}
-			pendingEdge[label] = [2]int{x, y}
-			q := wire.AppendUvarint(nil, uint64(outside))
-			q = wire.AppendUvarint(q, uint64(x))
-			q = wire.AppendUvarint(q, uint64(y))
-			q = wire.AppendUvarint(q, label)
-			out = append(out, proxy.Out{Dst: m.View.Home(outside), Data: q})
-		}
-	}
-	recv := m.Comm.Exchange(out)
-	out = m.AnswerLabelQueries(recv)
-	recv = m.Comm.Exchange(out)
-
-	var active uint64
-	for _, msg := range recv {
-		r := wire.NewReader(msg.Data)
-		askLabel := r.Uvarint()
-		nbrLabel := r.Uvarint()
-		valid := r.Bool()
-		w := r.Varint()
-		st := m.States[askLabel]
-		if st == nil {
-			panic("core: MST reply for unknown component")
-		}
-		if !valid || nbrLabel == askLabel {
-			m.Failures++
-			st.ElimDone = true
-			st.HasBest = false
-			continue
-		}
-		xy := pendingEdge[askLabel]
-		st.HasBest = true
-		st.BestU, st.BestV = xy[0], xy[1]
-		st.BestW = w
-		st.TargetLabel = nbrLabel
-		active++
-	}
-	return active
-}
-
-// disseminateStrong routes every recorded MST edge to the home machines of
-// both endpoints (Theorem 2(b)'s output criterion) and returns this
-// machine's vertex-to-incident-MST-edges map.
-func (m *mstMachine) disseminateStrong() map[int][]graph.Edge {
-	n := m.View.N()
-	var out []proxy.Out
-	for _, id := range SortedKeys(m.mstEdges) {
-		e := m.mstEdges[id]
-		buf := wire.AppendUvarint(nil, uint64(e.U))
-		buf = wire.AppendUvarint(buf, uint64(e.V))
-		buf = wire.AppendVarint(buf, e.W)
-		hu, hv := m.View.Home(e.U), m.View.Home(e.V)
-		out = append(out, proxy.Out{Dst: hu, Data: buf})
-		if hv != hu {
-			out = append(out, proxy.Out{Dst: hv, Data: buf})
-		}
-	}
-	recv := m.Comm.Exchange(out)
-	seen := make(map[int]map[uint64]bool)
-	ve := make(map[int][]graph.Edge)
-	add := func(v int, e graph.Edge) {
-		if m.View.Home(v) != m.Ctx.ID() {
-			return
-		}
-		id := graph.EdgeID(e.U, e.V, n)
-		if seen[v] == nil {
-			seen[v] = make(map[uint64]bool)
-		}
-		if seen[v][id] {
-			return
-		}
-		seen[v][id] = true
-		ve[v] = append(ve[v], e)
-	}
-	for _, msg := range recv {
-		r := wire.NewReader(msg.Data)
-		e := graph.Edge{U: int(r.Uvarint()), V: int(r.Uvarint()), W: r.Varint()}
-		add(e.U, e)
-		add(e.V, e)
-	}
-	return ve
 }

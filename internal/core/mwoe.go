@@ -1,0 +1,334 @@
+// MWOE is the per-phase minimum-weight-outgoing-edge selector of the MST
+// algorithm (§3.1), extracted from the one-shot MST machine so the
+// resident substrate can run MST jobs against an already-loaded cluster:
+// it operates on any Merger (static LocalView or the resident mutable
+// view) and records the MST edges it decides on the proxy machines.
+
+package core
+
+import (
+	"fmt"
+
+	"kmgraph/internal/graph"
+	"kmgraph/internal/proxy"
+	"kmgraph/internal/sketch"
+	"kmgraph/internal/wire"
+)
+
+const (
+	tagThreshold = byte(1)
+	tagState     = byte(2)
+)
+
+// edgeLessHalf reports whether edge (u, h) precedes threshold (tw, tid)
+// in the (weight, edge ID) total order.
+func edgeLessHalf(u int, h graph.Half, n int, tw int64, tid uint64) bool {
+	if h.W != tw {
+		return h.W < tw
+	}
+	return graph.EdgeID(u, h.To, n) < tid
+}
+
+// MWOE drives MWOE selection phases over a Merger. Edges accumulates the
+// decided MST edges known to this machine (the weak output criterion:
+// every MST edge is known to the proxy that recorded it).
+type MWOE struct {
+	M            *Merger
+	MaxElimIters int
+	Edges        map[uint64]graph.Edge
+	ElimIters    int
+}
+
+// NewMWOE returns an MWOE selector over m. maxElimIters caps elimination
+// iterations per phase.
+func NewMWOE(m *Merger, maxElimIters int) *MWOE {
+	return &MWOE{M: m, MaxElimIters: maxElimIters, Edges: make(map[uint64]graph.Edge)}
+}
+
+// Select runs the per-phase elimination loop (§3.1) and leaves, in
+// m.States, each component's MWOE decision with DRR parent applied.
+func (w *MWOE) Select() {
+	m := w.M
+	k := m.Ctx.K()
+	n := m.View.N()
+	parts := m.Parts()
+
+	// Iteration 0: unfiltered sketches, exactly as connectivity.
+	seed := m.Sh.SketchSeed(m.Phase, 0)
+	var out []proxy.Out
+	for _, label := range SortedKeys(parts) {
+		sk := sketch.New(m.Cfg.Sketch, seed)
+		for _, v := range parts[label] {
+			sk.AddVertex(v, m.View.Adj(v), nil)
+		}
+		buf := wire.AppendUvarint(nil, label)
+		buf = sk.EncodeTo(buf)
+		out = append(out, proxy.Out{Dst: m.ProxyOf(0, label), Data: buf})
+	}
+	recv := m.Comm.Exchange(out)
+
+	m.States = make(map[uint64]*CompState)
+	sums := make(map[uint64]*sketch.Sketch)
+	for _, msg := range recv {
+		r := wire.NewReader(msg.Data)
+		label := r.Uvarint()
+		sk, err := sketch.Decode(m.Cfg.Sketch, seed, msg.Data[len(msg.Data)-r.Len():])
+		if err != nil {
+			panic(fmt.Sprintf("core: bad sketch from %d: %v", msg.Src, err))
+		}
+		st := m.States[label]
+		if st == nil {
+			st = NewCompState(label, k)
+			m.States[label] = st
+			sums[label] = sk
+		} else if err := sums[label].Add(sk); err != nil {
+			panic(err)
+		}
+		st.Holders[msg.Src/8] |= 1 << uint(msg.Src%8)
+	}
+
+	active := w.sampleAndResolve(sums)
+
+	// Elimination iterations: threshold broadcast, filtered re-sketch,
+	// re-sample, until every component's sampler comes back empty (or the
+	// job is cancelled — the verdict rides the same collective, so all
+	// machines break together).
+	for s := 1; ; s++ {
+		ac := m.Comm.AllSum(active | m.CancelBit()<<cancelShift)
+		if ac>>cancelShift > 0 {
+			// Cancelled mid-elimination: discard undecided components and
+			// finish the phase; the phase loop observes the cancellation at
+			// its PhaseSync and stops.
+			for _, st := range m.States {
+				if !st.ElimDone {
+					st.ElimDone = true
+					st.HasBest = false
+					st.Cur, st.Parent = st.Label, st.Label
+				}
+			}
+			break
+		}
+		if ac&(1<<cancelShift-1) == 0 {
+			break
+		}
+		w.ElimIters++
+		if s > w.MaxElimIters {
+			// Truncated: discard this phase's decision for the remaining
+			// active components (conservative; negligible probability).
+			for _, st := range m.States {
+				if !st.ElimDone {
+					st.ElimDone = true
+					st.HasBest = false
+					st.Cur, st.Parent = st.Label, st.Label
+					m.Failures++
+				}
+			}
+			break
+		}
+
+		// Combined exchange: thresholds to part holders + state handoff.
+		out = nil
+		newStates := make(map[uint64]*CompState)
+		thresholds := make(map[uint64][2]uint64) // label -> {weight(bits), id}
+		for _, label := range SortedKeys(m.States) {
+			st := m.States[label]
+			if st.HasBest && !st.ElimDone {
+				buf := []byte{tagThreshold}
+				buf = wire.AppendUvarint(buf, st.Label)
+				buf = wire.AppendVarint(buf, st.BestW)
+				buf = wire.AppendUvarint(buf, graph.EdgeID(st.BestU, st.BestV, n))
+				for h := 0; h < k; h++ {
+					if st.Holders[h/8]&(1<<uint(h%8)) != 0 {
+						out = append(out, proxy.Out{Dst: h, Data: buf})
+					}
+				}
+			}
+			dst := m.ProxyOf(m.StateSlot+1, label)
+			if dst == m.Ctx.ID() {
+				newStates[label] = st
+			} else {
+				out = append(out, proxy.Out{Dst: dst, Data: append([]byte{tagState}, st.Encode(nil)...)})
+			}
+		}
+		recv = m.Comm.Exchange(out)
+		for _, msg := range recv {
+			switch msg.Data[0] {
+			case tagThreshold:
+				r := wire.NewReader(msg.Data[1:])
+				label := r.Uvarint()
+				wgt := r.Varint()
+				id := r.Uvarint()
+				thresholds[label] = [2]uint64{uint64(wgt), id}
+			case tagState:
+				r := wire.NewReader(msg.Data[1:])
+				st := DecodeState(r)
+				newStates[st.Label] = st
+			default:
+				panic("core: unknown elimination message tag")
+			}
+		}
+		m.States = newStates
+		m.StateSlot++
+
+		// Filtered part re-sketches to the (new) proxies.
+		seed = m.Sh.SketchSeed(m.Phase, s)
+		out = nil
+		for _, label := range SortedKeys(thresholds) {
+			th := thresholds[label]
+			tw, tid := int64(th[0]), th[1]
+			sk := sketch.New(m.Cfg.Sketch, seed)
+			for _, v := range parts[label] {
+				sk.AddVertex(v, m.View.Adj(v), func(u int, h graph.Half) bool {
+					return edgeLessHalf(u, h, n, tw, tid)
+				})
+			}
+			buf := wire.AppendUvarint(nil, label)
+			buf = sk.EncodeTo(buf)
+			out = append(out, proxy.Out{Dst: m.ProxyOf(m.StateSlot, label), Data: buf})
+		}
+		recv = m.Comm.Exchange(out)
+
+		sums = make(map[uint64]*sketch.Sketch)
+		for _, msg := range recv {
+			r := wire.NewReader(msg.Data)
+			label := r.Uvarint()
+			sk, err := sketch.Decode(m.Cfg.Sketch, seed, msg.Data[len(msg.Data)-r.Len():])
+			if err != nil {
+				panic(err)
+			}
+			if sums[label] == nil {
+				sums[label] = sk
+			} else if err := sums[label].Add(sk); err != nil {
+				panic(err)
+			}
+		}
+		active = w.sampleAndResolve(sums)
+	}
+
+	// Decisions: record MWOEs as MST edges and apply the merge rule.
+	for _, label := range SortedKeys(m.States) {
+		st := m.States[label]
+		if st.ElimDone && st.HasBest {
+			u, v := st.BestU, st.BestV
+			w.Edges[graph.EdgeID(u, v, n)] = graph.Edge{U: u, V: v, W: st.BestW}
+			m.PhaseActive++
+			m.ApplyRank(st, st.TargetLabel)
+		}
+	}
+}
+
+// sampleAndResolve samples each summed sketch, resolves neighbor labels and
+// edge weights via home-machine queries, updates component states, and
+// returns the local count of components still eliminating.
+//
+// A component whose filtered vector comes back empty has converged: the
+// current best edge is the MWOE.
+func (w *MWOE) sampleAndResolve(sums map[uint64]*sketch.Sketch) uint64 {
+	m := w.M
+	var out []proxy.Out
+	pendingEdge := make(map[uint64][2]int) // label -> sampled (x, y)
+	for _, label := range SortedKeys(sums) {
+		st := m.States[label]
+		if st == nil {
+			panic("core: sketch sum for unknown state")
+		}
+		if st.ElimDone {
+			continue
+		}
+		x, y, insideSmaller, status := sums[label].SampleEdge()
+		switch status {
+		case sketch.Empty:
+			// Nothing lighter remains. If a best edge exists, it is the
+			// MWOE; otherwise the component has no outgoing edges at all.
+			st.ElimDone = true
+		case sketch.Failed:
+			m.Failures++
+			st.ElimDone = true
+			st.HasBest = false
+		case sketch.Sampled:
+			outside := x
+			if insideSmaller {
+				outside = y
+			}
+			pendingEdge[label] = [2]int{x, y}
+			q := wire.AppendUvarint(nil, uint64(outside))
+			q = wire.AppendUvarint(q, uint64(x))
+			q = wire.AppendUvarint(q, uint64(y))
+			q = wire.AppendUvarint(q, label)
+			out = append(out, proxy.Out{Dst: m.View.Home(outside), Data: q})
+		}
+	}
+	recv := m.Comm.Exchange(out)
+	out = m.AnswerLabelQueries(recv)
+	recv = m.Comm.Exchange(out)
+
+	var active uint64
+	for _, msg := range recv {
+		r := wire.NewReader(msg.Data)
+		askLabel := r.Uvarint()
+		nbrLabel := r.Uvarint()
+		valid := r.Bool()
+		wgt := r.Varint()
+		st := m.States[askLabel]
+		if st == nil {
+			panic("core: MST reply for unknown component")
+		}
+		if !valid || nbrLabel == askLabel {
+			m.Failures++
+			st.ElimDone = true
+			st.HasBest = false
+			continue
+		}
+		xy := pendingEdge[askLabel]
+		st.HasBest = true
+		st.BestU, st.BestV = xy[0], xy[1]
+		st.BestW = wgt
+		st.TargetLabel = nbrLabel
+		active++
+	}
+	return active
+}
+
+// DisseminateStrong routes every recorded MST edge to the home machines of
+// both endpoints (Theorem 2(b)'s output criterion) and returns this
+// machine's vertex-to-incident-MST-edges map.
+func (w *MWOE) DisseminateStrong() map[int][]graph.Edge {
+	m := w.M
+	n := m.View.N()
+	var out []proxy.Out
+	for _, id := range SortedKeys(w.Edges) {
+		e := w.Edges[id]
+		buf := wire.AppendUvarint(nil, uint64(e.U))
+		buf = wire.AppendUvarint(buf, uint64(e.V))
+		buf = wire.AppendVarint(buf, e.W)
+		hu, hv := m.View.Home(e.U), m.View.Home(e.V)
+		out = append(out, proxy.Out{Dst: hu, Data: buf})
+		if hv != hu {
+			out = append(out, proxy.Out{Dst: hv, Data: buf})
+		}
+	}
+	recv := m.Comm.Exchange(out)
+	seen := make(map[int]map[uint64]bool)
+	ve := make(map[int][]graph.Edge)
+	add := func(v int, e graph.Edge) {
+		if m.View.Home(v) != m.Ctx.ID() {
+			return
+		}
+		id := graph.EdgeID(e.U, e.V, n)
+		if seen[v] == nil {
+			seen[v] = make(map[uint64]bool)
+		}
+		if seen[v][id] {
+			return
+		}
+		seen[v][id] = true
+		ve[v] = append(ve[v], e)
+	}
+	for _, msg := range recv {
+		r := wire.NewReader(msg.Data)
+		e := graph.Edge{U: int(r.Uvarint()), V: int(r.Uvarint()), W: r.Varint()}
+		add(e.U, e)
+		add(e.V, e)
+	}
+	return ve
+}

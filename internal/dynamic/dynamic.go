@@ -1,205 +1,100 @@
-// Package dynamic is the batched dynamic-graph subsystem: it keeps a graph
-// resident across the k-machine cluster and answers connectivity,
-// component-count, and spanning-forest queries between batched streams of
-// edge insertions and deletions — without re-running the static algorithm
-// from scratch on every snapshot.
+// Package dynamic is the batched dynamic-graph subsystem's compatibility
+// surface. The implementation — resident sketch banks, the certificate
+// forest at machine 0, the park/unpark serving loop — moved into the
+// shared resident substrate (internal/resident), where it serves as the
+// ApplyBatch/Query job family of the general resident cluster alongside
+// MST, min-cut, and verification jobs. This package remains as a thin
+// shim so existing callers (and the kmgraph.NewDynamic API) keep working:
+// a Session is a resident Engine restricted to batches and queries, with
+// background contexts.
 //
-// Three ideas make the incremental path cheap; all three are consequences
-// of the paper's choice of *linear* graph sketches (§2.3):
-//
-//  1. Persistent sketch banks. Each machine maintains, per component part
-//     it holds and per "bank" (a session-long sketch projection seeded by
-//     shared randomness, proxy.Shared.BankSeed), the sum of its vertices'
-//     l0-sketches. Linearity means an edge insertion is AddItem(id, +1),
-//     a deletion is AddItem(id, -1), parts merge by sketch addition when
-//     components merge, and split parts are rebuilt locally from the
-//     mutable adjacency — never any global re-sketching. Query phase p
-//     samples from bank p, so a phase whose sample fails retries on an
-//     independent projection in the next phase.
-//
-//  2. A certificate forest at machine 0. Machine 0 is the stream ingress:
-//     it routes each batch to the endpoints' home machines and therefore
-//     legitimately accumulates a *certificate* of the current
-//     connectivity — the spanning forest found by the previous query plus
-//     the net insertions since. At query time it recomputes connected
-//     pieces of the certificate locally (local computation is free in the
-//     model) and ships only the *changed* vertex labels, so a clean
-//     component costs nothing and a deletion that splits a component
-//     resets exactly the affected piece. The Boruvka merge phases then
-//     run from this piece labeling instead of from singletons, needing
-//     ~log(#affected pieces) phases rather than ~log(n).
-//
-//  3. The shared merge engine. The per-phase merge machinery — DRR
-//     ranking, tree collapse over re-randomized proxies, root-label
-//     broadcast — is core.Merger, the same code the static connectivity
-//     and MST algorithms run, so a dynamic session with an empty
-//     certificate executes exactly the static algorithm (the one-batch
-//     equivalence the tests pin down). Each query's sampled merge edges
-//     flow back to machine 0 and, together with the certificate pieces'
-//     spanning subforest, form the next certificate forest.
-//
-// Cost model: every step is metered by the same engine as the static
-// algorithms — batch routing, label shipping, part-sketch exchanges, and
-// merge phases all pay their rounds. Command arrival (the fact that a
-// batch or query happened) is control plane and free; batch *contents*
-// enter only at machine 0 and are distributed in-model. Per-command round
-// costs are reported in BatchResult/QueryResult, measured as the increase
-// of the cluster-wide round counter.
-//
-// Known limitation, inherited from one-shot linear sketching: bank
-// randomness is drawn once per session, so sketch-failure events are not
-// independent across queries that reuse a bank. For oblivious streams
-// (anything generated independently of the session seed, e.g. the
-// graph.Stream generators) failures stay at the static algorithm's rate
-// and are retried on fresh banks in subsequent phases; a query that still
-// fails to converge within MaxPhasesPerQuery returns ErrNotConverged
-// rather than a wrong answer.
+// See the internal/resident package documentation for the design: how
+// linearity makes incremental bank maintenance cheap, how the certificate
+// keeps clean components free at query time, and how the shared merge
+// engine makes a fresh session's first query exactly the static
+// algorithm.
 package dynamic
 
 import (
-	"errors"
-	"fmt"
+	"context"
 
-	"kmgraph/internal/core"
 	"kmgraph/internal/graph"
 	"kmgraph/internal/kmachine"
-	"kmgraph/internal/sketch"
+	"kmgraph/internal/resident"
 )
 
-// Config parameterizes a dynamic session. The zero value of everything
-// except K is sensible.
-type Config struct {
-	// K is the number of machines.
-	K int
-	// BandwidthBits is the per-link budget; 0 selects kmachine.Bandwidth(n).
-	BandwidthBits int
-	// Seed drives the vertex partition and all private coins.
-	Seed int64
-	// MaxPhasesPerQuery caps Boruvka phases per query; 0 selects the
-	// static default, 12·ceil(log2 n) + 4.
-	MaxPhasesPerQuery int
-	// Banks is the number of persistent sketch banks maintained; query
-	// phase p draws from bank p mod Banks. 0 selects 2·ceil(log2 n) + 4.
-	Banks int
-	// Sketch overrides sketch parameters; zero selects
-	// sketch.DefaultParams(n).
-	Sketch sketch.Params
-	// CollapseLevelWise, CoinMerge, and FaithfulRandomness select the same
-	// ablations as the static core.Config.
-	CollapseLevelWise  bool
-	CoinMerge          bool
-	FaithfulRandomness bool
-	// MessageOverheadBits models per-message framing (0 = 64).
-	MessageOverheadBits int
-	// MaxRounds aborts runaway sessions (0 = 5,000,000 cumulative rounds).
-	MaxRounds int
-}
-
-const defaultSessionMaxRounds = 5_000_000
-
-// coreConfig resolves the session config into the shared core.Config.
-func (c Config) coreConfig(n int) core.Config {
-	cc := core.Config{
-		K:                   c.K,
-		BandwidthBits:       c.BandwidthBits,
-		Seed:                c.Seed,
-		MaxPhases:           c.MaxPhasesPerQuery,
-		Sketch:              c.Sketch,
-		CollapseLevelWise:   c.CollapseLevelWise,
-		CoinMerge:           c.CoinMerge,
-		FaithfulRandomness:  c.FaithfulRandomness,
-		MessageOverheadBits: c.MessageOverheadBits,
-		MaxRounds:           c.MaxRounds,
-	}
-	cc = cc.WithDefaults(n)
-	if cc.MaxRounds == 0 {
-		cc.MaxRounds = defaultSessionMaxRounds
-	}
-	return cc
-}
-
-func defaultBanks(n int) int {
-	l := 0
-	for s := 1; s < n; s <<= 1 {
-		l++
-	}
-	return 2*l + 4
-}
+// Config parameterizes a dynamic session. It is the resident engine's
+// configuration; the zero value of everything except K is sensible.
+type Config = resident.Config
 
 // BatchResult reports one applied update batch.
-type BatchResult struct {
-	// Ops is the number of operations submitted (including invalid ones).
-	Ops int
-	// Applied is the number of operations that mutated the graph.
-	Applied int
-	// RejectedInserts counts insertions of already-present edges.
-	RejectedInserts int
-	// RejectedDeletes counts deletions of absent edges.
-	RejectedDeletes int
-	// RejectedInvalid counts self-loops and out-of-range endpoints
-	// (rejected at ingress, before any routing).
-	RejectedInvalid int
-	// Rounds is the number of engine rounds the batch cost (routing ops to
-	// home machines and collecting accept/reject verdicts).
-	Rounds int
-}
+type BatchResult = resident.BatchResult
 
 // QueryResult reports one connectivity query.
-type QueryResult struct {
-	// Labels[v] is the component label of vertex v at query time; equal
-	// labels mean same component (w.h.p.). Labels are member vertex IDs.
-	Labels []uint64
-	// Components is the number of connected components.
-	Components int
-	// Forest is a spanning forest of the queried snapshot, canonical form,
-	// sorted by edge ID.
-	Forest []graph.Edge
-	// Phases is the number of Boruvka merge phases this query ran.
-	Phases int
-	// Rounds is the number of engine rounds this query cost.
-	Rounds int
-	// SketchFailures counts failed bank-sample recoveries this query.
-	SketchFailures int64
-	// CollapseIters counts tree-collapse iterations this query.
-	CollapseIters int
-	// RelabeledVertices is the size of the dirty region: how many vertices
-	// the certificate step relabeled before the merge phases (0 for a
-	// query on an unchanged or insert-merged-only graph).
-	RelabeledVertices int
-	// CertificateEdges is the size of the certificate (forest + net
-	// insertions) machine 0 recomputed pieces from.
-	CertificateEdges int
-	// MergeEdges is the number of fresh forest edges discovered by this
-	// query's merge phases (i.e. bank-sketch samples that won a merge).
-	MergeEdges int
-}
-
-// SameComponent reports whether u and v were connected at query time.
-func (r *QueryResult) SameComponent(u, v int) bool {
-	if u < 0 || v < 0 || u >= len(r.Labels) || v >= len(r.Labels) {
-		return false
-	}
-	return r.Labels[u] == r.Labels[v]
-}
+type QueryResult = resident.QueryResult
 
 // ErrNotConverged is returned by Query when the merge phases exhausted
 // MaxPhasesPerQuery with components still active (persistent sketch
 // failures); the session remains usable and the query may be retried.
-var ErrNotConverged = errors.New("dynamic: query did not converge within MaxPhasesPerQuery")
+var ErrNotConverged = resident.ErrNotConverged
 
 // ErrClosed is returned by operations on a closed session.
-var ErrClosed = errors.New("dynamic: session closed")
+var ErrClosed = resident.ErrClosed
 
-func validConfig(n int, cfg Config) error {
-	if cfg.K < 1 {
-		return fmt.Errorf("dynamic: K = %d, need >= 1", cfg.K)
-	}
-	if n < 1 {
-		return fmt.Errorf("dynamic: empty vertex set")
-	}
-	return nil
+// Session is a live dynamic-graph session: a resident cluster accepting
+// update batches and connectivity queries until closed. Commands are
+// serialized by the engine's job queue, so a Session is safe for
+// concurrent use (callers queue in submission order).
+type Session struct {
+	e *resident.Engine
 }
 
-// sessionMetrics is a type alias kept small so session.go can return the
-// engine metrics without re-exporting kmachine.
-type sessionMetrics = kmachine.Metrics
+// NewSession loads g across a fresh resident cluster under a random
+// vertex partition and blocks until every machine finishes the load phase
+// (shared randomness, bank seeds, resident adjacency).
+func NewSession(g *graph.Graph, cfg Config) (*Session, error) {
+	e, err := resident.New(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{e: e}, nil
+}
+
+// Engine exposes the underlying resident engine (the full job API:
+// contexts, MST, min-cut, verification).
+func (s *Session) Engine() *resident.Engine { return s.e }
+
+// ApplyBatch applies a batch of edge operations in order. Self-loops and
+// out-of-range endpoints are rejected at ingress; duplicate insertions and
+// deletions of absent edges are rejected by the endpoint home machines
+// (and counted), leaving the graph, sketches, and certificate untouched.
+func (s *Session) ApplyBatch(ops []graph.EdgeOp) (*BatchResult, error) {
+	return s.e.ApplyBatch(context.Background(), ops)
+}
+
+// Query answers connectivity on the current graph: component labels, the
+// component count, and a spanning forest, plus this query's incremental
+// cost accounting.
+func (s *Session) Query() (*QueryResult, error) {
+	return s.e.Query(context.Background())
+}
+
+// N returns the (fixed) vertex count.
+func (s *Session) N() int { return s.e.N() }
+
+// K returns the machine count.
+func (s *Session) K() int { return s.e.K() }
+
+// Rounds returns the cumulative engine rounds consumed so far (setup
+// included).
+func (s *Session) Rounds() int { return s.e.Rounds() }
+
+// Batches returns the number of batches applied so far.
+func (s *Session) Batches() int { return s.e.Batches() }
+
+// Queries returns the number of queries answered so far.
+func (s *Session) Queries() int { return s.e.Queries() }
+
+// Close shuts the cluster down and returns the session-wide engine
+// metrics. Further commands return ErrClosed; Close is idempotent.
+func (s *Session) Close() (*kmachine.Metrics, error) { return s.e.Close() }

@@ -1,0 +1,159 @@
+package kmachine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// base (goleak-style: counts, with a deadline, instead of dumping stacks).
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s", n, base, buf)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRunContextCancelReleasesSteppingMachines: cancelling the context of
+// a run whose machines are stepping forever must return ctx.Err() and
+// leave no machine goroutine behind.
+func TestRunContextCancelReleasesSteppingMachines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	cl, err := New(Config{K: 4, BandwidthBits: 1024, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	_, err = cl.RunContext(ctx, func(c *Ctx) error {
+		for {
+			c.Broadcast([]byte("spin"))
+			c.Step()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestRunContextCancelWithParkedMachines: a cancelled run whose machines
+// are all parked on external input must terminate, and the machines'
+// goroutines must exit cleanly once they touch the cluster again — the
+// abort path the resident substrate depends on.
+func TestRunContextCancelWithParkedMachines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	cl, err := New(Config{K: 3, BandwidthBits: 1024, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := cl.RunContext(ctx, func(c *Ctx) error {
+			c.Park()
+			<-release // external input that never arrives before cancel
+			c.Unpark()
+			c.Step()
+			return nil
+		})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let every machine park
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunContext did not return after cancel with all machines parked")
+	}
+	// Wake the parked handlers: their Unpark/Step must abort, not wedge.
+	close(release)
+	waitGoroutines(t, base)
+}
+
+// TestRunContextDeadline: a deadline behaves like a cancel.
+func TestRunContextDeadline(t *testing.T) {
+	cl, err := New(Config{K: 2, BandwidthBits: 64, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err = cl.RunContext(ctx, func(c *Ctx) error {
+		for {
+			c.Broadcast(make([]byte, 64))
+			c.Step()
+		}
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestSnapshotDuringRun: Snapshot observes monotone round counts while the
+// cluster runs, is consistent (deep-copied), and reports false once the
+// run ends.
+func TestSnapshotDuringRun(t *testing.T) {
+	cl, err := New(Config{K: 2, BandwidthBits: 1024, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cl.Snapshot(); ok {
+		t.Fatal("Snapshot before Run reported a live run")
+	}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	var res *Result
+	go func() {
+		res, _ = cl.Run(func(c *Ctx) error {
+			for i := 0; i < 50; i++ {
+				c.Send(1-c.ID(), []byte("x"))
+				c.Step()
+			}
+			if c.ID() == 0 {
+				close(started)
+				<-release
+			}
+			return nil
+		})
+		close(done)
+	}()
+	<-started
+	m1, ok := cl.Snapshot()
+	if !ok {
+		t.Fatal("Snapshot during run failed")
+	}
+	if m1.Rounds < 50 || m1.Messages == 0 {
+		t.Fatalf("mid-run snapshot: %+v", m1)
+	}
+	close(release)
+	<-done
+	if m1.Rounds > res.Metrics.Rounds {
+		t.Fatalf("snapshot rounds %d exceed final %d", m1.Rounds, res.Metrics.Rounds)
+	}
+	if _, ok := cl.Snapshot(); ok {
+		t.Fatal("Snapshot after run reported a live run")
+	}
+}

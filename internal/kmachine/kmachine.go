@@ -18,10 +18,12 @@
 package kmachine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"kmgraph/internal/hashing"
 )
@@ -65,8 +67,14 @@ type Message struct {
 type Handler func(ctx *Ctx) error
 
 // Cluster is a configured k-machine system; Run executes a Handler on it.
+// A Cluster supports at most one Run at a time (the resident substrate
+// keeps exactly one alive for its whole lifetime).
 type Cluster struct {
 	cfg Config
+
+	mu      sync.Mutex
+	evCh    chan event    // live run's event channel (nil before Run)
+	runDone chan struct{} // closed when the coordinator exits
 }
 
 // New validates cfg and returns a cluster.
@@ -105,6 +113,8 @@ type event struct {
 	done   bool
 	park   bool
 	unpark bool
+	cancel bool         // injected by the RunContext watcher, not a machine
+	snap   chan Metrics // metrics snapshot request (host side, free)
 	err    error
 	output any
 }
@@ -124,6 +134,7 @@ type Ctx struct {
 	outbox []Message
 	evCh   chan<- event
 	inCh   chan delivery
+	stop   <-chan struct{} // closed when the coordinator exits
 	output any
 }
 
@@ -166,6 +177,17 @@ func (c *Ctx) Broadcast(data []byte) {
 
 type abortPanic struct{}
 
+// submit sends an event to the coordinator, aborting the machine if the
+// coordinator has already exited (a cancelled run must not wedge machines
+// in barrier calls, whatever state they were in when the abort hit).
+func (c *Ctx) submit(e event) {
+	select {
+	case c.evCh <- e:
+	case <-c.stop:
+		panic(abortPanic{})
+	}
+}
+
 // Park withdraws this machine from the round barrier: the cluster keeps
 // advancing rounds without it, and messages addressed to it are buffered
 // for its next Step. Park lets a machine idle on external input (the
@@ -177,25 +199,62 @@ type abortPanic struct{}
 // Step or handler return would submit them. Call Unpark before
 // communicating again.
 func (c *Ctx) Park() {
-	c.evCh <- event{id: c.id, outbox: c.outbox, park: true}
+	c.submit(event{id: c.id, outbox: c.outbox, park: true})
 	c.outbox = nil
 }
 
 // Unpark re-enters the machine into the round barrier after a Park.
-func (c *Ctx) Unpark() { c.evCh <- event{id: c.id, unpark: true} }
+func (c *Ctx) Unpark() { c.submit(event{id: c.id, unpark: true}) }
 
 // Step ends the current round and blocks until the coordinator advances
 // the cluster. It returns the messages whose transmission completed this
 // round, sorted by (Src, send order).
 func (c *Ctx) Step() []Message {
-	c.evCh <- event{id: c.id, outbox: c.outbox}
+	c.submit(event{id: c.id, outbox: c.outbox})
 	c.outbox = nil
-	d := <-c.inCh
+	var d delivery
+	select {
+	case d = <-c.inCh:
+	case <-c.stop:
+		// The coordinator exited without serving this step (aborted run).
+		// Prefer a delivery that raced in just before the exit.
+		select {
+		case d = <-c.inCh:
+		default:
+			panic(abortPanic{})
+		}
+	}
 	if d.abort {
 		panic(abortPanic{})
 	}
 	c.round++
 	return d.msgs
+}
+
+// Snapshot returns a copy of the live run's metrics, observed between
+// rounds (the coordinator serves the request at its next event, so the
+// copy is always internally consistent). It reports false when no run is
+// active. Snapshot is free host-side observability: it does not perturb
+// rounds, queues, or machine state.
+func (c *Cluster) Snapshot() (Metrics, bool) {
+	c.mu.Lock()
+	evCh, runDone := c.evCh, c.runDone
+	c.mu.Unlock()
+	if evCh == nil {
+		return Metrics{}, false
+	}
+	reply := make(chan Metrics, 1)
+	select {
+	case evCh <- event{snap: reply}:
+	case <-runDone:
+		return Metrics{}, false
+	}
+	select {
+	case m := <-reply:
+		return m, true
+	case <-runDone:
+		return Metrics{}, false
+	}
 }
 
 // queued is an in-flight message with transmission progress.
@@ -216,8 +275,38 @@ func (q *queued) totalBits(overhead int) int {
 // It returns the first handler error, a panic converted to an error, or
 // ErrMaxRounds.
 func (c *Cluster) Run(h Handler) (*Result, error) {
+	return c.RunContext(context.Background(), h)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled, the
+// coordinator aborts the execution — machines blocked in Step are released
+// with an abort delivery, machines parked on external input are abandoned
+// (their goroutines exit the next time they touch the cluster), and
+// RunContext returns ctx.Err().
+func (c *Cluster) RunContext(ctx context.Context, h Handler) (*Result, error) {
 	k := c.cfg.K
 	evCh := make(chan event, k)
+	runDone := make(chan struct{})
+	c.mu.Lock()
+	c.evCh, c.runDone = evCh, runDone
+	c.mu.Unlock()
+	defer close(runDone)
+
+	if ctx.Done() != nil {
+		watchStop := make(chan struct{})
+		defer close(watchStop)
+		go func() {
+			select {
+			case <-ctx.Done():
+				select {
+				case evCh <- event{cancel: true, err: ctx.Err()}:
+				case <-runDone:
+				}
+			case <-watchStop:
+			}
+		}()
+	}
+
 	ctxs := make([]*Ctx, k)
 	for i := 0; i < k; i++ {
 		ctxs[i] = &Ctx{
@@ -226,6 +315,7 @@ func (c *Cluster) Run(h Handler) (*Result, error) {
 			rng:  rand.New(rand.NewSource(int64(hashing.Hash2(uint64(c.cfg.Seed), uint64(i)+0xabcd)))),
 			evCh: evCh,
 			inCh: make(chan delivery, 1),
+			stop: runDone,
 		}
 	}
 	for i := 0; i < k; i++ {
@@ -243,7 +333,11 @@ func (c *Cluster) Run(h Handler) (*Result, error) {
 				}()
 				err = h(ctx)
 			}()
-			evCh <- event{id: ctx.id, outbox: ctx.outbox, done: true, err: err, output: ctx.output}
+			select {
+			case evCh <- event{id: ctx.id, outbox: ctx.outbox, done: true, err: err, output: ctx.output}:
+			case <-runDone:
+				// Coordinator already exited; nobody collects this output.
+			}
 		}(ctxs[i])
 	}
 
@@ -273,6 +367,13 @@ func (c *Cluster) Run(h Handler) (*Result, error) {
 		need := running - nParked
 		handle := func(e event) {
 			switch {
+			case e.cancel:
+				aborting = true
+				if firstErr == nil {
+					firstErr = e.err
+				}
+			case e.snap != nil:
+				e.snap <- met.Snapshot()
 			case e.park:
 				for _, m := range e.outbox {
 					queues[m.Src*k+m.Dst] = append(queues[m.Src*k+m.Dst], queued{msg: m})

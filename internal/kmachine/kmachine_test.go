@@ -364,7 +364,7 @@ func TestREPBalance(t *testing.T) {
 }
 
 func BenchmarkBarrier(b *testing.B) {
-	c, _ := New(Config{K: 8, BandwidthBits: 4096, Seed: 1, MaxRounds: 1 << 40})
+	c, _ := New(Config{K: 8, BandwidthBits: 4096, Seed: 1, MaxRounds: 1 << 30})
 	b.ResetTimer()
 	_, err := c.Run(func(ctx *Ctx) error {
 		for i := 0; i < b.N; i++ {

@@ -38,6 +38,21 @@ func newMetrics(k int) *Metrics {
 	}
 }
 
+// Snapshot returns a deep copy of the metrics with MaxLinkBits resolved,
+// safe to retain after the run advances.
+func (m *Metrics) Snapshot() Metrics {
+	cp := *m
+	cp.LinkBits = make([][]int64, len(m.LinkBits))
+	for i, row := range m.LinkBits {
+		cp.LinkBits[i] = append([]int64(nil), row...)
+	}
+	cp.SentMsgs = append([]int64(nil), m.SentMsgs...)
+	cp.RecvMsgs = append([]int64(nil), m.RecvMsgs...)
+	cp.MaxLinkBits = 0
+	cp.finish()
+	return cp
+}
+
 func (m *Metrics) finish() {
 	for _, row := range m.LinkBits {
 		for _, b := range row {

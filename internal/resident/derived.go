@@ -1,0 +1,148 @@
+// Derived views: the per-job graph transformations that let one resident
+// cluster serve min-cut sampling trials and the verification reductions
+// without touching the loaded adjacency. Every transformation is local
+// knowledge in the model — an edge's membership is decidable at both
+// endpoints' home machines from the spec alone (an edge-ID set shipped on
+// the free control plane, a shared hash, or the double-cover construction)
+// — so deriving a view costs zero rounds, exactly like the one-shot
+// algorithms' pre-filtered inputs.
+
+package resident
+
+import (
+	"kmgraph/internal/core"
+	"kmgraph/internal/graph"
+	"kmgraph/internal/hashing"
+)
+
+// View kinds of a derived run.
+const (
+	viewFull   = iota // the live resident graph as-is
+	viewKeep          // keep only edges in the spec's edge-ID set
+	viewRemove        // remove the edges in the spec's edge-ID set
+	viewSample        // keep edges whose shared hash clears a threshold
+	viewCover         // the bipartite double cover of the live graph
+)
+
+// runSpec describes one derived-view connectivity run. It travels on the
+// control plane (command broadcast): like the one-shot verify package,
+// subgraph membership is local knowledge — every machine knows which of
+// its vertices' incident edges are in H.
+type runSpec struct {
+	kind             int
+	edges            map[uint64]bool // viewKeep / viewRemove, by EdgeID over n
+	tseed, threshold uint64          // viewSample
+	probeU, probeV   int             // live-graph presence probe; -1 = none
+}
+
+// newRunSpec returns a spec of the given view kind with no presence
+// probe (probe endpoints are -1; a probe is requested by setting both).
+func newRunSpec(kind int) *runSpec {
+	return &runSpec{kind: kind, probeU: -1, probeV: -1}
+}
+
+// specEdges returns a keep/remove spec over an edge-ID set.
+func specEdges(kind int, edges map[uint64]bool) *runSpec {
+	s := newRunSpec(kind)
+	s.edges = edges
+	return s
+}
+
+// specSample returns a shared-hash sampling spec (min-cut trials).
+func specSample(tseed, threshold uint64) *runSpec {
+	s := newRunSpec(viewSample)
+	s.tseed, s.threshold = tseed, threshold
+	return s
+}
+
+// staticView is a materialized immutable snapshot of a derived graph,
+// implementing core.GraphView for the duration of one job.
+type staticView struct {
+	n     int
+	owned []int
+	home  func(v int) int
+	adj   map[int][]graph.Half
+}
+
+func (v *staticView) N() int                 { return v.n }
+func (v *staticView) Owned() []int           { return v.owned }
+func (v *staticView) Home(x int) int         { return v.home(x) }
+func (v *staticView) Adj(u int) []graph.Half { return v.adj[u] }
+
+// keepEdge reports whether the (canonical) edge {u,v} of the live n-vertex
+// graph survives the spec's filter.
+func (s *runSpec) keepEdge(u, v, n int) bool {
+	switch s.kind {
+	case viewKeep:
+		return s.edges[graph.EdgeID(u, v, n)]
+	case viewRemove:
+		return !s.edges[graph.EdgeID(u, v, n)]
+	case viewSample:
+		return hashing.Hash2(s.tseed, graph.EdgeID(u, v, n)) < s.threshold
+	}
+	return true
+}
+
+// derive materializes the spec's view over the machine's live adjacency.
+// Local computation is free in the model; only the merge phases that run
+// over the view are metered.
+func (m *rmachine) derive(spec *runSpec) core.GraphView {
+	live := m.view
+	if spec.kind == viewFull {
+		return live
+	}
+	if spec.kind == viewCover {
+		// Bipartite double cover: vertices v and v+n, each base edge {u,v}
+		// lifts to {u, v+n} and {u+n, v}. Keeping both copies of a vertex
+		// on its base home machine preserves the RVP locality argument.
+		n := live.N()
+		owned := make([]int, 0, 2*len(live.owned))
+		adj := make(map[int][]graph.Half, 2*len(live.owned))
+		for _, v := range live.owned {
+			owned = append(owned, v)
+			base := live.Adj(v)
+			up := make([]graph.Half, len(base))
+			down := make([]graph.Half, len(base))
+			for i, h := range base {
+				up[i] = graph.Half{To: h.To + n, W: h.W}
+				down[i] = graph.Half{To: h.To, W: h.W}
+			}
+			adj[v] = up
+			adj[v+n] = down
+		}
+		for _, v := range live.owned {
+			owned = append(owned, v+n)
+		}
+		return &staticView{
+			n:     2 * n,
+			owned: owned,
+			home:  func(x int) int { return live.Home(x % n) },
+			adj:   adj,
+		}
+	}
+	n := live.N()
+	adj := make(map[int][]graph.Half, len(live.owned))
+	for _, v := range live.owned {
+		var kept []graph.Half
+		for _, h := range live.Adj(v) {
+			if spec.keepEdge(v, h.To, n) {
+				kept = append(kept, h)
+			}
+		}
+		adj[v] = kept
+	}
+	return &staticView{n: n, owned: live.owned, home: live.Home, adj: adj}
+}
+
+// runConfig resolves the core config a derived run uses: the double cover
+// doubles the vertex universe, so sketch dimensions and the phase cap
+// scale exactly as a one-shot run on the cover graph would size them.
+func (m *rmachine) runConfig(spec *runSpec) core.Config {
+	cfg := m.ccfg
+	if spec.kind == viewCover {
+		cfg.Sketch.N = 2 * m.view.N()
+		cfg.Sketch.Levels += 2
+		cfg.MaxPhases += 12
+	}
+	return cfg
+}

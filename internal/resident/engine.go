@@ -1,0 +1,788 @@
+package resident
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"kmgraph/internal/core"
+	"kmgraph/internal/graph"
+	"kmgraph/internal/hashing"
+	"kmgraph/internal/kmachine"
+	"kmgraph/internal/mincut"
+	"kmgraph/internal/verify"
+)
+
+// Engine is a resident k-machine cluster: the graph is loaded and
+// partitioned once at New, then every algorithm family runs as a job
+// against the residency. Jobs are serialized through an admission
+// semaphore, so an Engine is safe for concurrent use; callers queue in
+// submission order and a queued caller whose context is cancelled never
+// runs.
+type Engine struct {
+	cfg    Config
+	ccfg   core.Config
+	n      int
+	k      int
+	banksN int
+
+	kc      *kmachine.Cluster
+	cmds    []chan hostCmd
+	replyCh chan reply
+	ackCh   chan int
+	done    chan struct{}
+	result  *kmachine.Result
+	runErr  error
+
+	// sem admits one job at a time; every field below the semaphore is
+	// guarded by holding it (New initializes them before any job can run).
+	sem          chan struct{}
+	closed       bool
+	lastMaxRound int
+	jobSeq       int
+
+	cancel atomic.Pointer[atomic.Bool] // current job's cancel flag
+
+	// statMu guards the counters surfaced by Metrics, which must be
+	// readable while a job is in flight.
+	statMu       sync.Mutex
+	loadMetrics  kmachine.Metrics
+	lastSnapshot kmachine.Metrics
+	jobs         int
+	batches      int
+	queries      int
+	edges        int
+}
+
+// New loads g across a fresh cluster under a random vertex partition and
+// blocks until every machine finishes the load phase (shared randomness,
+// bank seeds, resident adjacency). The load is the only time the graph is
+// distributed; its cost is recorded in Metrics().Load.
+func New(g *graph.Graph, cfg Config) (*Engine, error) {
+	n := g.N()
+	if err := validConfig(n, cfg); err != nil {
+		return nil, err
+	}
+	ccfg := cfg.coreConfig(n)
+	banksN := cfg.Banks
+	if banksN <= 0 {
+		banksN = defaultBanks(n)
+	}
+	kc, err := kmachine.New(kmachine.Config{
+		K:                   ccfg.K,
+		BandwidthBits:       ccfg.BandwidthBits,
+		MessageOverheadBits: ccfg.MessageOverheadBits,
+		Seed:                ccfg.Seed,
+		MaxRounds:           ccfg.MaxRounds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	part := kmachine.NewRVP(g, ccfg.K, uint64(ccfg.Seed)^0x9e37)
+
+	e := &Engine{
+		cfg:     cfg,
+		ccfg:    ccfg,
+		n:       n,
+		k:       ccfg.K,
+		banksN:  banksN,
+		kc:      kc,
+		cmds:    make([]chan hostCmd, ccfg.K),
+		replyCh: make(chan reply, ccfg.K),
+		ackCh:   make(chan int, ccfg.K),
+		done:    make(chan struct{}),
+		sem:     make(chan struct{}, 1),
+		edges:   g.M(),
+	}
+	for i := range e.cmds {
+		e.cmds[i] = make(chan hostCmd, 1)
+	}
+	go func() {
+		res, err := kc.Run(func(ctx *kmachine.Ctx) error {
+			lv := part.View(ctx.ID())
+			view := newDynView(n, ctx.ID(), lv.Home, lv.Owned(), lv.Adj)
+			m := &rmachine{
+				e:      e,
+				ctx:    ctx,
+				mg:     core.NewMerger(ctx, view, ccfg),
+				view:   view,
+				ccfg:   ccfg,
+				banksN: banksN,
+			}
+			return m.loop()
+		})
+		e.result = res
+		e.runErr = err
+		close(e.done)
+	}()
+
+	rs, err := e.collect()
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rs {
+		if r.rounds > e.lastMaxRound {
+			e.lastMaxRound = r.rounds
+		}
+	}
+	if met, ok := kc.Snapshot(); ok {
+		e.loadMetrics = met
+		e.lastSnapshot = met
+	}
+	e.notify(Event{Job: "load", Seq: 0, Phase: -1, Round: e.lastMaxRound, Done: true})
+	return e, nil
+}
+
+func (e *Engine) notify(ev Event) {
+	if e.cfg.Observer != nil {
+		e.cfg.Observer(ev)
+	}
+}
+
+// jobCancelled reports whether the currently running job has been asked to
+// stop; resident machines poll it through PhaseSync's collectives.
+func (e *Engine) jobCancelled() bool {
+	p := e.cancel.Load()
+	return p != nil && p.Load()
+}
+
+func (e *Engine) err() error {
+	if e.runErr != nil {
+		return e.runErr
+	}
+	return errors.New("resident: cluster terminated unexpectedly")
+}
+
+// collect gathers one reply per machine, preferring buffered replies over
+// the termination signal so late replies from a dying cluster still land.
+func (e *Engine) collect() ([]reply, error) {
+	rs := make([]reply, e.k)
+	for got := 0; got < e.k; got++ {
+		select {
+		case r := <-e.replyCh:
+			rs[r.id] = r
+		default:
+			select {
+			case r := <-e.replyCh:
+				rs[r.id] = r
+			case <-e.done:
+				return nil, e.err()
+			}
+		}
+	}
+	return rs, nil
+}
+
+// dispatch sends a command to every machine and completes the wake
+// handshake: all machines unpark and ack before the gate opens and any of
+// them steps.
+func (e *Engine) dispatch(c hostCmd) error {
+	c.wake = make(chan struct{})
+	for i := 0; i < e.k; i++ {
+		cc := c
+		if i != 0 {
+			cc.ops = nil
+		}
+		select {
+		case e.cmds[i] <- cc:
+		case <-e.done:
+			return e.err()
+		}
+	}
+	for i := 0; i < e.k; i++ {
+		select {
+		case <-e.ackCh:
+		case <-e.done:
+			return e.err()
+		}
+	}
+	close(c.wake)
+	return nil
+}
+
+// command broadcasts a command (control plane), waits for all replies, and
+// returns them plus the cluster-round delta the command cost.
+func (e *Engine) command(c hostCmd) ([]reply, int, error) {
+	if err := e.dispatch(c); err != nil {
+		return nil, 0, err
+	}
+	rs, err := e.collect()
+	if err != nil {
+		return nil, 0, err
+	}
+	maxR := e.lastMaxRound
+	for _, r := range rs {
+		if r.rounds > maxR {
+			maxR = r.rounds
+		}
+	}
+	delta := maxR - e.lastMaxRound
+	e.lastMaxRound = maxR
+	return rs, delta, nil
+}
+
+// jobToken is the admission record of one running job.
+type jobToken struct {
+	e         *Engine
+	name      string
+	seq       int
+	ctx       context.Context
+	startR    int
+	before    kmachine.Metrics
+	stopWatch chan struct{}
+}
+
+// begin admits a job: it waits on the semaphore (honoring ctx while
+// queued), installs the cancellation flag the machines poll, and records
+// the metrics baseline for the job's cost delta.
+func (e *Engine) begin(ctx context.Context, name string) (*jobToken, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-e.done:
+		// The cluster is gone: closed cleanly (ErrClosed) or died.
+		if e.closed {
+			return nil, ErrClosed
+		}
+		return nil, e.err()
+	}
+	if e.closed {
+		<-e.sem
+		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		<-e.sem
+		return nil, err
+	}
+	e.jobSeq++
+	t := &jobToken{e: e, name: name, seq: e.jobSeq, ctx: ctx, startR: e.lastMaxRound}
+	e.statMu.Lock()
+	t.before = e.lastSnapshot
+	e.statMu.Unlock()
+	if ctx.Done() != nil {
+		// Only cancellable contexts need the watcher; Background-context
+		// jobs (the common serving path) skip the goroutine entirely.
+		flag := &atomic.Bool{}
+		e.cancel.Store(flag)
+		t.stopWatch = make(chan struct{})
+		go func() {
+			select {
+			case <-ctx.Done():
+				flag.Store(true)
+			case <-t.stopWatch:
+			}
+		}()
+	}
+	e.notify(Event{Job: name, Seq: t.seq, Phase: -1, Round: t.startR})
+	return t, nil
+}
+
+// end releases the job: stops the watcher, refreshes the cumulative
+// snapshot, bumps counters, emits the done event, and frees the semaphore.
+// It returns the job's engine-cost delta.
+func (t *jobToken) end(jobErr error) kmachine.Metrics {
+	e := t.e
+	if t.stopWatch != nil {
+		close(t.stopWatch)
+		e.cancel.Store(nil)
+	}
+	after, ok := e.kc.Snapshot()
+	e.statMu.Lock()
+	if !ok {
+		after = e.lastSnapshot
+	}
+	e.lastSnapshot = after
+	delta := kmachine.Metrics{
+		Rounds:       after.Rounds - t.before.Rounds,
+		Messages:     after.Messages - t.before.Messages,
+		PayloadBytes: after.PayloadBytes - t.before.PayloadBytes,
+	}
+	e.jobs++
+	e.statMu.Unlock()
+	errStr := ""
+	if jobErr != nil {
+		errStr = jobErr.Error()
+	}
+	e.notify(Event{Job: t.name, Seq: t.seq, Phase: -1, Round: e.lastMaxRound, Done: true, Err: errStr})
+	<-e.sem
+	return delta
+}
+
+// cancelErr maps a machine-reported cancellation to the caller's context
+// error.
+func (t *jobToken) cancelErr() error {
+	if err := t.ctx.Err(); err != nil {
+		return err
+	}
+	return context.Canceled
+}
+
+// ApplyBatch applies a batch of edge operations in order. Self-loops and
+// out-of-range endpoints are rejected at ingress; duplicate insertions and
+// deletions of absent edges are rejected by the endpoint home machines
+// (and counted), leaving the graph, sketches, and certificate untouched.
+func (e *Engine) ApplyBatch(ctx context.Context, ops []graph.EdgeOp) (*BatchResult, error) {
+	t, err := e.begin(ctx, "batch")
+	if err != nil {
+		return nil, err
+	}
+	clean := make([]graph.EdgeOp, 0, len(ops))
+	invalid := 0
+	for _, op := range ops {
+		op = op.Canon()
+		if op.U == op.V || op.U < 0 || op.V >= e.n {
+			invalid++
+			continue
+		}
+		clean = append(clean, op)
+	}
+	rs, rounds, err := e.command(hostCmd{kind: cmdApply, ops: clean, seq: t.seq, name: t.name})
+	if err != nil {
+		t.end(err)
+		return nil, err
+	}
+	r0 := rs[0]
+	e.statMu.Lock()
+	e.batches++
+	e.edges += r0.appliedIns - r0.appliedDel
+	e.statMu.Unlock()
+	t.end(nil)
+	return &BatchResult{
+		Ops:             len(ops),
+		Applied:         r0.applied,
+		RejectedInserts: r0.rejIns,
+		RejectedDeletes: r0.rejDel,
+		RejectedInvalid: invalid,
+		Rounds:          rounds,
+	}, nil
+}
+
+// Query answers connectivity on the current graph: component labels, the
+// component count, and a spanning forest, plus this query's incremental
+// cost accounting. A cancelled query returns ctx.Err(); the engine stays
+// consistent and serviceable.
+func (e *Engine) Query(ctx context.Context) (*QueryResult, error) {
+	t, err := e.begin(ctx, "connectivity")
+	if err != nil {
+		return nil, err
+	}
+	rs, rounds, err := e.command(hostCmd{kind: cmdQuery, seq: t.seq, name: t.name})
+	if err != nil {
+		t.end(err)
+		return nil, err
+	}
+	e.statMu.Lock()
+	e.queries++
+	e.statMu.Unlock()
+	if rs[0].cancelled {
+		err := t.cancelErr()
+		t.end(err)
+		return nil, err
+	}
+	res := &QueryResult{Labels: make([]uint64, e.n), Rounds: rounds}
+	converged := true
+	for _, r := range rs {
+		for v, l := range r.labels {
+			res.Labels[v] = l
+		}
+		if r.phases > res.Phases {
+			res.Phases = r.phases
+		}
+		if r.collapseIters > res.CollapseIters {
+			res.CollapseIters = r.collapseIters
+		}
+		res.SketchFailures += r.failures
+		converged = converged && r.converged
+	}
+	r0 := rs[0]
+	res.Components = r0.components
+	res.Forest = r0.forest
+	res.RelabeledVertices = r0.relabeled
+	res.CertificateEdges = r0.certEdges
+	res.MergeEdges = r0.mergeEdges
+	if !converged {
+		t.end(ErrNotConverged)
+		return res, ErrNotConverged
+	}
+	t.end(nil)
+	return res, nil
+}
+
+// MST constructs the minimum spanning forest of the current graph
+// (Theorem 2) as a job against the residency: fresh singleton labels, the
+// same MWOE machinery as the one-shot algorithm, no graph re-load. With
+// strong set, every MST edge is also delivered to both endpoints' home
+// machines (Theorem 2(b)).
+func (e *Engine) MST(ctx context.Context, strong bool) (*core.MSTResult, error) {
+	t, err := e.begin(ctx, "mst")
+	if err != nil {
+		return nil, err
+	}
+	startR := e.lastMaxRound
+	rs, _, err := e.command(hostCmd{kind: cmdMST, mst: &mstSpec{strong: strong}, seq: t.seq, name: t.name})
+	if err != nil {
+		t.end(err)
+		return nil, err
+	}
+	if rs[0].cancelled {
+		err := t.cancelErr()
+		t.end(err)
+		return nil, err
+	}
+	out := &core.MSTResult{Labels: make([]uint64, e.n)}
+	byID := make(map[uint64]graph.Edge)
+	weakMax := 0
+	for _, r := range rs {
+		for v, l := range r.labels {
+			out.Labels[v] = l
+		}
+		for _, ed := range r.mstEdges {
+			byID[graph.EdgeID(ed.U, ed.V, e.n)] = ed
+		}
+		out.SketchFailures += r.failures
+		if r.phases > out.Phases {
+			out.Phases = r.phases
+		}
+		if r.elimIters > out.ElimIters {
+			out.ElimIters = r.elimIters
+		}
+		if r.weakRounds > weakMax {
+			weakMax = r.weakRounds
+		}
+		if r.vertexEdges != nil {
+			if out.VertexEdges == nil {
+				out.VertexEdges = make(map[int][]graph.Edge)
+			}
+			for v, es := range r.vertexEdges {
+				out.VertexEdges[v] = es
+			}
+		}
+	}
+	for _, id := range core.SortedKeys(byID) {
+		ed := byID[id]
+		out.Edges = append(out.Edges, ed)
+		out.TotalWeight += ed.W
+	}
+	out.WeakRounds = weakMax - startR
+	out.Metrics = t.end(nil)
+	return out, nil
+}
+
+// runOutcome is the host-side result of one derived-view connectivity run.
+type runOutcome struct {
+	components   int
+	labels       []uint64
+	probePresent bool
+	rounds       int
+}
+
+// runDerived executes one derived-view connectivity run under an admitted
+// job and assembles the outcome.
+func (e *Engine) runDerived(t *jobToken, spec *runSpec) (*runOutcome, error) {
+	if err := t.ctx.Err(); err != nil {
+		return nil, err
+	}
+	rs, rounds, err := e.command(hostCmd{kind: cmdRun, spec: spec, seq: t.seq, name: t.name})
+	if err != nil {
+		return nil, err
+	}
+	if rs[0].cancelled {
+		return nil, t.cancelErr()
+	}
+	nView := e.n
+	if spec.kind == viewCover {
+		nView = 2 * e.n
+	}
+	out := &runOutcome{labels: make([]uint64, nView), rounds: rounds}
+	converged := true
+	for _, r := range rs {
+		for v, l := range r.labels {
+			out.labels[v] = l
+		}
+		out.probePresent = out.probePresent || r.probePresent
+		converged = converged && r.converged
+	}
+	if !converged {
+		return nil, ErrNotConverged
+	}
+	seen := make(map[uint64]bool)
+	for _, l := range out.labels {
+		seen[l] = true
+	}
+	out.components = len(seen)
+	return out, nil
+}
+
+// MinCut estimates the edge connectivity of the current graph within an
+// O(log n) factor (Theorem 3) by Karger-style sampling trials, each a
+// derived-view connectivity run on the residency. trials and maxLevel
+// follow mincut.Config semantics (0 selects 3 and 40).
+func (e *Engine) MinCut(ctx context.Context, trials, maxLevel int) (*mincut.Result, error) {
+	if trials == 0 {
+		trials = 3
+	}
+	if maxLevel == 0 {
+		maxLevel = 40
+	}
+	t, err := e.begin(ctx, "mincut")
+	if err != nil {
+		return nil, err
+	}
+	res := &mincut.Result{}
+	fail := func(err error) (*mincut.Result, error) {
+		t.end(err)
+		return nil, err
+	}
+	runConn := func(spec *runSpec) (int, error) {
+		out, err := e.runDerived(t, spec)
+		if err != nil {
+			return 0, err
+		}
+		res.Runs++
+		res.Rounds += out.rounds
+		return out.components, nil
+	}
+
+	// Level 0 (p = 1) is the live graph itself.
+	base, err := runConn(newRunSpec(viewFull))
+	if err != nil {
+		return fail(err)
+	}
+	if base > 1 && e.n > 0 {
+		res.Level = -1
+		res.Estimate = 0
+		res.Metrics = t.end(nil)
+		return res, nil
+	}
+
+	sampleSeed := hashing.Hash2(uint64(e.ccfg.Seed), 0x3c17)
+	logn := math.Log(float64(e.n) + 2)
+	for level := 1; level <= maxLevel; level++ {
+		threshold := uint64(1) << uint(64-level)
+		disconnected := 0
+		for trial := 0; trial < trials; trial++ {
+			tseed := hashing.Hash3(sampleSeed, uint64(level), uint64(trial))
+			cc, err := runConn(specSample(tseed, threshold))
+			if err != nil {
+				return fail(err)
+			}
+			if cc > base {
+				disconnected++
+			}
+		}
+		if 2*disconnected >= trials {
+			// Majority of samples at rate 2^-level disconnected:
+			// λ ≈ 2^level · ln n up to an O(log n) factor.
+			res.Level = level
+			res.Estimate = math.Exp2(float64(level-1)) * logn / 2
+			if res.Estimate < 1 {
+				res.Estimate = 1
+			}
+			res.Metrics = t.end(nil)
+			return res, nil
+		}
+	}
+	// Never disconnected: λ exceeds every tested rate's threshold.
+	res.Level = maxLevel + 1
+	res.Estimate = math.Exp2(float64(maxLevel)) * logn / 2
+	res.Metrics = t.end(nil)
+	return res, nil
+}
+
+// edgeIDSet canonicalizes an edge list into an EdgeID set over n vertices.
+func edgeIDSet(edges []graph.Edge, n int) map[uint64]bool {
+	set := make(map[uint64]bool, len(edges))
+	for _, ed := range edges {
+		ed = ed.Canon()
+		set[graph.EdgeID(ed.U, ed.V, n)] = true
+	}
+	return set
+}
+
+// Verify runs one of the Theorem 4 verification problems against the
+// current graph, each a reduction to one or two derived-view connectivity
+// runs on the residency.
+func (e *Engine) Verify(ctx context.Context, p Problem, args VerifyArgs) (*verify.Outcome, error) {
+	t, err := e.begin(ctx, "verify")
+	if err != nil {
+		return nil, err
+	}
+	out := &verify.Outcome{}
+	fail := func(err error) (*verify.Outcome, error) {
+		t.end(err)
+		return nil, err
+	}
+	run := func(spec *runSpec) (*runOutcome, error) {
+		ro, err := e.runDerived(t, spec)
+		if err != nil {
+			return nil, err
+		}
+		out.Runs++
+		out.Rounds += ro.rounds
+		return ro, nil
+	}
+	stOK := func(s, t int) bool { return s >= 0 && t >= 0 && s < e.n && t < e.n }
+
+	switch p {
+	case SpanningConnectedSubgraph:
+		ro, err := run(specEdges(viewKeep, edgeIDSet(args.H, e.n)))
+		if err != nil {
+			return fail(err)
+		}
+		out.Holds = ro.components == 1 || e.n <= 1
+
+	case CutVerification:
+		before, err := run(newRunSpec(viewFull))
+		if err != nil {
+			return fail(err)
+		}
+		after, err := run(specEdges(viewRemove, edgeIDSet(args.Cut, e.n)))
+		if err != nil {
+			return fail(err)
+		}
+		out.Holds = after.components > before.components
+
+	case STConnectivity:
+		if !stOK(args.S, args.T) {
+			return fail(errors.New("resident: s/t out of range"))
+		}
+		ro, err := run(newRunSpec(viewFull))
+		if err != nil {
+			return fail(err)
+		}
+		out.Holds = ro.labels[args.S] == ro.labels[args.T]
+
+	case EdgeOnAllPaths:
+		if !stOK(args.S, args.T) {
+			return fail(errors.New("resident: s/t out of range"))
+		}
+		ro, err := run(specEdges(viewRemove, edgeIDSet([]graph.Edge{args.E}, e.n)))
+		if err != nil {
+			return fail(err)
+		}
+		out.Holds = ro.labels[args.S] != ro.labels[args.T]
+
+	case STCutVerification:
+		if !stOK(args.S, args.T) {
+			return fail(errors.New("resident: s/t out of range"))
+		}
+		ro, err := run(specEdges(viewRemove, edgeIDSet(args.Cut, e.n)))
+		if err != nil {
+			return fail(err)
+		}
+		out.Holds = ro.labels[args.S] != ro.labels[args.T]
+
+	case Bipartiteness:
+		g, err := run(newRunSpec(viewFull))
+		if err != nil {
+			return fail(err)
+		}
+		d, err := run(newRunSpec(viewCover))
+		if err != nil {
+			return fail(err)
+		}
+		out.Holds = d.components == 2*g.components
+
+	case CycleContainment:
+		ro, err := run(newRunSpec(viewFull))
+		if err != nil {
+			return fail(err)
+		}
+		e.statMu.Lock()
+		m := e.edges
+		e.statMu.Unlock()
+		out.Holds = m > e.n-ro.components
+
+	case ECycleContainment:
+		ed := args.E.Canon()
+		if ed.U < 0 || ed.V >= e.n || ed.U == ed.V {
+			return fail(errors.New("resident: edge out of range"))
+		}
+		spec := specEdges(viewRemove, edgeIDSet([]graph.Edge{ed}, e.n))
+		spec.probeU, spec.probeV = ed.U, ed.V
+		ro, err := run(spec)
+		if err != nil {
+			return fail(err)
+		}
+		if !ro.probePresent {
+			return fail(errors.New("resident: edge not in graph"))
+		}
+		out.Holds = ro.labels[ed.U] == ro.labels[ed.V]
+
+	default:
+		return fail(errors.New("resident: unknown verification problem"))
+	}
+	out.Metrics = t.end(nil)
+	return out, nil
+}
+
+// Metrics reports the engine's cumulative cost accounting. It is safe to
+// call concurrently with running jobs; Total reflects the state at the
+// last completed job (plus the load).
+func (e *Engine) Metrics() Metrics {
+	e.statMu.Lock()
+	defer e.statMu.Unlock()
+	return Metrics{
+		Load:       e.loadMetrics,
+		Total:      e.lastSnapshot,
+		LoadRounds: e.loadMetrics.Rounds,
+		Jobs:       e.jobs,
+		Batches:    e.batches,
+		Queries:    e.queries,
+		Edges:      e.edges,
+	}
+}
+
+// N returns the (fixed) vertex count.
+func (e *Engine) N() int { return e.n }
+
+// K returns the machine count.
+func (e *Engine) K() int { return e.k }
+
+// Rounds returns the cumulative engine rounds consumed so far (load
+// included). It reflects the last completed command.
+func (e *Engine) Rounds() int {
+	e.statMu.Lock()
+	defer e.statMu.Unlock()
+	return e.lastSnapshot.Rounds
+}
+
+// Batches returns the number of batches applied so far.
+func (e *Engine) Batches() int {
+	e.statMu.Lock()
+	defer e.statMu.Unlock()
+	return e.batches
+}
+
+// Queries returns the number of connectivity queries answered so far.
+func (e *Engine) Queries() int {
+	e.statMu.Lock()
+	defer e.statMu.Unlock()
+	return e.queries
+}
+
+// Close shuts the cluster down and returns the session-wide engine
+// metrics. Further jobs return ErrClosed; Close is idempotent and waits
+// for the in-flight job, if any, to finish.
+func (e *Engine) Close() (*kmachine.Metrics, error) {
+	select {
+	case e.sem <- struct{}{}:
+		if !e.closed {
+			e.closed = true
+			e.dispatch(hostCmd{kind: cmdClose})
+		}
+		<-e.sem
+	case <-e.done:
+	}
+	<-e.done
+	if e.result != nil {
+		return &e.result.Metrics, e.runErr
+	}
+	return nil, e.runErr
+}

@@ -1,4 +1,4 @@
-package dynamic
+package resident
 
 import (
 	"fmt"
@@ -12,14 +12,79 @@ import (
 	"kmgraph/internal/wire"
 )
 
-// dynMachine is one machine's resident state for the lifetime of a
-// session: the shared merge engine (labels, proxy states), the mutable
+// Host command kinds. Command arrival is control plane and free; command
+// *contents* that are data (batch ops) enter only at machine 0 and are
+// distributed in-model at metered cost. Run/MST specs are public problem
+// statements (local knowledge), so they ride the control plane like the
+// one-shot algorithms' pre-filtered inputs.
+const (
+	cmdApply = iota
+	cmdQuery
+	cmdRun
+	cmdMST
+	cmdClose
+)
+
+// hostCmd is a control-plane command.
+//
+// wake is the determinism gate: each machine unparks and acks, then blocks
+// on wake until the host has seen all k acks. This guarantees every
+// machine has re-entered the round barrier before any machine steps, so
+// barrier grouping — and therefore per-command round counts — cannot
+// depend on goroutine scheduling.
+type hostCmd struct {
+	kind int
+	seq  int            // job sequence number (observer events)
+	name string         // job family name (observer events)
+	ops  []graph.EdgeOp // cmdApply: machine 0 (ingress) only
+	spec *runSpec       // cmdRun
+	mst  *mstSpec       // cmdMST
+	wake chan struct{}
+}
+
+type mstSpec struct {
+	strong bool
+}
+
+// reply is one machine's out-of-band result for one command — the model's
+// designated output variables o_i, read between commands.
+type reply struct {
+	id     int
+	rounds int
+	// batch
+	applied    int
+	appliedIns int
+	appliedDel int
+	rejIns     int
+	rejDel     int
+	// query / run / mst
+	labels        map[int]uint64
+	components    int
+	forest        []graph.Edge
+	phases        int
+	failures      int64
+	collapseIters int
+	relabeled     int
+	certEdges     int
+	mergeEdges    int
+	converged     bool
+	cancelled     bool
+	// run
+	probePresent bool
+	// mst
+	mstEdges    []graph.Edge
+	vertexEdges map[int][]graph.Edge
+	elimIters   int
+	weakRounds  int
+}
+
+// rmachine is one machine's resident state for the lifetime of the
+// engine: the shared merge engine (labels, proxy states), the mutable
 // adjacency view, the maintained sketch banks, and — on machine 0 — the
 // certificate coordinator. The machine executes host commands in SPMD
-// style; batch contents enter the cluster only through machine 0 (the
-// stream ingress) and are distributed by metered exchanges.
-type dynMachine struct {
-	s      *Session
+// style.
+type rmachine struct {
+	e      *Engine
 	ctx    *kmachine.Ctx
 	mg     *core.Merger
 	view   *dynView
@@ -29,15 +94,16 @@ type dynMachine struct {
 	banksN int
 
 	// globalPhase never repeats within a session, so proxy assignments and
-	// DRR ranks stay fresh across queries (the paper's h_{j,ρ} freshness).
+	// DRR ranks stay fresh across jobs (the paper's h_{j,ρ} freshness).
 	globalPhase int
 	mergeRecs   []graph.Edge
 }
 
-func (m *dynMachine) loop() error {
+func (m *rmachine) loop() error {
 	if err := m.mg.Setup(); err != nil {
 		return err
 	}
+	m.mg.Cancelled = m.e.jobCancelled
 	seeds := make([]uint64, m.banksN)
 	for b := range seeds {
 		seeds[b] = m.mg.Sh.BankSeed(b)
@@ -49,7 +115,7 @@ func (m *dynMachine) loop() error {
 	if m.ctx.ID() == 0 {
 		m.coord = newCoordinator(m.view.n)
 	}
-	m.reply(reply{}) // ready: setup done, rounds carried in the reply
+	m.reply(reply{}) // ready: load done, rounds carried in the reply
 
 	for {
 		// Park while idling on the host: the round barrier proceeds
@@ -58,28 +124,44 @@ func (m *dynMachine) loop() error {
 		// back until all have unparked, keeping barrier grouping — and so
 		// round accounting — deterministic.
 		m.ctx.Park()
-		cmd := <-m.s.cmds[m.ctx.ID()]
+		cmd := <-m.e.cmds[m.ctx.ID()]
 		m.ctx.Unpark()
-		m.s.ackCh <- m.ctx.ID()
+		m.e.ackCh <- m.ctx.ID()
 		<-cmd.wake
 		switch cmd.kind {
 		case cmdApply:
 			m.applyBatch(cmd.ops)
 		case cmdQuery:
-			m.query()
+			m.query(cmd)
+		case cmdRun:
+			m.runDerived(cmd)
+		case cmdMST:
+			m.runMST(cmd)
 		case cmdClose:
 			m.ctx.SetOutput(&struct{}{})
 			return nil
 		default:
-			return fmt.Errorf("dynamic: unknown command %d", cmd.kind)
+			return fmt.Errorf("resident: unknown command %d", cmd.kind)
 		}
 	}
 }
 
-func (m *dynMachine) reply(r reply) {
+func (m *rmachine) reply(r reply) {
 	r.id = m.ctx.ID()
 	r.rounds = m.ctx.Round()
-	m.s.replyCh <- r
+	m.e.replyCh <- r
+}
+
+// phaseEvent emits an observer event from machine 0 (free host-side
+// observability, between metered rounds).
+func (m *rmachine) phaseEvent(cmd hostCmd, phase int, active, failures uint64) {
+	if m.ctx.ID() != 0 {
+		return
+	}
+	m.e.notify(Event{
+		Job: cmd.name, Seq: cmd.seq, Phase: phase,
+		Round: m.ctx.Round(), Active: active, Failures: failures,
+	})
 }
 
 // applyBatch distributes a batch from the ingress to the endpoints' home
@@ -87,7 +169,7 @@ func (m *dynMachine) reply(r reply) {
 // and collects per-op accept/reject verdicts back at machine 0 (which
 // folds accepted ops into the certificate). Ops arrive canonicalized
 // (U < V); the home of U is the primary, responsible for the verdict.
-func (m *dynMachine) applyBatch(ops []graph.EdgeOp) {
+func (m *rmachine) applyBatch(ops []graph.EdgeOp) {
 	k := m.ctx.K()
 
 	// Exchange 1: ingress routes each op to both endpoints' homes.
@@ -186,6 +268,11 @@ func (m *dynMachine) applyBatch(ops []graph.EdgeOp) {
 				continue
 			}
 			rep.applied++
+			if op.Del {
+				rep.appliedDel++
+			} else {
+				rep.appliedIns++
+			}
 			m.coord.applyAccepted(op)
 		}
 	}
@@ -197,7 +284,7 @@ func (m *dynMachine) applyBatch(ops []graph.EdgeOp) {
 // state for the edge, so their accept decisions agree. Sign convention
 // follows a_u (§2.3): +1 for the smaller endpoint's incidence, negated on
 // deletion.
-func (m *dynMachine) applyOp(del bool, u, v int, w int64) bool {
+func (m *rmachine) applyOp(del bool, u, v int, w int64) bool {
 	id := graph.EdgeID(u, v, m.view.n)
 	me := m.ctx.ID()
 	ownU := m.view.Home(u) == me
@@ -239,8 +326,10 @@ func (m *dynMachine) applyOp(del bool, u, v int, w int64) bool {
 // query answers connectivity on the current graph: certificate piece
 // relabel (only changed labels travel), Boruvka merge phases over the
 // maintained banks via the shared engine, and a final sync that returns
-// fresh forest edges and label changes to the coordinator.
-func (m *dynMachine) query() {
+// fresh forest edges and label changes to the coordinator. A cancelled
+// query breaks at a phase boundary but still runs the final sync, so the
+// coordinator's certificate stays consistent with the machines' labels.
+func (m *rmachine) query(cmd hostCmd) {
 	startFail := m.mg.Failures
 	startCollapse := m.mg.CollapseIters
 	rep := reply{}
@@ -290,6 +379,7 @@ func (m *dynMachine) query() {
 	m.mergeRecs = m.mergeRecs[:0]
 	phases := 0
 	converged := false
+	cancelled := false
 	for phases < m.ccfg.MaxPhases {
 		m.mg.Phase = m.globalPhase
 		m.mg.StateSlot = 0
@@ -297,10 +387,14 @@ func (m *dynMachine) query() {
 		m.selectBanks(phases % m.banksN)
 		m.mg.Collapse()
 		m.mg.BroadcastAndRelabel()
-		active := m.mg.Comm.AllSum(m.mg.PhaseActive)
-		failures := m.mg.Comm.AllSum(m.mg.PhaseFailures())
+		active, failures, cancel := m.mg.PhaseSync()
 		m.globalPhase++
 		phases++
+		m.phaseEvent(cmd, phases-1, active, failures)
+		if cancel {
+			cancelled = true
+			break
+		}
 		if active == 0 && failures == 0 {
 			converged = true
 			break
@@ -349,6 +443,7 @@ func (m *dynMachine) query() {
 	}
 	rep.phases = phases
 	rep.converged = converged
+	rep.cancelled = cancelled
 	rep.failures = m.mg.Failures - startFail
 	rep.collapseIters = m.mg.CollapseIters - startCollapse
 	rep.labels = make(map[int]uint64, len(m.mg.Labels))
@@ -363,7 +458,7 @@ func (m *dynMachine) query() {
 // maintained banks instead of being built fresh against a per-phase
 // projection, and applied merges record their sampled edge for the
 // certificate forest.
-func (m *dynMachine) selectBanks(bank int) {
+func (m *rmachine) selectBanks(bank int) {
 	k := m.ctx.K()
 	parts := m.mg.Parts()
 	seed := m.banks.seeds[bank]
@@ -387,7 +482,7 @@ func (m *dynMachine) selectBanks(bank int) {
 		label := r.Uvarint()
 		sk, err := sketch.Decode(m.ccfg.Sketch, seed, msg.Data[len(msg.Data)-r.Len():])
 		if err != nil {
-			panic(fmt.Sprintf("dynamic: bad sketch from %d: %v", msg.Src, err))
+			panic(fmt.Sprintf("resident: bad sketch from %d: %v", msg.Src, err))
 		}
 		st := m.mg.States[label]
 		if st == nil {
@@ -438,7 +533,7 @@ func (m *dynMachine) selectBanks(bank int) {
 		w := r.Varint()
 		st := m.mg.States[askLabel]
 		if st == nil {
-			panic("dynamic: reply for unknown component")
+			panic("resident: reply for unknown component")
 		}
 		if !valid || nbrLabel == askLabel {
 			m.mg.Failures++
@@ -451,4 +546,107 @@ func (m *dynMachine) selectBanks(bank int) {
 			m.mergeRecs = append(m.mergeRecs, graph.Edge{U: xy[0], V: xy[1], W: w})
 		}
 	}
+}
+
+// runDerived executes one fresh connectivity computation over a derived
+// view of the live graph — the building block of the min-cut sampling
+// trials and the verification reductions. The job reuses the residency
+// (partition, shared randomness, session communicator) but none of the
+// incremental state: labels start as singletons over the derived view.
+func (m *rmachine) runDerived(cmd hostCmd) {
+	spec := cmd.spec
+	rep := reply{}
+	if spec.probeU >= 0 && m.view.Home(spec.probeU) == m.ctx.ID() {
+		rep.probePresent = m.view.has(spec.probeU, spec.probeV)
+	}
+	view := m.derive(spec)
+	cfg := m.runConfig(spec)
+	fm := core.NewMergerOn(m.mg.Comm, view, cfg, m.mg.Sh, m.mg.Poly)
+	fm.Cancelled = m.e.jobCancelled
+
+	phases := 0
+	converged := false
+	cancelled := false
+	for phases < cfg.MaxPhases {
+		fm.Phase = m.globalPhase
+		fm.StateSlot = 0
+		fm.PhaseActive = 0
+		fm.SelectSketch()
+		fm.Collapse()
+		fm.BroadcastAndRelabel()
+		active, failures, cancel := fm.PhaseSync()
+		m.globalPhase++
+		phases++
+		m.phaseEvent(cmd, phases-1, active, failures)
+		if cancel {
+			cancelled = true
+			break
+		}
+		if active == 0 && failures == 0 {
+			converged = true
+			break
+		}
+	}
+	rep.phases = phases
+	rep.converged = converged
+	rep.cancelled = cancelled
+	rep.failures = fm.Failures
+	rep.collapseIters = fm.CollapseIters
+	rep.labels = fm.Labels
+	m.reply(rep)
+}
+
+// runMST constructs the minimum spanning forest of the live graph with the
+// §3.1 algorithm: fresh singleton labels over the resident adjacency,
+// MWOE selection phases through the shared engine, MST edges accumulated
+// on the proxies (weak output) and optionally disseminated to both
+// endpoints' homes (strong output).
+func (m *rmachine) runMST(cmd hostCmd) {
+	rep := reply{}
+	fm := core.NewMergerOn(m.mg.Comm, m.view, m.ccfg, m.mg.Sh, m.mg.Poly)
+	fm.Cancelled = m.e.jobCancelled
+	maxElim := m.e.cfg.MaxElimIters
+	if maxElim <= 0 {
+		maxElim = core.DefaultMaxElimIters(m.view.N())
+	}
+	w := core.NewMWOE(fm, maxElim)
+
+	phases := 0
+	converged := false
+	cancelled := false
+	for phases < m.ccfg.MaxPhases {
+		fm.Phase = m.globalPhase
+		fm.StateSlot = 0
+		fm.PhaseActive = 0
+		w.Select()
+		fm.Collapse()
+		fm.BroadcastAndRelabel()
+		active, failures, cancel := fm.PhaseSync()
+		m.globalPhase++
+		phases++
+		m.phaseEvent(cmd, phases-1, active, failures)
+		if cancel {
+			cancelled = true
+			break
+		}
+		if active == 0 && failures == 0 {
+			converged = true
+			break
+		}
+	}
+	rep.weakRounds = m.ctx.Round()
+	if cmd.mst.strong && !cancelled {
+		rep.vertexEdges = w.DisseminateStrong()
+	}
+	rep.phases = phases
+	rep.converged = converged
+	rep.cancelled = cancelled
+	rep.failures = fm.Failures
+	rep.collapseIters = fm.CollapseIters
+	rep.elimIters = w.ElimIters
+	rep.labels = fm.Labels
+	for _, id := range core.SortedKeys(w.Edges) {
+		rep.mstEdges = append(rep.mstEdges, w.Edges[id])
+	}
+	m.reply(rep)
 }

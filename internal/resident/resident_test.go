@@ -1,0 +1,528 @@
+package resident
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"kmgraph/internal/core"
+	"kmgraph/internal/graph"
+)
+
+func mustEngine(t *testing.T, g *graph.Graph, cfg Config) *Engine {
+	t.Helper()
+	e, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+// TestOneClusterServesEveryFamily is the acceptance property: one resident
+// cluster serves connectivity, MST, min-cut, multiple verification
+// problems, and a dynamic batch — with the graph-load rounds paid exactly
+// once (metrics-based: the cumulative rounds telescope as load + the sum
+// of per-job rounds).
+func TestOneClusterServesEveryFamily(t *testing.T) {
+	ctx := context.Background()
+	g := graph.WithDistinctWeights(graph.RandomConnected(400, 900, 7), 8)
+	e := mustEngine(t, g, Config{K: 5, Seed: 21})
+
+	load := e.Metrics()
+	if load.LoadRounds <= 0 {
+		t.Fatalf("load rounds = %d, want > 0", load.LoadRounds)
+	}
+	if load.Total.Rounds != load.LoadRounds {
+		t.Fatalf("pre-job total %d != load %d", load.Total.Rounds, load.LoadRounds)
+	}
+	jobRounds := 0
+
+	// Connectivity (incremental query path).
+	q, err := e.Query(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, oracleCC := graph.Components(g)
+	if q.Components != oracleCC {
+		t.Fatalf("components = %d, oracle %d", q.Components, oracleCC)
+	}
+	jobRounds += q.Rounds
+
+	// MST on the same residency.
+	mst, err := e.MST(ctx, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, oracleW := graph.KruskalMST(g)
+	if mst.TotalWeight != oracleW {
+		t.Fatalf("MST weight = %d, oracle %d", mst.TotalWeight, oracleW)
+	}
+	jobRounds += mst.Metrics.Rounds
+
+	// Min-cut on the same residency.
+	mc, err := e.MinCut(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Level < 1 || mc.Estimate <= 0 {
+		t.Fatalf("min-cut on a connected graph: %+v", mc)
+	}
+	jobRounds += mc.Metrics.Rounds
+
+	// Two verification problems on the same residency.
+	vb, err := e.Verify(ctx, Bipartiteness, VerifyArgs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vb.Holds != graph.IsBipartite(g) {
+		t.Fatalf("bipartiteness = %v, oracle %v", vb.Holds, graph.IsBipartite(g))
+	}
+	jobRounds += vb.Metrics.Rounds
+
+	vs, err := e.Verify(ctx, STConnectivity, VerifyArgs{S: 0, T: g.N() - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vs.Holds {
+		t.Fatal("s-t connectivity on a connected graph = false")
+	}
+	jobRounds += vs.Metrics.Rounds
+
+	// A dynamic batch, then a (cheap, incremental) re-query.
+	br, err := e.ApplyBatch(ctx, []graph.EdgeOp{{U: 0, V: g.N() / 2, W: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Applied+br.RejectedInserts != 1 {
+		t.Fatalf("batch: %+v", br)
+	}
+	jobRounds += br.Rounds
+	q2, err := e.Query(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Components != oracleCC {
+		t.Fatalf("post-batch components = %d, oracle %d", q2.Components, oracleCC)
+	}
+	jobRounds += q2.Rounds
+
+	// The residency contract: total rounds = load (once) + per-job costs.
+	m := e.Metrics()
+	if m.LoadRounds != load.LoadRounds {
+		t.Fatalf("load rounds changed: %d -> %d (graph re-loaded?)", load.LoadRounds, m.LoadRounds)
+	}
+	if m.Total.Rounds != m.LoadRounds+jobRounds {
+		t.Fatalf("total rounds %d != load %d + jobs %d", m.Total.Rounds, m.LoadRounds, jobRounds)
+	}
+	if m.Jobs != 7 {
+		t.Fatalf("jobs = %d, want 7", m.Jobs)
+	}
+}
+
+// TestResidentMatchesOneShot pins the resident jobs against the one-shot
+// algorithms' verdicts on the same inputs.
+func TestResidentMatchesOneShot(t *testing.T) {
+	ctx := context.Background()
+
+	// Disconnected input: min-cut reports 0, SCS of a spanning tree of one
+	// component fails, cycle containment agrees with m > n - c.
+	g := graph.DisjointComponents(300, 3, 0.5, 11)
+	e := mustEngine(t, g, Config{K: 4, Seed: 9})
+	mc, err := e.MinCut(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Level != -1 || mc.Estimate != 0 {
+		t.Fatalf("min-cut of disconnected graph: %+v", mc)
+	}
+	_, cc := graph.Components(g)
+	cyc, err := e.Verify(ctx, CycleContainment, VerifyArgs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := g.M() > g.N()-cc; cyc.Holds != want {
+		t.Fatalf("cycle containment = %v, want %v", cyc.Holds, want)
+	}
+
+	// Spanning connected subgraph: the MST of a connected graph holds, a
+	// partial edge set does not.
+	g2 := graph.WithDistinctWeights(graph.RandomConnected(250, 600, 13), 14)
+	e2 := mustEngine(t, g2, Config{K: 4, Seed: 17})
+	tree, _ := graph.KruskalMST(g2)
+	scs, err := e2.Verify(ctx, SpanningConnectedSubgraph, VerifyArgs{H: tree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !scs.Holds {
+		t.Fatal("SCS rejected a spanning tree")
+	}
+	scs2, err := e2.Verify(ctx, SpanningConnectedSubgraph, VerifyArgs{H: tree[:len(tree)/2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scs2.Holds {
+		t.Fatal("SCS accepted half a spanning tree")
+	}
+
+	// Cut verification: the bridges of two bridged cliques are a cut; a
+	// single non-bridge edge is not.
+	g3 := graph.TwoCliquesBridged(30, 2, 19)
+	e3 := mustEngine(t, g3, Config{K: 3, Seed: 23})
+	var bridges, inner []graph.Edge
+	for _, ed := range g3.Edges() {
+		if (ed.U < 30) != (ed.V < 30) {
+			bridges = append(bridges, ed)
+		} else if len(inner) == 0 {
+			inner = append(inner, ed)
+		}
+	}
+	vc, err := e3.Verify(ctx, CutVerification, VerifyArgs{Cut: bridges})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vc.Holds {
+		t.Fatal("bridge set not recognized as a cut")
+	}
+	vc2, err := e3.Verify(ctx, CutVerification, VerifyArgs{Cut: inner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vc2.Holds {
+		t.Fatal("inner clique edge recognized as a cut")
+	}
+
+	// ST cut / edge-on-all-paths / e-cycle on a path plus one chord.
+	gb := graph.NewBuilder(6)
+	for i := 0; i < 5; i++ {
+		gb.AddEdge(i, i+1, 1)
+	}
+	gb.AddEdge(0, 2, 1) // chord: 0-1, 1-2 lie on a cycle
+	g4 := gb.Build()
+	e4 := mustEngine(t, g4, Config{K: 2, Seed: 29})
+	stc, err := e4.Verify(ctx, STCutVerification, VerifyArgs{S: 0, T: 5, Cut: []graph.Edge{{U: 3, V: 4}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stc.Holds {
+		t.Fatal("edge (3,4) should separate 0 from 5")
+	}
+	eap, err := e4.Verify(ctx, EdgeOnAllPaths, VerifyArgs{S: 0, T: 5, E: graph.Edge{U: 4, V: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eap.Holds {
+		t.Fatal("edge (4,5) lies on every 0-5 path")
+	}
+	ecy, err := e4.Verify(ctx, ECycleContainment, VerifyArgs{E: graph.Edge{U: 1, V: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ecy.Holds {
+		t.Fatal("edge (1,2) lies on the chord cycle")
+	}
+	ecy2, err := e4.Verify(ctx, ECycleContainment, VerifyArgs{E: graph.Edge{U: 4, V: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ecy2.Holds {
+		t.Fatal("edge (4,5) is a bridge, not on any cycle")
+	}
+	if _, err := e4.Verify(ctx, ECycleContainment, VerifyArgs{E: graph.Edge{U: 0, V: 5}}); err == nil {
+		t.Fatal("ECycleContainment accepted an absent edge")
+	}
+}
+
+// TestMSTTracksBatches: MST jobs observe the live graph — after deleting
+// the lightest edge, the MST recomputes against the mutated residency.
+func TestMSTTracksBatches(t *testing.T) {
+	ctx := context.Background()
+	g := graph.WithDistinctWeights(graph.RandomConnected(150, 400, 31), 32)
+	e := mustEngine(t, g, Config{K: 3, Seed: 37})
+	mst1, err := e.MST(ctx, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drop := mst1.Edges[0]
+	if _, err := e.ApplyBatch(ctx, []graph.EdgeOp{{Del: true, U: drop.U, V: drop.V}}); err != nil {
+		t.Fatal(err)
+	}
+	mst2, err := e.MST(ctx, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := graph.ApplyOps(g, []graph.EdgeOp{{Del: true, U: drop.U, V: drop.V}})
+	_, oracleW := graph.KruskalMST(snap)
+	if mst2.TotalWeight != oracleW {
+		t.Fatalf("post-delete MST weight = %d, oracle %d", mst2.TotalWeight, oracleW)
+	}
+	if mst2.TotalWeight == mst1.TotalWeight {
+		t.Fatal("deleting an MST edge did not change the MST weight")
+	}
+}
+
+// TestStrongOutputMST: the strong output criterion delivers every MST edge
+// to both endpoints' home machines.
+func TestStrongOutputMST(t *testing.T) {
+	g := graph.WithDistinctWeights(graph.RandomConnected(120, 300, 41), 42)
+	e := mustEngine(t, g, Config{K: 3, Seed: 43})
+	mst, err := e.MST(context.Background(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mst.VertexEdges == nil {
+		t.Fatal("strong output returned no vertex edges")
+	}
+	count := make(map[uint64]bool)
+	for v, es := range mst.VertexEdges {
+		for _, ed := range es {
+			if ed.U != v && ed.V != v {
+				t.Fatalf("vertex %d holds non-incident edge %+v", v, ed)
+			}
+			count[graph.EdgeID(ed.U, ed.V, g.N())] = true
+		}
+	}
+	if len(count) != len(mst.Edges) {
+		t.Fatalf("strong output covers %d edges, MST has %d", len(count), len(mst.Edges))
+	}
+}
+
+// TestCancellationMidPhase cancels a job deterministically after its first
+// phase event and checks (a) the job returns the context error, (b) the
+// cluster is not wedged: the same engine serves subsequent jobs correctly.
+// Run under -race, this also exercises the cancel-flag publication path.
+func TestCancellationMidPhase(t *testing.T) {
+	g := graph.WithDistinctWeights(graph.RandomConnected(500, 1200, 51), 52)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := Config{K: 4, Seed: 53}
+	cfg.Observer = func(ev Event) {
+		if ev.Job == "mst" && ev.Phase == 0 {
+			cancel() // fires mid-job, between phase 0 and phase 1
+		}
+	}
+	e := mustEngine(t, g, cfg)
+
+	if _, err := e.MST(ctx, false); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled MST: err = %v, want context.Canceled", err)
+	}
+
+	// The engine must still serve jobs after the cancellation.
+	q, err := e.Query(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, oracleCC := graph.Components(g)
+	if q.Components != oracleCC {
+		t.Fatalf("post-cancel components = %d, oracle %d", q.Components, oracleCC)
+	}
+	mst, err := e.MST(context.Background(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, oracleW := graph.KruskalMST(g)
+	if mst.TotalWeight != oracleW {
+		t.Fatalf("post-cancel MST weight = %d, oracle %d", mst.TotalWeight, oracleW)
+	}
+}
+
+// TestCancelledQueryKeepsEngineConsistent cancels a connectivity query
+// mid-phase and checks the certificate/labels stay consistent: the next
+// uncancelled query answers the oracle.
+func TestCancelledQueryKeepsEngineConsistent(t *testing.T) {
+	g := graph.GNM(400, 800, 61)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := Config{K: 4, Seed: 63}
+	cfg.Observer = func(ev Event) {
+		if ev.Job == "connectivity" && ev.Seq == 1 && ev.Phase == 0 {
+			cancel()
+		}
+	}
+	e := mustEngine(t, g, cfg)
+	if _, err := e.Query(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled query: err = %v, want context.Canceled", err)
+	}
+	q, err := e.Query(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, cc := graph.Components(g)
+	if q.Components != cc {
+		t.Fatalf("post-cancel components = %d, oracle %d", q.Components, cc)
+	}
+	min := make(map[uint64]int)
+	for v, l := range q.Labels {
+		if m, ok := min[l]; !ok || v < m {
+			min[l] = v
+		}
+	}
+	for v, l := range q.Labels {
+		if min[l] != oracle[v] {
+			t.Fatalf("vertex %d misclassified after cancelled query", v)
+		}
+	}
+}
+
+// TestQueuedJobCancellation: a job whose context is cancelled while queued
+// behind a running job never executes.
+func TestQueuedJobCancellation(t *testing.T) {
+	g := graph.GNM(300, 700, 71)
+	e := mustEngine(t, g, Config{K: 3, Seed: 73})
+
+	hold, err := e.begin(context.Background(), "hold") // occupy the queue slot
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := e.Query(ctx)
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the query join the queue
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("queued job: err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued job did not observe cancellation")
+	}
+	hold.end(nil)
+	if _, err := e.Query(context.Background()); err != nil {
+		t.Fatalf("query after queue release: %v", err)
+	}
+}
+
+// TestConcurrentCallers hammers one engine from many goroutines; the job
+// queue must serialize them without races or deadlocks (run under -race).
+func TestConcurrentCallers(t *testing.T) {
+	g := graph.GNM(200, 500, 81)
+	e := mustEngine(t, g, Config{K: 3, Seed: 83})
+	var wg sync.WaitGroup
+	errs := make(chan error, 24)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := context.Background()
+			if _, err := e.Query(ctx); err != nil {
+				errs <- err
+			}
+			if _, err := e.ApplyBatch(ctx, []graph.EdgeOp{{U: i, V: 100 + i, W: 1}}); err != nil {
+				errs <- err
+			}
+			if _, err := e.Verify(ctx, CycleContainment, VerifyArgs{}); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestCloseReleasesGoroutines: an engine leaves no goroutines behind after
+// Close, including after a cancelled job.
+func TestCloseReleasesGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	g := graph.WithDistinctWeights(graph.RandomConnected(300, 700, 91), 92)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := Config{K: 4, Seed: 93}
+	cfg.Observer = func(ev Event) {
+		if ev.Job == "mst" && ev.Phase == 0 {
+			cancel()
+		}
+	}
+	e, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.MST(ctx, false); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	met, err := e.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.Rounds <= 0 || met.DroppedMessages != 0 {
+		t.Fatalf("bad close metrics: %+v", met)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines leaked: %d > %d\n%s", runtime.NumGoroutine(), base, buf)
+		}
+		time.Sleep(10 * time.Millisecond)
+		runtime.GC()
+	}
+}
+
+// TestObserverSeesPhases: the observer receives load, per-phase, and done
+// events with monotone rounds.
+func TestObserverSeesPhases(t *testing.T) {
+	g := graph.GNM(200, 500, 95)
+	var mu sync.Mutex
+	var events []Event
+	cfg := Config{K: 3, Seed: 97}
+	cfg.Observer = func(ev Event) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	}
+	e := mustEngine(t, g, cfg)
+	if _, err := e.Query(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) == 0 || events[0].Job != "load" || !events[0].Done {
+		t.Fatalf("first event: %+v", events)
+	}
+	phases, lastRound := 0, 0
+	for _, ev := range events {
+		if ev.Round < lastRound {
+			t.Fatalf("rounds went backwards: %+v", ev)
+		}
+		lastRound = ev.Round
+		if ev.Job == "connectivity" && ev.Phase >= 0 {
+			phases++
+		}
+	}
+	if phases == 0 {
+		t.Fatal("no phase events observed")
+	}
+	last := events[len(events)-1]
+	if last.Job != "connectivity" || !last.Done || last.Err != "" {
+		t.Fatalf("last event: %+v", last)
+	}
+}
+
+// TestResidentQueryEquivalence: a fresh engine's first query matches the
+// static algorithm's component count (the static-equivalence property the
+// dynamic subsystem pinned, now at the resident layer).
+func TestResidentQueryEquivalence(t *testing.T) {
+	g := graph.GNM(350, 650, 99)
+	e := mustEngine(t, g, Config{K: 5, Seed: 101})
+	q, err := e.Query(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := core.Run(g, core.Config{K: 5, Seed: 101})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Components != static.Components {
+		t.Fatalf("resident %d components, static %d", q.Components, static.Components)
+	}
+}

@@ -22,11 +22,32 @@
 //   - A deterministic k-machine engine with per-link bandwidth accounting,
 //     so every reported cost is the model's round complexity.
 //
-// Quick start:
+// # Quick start: the resident Cluster
 //
-//	g := kmgraph.GNM(10_000, 30_000, 1)      // a random graph
-//	res, err := kmgraph.Connectivity(g, kmgraph.Config{K: 16, Seed: 7})
-//	// res.Components, res.Labels, res.Metrics.Rounds ...
+// The serving API loads a graph onto k machines once and then runs every
+// algorithm as a cancellable job against that residency:
+//
+//	g := kmgraph.GNM(10_000, 30_000, 1)           // a random graph
+//	c, err := kmgraph.NewCluster(g, kmgraph.WithK(16), kmgraph.WithSeed(7))
+//	defer c.Close()
+//	q, err := c.Connectivity(ctx)                 // q.Components, q.Labels ...
+//	mst, err := c.MST(ctx)                        // same residency, no re-load
+//	cut, err := c.ApproxMinCut(ctx)
+//	ok, err := c.Verify(ctx, kmgraph.ProblemBipartiteness, kmgraph.VerifyArgs{})
+//	_, err = c.ApplyBatch(ctx, ops)               // mutate the resident graph
+//	q2, err := c.Connectivity(ctx)                // incremental: certificate + banks
+//	// c.Metrics().LoadRounds — the load phase, paid exactly once.
+//
+// # Migration note: one-shot functions
+//
+// The original one-shot entry points — Connectivity(g, cfg), MST(g, cfg),
+// SpanningTree, ApproxMinCut, the Verify* functions, and NewDynamic —
+// remain fully supported; each builds a fresh cluster, pays the load for
+// a single run, and tears it down. Prefer them for experiments and
+// ablations (they expose per-run knobs like EdgeCheckSelection and
+// CountComponents); prefer NewCluster whenever more than one question is
+// asked of the same graph, under churn, or when jobs need deadlines and
+// cancellation (the one-shot API takes no context).
 //
 // The experiment harness reproducing every theorem is available via
 // AllExperiments and the cmd/kmbench tool; EXPERIMENTS.md records
@@ -127,6 +148,9 @@ type Result = core.Result
 
 // Connectivity runs the paper's Õ(n/k²) connected-components algorithm
 // (Theorem 1) on a random vertex partition of g across cfg.K machines.
+//
+// One-shot: builds a fresh cluster per call. For repeated questions on
+// one graph, use NewCluster and Cluster.Connectivity instead.
 func Connectivity(g *Graph, cfg Config) (*Result, error) { return core.Run(g, cfg) }
 
 // MSTConfig parameterizes the MST algorithm.
@@ -137,6 +161,9 @@ type MSTResult = core.MSTResult
 
 // MST runs the paper's Õ(n/k²) minimum-spanning-tree algorithm
 // (Theorem 2). Set StrongOutput for the both-endpoints output criterion.
+//
+// One-shot: builds a fresh cluster per call. For repeated questions on
+// one graph, use NewCluster and Cluster.MST instead.
 func MST(g *Graph, cfg MSTConfig) (*MSTResult, error) { return core.RunMST(g, cfg) }
 
 // SpanningTree computes a spanning forest of g in Õ(n/k²) rounds under
@@ -194,6 +221,10 @@ var ErrNotConverged = dynamic.ErrNotConverged
 // NewDynamic starts a dynamic session on g across cfg.K machines. The
 // static Connectivity algorithm is the degenerate case: a fresh session's
 // first Query runs the same merge phases from singleton labels.
+//
+// A Dynamic session is a resident Cluster restricted to ApplyBatch and
+// Query; NewCluster exposes the same residency with the full job API
+// (MST, min-cut, verification) and per-job contexts.
 func NewDynamic(g *Graph, cfg DynamicConfig) (*Dynamic, error) {
 	return dynamic.NewSession(g, cfg)
 }
@@ -205,6 +236,9 @@ type MinCutConfig = mincut.Config
 type MinCutResult = mincut.Result
 
 // ApproxMinCut runs the O(log n)-approximate min-cut (Theorem 3).
+//
+// One-shot: builds a fresh cluster per connectivity run. For repeated
+// questions on one graph, use NewCluster and Cluster.ApproxMinCut.
 func ApproxMinCut(g *Graph, cfg MinCutConfig) (*MinCutResult, error) {
 	return mincut.Approximate(g, cfg)
 }
@@ -212,7 +246,9 @@ func ApproxMinCut(g *Graph, cfg MinCutConfig) (*MinCutResult, error) {
 // VerifyOutcome is a verification verdict with cost accounting.
 type VerifyOutcome = verify.Outcome
 
-// Verification problems (Theorem 4).
+// Verification problems (Theorem 4). One-shot: each call builds a fresh
+// cluster per connectivity run; Cluster.Verify serves the same problems
+// against a residency.
 var (
 	// VerifySpanningConnectedSubgraph checks whether H spans G and is
 	// connected.

@@ -1,6 +1,10 @@
 package kmgraph
 
-import "testing"
+import (
+	"context"
+	"errors"
+	"testing"
+)
 
 // Facade smoke tests: the public API end to end, the way a downstream
 // user would drive it.
@@ -138,6 +142,104 @@ func TestFacadeDynamic(t *testing.T) {
 		if len(q.Forest) != snap.N()-q.Components {
 			t.Fatalf("batch %d: forest size %d", i, len(q.Forest))
 		}
+	}
+}
+
+// TestFacadeCluster drives the resident Cluster API end to end: one graph
+// load serving every algorithm family, with the load paid exactly once.
+func TestFacadeCluster(t *testing.T) {
+	ctx := context.Background()
+	g := WithDistinctWeights(RandomConnected(300, 700, 11), 12)
+	c, err := NewCluster(g, WithK(4), WithSeed(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	loadRounds := c.Metrics().LoadRounds
+	if loadRounds <= 0 {
+		t.Fatal("no load rounds recorded")
+	}
+
+	q, err := c.Connectivity(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, count := ComponentsOracle(g); q.Components != count {
+		t.Fatalf("components %d, oracle %d", q.Components, count)
+	}
+	st, err := c.SpanningTree(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Forest) != g.N()-q.Components {
+		t.Fatalf("spanning forest size %d", len(st.Forest))
+	}
+	mst, err := c.MST(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, want := MSTOracle(g); mst.TotalWeight != want {
+		t.Fatalf("MST weight %d, want %d", mst.TotalWeight, want)
+	}
+	cut, err := c.ApproxMinCut(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut.Estimate <= 0 {
+		t.Fatal("no min-cut estimate for a connected graph")
+	}
+	bip, err := c.Verify(ctx, ProblemBipartiteness, VerifyArgs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bip.Holds != IsBipartiteOracle(g) {
+		t.Fatalf("bipartiteness %v, oracle %v", bip.Holds, IsBipartiteOracle(g))
+	}
+	stc, err := c.Verify(ctx, ProblemSTConnectivity, VerifyArgs{S: 0, T: g.N() - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stc.Holds {
+		t.Fatal("s-t connectivity on a connected graph")
+	}
+	if _, err := c.ApplyBatch(ctx, []EdgeOp{{U: 0, V: 42, W: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Connectivity(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	m := c.Metrics()
+	if m.LoadRounds != loadRounds {
+		t.Fatalf("load rounds changed %d -> %d: graph was re-loaded", loadRounds, m.LoadRounds)
+	}
+	if m.Jobs != 8 {
+		t.Fatalf("jobs = %d, want 8", m.Jobs)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Connectivity(ctx); !errors.Is(err, ErrClusterClosed) {
+		t.Fatalf("job after close: %v", err)
+	}
+}
+
+// TestFacadeClusterCancellation: a cancelled context rejects a job before
+// it runs, and the cluster keeps serving afterwards.
+func TestFacadeClusterCancellation(t *testing.T) {
+	g := GNM(200, 500, 21)
+	c, err := NewCluster(g, WithK(3), WithSeed(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Connectivity(cancelled); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled job: %v", err)
+	}
+	if _, err := c.Connectivity(context.Background()); err != nil {
+		t.Fatal(err)
 	}
 }
 
