@@ -1,21 +1,190 @@
 // Command kmbench runs the paper-reproduction experiment harness
 // (E1..E12) and prints the result tables, optionally writing CSVs.
 //
+// With -json it instead runs the engine-throughput microbenchmarks
+// (wall-clock, allocations, and model rounds for the simulator hot paths)
+// and writes machine-readable results, so the simulator's performance
+// trajectory is tracked across PRs.
+//
 // Usage:
 //
 //	kmbench [-quick] [-exp E1,E6] [-seed 42] [-trials 3] [-csv dir]
+//	kmbench -json BENCH_kmachine.json
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"testing"
 	"time"
 
 	"kmgraph"
 )
+
+// benchResult is one engine-throughput measurement. Rounds is the model
+// cost of a single operation (independent of wall-clock), so regressions
+// in either dimension are visible separately.
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Rounds      int     `json:"rounds"`
+}
+
+func measure(name string, rounds int, fn func(b *testing.B)) benchResult {
+	r := testing.Benchmark(fn)
+	if r.N == 0 {
+		fmt.Fprintf(os.Stderr, "benchmark %s failed (b.Fatal inside the loop)\n", name)
+		os.Exit(1)
+	}
+	return benchResult{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		Rounds:      rounds,
+	}
+}
+
+// engineBenchmarks mirrors the repo's hot-path Go benchmarks: one-shot
+// connectivity at three scales, one-shot MST, a resident dynamic churn
+// batch, and the resident-Cluster reuse loop.
+func engineBenchmarks() ([]benchResult, error) {
+	var results []benchResult
+
+	for _, size := range []struct{ n, k int }{{512, 4}, {1024, 8}, {2048, 16}} {
+		g := kmgraph.GNM(size.n, 3*size.n, 1)
+		probe, err := kmgraph.Connectivity(g, kmgraph.Config{K: size.k, Seed: 0})
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, measure(
+			fmt.Sprintf("ConnectivitySketch/n%d_k%d", size.n, size.k), probe.Metrics.Rounds,
+			func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := kmgraph.Connectivity(g, kmgraph.Config{K: size.k, Seed: int64(i)}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+	}
+
+	{
+		g := kmgraph.WithDistinctWeights(kmgraph.GNM(512, 1536, 1), 2)
+		probe, err := kmgraph.MST(g, kmgraph.MSTConfig{Config: kmgraph.Config{K: 8, Seed: 0}})
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, measure("MSTSketch/n512_k8", probe.Metrics.Rounds,
+			func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := kmgraph.MST(g, kmgraph.MSTConfig{Config: kmgraph.Config{K: 8, Seed: int64(i)}}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+	}
+
+	{
+		n, m, k := 1024, 3072, 8
+		var meanRounds int
+		results = append(results, measure("DynamicBatchMixedChurn/n1024_k8", 0,
+			func(b *testing.B) {
+				stream := kmgraph.RandomChurnStream(n, m, b.N, 30, 0.5, 7)
+				sess, err := kmgraph.NewDynamic(stream.Initial, kmgraph.DynamicConfig{K: k, Seed: 7, MaxRounds: 1 << 30})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer sess.Close()
+				if _, err := sess.Query(); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				rounds := 0
+				for i := 0; i < b.N; i++ {
+					br, err := sess.ApplyBatch(stream.Batches[i])
+					if err != nil {
+						b.Fatal(err)
+					}
+					q, err := sess.Query()
+					if err != nil {
+						b.Fatal(err)
+					}
+					rounds += br.Rounds + q.Rounds
+				}
+				b.StopTimer()
+				meanRounds = rounds / b.N
+			}))
+		results[len(results)-1].Rounds = meanRounds
+	}
+
+	{
+		g := kmgraph.GNM(1024, 3072, 7)
+		ctx := context.Background()
+		const jobs = 8
+		var meanRounds int
+		results = append(results, measure("ClusterReuseResident/n1024_k8", 0,
+			func(b *testing.B) {
+				b.ReportAllocs()
+				rounds := 0
+				for i := 0; i < b.N; i++ {
+					c, err := kmgraph.NewCluster(g, kmgraph.WithK(8), kmgraph.WithSeed(7), kmgraph.WithMaxRounds(1<<30))
+					if err != nil {
+						b.Fatal(err)
+					}
+					for j := 0; j < jobs; j++ {
+						q, err := c.Connectivity(ctx)
+						if err != nil {
+							b.Fatal(err)
+						}
+						rounds += q.Rounds
+					}
+					rounds += c.Metrics().LoadRounds
+					c.Close()
+				}
+				meanRounds = rounds / (b.N * jobs)
+			}))
+		results[len(results)-1].Rounds = meanRounds
+	}
+
+	return results, nil
+}
+
+func runJSON(path string) {
+	results, err := engineBenchmarks()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	doc := struct {
+		Schema     string        `json:"schema"`
+		Benchmarks []benchResult `json:"benchmarks"`
+	}{Schema: "kmachine-bench/v1", Benchmarks: results}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, r := range results {
+		fmt.Printf("%-34s %14.0f ns/op %10d B/op %8d allocs/op %6d rounds\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.Rounds)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced sweeps")
@@ -23,7 +192,13 @@ func main() {
 	seed := flag.Int64("seed", 42, "base seed")
 	trials := flag.Int("trials", 0, "seeds per configuration (0 = default)")
 	csvDir := flag.String("csv", "", "also write tables as CSV files to this directory")
+	jsonPath := flag.String("json", "", "run engine-throughput benchmarks and write machine-readable results to this file")
 	flag.Parse()
+
+	if *jsonPath != "" {
+		runJSON(*jsonPath)
+		return
+	}
 
 	var exps []kmgraph.Experiment
 	if *expList == "" {

@@ -246,6 +246,7 @@ func newMachine(ctx *kmachine.Ctx, view *kmachine.LocalView, cfg Config) *machin
 }
 
 func (m *machine) run() error {
+	defer m.ReleasePools()
 	if err := m.Setup(); err != nil {
 		return err
 	}
@@ -406,7 +407,7 @@ func (m *machine) selectEdgeCheck() {
 	recv = m.Comm.Exchange(out)
 
 	// Proxy side: pick the overall minimum candidate per component.
-	m.States = make(map[uint64]*CompState)
+	m.ResetStates()
 	cand := make(map[uint64]uint64)   // label -> best edge id
 	target := make(map[uint64]uint64) // label -> target label
 	hasCand := make(map[uint64]bool)  // label -> any candidate
@@ -418,7 +419,7 @@ func (m *machine) selectEdgeCheck() {
 		tgt := r.Uvarint()
 		st := m.States[label]
 		if st == nil {
-			st = NewCompState(label, k)
+			st = m.NewState(label)
 			m.States[label] = st
 		}
 		st.Holders[msg.Src/8] |= 1 << uint(msg.Src%8)

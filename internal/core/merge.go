@@ -10,7 +10,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"kmgraph/internal/graph"
 	"kmgraph/internal/hashing"
@@ -52,6 +52,12 @@ type CompState struct {
 	BestW       int64
 	TargetLabel uint64
 	ElimDone    bool
+
+	// Transient proxy-side selection state, never encoded: the pooled
+	// sketch accumulating this component's part sums, and the sampled edge
+	// awaiting neighbor-label resolution.
+	Sum          *sketch.Sketch
+	PendU, PendV int
 }
 
 // Encode appends the wire encoding of the state.
@@ -130,6 +136,153 @@ type Merger struct {
 	Cancelled func() bool
 
 	prevFailures int64
+	skPool       *sketch.Pool
+	partsMap     map[uint64][]int
+	partsFree    [][]int
+	stFree       []*CompState
+	statesSpare  map[uint64]*CompState
+	encScratch   []byte
+	outBuf       []proxy.Out
+	ansBuf       []proxy.Out
+	keyBuf       []uint64
+}
+
+// StateKeys returns m.States' labels in ascending order through a reused
+// buffer (valid until the next StateKeys call).
+func (m *Merger) StateKeys() []uint64 {
+	ls := m.keyBuf[:0]
+	for l := range m.States {
+		ls = append(ls, l)
+	}
+	slices.Sort(ls)
+	m.keyBuf = ls
+	return ls
+}
+
+// AccumulateParts is the proxy side of a sketch selection step: for every
+// received (label, encoded part sketch) message it sums the part into the
+// component state's pooled accumulator (creating the state on first
+// sight) and records the sender as a part holder. Static connectivity,
+// MST iteration 0, and the resident bank path all run exactly this code.
+func (m *Merger) AccumulateParts(recv []kmachine.Message, seed uint64) {
+	m.ResetStates()
+	for _, msg := range recv {
+		r := wire.NewReader(msg.Data)
+		label := r.Uvarint()
+		st := m.States[label]
+		if st == nil {
+			st = m.NewState(label)
+			m.States[label] = st
+			st.Sum = m.Pool().Get(seed)
+		}
+		if err := st.Sum.AddEncoded(msg.Data[len(msg.Data)-r.Len():]); err != nil {
+			panic(fmt.Sprintf("core: bad sketch from %d: %v", msg.Src, err))
+		}
+		st.Holders[msg.Src/8] |= 1 << uint(msg.Src%8)
+	}
+}
+
+// SketchPayload encodes (label, sk) through the machine's reusable scratch
+// buffer and interns the exact-size result in the arena, so oversized
+// worst-case capacity hints never fragment arena chunks.
+func (m *Merger) SketchPayload(label uint64, sk *sketch.Sketch) []byte {
+	scr := m.encScratch[:0]
+	scr = wire.AppendUvarint(scr, label)
+	scr = sk.EncodeTo(scr)
+	m.encScratch = scr
+	return m.Comm.FramedPayload(scr)
+}
+
+// NewState returns a zeroed root CompState for label, reusing a recycled
+// one when available.
+func (m *Merger) NewState(label uint64) *CompState {
+	n := len(m.stFree)
+	if n == 0 {
+		return NewCompState(label, m.Ctx.K())
+	}
+	st := m.stFree[n-1]
+	m.stFree = m.stFree[:n-1]
+	holders := st.Holders
+	*st = CompState{Label: label, Cur: label, Parent: label}
+	nb := (m.Ctx.K() + 7) / 8
+	if cap(holders) < nb {
+		holders = make([]byte, nb)
+	} else {
+		holders = holders[:nb]
+		clear(holders)
+	}
+	st.Holders = holders
+	return st
+}
+
+// ResetStates recycles every state in m.States into the pool and installs
+// an empty map, ready for a new selection step.
+func (m *Merger) ResetStates() {
+	if m.States == nil {
+		m.States = make(map[uint64]*CompState)
+		return
+	}
+	for l, st := range m.States {
+		if st.Sum != nil {
+			m.Pool().Put(st.Sum)
+			st.Sum = nil
+		}
+		m.stFree = append(m.stFree, st)
+		delete(m.States, l)
+	}
+}
+
+// DecodeStateInto parses a CompState produced by Encode into a pooled
+// state.
+func (m *Merger) DecodeStateInto(r *wire.Reader) *CompState {
+	st := m.NewState(0)
+	st.Label = r.Uvarint()
+	st.Cur = r.Uvarint()
+	st.Parent = r.Uvarint()
+	st.Holders = append(st.Holders[:0], r.Bytes()...)
+	st.HasBest = r.Bool()
+	st.BestU = int(r.Uvarint())
+	st.BestV = int(r.Uvarint())
+	st.BestW = r.Varint()
+	st.TargetLabel = r.Uvarint()
+	st.ElimDone = r.Bool()
+	return st
+}
+
+// takeSpareStates returns an empty map for the next proxy slot, reusing
+// the previous handoff's map when possible; pair with putSpareStates.
+func (m *Merger) takeSpareStates() map[uint64]*CompState {
+	ns := m.statesSpare
+	if ns == nil {
+		ns = make(map[uint64]*CompState)
+	}
+	m.statesSpare = nil
+	return ns
+}
+
+// putSpareStates empties old (its states must already be moved or
+// recycled) and parks it for the next takeSpareStates.
+func (m *Merger) putSpareStates(old map[uint64]*CompState) {
+	clear(old)
+	m.statesSpare = old
+}
+
+// Pool returns the machine's sketch pool (shape Cfg.Sketch), so selection
+// steps reuse cell arrays and hash tables across phases instead of
+// allocating fresh sketches per part.
+func (m *Merger) Pool() *sketch.Pool {
+	if m.skPool == nil {
+		m.skPool = sketch.NewPool(m.Cfg.Sketch)
+	}
+	return m.skPool
+}
+
+// ReleasePools hands the machine's recycled sketches back to the
+// process-wide shared pool; call when the Merger's run is over.
+func (m *Merger) ReleasePools() {
+	if m.skPool != nil {
+		m.skPool.Release()
+	}
 }
 
 // cancelMask packs the cancellation flag into the high bits of the
@@ -220,12 +373,28 @@ func (m *Merger) ProxyOf(slot int, label uint64) int {
 	return m.Sh.ProxyOf(m.Phase, slot, label, m.Ctx.K())
 }
 
-// Parts groups this machine's vertices by current component label.
+// Parts groups this machine's vertices by current component label. The
+// returned map and its slices are reused by the next Parts call on this
+// Merger — consume the grouping within the phase step that requested it.
 func (m *Merger) Parts() map[uint64][]int {
-	p := make(map[uint64][]int)
+	if m.partsMap == nil {
+		m.partsMap = make(map[uint64][]int, len(m.View.Owned()))
+	}
+	p := m.partsMap
+	for l, s := range p {
+		m.partsFree = append(m.partsFree, s[:0])
+		delete(p, l)
+	}
 	for _, v := range m.View.Owned() {
 		l := m.Labels[v]
-		p[l] = append(p[l], v)
+		s, ok := p[l]
+		if !ok {
+			if n := len(m.partsFree); n > 0 {
+				s = m.partsFree[n-1]
+				m.partsFree = m.partsFree[:n-1]
+			}
+		}
+		p[l] = append(s, v)
 	}
 	return p
 }
@@ -237,7 +406,7 @@ func SortedKeys[V any](p map[uint64]V) []uint64 {
 	for l := range p {
 		ls = append(ls, l)
 	}
-	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	slices.Sort(ls)
 	return ls
 }
 
@@ -274,50 +443,35 @@ func (m *Merger) ApplyRank(st *CompState, nbrLabel uint64) {
 // static connectivity machine and the resident substrate's derived-view
 // jobs both run exactly this code.
 func (m *Merger) SelectSketch() {
-	k := m.Ctx.K()
 	parts := m.Parts()
 	seed := m.Sh.SketchSeed(m.Phase, 0)
+	a := m.Comm.Arena()
 
-	// Part sketches to component proxies (Lemma 3).
-	var out []proxy.Out
+	// Part sketches to component proxies (Lemma 3). One pooled sketch is
+	// reset per part; payloads are interned exact-size in the arena.
+	out := m.outBuf[:0]
+	part := m.Pool().Get(seed)
 	for _, label := range SortedKeys(parts) {
-		sk := sketch.New(m.Cfg.Sketch, seed)
 		for _, v := range parts[label] {
-			sk.AddVertex(v, m.View.Adj(v), nil)
+			part.AddVertex(v, m.View.Adj(v), nil)
 		}
-		buf := wire.AppendUvarint(nil, label)
-		buf = sk.EncodeTo(buf)
-		out = append(out, proxy.Out{Dst: m.ProxyOf(0, label), Data: buf})
+		out = append(out, proxy.Out{Dst: m.ProxyOf(0, label), Data: m.SketchPayload(label, part), Framed: true})
+		part.Reset()
 	}
+	m.Pool().Put(part)
 	recv := m.Comm.Exchange(out)
 
 	// Proxy side: sum part sketches per component, record part holders.
-	m.States = make(map[uint64]*CompState)
-	sums := make(map[uint64]*sketch.Sketch)
-	for _, msg := range recv {
-		r := wire.NewReader(msg.Data)
-		label := r.Uvarint()
-		sk, err := sketch.Decode(m.Cfg.Sketch, seed, msg.Data[len(msg.Data)-r.Len():])
-		if err != nil {
-			panic(fmt.Sprintf("core: bad sketch from %d: %v", msg.Src, err))
-		}
-		st := m.States[label]
-		if st == nil {
-			st = NewCompState(label, k)
-			m.States[label] = st
-			sums[label] = sk
-		} else if err := sums[label].Add(sk); err != nil {
-			panic(err)
-		}
-		st.Holders[msg.Src/8] |= 1 << uint(msg.Src%8)
-	}
+	m.AccumulateParts(recv, seed)
 
 	// Sample an outgoing edge per component; resolve the neighbor label by
 	// querying the outside endpoint's home machine.
-	out = nil
-	for _, label := range SortedKeys(m.States) {
-		sk := sums[label]
+	out = out[:0]
+	for _, label := range m.StateKeys() {
+		sk := m.States[label].Sum
+		m.States[label].Sum = nil
 		x, y, insideSmaller, st := sk.SampleEdge()
+		m.Pool().Put(sk)
 		switch st {
 		case sketch.Empty:
 			// No outgoing edges: inactive root this phase.
@@ -328,18 +482,19 @@ func (m *Merger) SelectSketch() {
 			if insideSmaller {
 				outside = y
 			}
-			q := wire.AppendUvarint(nil, uint64(outside))
+			q := a.Grab(40)
+			q = wire.AppendUvarint(q, uint64(outside))
 			q = wire.AppendUvarint(q, uint64(x))
 			q = wire.AppendUvarint(q, uint64(y))
 			q = wire.AppendUvarint(q, label)
-			out = append(out, proxy.Out{Dst: m.View.Home(outside), Data: q})
+			out = append(out, proxy.Out{Dst: m.View.Home(outside), Data: a.Commit(q)})
 		}
 	}
 	recv = m.Comm.Exchange(out)
+	m.outBuf = out
 
 	// Home machines answer label queries and validate the edge exists.
-	out = m.AnswerLabelQueries(recv)
-	recv = m.Comm.Exchange(out)
+	recv = m.Comm.Exchange(m.AnswerLabelQueries(recv))
 
 	// DRR ranking (§2.5).
 	for _, msg := range recv {
@@ -365,8 +520,11 @@ func (m *Merger) SelectSketch() {
 // AnswerLabelQueries serves queries of the form (outside, x, y, askLabel):
 // reply with outside's current label, whether edge (x,y) really exists,
 // and its weight.
+// The returned slice is reused by the next AnswerLabelQueries call on this
+// Merger; feed it to one Exchange and drop it.
 func (m *Merger) AnswerLabelQueries(recv []kmachine.Message) []proxy.Out {
-	var out []proxy.Out
+	out := m.ansBuf[:0]
+	a := m.Comm.Arena()
 	for _, msg := range recv {
 		r := wire.NewReader(msg.Data)
 		outside := int(r.Uvarint())
@@ -386,12 +544,14 @@ func (m *Merger) AnswerLabelQueries(recv []kmachine.Message) []proxy.Out {
 				break
 			}
 		}
-		rep := wire.AppendUvarint(nil, askLabel)
+		rep := a.Grab(40)
+		rep = wire.AppendUvarint(rep, askLabel)
 		rep = wire.AppendUvarint(rep, m.Labels[outside])
 		rep = wire.AppendBool(rep, valid)
 		rep = wire.AppendVarint(rep, w)
-		out = append(out, proxy.Out{Dst: msg.Src, Data: rep})
+		out = append(out, proxy.Out{Dst: msg.Src, Data: a.Commit(rep)})
 	}
+	m.ansBuf = out
 	return out
 }
 
@@ -402,17 +562,20 @@ func (m *Merger) BroadcastAndRelabel() uint64 {
 	k := m.Ctx.K()
 	var out []proxy.Out
 	var localMerges uint64
-	for _, label := range SortedKeys(m.States) {
+	a := m.Comm.Arena()
+	for _, label := range m.StateKeys() {
 		st := m.States[label]
 		if st.Cur == st.Label {
 			continue
 		}
 		localMerges++
-		buf := wire.AppendUvarint(nil, st.Label)
+		buf := a.Grab(20)
+		buf = wire.AppendUvarint(buf, st.Label)
 		buf = wire.AppendUvarint(buf, st.Cur)
+		data := a.Commit(buf)
 		for h := 0; h < k; h++ {
 			if st.Holders[h/8]&(1<<uint(h%8)) != 0 {
-				out = append(out, proxy.Out{Dst: h, Data: buf})
+				out = append(out, proxy.Out{Dst: h, Data: data})
 			}
 		}
 	}
@@ -449,23 +612,25 @@ func (m *Merger) applyRelabel(relabel map[uint64]uint64) {
 // fresh proxies each iteration; level-wise mode answers the original
 // parent instead, walking one level per iteration as in Lemma 5.
 func (m *Merger) Collapse() {
+	a := m.Comm.Arena()
 	for {
 		m.CollapseIters++
 		// Queries: ask the proxy currently holding cur's state.
-		var out []proxy.Out
-		for _, label := range SortedKeys(m.States) {
+		out := m.outBuf[:0]
+		for _, label := range m.StateKeys() {
 			st := m.States[label]
 			if st.Cur == st.Label {
 				continue
 			}
-			q := wire.AppendUvarint(nil, st.Cur)
+			q := a.Grab(20)
+			q = wire.AppendUvarint(q, st.Cur)
 			q = wire.AppendUvarint(q, st.Label)
-			out = append(out, proxy.Out{Dst: m.ProxyOf(m.StateSlot, st.Cur), Data: q})
+			out = append(out, proxy.Out{Dst: m.ProxyOf(m.StateSlot, st.Cur), Data: a.Commit(q)})
 		}
 		recv := m.Comm.Exchange(out)
 
 		// Answers.
-		out = nil
+		out = out[:0]
 		for _, msg := range recv {
 			r := wire.NewReader(msg.Data)
 			target := r.Uvarint()
@@ -478,11 +643,13 @@ func (m *Merger) Collapse() {
 			if m.Cfg.CollapseLevelWise {
 				ans = st.Parent
 			}
-			rep := wire.AppendUvarint(nil, asker)
+			rep := a.Grab(20)
+			rep = wire.AppendUvarint(rep, asker)
 			rep = wire.AppendUvarint(rep, ans)
-			out = append(out, proxy.Out{Dst: msg.Src, Data: rep})
+			out = append(out, proxy.Out{Dst: msg.Src, Data: a.Commit(rep)})
 		}
 		recv = m.Comm.Exchange(out)
+		m.outBuf = out
 
 		// Updates.
 		var changed uint64
@@ -510,22 +677,25 @@ func (m *Merger) Collapse() {
 // (fresh h_{j,ρ} per iteration, as Lemma 5 requires for independence).
 func (m *Merger) HandoffStates() {
 	var out []proxy.Out
-	newStates := make(map[uint64]*CompState)
-	for _, label := range SortedKeys(m.States) {
+	a := m.Comm.Arena()
+	newStates := m.takeSpareStates()
+	for _, label := range m.StateKeys() {
 		st := m.States[label]
 		dst := m.ProxyOf(m.StateSlot+1, label)
 		if dst == m.Ctx.ID() {
 			newStates[label] = st
 			continue
 		}
-		out = append(out, proxy.Out{Dst: dst, Data: st.Encode(nil)})
+		out = append(out, proxy.Out{Dst: dst, Data: a.Commit(st.Encode(a.Grab(96 + len(st.Holders))))})
+		m.stFree = append(m.stFree, st) // encoded copy travels; recycle the original
 	}
 	recv := m.Comm.Exchange(out)
 	for _, msg := range recv {
 		r := wire.NewReader(msg.Data)
-		st := DecodeState(r)
+		st := m.DecodeStateInto(r)
 		newStates[st.Label] = st
 	}
+	m.putSpareStates(m.States)
 	m.States = newStates
 	m.StateSlot++
 }

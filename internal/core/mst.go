@@ -170,6 +170,7 @@ type mstMachine struct {
 }
 
 func (m *mstMachine) run() error {
+	defer m.ReleasePools()
 	if err := m.Setup(); err != nil {
 		return err
 	}

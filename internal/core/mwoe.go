@@ -7,8 +7,6 @@
 package core
 
 import (
-	"fmt"
-
 	"kmgraph/internal/graph"
 	"kmgraph/internal/proxy"
 	"kmgraph/internal/sketch"
@@ -55,39 +53,22 @@ func (w *MWOE) Select() {
 
 	// Iteration 0: unfiltered sketches, exactly as connectivity.
 	seed := m.Sh.SketchSeed(m.Phase, 0)
+	a := m.Comm.Arena()
 	var out []proxy.Out
+	part := m.Pool().Get(seed)
 	for _, label := range SortedKeys(parts) {
-		sk := sketch.New(m.Cfg.Sketch, seed)
 		for _, v := range parts[label] {
-			sk.AddVertex(v, m.View.Adj(v), nil)
+			part.AddVertex(v, m.View.Adj(v), nil)
 		}
-		buf := wire.AppendUvarint(nil, label)
-		buf = sk.EncodeTo(buf)
-		out = append(out, proxy.Out{Dst: m.ProxyOf(0, label), Data: buf})
+		out = append(out, proxy.Out{Dst: m.ProxyOf(0, label), Data: m.SketchPayload(label, part), Framed: true})
+		part.Reset()
 	}
+	m.Pool().Put(part)
 	recv := m.Comm.Exchange(out)
 
-	m.States = make(map[uint64]*CompState)
-	sums := make(map[uint64]*sketch.Sketch)
-	for _, msg := range recv {
-		r := wire.NewReader(msg.Data)
-		label := r.Uvarint()
-		sk, err := sketch.Decode(m.Cfg.Sketch, seed, msg.Data[len(msg.Data)-r.Len():])
-		if err != nil {
-			panic(fmt.Sprintf("core: bad sketch from %d: %v", msg.Src, err))
-		}
-		st := m.States[label]
-		if st == nil {
-			st = NewCompState(label, k)
-			m.States[label] = st
-			sums[label] = sk
-		} else if err := sums[label].Add(sk); err != nil {
-			panic(err)
-		}
-		st.Holders[msg.Src/8] |= 1 << uint(msg.Src%8)
-	}
+	m.AccumulateParts(recv, seed)
 
-	active := w.sampleAndResolve(sums)
+	active := w.sampleAndResolve()
 
 	// Elimination iterations: threshold broadcast, filtered re-sketch,
 	// re-sample, until every component's sampler comes back empty (or the
@@ -128,18 +109,20 @@ func (w *MWOE) Select() {
 
 		// Combined exchange: thresholds to part holders + state handoff.
 		out = nil
-		newStates := make(map[uint64]*CompState)
+		newStates := m.takeSpareStates()
 		thresholds := make(map[uint64][2]uint64) // label -> {weight(bits), id}
-		for _, label := range SortedKeys(m.States) {
+		for _, label := range m.StateKeys() {
 			st := m.States[label]
 			if st.HasBest && !st.ElimDone {
-				buf := []byte{tagThreshold}
+				buf := a.Grab(40)
+				buf = append(buf, tagThreshold)
 				buf = wire.AppendUvarint(buf, st.Label)
 				buf = wire.AppendVarint(buf, st.BestW)
 				buf = wire.AppendUvarint(buf, graph.EdgeID(st.BestU, st.BestV, n))
+				data := a.Commit(buf)
 				for h := 0; h < k; h++ {
 					if st.Holders[h/8]&(1<<uint(h%8)) != 0 {
-						out = append(out, proxy.Out{Dst: h, Data: buf})
+						out = append(out, proxy.Out{Dst: h, Data: data})
 					}
 				}
 			}
@@ -147,7 +130,11 @@ func (w *MWOE) Select() {
 			if dst == m.Ctx.ID() {
 				newStates[label] = st
 			} else {
-				out = append(out, proxy.Out{Dst: dst, Data: append([]byte{tagState}, st.Encode(nil)...)})
+				buf := a.Grab(97 + len(st.Holders))
+				buf = append(buf, tagState)
+				buf = st.Encode(buf)
+				out = append(out, proxy.Out{Dst: dst, Data: a.Commit(buf)})
+				m.stFree = append(m.stFree, st)
 			}
 		}
 		recv = m.Comm.Exchange(out)
@@ -161,52 +148,53 @@ func (w *MWOE) Select() {
 				thresholds[label] = [2]uint64{uint64(wgt), id}
 			case tagState:
 				r := wire.NewReader(msg.Data[1:])
-				st := DecodeState(r)
+				st := m.DecodeStateInto(r)
 				newStates[st.Label] = st
 			default:
 				panic("core: unknown elimination message tag")
 			}
 		}
+		m.putSpareStates(m.States)
 		m.States = newStates
 		m.StateSlot++
 
 		// Filtered part re-sketches to the (new) proxies.
 		seed = m.Sh.SketchSeed(m.Phase, s)
 		out = nil
+		part := m.Pool().Get(seed)
 		for _, label := range SortedKeys(thresholds) {
 			th := thresholds[label]
 			tw, tid := int64(th[0]), th[1]
-			sk := sketch.New(m.Cfg.Sketch, seed)
 			for _, v := range parts[label] {
-				sk.AddVertex(v, m.View.Adj(v), func(u int, h graph.Half) bool {
+				part.AddVertex(v, m.View.Adj(v), func(u int, h graph.Half) bool {
 					return edgeLessHalf(u, h, n, tw, tid)
 				})
 			}
-			buf := wire.AppendUvarint(nil, label)
-			buf = sk.EncodeTo(buf)
-			out = append(out, proxy.Out{Dst: m.ProxyOf(m.StateSlot, label), Data: buf})
+			out = append(out, proxy.Out{Dst: m.ProxyOf(m.StateSlot, label), Data: m.SketchPayload(label, part), Framed: true})
+			part.Reset()
 		}
+		m.Pool().Put(part)
 		recv = m.Comm.Exchange(out)
 
-		sums = make(map[uint64]*sketch.Sketch)
 		for _, msg := range recv {
 			r := wire.NewReader(msg.Data)
 			label := r.Uvarint()
-			sk, err := sketch.Decode(m.Cfg.Sketch, seed, msg.Data[len(msg.Data)-r.Len():])
-			if err != nil {
-				panic(err)
+			st := m.States[label]
+			if st == nil {
+				panic("core: filtered sketch for unknown state")
 			}
-			if sums[label] == nil {
-				sums[label] = sk
-			} else if err := sums[label].Add(sk); err != nil {
+			if st.Sum == nil {
+				st.Sum = m.Pool().Get(seed)
+			}
+			if err := st.Sum.AddEncoded(msg.Data[len(msg.Data)-r.Len():]); err != nil {
 				panic(err)
 			}
 		}
-		active = w.sampleAndResolve(sums)
+		active = w.sampleAndResolve()
 	}
 
 	// Decisions: record MWOEs as MST edges and apply the merge rule.
-	for _, label := range SortedKeys(m.States) {
+	for _, label := range m.StateKeys() {
 		st := m.States[label]
 		if st.ElimDone && st.HasBest {
 			u, v := st.BestU, st.BestV
@@ -217,25 +205,25 @@ func (w *MWOE) Select() {
 	}
 }
 
-// sampleAndResolve samples each summed sketch, resolves neighbor labels and
-// edge weights via home-machine queries, updates component states, and
-// returns the local count of components still eliminating.
+// sampleAndResolve samples each state's summed sketch, resolves neighbor
+// labels and edge weights via home-machine queries, updates component
+// states, and returns the local count of components still eliminating.
 //
 // A component whose filtered vector comes back empty has converged: the
 // current best edge is the MWOE.
-func (w *MWOE) sampleAndResolve(sums map[uint64]*sketch.Sketch) uint64 {
+func (w *MWOE) sampleAndResolve() uint64 {
 	m := w.M
+	a := m.Comm.Arena()
 	var out []proxy.Out
-	pendingEdge := make(map[uint64][2]int) // label -> sampled (x, y)
-	for _, label := range SortedKeys(sums) {
+	for _, label := range m.StateKeys() {
 		st := m.States[label]
-		if st == nil {
-			panic("core: sketch sum for unknown state")
-		}
-		if st.ElimDone {
+		if st.ElimDone || st.Sum == nil {
 			continue
 		}
-		x, y, insideSmaller, status := sums[label].SampleEdge()
+		sk := st.Sum
+		st.Sum = nil
+		x, y, insideSmaller, status := sk.SampleEdge()
+		m.Pool().Put(sk)
 		switch status {
 		case sketch.Empty:
 			// Nothing lighter remains. If a best edge exists, it is the
@@ -250,12 +238,13 @@ func (w *MWOE) sampleAndResolve(sums map[uint64]*sketch.Sketch) uint64 {
 			if insideSmaller {
 				outside = y
 			}
-			pendingEdge[label] = [2]int{x, y}
-			q := wire.AppendUvarint(nil, uint64(outside))
+			st.PendU, st.PendV = x, y
+			q := a.Grab(40)
+			q = wire.AppendUvarint(q, uint64(outside))
 			q = wire.AppendUvarint(q, uint64(x))
 			q = wire.AppendUvarint(q, uint64(y))
 			q = wire.AppendUvarint(q, label)
-			out = append(out, proxy.Out{Dst: m.View.Home(outside), Data: q})
+			out = append(out, proxy.Out{Dst: m.View.Home(outside), Data: a.Commit(q)})
 		}
 	}
 	recv := m.Comm.Exchange(out)
@@ -279,9 +268,8 @@ func (w *MWOE) sampleAndResolve(sums map[uint64]*sketch.Sketch) uint64 {
 			st.HasBest = false
 			continue
 		}
-		xy := pendingEdge[askLabel]
 		st.HasBest = true
-		st.BestU, st.BestV = xy[0], xy[1]
+		st.BestU, st.BestV = st.PendU, st.PendV
 		st.BestW = wgt
 		st.TargetLabel = nbrLabel
 		active++
@@ -295,12 +283,15 @@ func (w *MWOE) sampleAndResolve(sums map[uint64]*sketch.Sketch) uint64 {
 func (w *MWOE) DisseminateStrong() map[int][]graph.Edge {
 	m := w.M
 	n := m.View.N()
+	a := m.Comm.Arena()
 	var out []proxy.Out
 	for _, id := range SortedKeys(w.Edges) {
 		e := w.Edges[id]
-		buf := wire.AppendUvarint(nil, uint64(e.U))
+		buf := a.Grab(30)
+		buf = wire.AppendUvarint(buf, uint64(e.U))
 		buf = wire.AppendUvarint(buf, uint64(e.V))
 		buf = wire.AppendVarint(buf, e.W)
+		buf = a.Commit(buf)
 		hu, hv := m.View.Home(e.U), m.View.Home(e.V)
 		out = append(out, proxy.Out{Dst: hu, Data: buf})
 		if hv != hu {

@@ -13,7 +13,11 @@
 //     distributed-bits protocol.
 package hashing
 
-import "kmgraph/internal/field"
+import (
+	"math/bits"
+
+	"kmgraph/internal/field"
+)
 
 // Mix64 is a strong 64-bit mixer (SplitMix64 finalizer). It is a bijection
 // on uint64, so distinct inputs never collide before truncation.
@@ -122,10 +126,5 @@ func TrailingZeros(seed, x uint64) int {
 	if h == 0 {
 		return 63
 	}
-	n := 0
-	for h&1 == 0 {
-		n++
-		h >>= 1
-	}
-	return n
+	return bits.TrailingZeros64(h)
 }

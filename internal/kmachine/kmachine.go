@@ -15,17 +15,30 @@
 // The simulation is deterministic: machine code is deterministic given its
 // inputs and per-machine seeded RNG, events are processed in machine-ID
 // order, and deliveries are sorted by (source, send order).
+//
+// The round engine is allocation-free in steady state: link queues, event
+// slots, and delivery buffers are preallocated and recycled across rounds,
+// and an active-link index (a per-destination bitmap of sources with bits
+// in flight) makes quiescent links cost zero — sparse-communication phases
+// run in O(active links) per round instead of O(k²). When many links are
+// active and GOMAXPROCS allows, the per-destination transmit loop is
+// sharded across a bounded set of workers (destinations are independent;
+// global counters are merged in destination order after the join), with a
+// serial fallback otherwise. Both paths produce bit-identical Metrics.
 package kmachine
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
 	"math/rand"
-	"sort"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"kmgraph/internal/hashing"
+	"kmgraph/internal/wire"
 )
 
 // Config parameterizes a cluster.
@@ -120,7 +133,11 @@ type event struct {
 }
 
 type delivery struct {
-	msgs  []Message
+	msgs []Message
+	// spare is a drained outbox backing array handed back to the machine
+	// for reuse (the coordinator is done reading it once the delivery that
+	// carries it is sent).
+	spare []Message
 	abort bool
 }
 
@@ -136,6 +153,7 @@ type Ctx struct {
 	inCh   chan delivery
 	stop   <-chan struct{} // closed when the coordinator exits
 	output any
+	arena  *wire.Arena
 }
 
 // ID returns this machine's identifier in [0, K).
@@ -154,11 +172,25 @@ func (c *Ctx) BandwidthBits() int { return c.cfg.BandwidthBits }
 // machine has access to a private source of true random bits).
 func (c *Ctx) Rand() *rand.Rand { return c.rng }
 
+// Arena returns this machine's message arena: an append-style allocator for
+// encoding outgoing message payloads without a heap allocation per message.
+// Committed regions are immutable and survive as long as any receiver
+// references them, so sending an arena-backed buffer is always safe. The
+// arena is private to the machine's goroutine.
+func (c *Ctx) Arena() *wire.Arena {
+	if c.arena == nil {
+		c.arena = wire.NewArena(0)
+	}
+	return c.arena
+}
+
 // SetOutput sets the machine's designated local output variable o_i.
 func (c *Ctx) SetOutput(v any) { c.output = v }
 
 // Send queues a message to machine dst for transmission starting next
 // round. Sending to self is free local bookkeeping delivered next round.
+// The engine retains data until delivery; callers must not mutate it after
+// sending (encode into Arena buffers to reuse scratch space safely).
 func (c *Ctx) Send(dst int, data []byte) {
 	if dst < 0 || dst >= c.cfg.K {
 		panic(fmt.Sprintf("kmachine: send to invalid machine %d", dst))
@@ -208,7 +240,9 @@ func (c *Ctx) Unpark() { c.submit(event{id: c.id, unpark: true}) }
 
 // Step ends the current round and blocks until the coordinator advances
 // the cluster. It returns the messages whose transmission completed this
-// round, sorted by (Src, send order).
+// round, sorted by (Src, send order). The returned slice is reused by the
+// engine: it stays valid until the second-next Step call; do not retain it
+// (retaining the payload bytes of individual messages is fine).
 func (c *Ctx) Step() []Message {
 	c.submit(event{id: c.id, outbox: c.outbox})
 	c.outbox = nil
@@ -226,6 +260,9 @@ func (c *Ctx) Step() []Message {
 	}
 	if d.abort {
 		panic(abortPanic{})
+	}
+	if d.spare != nil {
+		c.outbox = d.spare
 	}
 	c.round++
 	return d.msgs
@@ -269,6 +306,182 @@ func (q *queued) totalBits(overhead int) int {
 		b = 1
 	}
 	return b
+}
+
+// linkQueue is the FIFO of one directed link. head indexes the first
+// undelivered message; the backing array is reset and reused whenever the
+// queue fully drains, so steady-state traffic allocates nothing.
+type linkQueue struct {
+	items []queued
+	head  int
+}
+
+func (q *linkQueue) empty() bool { return q.head == len(q.items) }
+
+// Parallel-transmit tuning. The transmit loop shards per-destination work
+// across workers only when enough links are active to amortize the join;
+// small or sparse rounds take the serial path. Both paths are bit-exact.
+// The vars are overridable by tests to force the parallel path.
+var (
+	transmitParallelMinLinks = 64
+	transmitMaxWorkers       = 16
+	transmitForceParallel    = false // tests only: take the sharded path always
+)
+
+// coordinator is the per-run engine state: link queues with their active
+// index, the event barrier slots, and the recycled delivery buffers.
+type coordinator struct {
+	cfg Config
+	k   int
+	met *Metrics
+
+	queues    []linkQueue // [src*k + dst]
+	activeSrc [][]uint64  // [dst]: bitmap of sources with a non-empty queue
+	dstActive []int       // [dst]: population count of activeSrc[dst]
+	active    int         // total non-empty directed links
+
+	evSlots []event // one slot per machine ID; replaces sorting per barrier
+	evHave  []bool
+	evCount int
+
+	stepped      []bool
+	parked       []bool
+	nParked      int
+	running      int
+	pendingInbox [][]Message // buffered deliveries for parked machines
+	spareOutbox  [][]Message // drained outbox backings awaiting hand-back
+
+	// Per-destination delivery buffers, double-buffered so a slice handed
+	// to a machine is not refilled until the machine has stepped again.
+	inbox    [][]Message
+	inboxBuf [][2][]Message
+	inboxSel []int
+
+	// Per-destination transmit results, merged deterministically (in
+	// destination order) after a parallel round.
+	dstMsgs    []int64
+	dstBytes   []int64
+	dstDrained []int32
+
+	workers int
+	next    atomic.Int64 // destination cursor for the sharded transmit
+}
+
+// enqueue appends m to its link queue, maintaining the active-link index.
+// It is the single enqueue path for step, park, and handler-return
+// outboxes, so their accounting can never drift.
+func (c *coordinator) enqueue(m Message) {
+	q := &c.queues[m.Src*c.k+m.Dst]
+	if q.empty() {
+		if q.head > 0 {
+			q.items = q.items[:0]
+			q.head = 0
+		}
+		c.activeSrc[m.Dst][m.Src>>6] |= 1 << uint(m.Src&63)
+		c.dstActive[m.Dst]++
+		c.active++
+	}
+	q.items = append(q.items, queued{msg: m})
+	c.met.SentMsgs[m.Src]++
+}
+
+// transmitDst drains one round of bandwidth on every active link into
+// destination d. It touches only d-indexed state (queues, bitmaps, inbox,
+// counters) plus distinct LinkBits elements, so distinct destinations can
+// run concurrently.
+func (c *coordinator) transmitDst(d int) {
+	buf := c.inbox[d]
+	words := c.activeSrc[d]
+	var delivered, drained int32
+	var payload int64
+	for wi, w := range words {
+		for w != 0 {
+			s := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			q := &c.queues[s*c.k+d]
+			budget := c.cfg.BandwidthBits
+			if s == d {
+				budget = 1 << 30 // local delivery is free
+			}
+			i := q.head
+			for i < len(q.items) && budget > 0 {
+				qi := &q.items[i]
+				total := qi.totalBits(c.cfg.MessageOverheadBits)
+				rem := total - qi.sentBits
+				take := rem
+				if take > budget {
+					take = budget
+				}
+				qi.sentBits += take
+				budget -= take
+				if s != d {
+					c.met.LinkBits[s][d] += int64(take)
+				}
+				if qi.sentBits == total {
+					buf = append(buf, qi.msg)
+					delivered++
+					payload += int64(len(qi.msg.Data))
+					i++
+				}
+			}
+			q.head = i
+			if q.empty() {
+				q.items = q.items[:0]
+				q.head = 0
+				words[wi] &^= 1 << uint(s&63)
+				drained++
+			}
+		}
+	}
+	c.inbox[d] = buf
+	c.inboxBuf[d][c.inboxSel[d]] = buf // retain grown capacity for reuse
+	c.met.RecvMsgs[d] += int64(delivered)
+	c.dstMsgs[d] = int64(delivered)
+	c.dstBytes[d] = payload
+	c.dstDrained[d] = drained
+	c.dstActive[d] -= int(drained)
+}
+
+// transmitRound advances every active link by one round of bandwidth,
+// choosing the sharded or serial path, and merges the per-destination
+// counters into the global metrics in destination order.
+func (c *coordinator) transmitRound() {
+	k := c.k
+	for d := 0; d < k; d++ {
+		c.inbox[d] = c.inboxBuf[d][c.inboxSel[d]][:0]
+		c.dstMsgs[d], c.dstBytes[d], c.dstDrained[d] = 0, 0, 0
+	}
+	if c.workers > 1 && (c.active >= transmitParallelMinLinks || transmitForceParallel) {
+		c.next.Store(0)
+		var wg sync.WaitGroup
+		wg.Add(c.workers)
+		for w := 0; w < c.workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					d := int(c.next.Add(1)) - 1
+					if d >= k {
+						return
+					}
+					if c.dstActive[d] > 0 {
+						c.transmitDst(d)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for d := 0; d < k; d++ {
+			if c.dstActive[d] > 0 {
+				c.transmitDst(d)
+			}
+		}
+	}
+	for d := 0; d < k; d++ {
+		c.met.Messages += c.dstMsgs[d]
+		c.met.PayloadBytes += c.dstBytes[d]
+		c.active -= int(c.dstDrained[d])
+	}
 }
 
 // Run executes h on every machine and returns the metrics and outputs.
@@ -341,62 +554,86 @@ func (c *Cluster) RunContext(ctx context.Context, h Handler) (*Result, error) {
 		}(ctxs[i])
 	}
 
+	workers := runtime.GOMAXPROCS(0)
+	if workers > k {
+		workers = k
+	}
+	if workers > transmitMaxWorkers {
+		workers = transmitMaxWorkers
+	}
+	if transmitForceParallel && workers < 2 && k >= 2 {
+		workers = 2
+	}
 	met := newMetrics(k)
 	res := &Result{Outputs: make([]any, k)}
-	queues := make([][]queued, k*k) // [src*k + dst]
-	pendingInbox := make([][]Message, k)
-	parked := make([]bool, k)
-	nParked := 0
+	co := &coordinator{
+		cfg:          c.cfg,
+		k:            k,
+		met:          met,
+		queues:       make([]linkQueue, k*k),
+		activeSrc:    make([][]uint64, k),
+		dstActive:    make([]int, k),
+		evSlots:      make([]event, k),
+		evHave:       make([]bool, k),
+		stepped:      make([]bool, k),
+		parked:       make([]bool, k),
+		running:      k,
+		pendingInbox: make([][]Message, k),
+		spareOutbox:  make([][]Message, k),
+		inbox:        make([][]Message, k),
+		inboxBuf:     make([][2][]Message, k),
+		inboxSel:     make([]int, k),
+		dstMsgs:      make([]int64, k),
+		dstBytes:     make([]int64, k),
+		dstDrained:   make([]int32, k),
+		workers:      workers,
+	}
+	words := (k + 63) >> 6
+	for d := 0; d < k; d++ {
+		co.activeSrc[d] = make([]uint64, words)
+	}
 	var firstErr error
-	running := k
 	aborting := false
 
-	anyQueued := func() bool {
-		for _, q := range queues {
-			if len(q) > 0 {
-				return true
+	handle := func(e event) {
+		switch {
+		case e.cancel:
+			aborting = true
+			if firstErr == nil {
+				firstErr = e.err
 			}
+		case e.snap != nil:
+			e.snap <- met.Snapshot()
+		case e.park:
+			for _, m := range e.outbox {
+				co.enqueue(m)
+			}
+			co.spareOutbox[e.id] = e.outbox[:0]
+			co.parked[e.id] = true
+			co.nParked++
+		case e.unpark:
+			co.parked[e.id] = false
+			co.nParked--
+		default:
+			if e.done && co.parked[e.id] {
+				// A machine may return while parked; un-mark it so the
+				// barrier arithmetic stays consistent (the slot this
+				// event fills is the one the un-marking adds).
+				co.parked[e.id] = false
+				co.nParked--
+			}
+			if !co.evHave[e.id] {
+				co.evCount++
+			}
+			co.evSlots[e.id] = e
+			co.evHave[e.id] = true
 		}
-		return false
 	}
 
-	for running > 0 {
+	for co.running > 0 {
 		// Barrier: one event per running non-parked machine. Park/unpark
 		// events adjust the barrier size as they arrive.
-		evs := make([]event, 0, running)
-		need := running - nParked
-		handle := func(e event) {
-			switch {
-			case e.cancel:
-				aborting = true
-				if firstErr == nil {
-					firstErr = e.err
-				}
-			case e.snap != nil:
-				e.snap <- met.Snapshot()
-			case e.park:
-				for _, m := range e.outbox {
-					queues[m.Src*k+m.Dst] = append(queues[m.Src*k+m.Dst], queued{msg: m})
-					met.SentMsgs[m.Src]++
-				}
-				parked[e.id] = true
-				nParked++
-			case e.unpark:
-				parked[e.id] = false
-				nParked--
-			default:
-				if e.done && parked[e.id] {
-					// A machine may return while parked; un-mark it so the
-					// barrier arithmetic stays consistent (the slot this
-					// event fills is the one the un-marking adds).
-					parked[e.id] = false
-					nParked--
-				}
-				evs = append(evs, e)
-			}
-			need = running - nParked
-		}
-		if aborting && running == nParked {
+		if aborting && co.running == co.nParked {
 			// Every survivor is parked on external input and will never
 			// observe the abort; end the run rather than hang.
 			if firstErr == nil {
@@ -404,99 +641,82 @@ func (c *Cluster) RunContext(ctx context.Context, h Handler) (*Result, error) {
 			}
 			break
 		}
-		if need == 0 && !anyQueued() {
+		if co.running-co.nParked == 0 && co.active == 0 {
 			// Fully quiescent: every machine is parked and no bits are in
 			// flight. Block (without burning rounds) until one re-enters.
 			handle(<-evCh)
-			if len(evs) == 0 {
+			if co.evCount == 0 {
 				continue
 			}
 		}
-		for len(evs) < need {
+		for co.evCount < co.running-co.nParked {
 			handle(<-evCh)
 		}
-		sort.Slice(evs, func(i, j int) bool { return evs[i].id < evs[j].id })
 
-		stepped := make([]bool, k)
-		for _, e := range evs {
+		// Process the barrier's events in machine-ID order (they arrive at
+		// most once per machine per barrier, so bucketing by ID replaces a
+		// comparison sort).
+		nEvents := co.evCount
+		for id := 0; id < k; id++ {
+			if !co.evHave[id] {
+				continue
+			}
+			e := &co.evSlots[id]
 			for _, m := range e.outbox {
-				queues[m.Src*k+m.Dst] = append(queues[m.Src*k+m.Dst], queued{msg: m})
-				met.SentMsgs[m.Src]++
+				co.enqueue(m)
 			}
 			if e.done {
-				running--
-				res.Outputs[e.id] = e.output
+				co.running--
+				res.Outputs[id] = e.output
 				if e.err != nil && firstErr == nil && !errors.Is(e.err, ErrMaxRounds) {
 					firstErr = e.err
 				}
 			} else {
-				stepped[e.id] = true
+				co.spareOutbox[id] = e.outbox[:0]
+				co.stepped[id] = true
 			}
+			*e = event{}
+			co.evHave[id] = false
 		}
-		if running == 0 {
+		co.evCount = 0
+		if co.running == 0 {
 			break
 		}
-		if len(evs) == 0 && !anyQueued() {
+		if nEvents == 0 && co.active == 0 {
 			// Only park/unpark churn: nothing to transmit, no round passes.
 			continue
 		}
 
-		// Transmit one round on every directed link.
+		// Transmit one round on every active directed link.
 		met.Rounds++
-		inbox := make([][]Message, k)
-		for d := 0; d < k; d++ {
-			for s := 0; s < k; s++ {
-				q := queues[s*k+d]
-				if len(q) == 0 {
-					continue
-				}
-				budget := c.cfg.BandwidthBits
-				if s == d {
-					budget = 1 << 30 // local delivery is free
-				}
-				i := 0
-				for i < len(q) && budget > 0 {
-					total := q[i].totalBits(c.cfg.MessageOverheadBits)
-					rem := total - q[i].sentBits
-					take := rem
-					if take > budget {
-						take = budget
-					}
-					q[i].sentBits += take
-					budget -= take
-					if s != d {
-						met.LinkBits[s][d] += int64(take)
-					}
-					if q[i].sentBits == total {
-						inbox[d] = append(inbox[d], q[i].msg)
-						met.Messages++
-						met.PayloadBytes += int64(len(q[i].msg.Data))
-						met.RecvMsgs[d]++
-						i++
-					}
-				}
-				queues[s*k+d] = q[i:]
-			}
-		}
+		co.transmitRound()
 
 		if met.Rounds > c.cfg.MaxRounds {
 			aborting = true
 		}
 		for id := 0; id < k; id++ {
 			switch {
-			case stepped[id]:
-				msgs := inbox[id]
-				if len(pendingInbox[id]) > 0 {
-					msgs = append(pendingInbox[id], msgs...)
-					pendingInbox[id] = nil
+			case co.stepped[id]:
+				msgs := co.inbox[id]
+				if len(co.pendingInbox[id]) > 0 {
+					// Hand over the pending buffer (merged with this round's
+					// deliveries); it now belongs to the machine.
+					msgs = append(co.pendingInbox[id], msgs...)
+					co.pendingInbox[id] = nil
+				} else {
+					// Hand over the inbox buffer; flip to the twin so this
+					// one is not refilled before the machine steps again.
+					co.inboxSel[id] ^= 1
 				}
-				ctxs[id].inCh <- delivery{msgs: msgs, abort: aborting}
-			case parked[id]:
+				co.stepped[id] = false
+				ctxs[id].inCh <- delivery{msgs: msgs, spare: co.spareOutbox[id], abort: aborting}
+				co.spareOutbox[id] = nil
+			case co.parked[id]:
 				// Buffer for the machine's next Step after it unparks.
-				pendingInbox[id] = append(pendingInbox[id], inbox[id]...)
-			case len(inbox[id]) > 0:
-				met.DroppedMessages += len(inbox[id])
-				for _, m := range inbox[id] {
+				co.pendingInbox[id] = append(co.pendingInbox[id], co.inbox[id]...)
+			case len(co.inbox[id]) > 0:
+				met.DroppedMessages += len(co.inbox[id])
+				for _, m := range co.inbox[id] {
 					met.DroppedBytes += int64(len(m.Data))
 				}
 			}
@@ -509,13 +729,14 @@ func (c *Cluster) RunContext(ctx context.Context, h Handler) (*Result, error) {
 	// Undelivered queue remnants (including buffers for machines that
 	// returned while their deliveries were parked) are protocol bugs;
 	// surface them.
-	for _, q := range queues {
-		for _, qm := range q {
+	for i := range co.queues {
+		q := &co.queues[i]
+		for _, qm := range q.items[q.head:] {
 			met.DroppedMessages++
 			met.DroppedBytes += int64(len(qm.msg.Data))
 		}
 	}
-	for _, p := range pendingInbox {
+	for _, p := range co.pendingInbox {
 		for _, m := range p {
 			met.DroppedMessages++
 			met.DroppedBytes += int64(len(m.Data))

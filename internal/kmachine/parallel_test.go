@@ -1,0 +1,117 @@
+package kmachine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+// chatterHandler is a deterministic traffic generator: every machine sends
+// a pseudo-random assortment of messages (sizes from tiny to multi-round)
+// to pseudo-random destinations for a fixed number of rounds, checking
+// that deliveries arrive sorted by source.
+func chatterHandler(rounds int) Handler {
+	return func(ctx *Ctx) error {
+		k := ctx.K()
+		for r := 0; r < rounds; r++ {
+			nmsg := ctx.Rand().Intn(2 * k)
+			for i := 0; i < nmsg; i++ {
+				dst := ctx.Rand().Intn(k)
+				size := ctx.Rand().Intn(200)
+				if ctx.Rand().Intn(8) == 0 {
+					size = 400 + ctx.Rand().Intn(800) // multi-round messages
+				}
+				data := make([]byte, size)
+				for j := range data {
+					data[j] = byte(ctx.ID() + r + j)
+				}
+				ctx.Send(dst, data)
+			}
+			msgs := ctx.Step()
+			last := -1
+			for _, m := range msgs {
+				if m.Src < last {
+					return fmt.Errorf("machine %d round %d: deliveries out of source order", ctx.ID(), r)
+				}
+				last = m.Src
+			}
+		}
+		// Drain whatever is still in flight so nothing is dropped.
+		for i := 0; i < 3*rounds; i++ {
+			ctx.Step()
+		}
+		ctx.SetOutput(ctx.Round())
+		return nil
+	}
+}
+
+func runChatter(t *testing.T, k, rounds int) Metrics {
+	t.Helper()
+	c, err := New(Config{K: k, BandwidthBits: 512, MessageOverheadBits: 32, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(chatterHandler(rounds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Metrics
+}
+
+func fingerprint(m Metrics) uint64 {
+	h := fnv.New64a()
+	add := func(x int64) {
+		var b [8]byte
+		for i := range b {
+			b[i] = byte(uint64(x) >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	add(int64(m.Rounds))
+	add(m.Messages)
+	add(m.PayloadBytes)
+	add(m.MaxLinkBits)
+	add(int64(m.DroppedMessages))
+	for _, row := range m.LinkBits {
+		for _, b := range row {
+			add(b)
+		}
+	}
+	for i := range m.SentMsgs {
+		add(m.SentMsgs[i])
+		add(m.RecvMsgs[i])
+	}
+	return h.Sum64()
+}
+
+// TestParallelTransmitDeterminism forces the sharded transmit path (which
+// normally engages only on wide active-link sets with spare CPUs) and
+// asserts it produces bit-identical metrics to the serial path. Under
+// -race this also exercises the workers' concurrent access to queues,
+// bitmaps, LinkBits, and per-destination counters.
+func TestParallelTransmitDeterminism(t *testing.T) {
+	serial := runChatter(t, 9, 25)
+	defer func() { transmitForceParallel = false }()
+	transmitForceParallel = true
+	parallel := runChatter(t, 9, 25)
+	if fingerprint(serial) != fingerprint(parallel) {
+		t.Fatalf("parallel transmit drifted from serial:\n serial:   %+v\n parallel: %+v", serial, parallel)
+	}
+	if serial.Messages == 0 || serial.Rounds == 0 {
+		t.Fatalf("degenerate chatter run: %+v", serial)
+	}
+}
+
+// TestParallelTransmitRepeatable runs the forced-parallel path several
+// times and asserts identical metrics each time (no scheduling-dependent
+// accounting).
+func TestParallelTransmitRepeatable(t *testing.T) {
+	defer func() { transmitForceParallel = false }()
+	transmitForceParallel = true
+	want := fingerprint(runChatter(t, 6, 15))
+	for i := 0; i < 3; i++ {
+		if got := fingerprint(runChatter(t, 6, 15)); got != want {
+			t.Fatalf("run %d: fingerprint %x != %x", i, got, want)
+		}
+	}
+}

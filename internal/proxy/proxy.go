@@ -18,8 +18,8 @@
 package proxy
 
 import (
+	"encoding/binary"
 	"fmt"
-	"sort"
 
 	"kmgraph/internal/hashing"
 	"kmgraph/internal/kmachine"
@@ -27,9 +27,32 @@ import (
 )
 
 // Out is an outgoing payload addressed to a machine.
+//
+// Framed marks a payload built with FrameHeadroom reserved bytes in front
+// (see Comm.FramedPayload): Exchange stamps the frame header into the
+// reservation instead of copying the whole payload into a fresh frame —
+// the zero-copy path for large messages.
 type Out struct {
-	Dst  int
-	Data []byte
+	Dst    int
+	Data   []byte
+	Framed bool
+}
+
+// FrameHeadroom is the reservation, in bytes, preceding a Framed payload:
+// room for the largest uvarint sequence number plus the kind byte.
+const FrameHeadroom = 11
+
+// FramedPayload interns body into the arena with FrameHeadroom reserved
+// bytes in front and returns the payload for an Out with Framed set. The
+// body bytes are stable; the reservation is stamped by Exchange at send
+// time.
+func (c *Comm) FramedPayload(body []byte) []byte {
+	var headroom [FrameHeadroom]byte
+	a := c.ctx.Arena()
+	buf := a.Grab(FrameHeadroom + len(body))
+	buf = append(buf, headroom[:]...)
+	buf = append(buf, body...)
+	return a.Commit(buf)
 }
 
 const (
@@ -43,21 +66,41 @@ type Comm struct {
 	ctx     *kmachine.Ctx
 	seq     uint64
 	pending map[uint64][]kmachine.Message
+
+	// Reused per-collective scratch (k-sized, zeroed each Exchange).
+	counts   []uint64
+	expected []int64
+	got      []int64
+	recvBuf  []kmachine.Message
 }
 
 // NewComm returns a collective communicator over ctx.
 func NewComm(ctx *kmachine.Ctx) *Comm {
-	return &Comm{ctx: ctx, pending: make(map[uint64][]kmachine.Message)}
+	k := ctx.K()
+	return &Comm{
+		ctx:      ctx,
+		pending:  make(map[uint64][]kmachine.Message),
+		counts:   make([]uint64, k),
+		expected: make([]int64, k),
+		got:      make([]int64, k),
+	}
 }
 
 // Ctx returns the underlying machine context.
 func (c *Comm) Ctx() *kmachine.Ctx { return c.ctx }
 
-func frame(seq uint64, kind byte, payload []byte) []byte {
-	buf := make([]byte, 0, len(payload)+10)
+// Arena returns the machine's message arena; collective payloads built on
+// it avoid a heap allocation per message.
+func (c *Comm) Arena() *wire.Arena { return c.ctx.Arena() }
+
+// frame seals (seq, kind, payload) into an arena-backed message.
+func (c *Comm) frame(seq uint64, kind byte, payload []byte) []byte {
+	a := c.ctx.Arena()
+	buf := a.Grab(len(payload) + 11)
 	buf = wire.AppendUvarint(buf, seq)
 	buf = append(buf, kind)
-	return append(buf, payload...)
+	buf = append(buf, payload...)
+	return a.Commit(buf)
 }
 
 // Exchange performs one collective all-to-all delivery: this machine sends
@@ -65,12 +108,19 @@ func frame(seq uint64, kind byte, payload []byte) []byte {
 // machine in this collective, sorted by (source, send order). The round
 // cost is driven by the largest per-link traffic, which is how Lemma 1's
 // load-balancing manifests.
+//
+// The returned slice is reused by the next collective call on c; consume
+// it before then (retaining individual messages' Data bytes is fine).
 func (c *Comm) Exchange(out []Out) []kmachine.Message {
 	k := c.ctx.K()
 	seq := c.seq
 	c.seq++
 
-	counts := make([]uint64, k)
+	a := c.ctx.Arena()
+	counts := c.counts
+	for i := range counts {
+		counts[i] = 0
+	}
 	for _, o := range out {
 		counts[o.Dst]++
 	}
@@ -80,19 +130,38 @@ func (c *Comm) Exchange(out []Out) []kmachine.Message {
 		if d == c.ctx.ID() {
 			continue
 		}
-		c.ctx.Send(d, frame(seq, kindCount, wire.AppendUvarint(nil, counts[d])))
+		buf := a.Grab(21)
+		buf = wire.AppendUvarint(buf, seq)
+		buf = append(buf, kindCount)
+		buf = wire.AppendUvarint(buf, counts[d])
+		c.ctx.Send(d, a.Commit(buf))
 	}
 	for _, o := range out {
-		c.ctx.Send(o.Dst, frame(seq, kindPayload, o.Data))
+		if o.Framed {
+			// Stamp the header right-aligned into the reservation; payloads
+			// shared by several Outs get identical stamps, so re-stamping is
+			// idempotent.
+			var hdr [FrameHeadroom]byte
+			hn := binary.PutUvarint(hdr[:], seq)
+			start := FrameHeadroom - hn - 1
+			copy(o.Data[start:], hdr[:hn])
+			o.Data[FrameHeadroom-1] = kindPayload
+			c.ctx.Send(o.Dst, o.Data[start:])
+			continue
+		}
+		c.ctx.Send(o.Dst, c.frame(seq, kindPayload, o.Data))
 	}
 
-	expected := make([]int64, k)
+	expected := c.expected
 	for i := range expected {
 		expected[i] = -1
 	}
 	expected[c.ctx.ID()] = int64(counts[c.ctx.ID()])
-	got := make([]int64, k)
-	var recv []kmachine.Message
+	got := c.got
+	for i := range got {
+		got[i] = 0
+	}
+	recv := c.recvBuf[:0]
 
 	process := func(m kmachine.Message) error {
 		r := wire.NewReader(m.Data)
@@ -153,7 +222,15 @@ func (c *Comm) Exchange(out []Out) []kmachine.Message {
 			}
 		}
 	}
-	sort.SliceStable(recv, func(i, j int) bool { return recv[i].Src < recv[j].Src })
+	// Stable sort by source. Arrivals are a concatenation of per-round
+	// deliveries, each already ascending in Src, so insertion sort runs in
+	// O(messages · rounds-in-collective) — near linear — with no allocation.
+	for i := 1; i < len(recv); i++ {
+		for j := i; j > 0 && recv[j-1].Src > recv[j].Src; j-- {
+			recv[j-1], recv[j] = recv[j], recv[j-1]
+		}
+	}
+	c.recvBuf = recv
 	return recv
 }
 
@@ -223,10 +300,12 @@ func (c *Comm) RelayBroadcast(root int, data []byte) []byte {
 			if hi > len(data) {
 				hi = len(data)
 			}
-			body := wire.AppendUvarint(nil, uint64(i))
+			a := c.ctx.Arena()
+			body := a.Grab(hi - lo + 30)
+			body = wire.AppendUvarint(body, uint64(i))
 			body = wire.AppendUvarint(body, uint64(len(data)))
 			body = wire.AppendBytes(body, data[lo:hi])
-			out = append(out, Out{Dst: d, Data: body})
+			out = append(out, Out{Dst: d, Data: a.Commit(body)})
 		}
 	}
 	recv := c.Exchange(out)
@@ -281,7 +360,8 @@ func (c *Comm) RelayBroadcast(root int, data []byte) []byte {
 // and commutative) and returns the result on every machine. Implemented as
 // gather-to-0 plus broadcast: O(1) exchanges of O(k) tiny messages.
 func (c *Comm) AllReduceU64(x uint64, op func(a, b uint64) uint64) uint64 {
-	blobs := c.GatherTo(0, wire.AppendU64(nil, x))
+	a := c.ctx.Arena()
+	blobs := c.GatherTo(0, a.Commit(wire.AppendU64(a.Grab(8), x)))
 	var res uint64
 	var buf []byte
 	if c.ctx.ID() == 0 {
@@ -293,7 +373,7 @@ func (c *Comm) AllReduceU64(x uint64, op func(a, b uint64) uint64) uint64 {
 			r := wire.NewReader(b)
 			res = op(res, r.U64())
 		}
-		buf = wire.AppendU64(nil, res)
+		buf = a.Commit(wire.AppendU64(a.Grab(8), res))
 	}
 	buf = c.BroadcastFrom(0, buf)
 	r := wire.NewReader(buf)

@@ -138,6 +138,7 @@ func (m *rmachine) loop() error {
 		case cmdMST:
 			m.runMST(cmd)
 		case cmdClose:
+			m.mg.ReleasePools()
 			m.ctx.SetOutput(&struct{}{})
 			return nil
 		default:
@@ -194,12 +195,15 @@ func (m *rmachine) applyBatch(ops []graph.EdgeOp) {
 				addTo(hv, i, op)
 			}
 		}
+		a := m.mg.Comm.Arena()
 		for d := 0; d < k; d++ {
 			if counts[d] == 0 {
 				continue
 			}
-			data := wire.AppendUvarint(nil, uint64(counts[d]))
-			out = append(out, proxy.Out{Dst: d, Data: append(data, bufs[d]...)})
+			data := a.Grab(10 + len(bufs[d]))
+			data = wire.AppendUvarint(data, uint64(counts[d]))
+			data = append(data, bufs[d]...)
+			out = append(out, proxy.Out{Dst: d, Data: a.Commit(data)})
 		}
 	}
 	recv := m.mg.Comm.Exchange(out)
@@ -240,8 +244,11 @@ func (m *rmachine) applyBatch(ops []graph.EdgeOp) {
 	// Exchange 2: verdicts to the ingress.
 	out = nil
 	if nv > 0 {
-		data := wire.AppendUvarint(nil, uint64(nv))
-		out = append(out, proxy.Out{Dst: 0, Data: append(data, verdicts...)})
+		a := m.mg.Comm.Arena()
+		data := a.Grab(10 + len(verdicts))
+		data = wire.AppendUvarint(data, uint64(nv))
+		data = append(data, verdicts...)
+		out = append(out, proxy.Out{Dst: 0, Data: a.Commit(data)})
 	}
 	recv = m.mg.Comm.Exchange(out)
 	rep := reply{}
@@ -349,12 +356,15 @@ func (m *rmachine) query(cmd hostCmd) {
 			bufs[d] = wire.AppendUvarint(bufs[d], ch.label)
 			counts[d]++
 		}
+		a := m.mg.Comm.Arena()
 		for d := 0; d < k; d++ {
 			if counts[d] == 0 {
 				continue
 			}
-			data := wire.AppendUvarint(nil, uint64(counts[d]))
-			out = append(out, proxy.Out{Dst: d, Data: append(data, bufs[d]...)})
+			data := a.Grab(10 + len(bufs[d]))
+			data = wire.AppendUvarint(data, uint64(counts[d]))
+			data = append(data, bufs[d]...)
+			out = append(out, proxy.Out{Dst: d, Data: a.Commit(data)})
 		}
 	}
 	recv := m.mg.Comm.Exchange(out)
@@ -413,7 +423,9 @@ func (m *rmachine) query(cmd hostCmd) {
 			nc++
 		}
 	}
-	data := wire.AppendUvarint(nil, uint64(nc))
+	a := m.mg.Comm.Arena()
+	data := a.Grab(20 + len(chg) + 30*len(m.mergeRecs))
+	data = wire.AppendUvarint(data, uint64(nc))
 	data = append(data, chg...)
 	data = wire.AppendUvarint(data, uint64(len(m.mergeRecs)))
 	for _, e := range m.mergeRecs {
@@ -421,6 +433,7 @@ func (m *rmachine) query(cmd hostCmd) {
 		data = wire.AppendUvarint(data, uint64(e.V))
 		data = wire.AppendVarint(data, e.W)
 	}
+	data = a.Commit(data)
 	recv = m.mg.Comm.Exchange([]proxy.Out{{Dst: 0, Data: data}})
 	if m.ctx.ID() == 0 {
 		var changes []vertLabel
@@ -459,48 +472,31 @@ func (m *rmachine) query(cmd hostCmd) {
 // projection, and applied merges record their sampled edge for the
 // certificate forest.
 func (m *rmachine) selectBanks(bank int) {
-	k := m.ctx.K()
 	parts := m.mg.Parts()
 	seed := m.banks.seeds[bank]
+	a := m.mg.Comm.Arena()
 
 	// Part bank-sums to component proxies.
 	var out []proxy.Out
 	for _, label := range core.SortedKeys(parts) {
 		sk := m.banks.get(label, bank, parts[label], m.view)
-		buf := wire.AppendUvarint(nil, label)
-		buf = sk.EncodeTo(buf)
-		out = append(out, proxy.Out{Dst: m.mg.ProxyOf(0, label), Data: buf})
+		out = append(out, proxy.Out{Dst: m.mg.ProxyOf(0, label), Data: m.mg.SketchPayload(label, sk), Framed: true})
 	}
 	recv := m.mg.Comm.Exchange(out)
 
 	// Proxy side: sum part sketches per component (linearity cancels
 	// intra-component edges), record part holders.
-	m.mg.States = make(map[uint64]*core.CompState)
-	sums := make(map[uint64]*sketch.Sketch)
-	for _, msg := range recv {
-		r := wire.NewReader(msg.Data)
-		label := r.Uvarint()
-		sk, err := sketch.Decode(m.ccfg.Sketch, seed, msg.Data[len(msg.Data)-r.Len():])
-		if err != nil {
-			panic(fmt.Sprintf("resident: bad sketch from %d: %v", msg.Src, err))
-		}
-		st := m.mg.States[label]
-		if st == nil {
-			st = core.NewCompState(label, k)
-			m.mg.States[label] = st
-			sums[label] = sk
-		} else if err := sums[label].Add(sk); err != nil {
-			panic(err)
-		}
-		st.Holders[msg.Src/8] |= 1 << uint(msg.Src%8)
-	}
+	m.mg.AccumulateParts(recv, seed)
 
 	// Sample an outgoing edge per component; resolve the neighbor label by
 	// querying the outside endpoint's home machine (live adjacency).
 	out = nil
-	pendingEdge := make(map[uint64][2]int)
-	for _, label := range core.SortedKeys(m.mg.States) {
-		x, y, insideSmaller, st := sums[label].SampleEdge()
+	for _, label := range m.mg.StateKeys() {
+		cst := m.mg.States[label]
+		sk := cst.Sum
+		cst.Sum = nil
+		x, y, insideSmaller, st := sk.SampleEdge()
+		m.mg.Pool().Put(sk)
 		switch st {
 		case sketch.Empty:
 			// No outgoing edges: inactive root this phase.
@@ -511,12 +507,13 @@ func (m *rmachine) selectBanks(bank int) {
 			if insideSmaller {
 				outside = y
 			}
-			pendingEdge[label] = [2]int{x, y}
-			q := wire.AppendUvarint(nil, uint64(outside))
+			cst.PendU, cst.PendV = x, y
+			q := a.Grab(40)
+			q = wire.AppendUvarint(q, uint64(outside))
 			q = wire.AppendUvarint(q, uint64(x))
 			q = wire.AppendUvarint(q, uint64(y))
 			q = wire.AppendUvarint(q, label)
-			out = append(out, proxy.Out{Dst: m.view.Home(outside), Data: q})
+			out = append(out, proxy.Out{Dst: m.view.Home(outside), Data: a.Commit(q)})
 		}
 	}
 	recv = m.mg.Comm.Exchange(out)
@@ -542,8 +539,7 @@ func (m *rmachine) selectBanks(bank int) {
 		m.mg.PhaseActive++
 		m.mg.ApplyRank(st, nbrLabel)
 		if st.Parent != st.Label {
-			xy := pendingEdge[askLabel]
-			m.mergeRecs = append(m.mergeRecs, graph.Edge{U: xy[0], V: xy[1], W: w})
+			m.mergeRecs = append(m.mergeRecs, graph.Edge{U: st.PendU, V: st.PendV, W: w})
 		}
 	}
 }
@@ -562,6 +558,7 @@ func (m *rmachine) runDerived(cmd hostCmd) {
 	view := m.derive(spec)
 	cfg := m.runConfig(spec)
 	fm := core.NewMergerOn(m.mg.Comm, view, cfg, m.mg.Sh, m.mg.Poly)
+	defer fm.ReleasePools()
 	fm.Cancelled = m.e.jobCancelled
 
 	phases := 0
@@ -604,6 +601,7 @@ func (m *rmachine) runDerived(cmd hostCmd) {
 func (m *rmachine) runMST(cmd hostCmd) {
 	rep := reply{}
 	fm := core.NewMergerOn(m.mg.Comm, m.view, m.ccfg, m.mg.Sh, m.mg.Poly)
+	defer fm.ReleasePools()
 	fm.Cancelled = m.e.jobCancelled
 	maxElim := m.e.cfg.MaxElimIters
 	if maxElim <= 0 {

@@ -24,7 +24,10 @@
 package sketch
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math/bits"
+	"sync"
 
 	"kmgraph/internal/field"
 	"kmgraph/internal/graph"
@@ -89,23 +92,46 @@ type cell struct {
 }
 
 // Sketch is a linear l0-sampler over the edge-slot universe.
+//
+// Seed-derived hash state is precomputed once per (re)seed so the hot
+// AddItem/Sample paths avoid repeated full hash and exponentiation chains:
+// zpow caches z^(2^i) for the fingerprint power ladder, bpre caches the
+// id-independent prefix of the bucket hash per (rep, level), and lvlSeed /
+// qsalt cache the level and query salts. All derived values are exactly
+// the ones the naive per-call formulas produce — the sketch contents are
+// bit-identical either way.
 type Sketch struct {
-	p     Params
-	seed  uint64
-	zbase uint64
-	cells []cell
+	p       Params
+	seed    uint64
+	zbase   uint64
+	lvlSeed uint64   // Hash2(seed, 0xa11ce), the levelOf salt
+	qsalt   uint64   // Hash2(seed, 0x9a3f1e), the Sample query salt
+	zpow    []uint64 // zbase^(2^i) for i < bits(N²)
+	zpowN   []uint64 // (zbase^N)^(2^i) for i < bits(N)
+	bpre    []uint64 // Hash3(seed, rep, level) per (rep*Levels + level)
+	cells   []cell
+	// touched[rep*Levels+level] has bit b set if bucket b was ever written;
+	// clear bits are guaranteed-zero cells, so the scan paths (encode,
+	// sample, zero test) skip them. A touched cell may still have cancelled
+	// back to zero — those are re-checked against the actual values.
+	touched []uint64
 }
 
 // New returns an all-zero sketch for the given shared seed. Seeds must be
 // fresh per phase (the paper's per-phase sketch matrix L_j); derive them as
 // a shared hash of (master seed, phase, iteration).
 func New(p Params, seed uint64) *Sketch {
-	return &Sketch{
-		p:     p,
-		seed:  seed,
-		zbase: zBase(seed),
-		cells: make([]cell, p.Cells()),
+	if p.Buckets > 64 {
+		// The touched/encode bucket bitmaps are one uint64 per (rep, level).
+		panic(fmt.Sprintf("sketch: Buckets = %d, bitmap supports at most 64", p.Buckets))
 	}
+	s := &Sketch{
+		p:       p,
+		cells:   make([]cell, p.Cells()),
+		touched: make([]uint64, p.Reps*p.Levels),
+	}
+	s.reseed(seed)
+	return s
 }
 
 func zBase(seed uint64) uint64 {
@@ -114,6 +140,76 @@ func zBase(seed uint64) uint64 {
 		z += 2
 	}
 	return z
+}
+
+// reseed recomputes the seed-derived tables (without touching cells).
+func (s *Sketch) reseed(seed uint64) {
+	s.seed = seed
+	s.zbase = zBase(seed)
+	s.lvlSeed = hashing.Hash2(seed, 0xa11ce)
+	s.qsalt = hashing.Hash2(seed, 0x9a3f1e)
+	zbits := bits.Len64(uint64(s.p.N) * uint64(s.p.N))
+	if zbits < 1 {
+		zbits = 1
+	}
+	if cap(s.zpow) < zbits {
+		s.zpow = make([]uint64, zbits)
+	}
+	s.zpow = s.zpow[:zbits]
+	z := s.zbase
+	for i := range s.zpow {
+		s.zpow[i] = z
+		z = field.Mul(z, z)
+	}
+	nbits := bits.Len64(uint64(s.p.N))
+	if nbits < 1 {
+		nbits = 1
+	}
+	if cap(s.zpowN) < nbits {
+		s.zpowN = make([]uint64, nbits)
+	}
+	s.zpowN = s.zpowN[:nbits]
+	z = s.powZ(uint64(s.p.N))
+	for i := range s.zpowN {
+		s.zpowN[i] = z
+		z = field.Mul(z, z)
+	}
+	nb := s.p.Reps * s.p.Levels
+	if cap(s.bpre) < nb {
+		s.bpre = make([]uint64, nb)
+	}
+	s.bpre = s.bpre[:nb]
+	for rep := 0; rep < s.p.Reps; rep++ {
+		for level := 0; level < s.p.Levels; level++ {
+			s.bpre[rep*s.p.Levels+level] = hashing.Hash3(seed, uint64(rep), uint64(level))
+		}
+	}
+}
+
+// Reset zeroes the sketch in place, keeping shape, seed, and hash tables.
+// Sparse sketches clear only the cells that were written; dense ones fall
+// back to one bulk clear.
+func (s *Sketch) Reset() {
+	nb := s.p.Buckets
+	n := 0
+	for _, t := range s.touched {
+		n += bits.OnesCount64(t)
+	}
+	if 4*n >= len(s.cells) {
+		clear(s.cells)
+		clear(s.touched)
+		return
+	}
+	for rl, t := range s.touched {
+		if t == 0 {
+			continue
+		}
+		base := rl * nb
+		for ; t != 0; t &= t - 1 {
+			s.cells[base+bits.TrailingZeros64(t)] = cell{}
+		}
+		s.touched[rl] = 0
+	}
 }
 
 // Params returns the sketch shape.
@@ -126,28 +222,73 @@ func (s *Sketch) cellAt(rep, level, bucket int) *cell {
 	return &s.cells[(rep*s.p.Levels+level)*s.p.Buckets+bucket]
 }
 
+// powZ returns zbase^id via the cached power ladder: the product of
+// zbase^(2^i) over id's set bits — the same product binary exponentiation
+// computes, without redoing the squarings per call.
+func (s *Sketch) powZ(id uint64) uint64 {
+	if id>>len(s.zpow) != 0 {
+		return field.Pow(s.zbase, id)
+	}
+	r := uint64(1)
+	for e := id; e != 0; e &= e - 1 {
+		r = field.Mul(r, s.zpow[bits.TrailingZeros64(e)])
+	}
+	return r
+}
+
 // levelOf returns the highest subsampling level slot id survives to,
 // capped at Levels-1. Nested: the slot is present in levels 0..levelOf.
 func (s *Sketch) levelOf(id uint64) int {
-	tz := hashing.TrailingZeros(hashing.Hash2(s.seed, 0xa11ce), id)
+	tz := hashing.TrailingZeros(s.lvlSeed, id)
 	if tz >= s.p.Levels {
 		return s.p.Levels - 1
 	}
 	return tz
 }
 
+// idMix is the id-dependent half of the bucket hash; combined with the
+// cached (rep, level) prefix it reproduces hashing.Hash4 exactly.
+func idMix(id uint64) uint64 {
+	return hashing.Mix64(id ^ 0x8CB92BA72F3D8DD7)
+}
+
 func (s *Sketch) bucketOf(rep, level int, id uint64) int {
-	return hashing.RangeOf(hashing.Hash4(s.seed, uint64(rep), uint64(level), id), s.p.Buckets)
+	return hashing.RangeOf(hashing.Mix64(s.bpre[rep*s.p.Levels+level]^idMix(id)), s.p.Buckets)
+}
+
+// powN returns (zbase^N)^e via the cached second ladder, so fingerprints
+// of edge slots id = x·N + y factor into two short-exponent products.
+func (s *Sketch) powN(e uint64) uint64 {
+	if e>>len(s.zpowN) != 0 {
+		return field.Pow(s.powZ(uint64(s.p.N)), e)
+	}
+	r := uint64(1)
+	for ; e != 0; e &= e - 1 {
+		r = field.Mul(r, s.zpowN[bits.TrailingZeros64(e)])
+	}
+	return r
 }
 
 // AddItem adds sign (+1 or -1) to slot id.
 func (s *Sketch) AddItem(id uint64, sign int) {
-	zid := field.Pow(s.zbase, id)
+	s.addItemZ(id, sign, s.powZ(id))
+}
+
+// addItemZ is AddItem with the fingerprint power z^id supplied by the
+// caller (AddVertex computes it incrementally from the two power ladders;
+// the value is identical to powZ(id) either way).
+func (s *Sketch) addItemZ(id uint64, sign int, zid uint64) {
 	idf := field.Reduce(id)
+	mix := idMix(id)
 	top := s.levelOf(id)
+	nb := s.p.Buckets
+	cells, touched, bpre := s.cells, s.touched, s.bpre
 	for rep := 0; rep < s.p.Reps; rep++ {
+		base := rep * s.p.Levels
 		for level := 0; level <= top; level++ {
-			c := s.cellAt(rep, level, s.bucketOf(rep, level, id))
+			b := hashing.RangeOf(hashing.Mix64(bpre[base+level]^mix), nb)
+			touched[base+level] |= 1 << uint(b)
+			c := &cells[(base+level)*nb+b]
 			if sign > 0 {
 				c.count++
 				c.idSum = field.Add(c.idSum, idf)
@@ -169,22 +310,41 @@ func (s *Sketch) AddItem(id uint64, sign int) {
 // (§3.1). The sign convention implements a_u: +1 when u is the smaller
 // endpoint.
 func (s *Sketch) AddVertex(u int, adj []graph.Half, filter func(u int, h graph.Half) bool) {
+	// Fingerprint powers factor over the edge-slot id x·N + y:
+	// z^(x·N+y) = (z^N)^x · z^y. The per-vertex factors z^(u·N) and z^u are
+	// computed once, the per-neighbor factor needs only a bits(N)-long
+	// ladder walk — about half the multiplies of a full powZ per item.
+	n := uint64(s.p.N)
+	var zun, zu uint64
+	haveZun, haveZu := false, false
 	for _, h := range adj {
 		if filter != nil && !filter(u, h) {
 			continue
 		}
-		id := graph.EdgeID(u, h.To, s.p.N)
 		if u < h.To {
-			s.AddItem(id, +1)
+			if !haveZun {
+				zun = s.powN(uint64(u))
+				haveZun = true
+			}
+			id := uint64(u)*n + uint64(h.To)
+			s.addItemZ(id, +1, field.Mul(zun, s.powZ(uint64(h.To))))
 		} else {
-			s.AddItem(id, -1)
+			if !haveZu {
+				zu = s.powZ(uint64(u))
+				haveZu = true
+			}
+			id := uint64(h.To)*n + uint64(u)
+			s.addItemZ(id, -1, field.Mul(s.powN(uint64(h.To)), zu))
 		}
 	}
 }
 
 // Clone returns an independent deep copy of s (same shape and seed).
 func (s *Sketch) Clone() *Sketch {
-	return &Sketch{p: s.p, seed: s.seed, zbase: s.zbase, cells: append([]cell(nil), s.cells...)}
+	c := New(s.p, s.seed)
+	copy(c.cells, s.cells)
+	copy(c.touched, s.touched)
+	return c
 }
 
 // Add accumulates other into s (vector addition). Shapes and seeds must
@@ -193,20 +353,31 @@ func (s *Sketch) Add(other *Sketch) error {
 	if s.p != other.p || s.seed != other.seed {
 		return fmt.Errorf("sketch: shape/seed mismatch")
 	}
-	for i := range s.cells {
-		s.cells[i].count += other.cells[i].count
-		s.cells[i].idSum = field.Add(s.cells[i].idSum, other.cells[i].idSum)
-		s.cells[i].fp = field.Add(s.cells[i].fp, other.cells[i].fp)
+	nb := s.p.Buckets
+	for rl, t := range other.touched {
+		base := rl * nb
+		for tt := t; tt != 0; tt &= tt - 1 {
+			b := bits.TrailingZeros64(tt)
+			sc, oc := &s.cells[base+b], &other.cells[base+b]
+			sc.count += oc.count
+			sc.idSum = field.Add(sc.idSum, oc.idSum)
+			sc.fp = field.Add(sc.fp, oc.fp)
+		}
+		s.touched[rl] |= t
 	}
 	return nil
 }
 
 // IsZero reports whether every tester is zero.
 func (s *Sketch) IsZero() bool {
-	for i := range s.cells {
-		c := &s.cells[i]
-		if c.count != 0 || c.idSum != 0 || c.fp != 0 {
-			return false
+	nb := s.p.Buckets
+	for rl, t := range s.touched {
+		base := rl * nb
+		for ; t != 0; t &= t - 1 {
+			c := &s.cells[base+bits.TrailingZeros64(t)]
+			if c.count != 0 || c.idSum != 0 || c.fp != 0 {
+				return false
+			}
 		}
 	}
 	return true
@@ -228,7 +399,7 @@ func (s *Sketch) verify(c *cell) (id uint64, sign int, ok bool) {
 	if id >= maxID {
 		return 0, 0, false
 	}
-	want := field.Pow(s.zbase, id)
+	want := s.powZ(id)
 	if sign < 0 {
 		want = field.Neg(want)
 	}
@@ -247,15 +418,18 @@ func (s *Sketch) Sample() (id uint64, sign int, st Status) {
 	if s.IsZero() {
 		return 0, 0, Empty
 	}
-	qsalt := hashing.Hash2(s.seed, 0x9a3f1e)
+	qsalt := s.qsalt
+	nb := s.p.Buckets
 	for level := s.p.Levels - 1; level >= 0; level-- {
 		var bestID uint64
 		var bestSign int
 		var bestH uint64
 		found := false
 		for rep := 0; rep < s.p.Reps; rep++ {
-			for b := 0; b < s.p.Buckets; b++ {
-				c := s.cellAt(rep, level, b)
+			rl := rep*s.p.Levels + level
+			for t := s.touched[rl]; t != 0; t &= t - 1 {
+				b := bits.TrailingZeros64(t)
+				c := &s.cells[rl*nb+b]
 				cid, csign, ok := s.verify(c)
 				if !ok {
 					continue
@@ -294,25 +468,23 @@ func (s *Sketch) SampleEdge() (x, y int, insideSmaller bool, st Status) {
 // bitmap of nonzero testers followed by their contents. Zero sketches cost
 // a few bytes; dense ones are bounded by Cells() * ~17 bytes.
 func (s *Sketch) EncodeTo(buf []byte) []byte {
-	for rep := 0; rep < s.p.Reps; rep++ {
-		for level := 0; level < s.p.Levels; level++ {
-			var bitmap uint64
-			for b := 0; b < s.p.Buckets; b++ {
-				c := s.cellAt(rep, level, b)
-				if c.count != 0 || c.idSum != 0 || c.fp != 0 {
-					bitmap |= 1 << uint(b)
-				}
+	nb := s.p.Buckets
+	for rl, t := range s.touched {
+		base := rl * nb
+		var bitmap uint64
+		for tt := t; tt != 0; tt &= tt - 1 {
+			b := bits.TrailingZeros64(tt)
+			c := &s.cells[base+b]
+			if c.count != 0 || c.idSum != 0 || c.fp != 0 {
+				bitmap |= 1 << uint(b)
 			}
-			buf = wire.AppendUvarint(buf, bitmap)
-			for b := 0; b < s.p.Buckets; b++ {
-				if bitmap&(1<<uint(b)) == 0 {
-					continue
-				}
-				c := s.cellAt(rep, level, b)
-				buf = wire.AppendVarint(buf, c.count)
-				buf = wire.AppendU64(buf, c.idSum)
-				buf = wire.AppendU64(buf, c.fp)
-			}
+		}
+		buf = wire.AppendUvarint(buf, bitmap)
+		for bm := bitmap; bm != 0; bm &= bm - 1 {
+			c := &s.cells[base+bits.TrailingZeros64(bm)]
+			buf = wire.AppendVarint(buf, c.count)
+			buf = wire.AppendU64(buf, c.idSum)
+			buf = wire.AppendU64(buf, c.fp)
 		}
 	}
 	return buf
@@ -324,23 +496,159 @@ func Decode(p Params, seed uint64, data []byte) (*Sketch, error) {
 		return nil, fmt.Errorf("sketch: bucket bitmap supports at most 64 buckets")
 	}
 	s := New(p, seed)
-	r := wire.NewReader(data)
-	for rep := 0; rep < p.Reps; rep++ {
-		for level := 0; level < p.Levels; level++ {
-			bitmap := r.Uvarint()
-			for b := 0; b < p.Buckets; b++ {
-				if bitmap&(1<<uint(b)) == 0 {
-					continue
-				}
-				c := s.cellAt(rep, level, b)
-				c.count = r.Varint()
-				c.idSum = r.U64()
-				c.fp = r.U64()
-			}
-		}
-	}
-	if err := r.Done(); err != nil {
+	if err := s.AddEncoded(data); err != nil {
 		return nil, err
 	}
 	return s, nil
+}
+
+// AddEncoded accumulates a wire-encoded sketch (same Params/seed) into s
+// by linearity, without materializing the intermediate: decoding into a
+// zero sketch equals Decode; decoding into a non-zero one equals
+// Decode-then-Add. This is the proxy-side summation fast path.
+func (s *Sketch) AddEncoded(data []byte) error {
+	nb := s.p.Buckets
+	off := 0
+	for rl := 0; rl < s.p.Reps*s.p.Levels; rl++ {
+		bitmap, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return wire.ErrTruncated
+		}
+		off += n
+		if bitmap>>uint(nb) != 0 {
+			return fmt.Errorf("sketch: bucket bitmap out of range")
+		}
+		s.touched[rl] |= bitmap
+		base := rl * nb
+		for bm := bitmap; bm != 0; bm &= bm - 1 {
+			cnt, n := binary.Varint(data[off:])
+			if n <= 0 {
+				return wire.ErrTruncated
+			}
+			off += n
+			if len(data)-off < 16 {
+				return wire.ErrTruncated
+			}
+			// EncodeTo emits canonical field elements; reduce defensively
+			// only when a value is out of range (never on the fast path).
+			idSum := binary.LittleEndian.Uint64(data[off:])
+			fp := binary.LittleEndian.Uint64(data[off+8:])
+			if idSum >= field.P || fp >= field.P {
+				idSum, fp = field.Reduce(idSum), field.Reduce(fp)
+			}
+			c := &s.cells[base+bits.TrailingZeros64(bm)]
+			c.count += cnt
+			c.idSum = field.Add(c.idSum, idSum)
+			c.fp = field.Add(c.fp, fp)
+			off += 16
+		}
+	}
+	if off != len(data) {
+		return fmt.Errorf("wire: %d trailing bytes", len(data)-off)
+	}
+	return nil
+}
+
+// shared recycles sketch allocations of one shape across the whole
+// process (sync.Map keyed by Params, sync.Pool per shape): one-shot runs
+// stop paying a fresh cell-array allocation per sketch per run. Sketches
+// from the shared pool are always Reset before use, so reuse is invisible.
+var shared sync.Map // Params -> *sync.Pool
+
+func sharedPool(p Params) *sync.Pool {
+	if v, ok := shared.Load(p); ok {
+		return v.(*sync.Pool)
+	}
+	v, _ := shared.LoadOrStore(p, &sync.Pool{})
+	return v.(*sync.Pool)
+}
+
+// Pool recycles sketches of one shape across phases: Get returns a zeroed
+// sketch for the requested seed (reusing a free one's cell array), Put
+// returns sketches for reuse. The pool caches the seed-derived hash tables
+// of the last seed it saw, so the per-phase table computation is paid once
+// per machine instead of once per sketch (within a phase, every part and
+// sum sketch shares one seed); allocation misses are backed by the
+// process-wide shared pool. Pools are single-goroutine, like the machines
+// that own them.
+type Pool struct {
+	p      Params
+	free   []*Sketch
+	tab    *Sketch // table donor: holds the cached tables for tab.seed
+	global *sync.Pool
+}
+
+// NewPool returns a pool producing sketches of shape p.
+func NewPool(p Params) *Pool {
+	if p.Buckets > 64 {
+		panic(fmt.Sprintf("sketch: Buckets = %d, bitmap supports at most 64", p.Buckets))
+	}
+	return &Pool{p: p, global: sharedPool(p)}
+}
+
+// ensureTab makes the pool's table donor hold tables for seed.
+func (pl *Pool) ensureTab(seed uint64) *Sketch {
+	if pl.tab == nil {
+		pl.tab = &Sketch{p: pl.p}
+		pl.tab.reseed(seed)
+	} else if pl.tab.seed != seed {
+		pl.tab.reseed(seed)
+	}
+	return pl.tab
+}
+
+// adoptTab copies the donor's precomputed tables into s.
+func (s *Sketch) adoptTab(tab *Sketch) {
+	s.seed = tab.seed
+	s.zbase = tab.zbase
+	s.lvlSeed = tab.lvlSeed
+	s.qsalt = tab.qsalt
+	s.zpow = append(s.zpow[:0], tab.zpow...)
+	s.zpowN = append(s.zpowN[:0], tab.zpowN...)
+	s.bpre = append(s.bpre[:0], tab.bpre...)
+}
+
+// Get returns an all-zero sketch for the given seed.
+func (pl *Pool) Get(seed uint64) *Sketch {
+	if n := len(pl.free); n > 0 {
+		s := pl.free[n-1]
+		pl.free = pl.free[:n-1]
+		if s.seed != seed {
+			s.adoptTab(pl.ensureTab(seed))
+		}
+		s.Reset()
+		return s
+	}
+	if v := pl.global.Get(); v != nil {
+		s := v.(*Sketch)
+		s.adoptTab(pl.ensureTab(seed))
+		s.Reset()
+		return s
+	}
+	s := &Sketch{
+		p:       pl.p,
+		cells:   make([]cell, pl.p.Cells()),
+		touched: make([]uint64, pl.p.Reps*pl.p.Levels),
+	}
+	s.adoptTab(pl.ensureTab(seed))
+	return s
+}
+
+// Put returns sketches to the local free list. Nil entries are ignored.
+// The free list is retained until Release hands it to the process-wide
+// shared pool — call Release when the owning machine's run is over.
+func (pl *Pool) Put(ss ...*Sketch) {
+	for _, s := range ss {
+		if s != nil {
+			pl.free = append(pl.free, s)
+		}
+	}
+}
+
+// Release drains the local free list into the process-wide shared pool.
+func (pl *Pool) Release() {
+	for _, s := range pl.free {
+		pl.global.Put(s)
+	}
+	pl.free = pl.free[:0]
 }

@@ -356,3 +356,88 @@ func BenchmarkEncode(b *testing.B) {
 		buf = s.EncodeTo(buf[:0])
 	}
 }
+
+// TestAddEncodedMatchesDecodeAdd pins the proxy-side fast path: adding an
+// encoded sketch into an accumulator must equal Decode followed by Add.
+func TestAddEncodedMatchesDecodeAdd(t *testing.T) {
+	p := DefaultParams(64)
+	const seed = 0xfeed
+	a, b := New(p, seed), New(p, seed)
+	for i := 0; i < 40; i++ {
+		a.AddItem(uint64(i*63%4000), 1-2*(i%2))
+		b.AddItem(uint64(i*17%4000), 1-2*((i+1)%2))
+	}
+	encA, encB := a.EncodeTo(nil), b.EncodeTo(nil)
+
+	slow, err := Decode(p, seed, encA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(p, seed, encB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := slow.Add(dec); err != nil {
+		t.Fatal(err)
+	}
+
+	fast := New(p, seed)
+	if err := fast.AddEncoded(encA); err != nil {
+		t.Fatal(err)
+	}
+	if err := fast.AddEncoded(encB); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(fast.EncodeTo(nil)), string(slow.EncodeTo(nil)); got != want {
+		t.Fatal("AddEncoded drifted from Decode+Add")
+	}
+}
+
+// TestPoolReuseBitExact pins pooled-sketch reuse: a recycled sketch
+// re-seeded for a new phase must encode exactly like a fresh one.
+func TestPoolReuseBitExact(t *testing.T) {
+	p := DefaultParams(128)
+	pl := NewPool(p)
+	build := func(s *Sketch) {
+		for i := 0; i < 25; i++ {
+			s.AddItem(uint64(i*i+3), +1)
+		}
+	}
+	for _, seed := range []uint64{1, 99, 1 << 40} {
+		got := pl.Get(seed)
+		build(got)
+		want := New(p, seed)
+		build(want)
+		if string(got.EncodeTo(nil)) != string(want.EncodeTo(nil)) {
+			t.Fatalf("seed %d: pooled sketch drifted from fresh sketch", seed)
+		}
+		pl.Put(got)
+	}
+	pl.Release()
+}
+
+// TestAddVertexMatchesAddItem pins the two-ladder fingerprint path:
+// AddVertex must produce exactly the cells that per-item AddItem does.
+func TestAddVertexMatchesAddItem(t *testing.T) {
+	n := 200
+	p := DefaultParams(n)
+	const seed = 0xabcde
+	adj := []graph.Half{{To: 3, W: 1}, {To: 150, W: 2}, {To: 199, W: 3}, {To: 7, W: 4}}
+	u := 42
+
+	viaVertex := New(p, seed)
+	viaVertex.AddVertex(u, adj, nil)
+
+	viaItems := New(p, seed)
+	for _, h := range adj {
+		id := graph.EdgeID(u, h.To, n)
+		if u < h.To {
+			viaItems.AddItem(id, +1)
+		} else {
+			viaItems.AddItem(id, -1)
+		}
+	}
+	if string(viaVertex.EncodeTo(nil)) != string(viaItems.EncodeTo(nil)) {
+		t.Fatal("AddVertex two-ladder path drifted from AddItem")
+	}
+}

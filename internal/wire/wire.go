@@ -17,6 +17,72 @@ import (
 // ErrTruncated is reported when a decode runs past the end of the buffer.
 var ErrTruncated = errors.New("wire: truncated message")
 
+// Arena is an append-style allocator for message payloads. Encoders grab a
+// zero-length scratch slice, append their encoding with the usual
+// Append{Uvarint,U64,Bytes,...} helpers, and commit the result; committed
+// regions are carved out of large shared chunks, so the per-message heap
+// allocation (and the GC scan pressure of hundreds of thousands of small
+// byte slices) collapses to one allocation per chunk. Committed bytes are
+// never overwritten or reclaimed by the arena — a chunk is garbage
+// collected only once no message references it — which makes arena-backed
+// payloads safe to hand to the simulator and alias from receivers.
+//
+// An Arena is single-goroutine (one per machine). At most one grabbed
+// buffer may be outstanding: Grab, append, Commit, repeat.
+type Arena struct {
+	chunk []byte // len = bytes committed, cap = chunk size
+	size  int
+}
+
+// DefaultArenaChunk is the default arena chunk size.
+const DefaultArenaChunk = 64 << 10
+
+// NewArena returns an arena with the given chunk size (0 selects the
+// default).
+func NewArena(chunkSize int) *Arena {
+	if chunkSize <= 0 {
+		chunkSize = DefaultArenaChunk
+	}
+	return &Arena{size: chunkSize}
+}
+
+// Grab returns a zero-length scratch buffer with at least hint bytes of
+// capacity, backed by the current chunk. Appending beyond the returned
+// capacity is safe — the slice transparently escapes to its own heap
+// allocation and Commit detects it — but costs the allocation the arena
+// exists to avoid, so pass an honest upper bound.
+func (a *Arena) Grab(hint int) []byte {
+	if hint < 1 {
+		hint = 1
+	}
+	if cap(a.chunk)-len(a.chunk) < hint {
+		size := a.size
+		if size < hint {
+			size = hint
+		}
+		a.chunk = make([]byte, 0, size)
+	}
+	return a.chunk[len(a.chunk):]
+}
+
+// Commit seals a buffer obtained from Grab: the bytes become part of the
+// chunk's committed prefix and the buffer is returned for sending. A
+// buffer that escaped the chunk (grew past its capacity) is returned
+// unchanged; the chunk space it vacated is reused by the next Grab.
+func (a *Arena) Commit(b []byte) []byte {
+	if cap(b) == cap(a.chunk)-len(a.chunk) && cap(b) > 0 {
+		a.chunk = a.chunk[:len(a.chunk)+len(b)]
+	}
+	return b
+}
+
+// Copy interns a byte string into the arena and returns the stable copy.
+func (a *Arena) Copy(b []byte) []byte {
+	buf := a.Grab(len(b))
+	buf = append(buf, b...)
+	return a.Commit(buf)
+}
+
 // ErrOverflow is reported when a varint does not fit the requested width.
 var ErrOverflow = errors.New("wire: varint overflow")
 

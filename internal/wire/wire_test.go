@@ -89,3 +89,76 @@ func TestBytesAliasing(t *testing.T) {
 		t.Fatalf("bytes = %v", s)
 	}
 }
+
+func TestArenaGrabCommit(t *testing.T) {
+	a := NewArena(64)
+	b1 := a.Grab(10)
+	b1 = AppendUvarint(b1, 300)
+	b1 = a.Commit(b1)
+	b2 := a.Grab(10)
+	b2 = AppendUvarint(b2, 77)
+	b2 = a.Commit(b2)
+	// Committed regions must be stable and disjoint.
+	r1, r2 := NewReader(b1), NewReader(b2)
+	if got := r1.Uvarint(); got != 300 {
+		t.Fatalf("first commit = %d, want 300", got)
+	}
+	if got := r2.Uvarint(); got != 77 {
+		t.Fatalf("second commit = %d, want 77", got)
+	}
+}
+
+func TestArenaChunkRollover(t *testing.T) {
+	a := NewArena(32)
+	var bufs [][]byte
+	for i := 0; i < 20; i++ {
+		b := a.Grab(16)
+		for j := 0; j < 12; j++ {
+			b = append(b, byte(i))
+		}
+		bufs = append(bufs, a.Commit(b))
+	}
+	for i, b := range bufs {
+		if len(b) != 12 {
+			t.Fatalf("buf %d: len %d", i, len(b))
+		}
+		for _, c := range b {
+			if c != byte(i) {
+				t.Fatalf("buf %d corrupted: %v", i, b)
+			}
+		}
+	}
+}
+
+func TestArenaEscapeOnOvergrow(t *testing.T) {
+	a := NewArena(32)
+	b := a.Grab(4)
+	for i := 0; i < 100; i++ { // grows past the chunk: escapes to the heap
+		b = append(b, byte(i))
+	}
+	b = a.Commit(b)
+	// The escaped buffer must be intact, and the arena must still serve
+	// fresh, uncorrupted buffers afterwards.
+	for i, c := range b {
+		if c != byte(i) {
+			t.Fatalf("escaped buffer corrupted at %d", i)
+		}
+	}
+	nb := a.Commit(append(a.Grab(8), 0xAA))
+	if len(nb) != 1 || nb[0] != 0xAA {
+		t.Fatalf("post-escape grab broken: %v", nb)
+	}
+	if &b[0] == &nb[0] {
+		t.Fatal("escaped buffer aliases arena chunk")
+	}
+}
+
+func TestArenaCopy(t *testing.T) {
+	a := NewArena(0)
+	src := []byte{9, 8, 7}
+	cp := a.Copy(src)
+	src[0] = 0
+	if cp[0] != 9 || len(cp) != 3 {
+		t.Fatalf("copy not stable: %v", cp)
+	}
+}
