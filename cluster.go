@@ -8,9 +8,14 @@ package kmgraph
 
 import (
 	"context"
+	"errors"
+	"io"
+	"os"
 
+	"kmgraph/internal/graph"
 	"kmgraph/internal/resident"
 	"kmgraph/internal/sketch"
+	"kmgraph/internal/store"
 )
 
 // DefaultClusterK is the machine count NewCluster uses when WithK is not
@@ -33,65 +38,83 @@ type Cluster struct {
 	e *resident.Engine
 }
 
-// ClusterOption configures NewCluster (functional options replacing the
-// per-algorithm Config structs of the one-shot API).
-type ClusterOption func(*resident.Config)
+// ClusterOption configures NewCluster and OpenCluster (functional
+// options replacing the per-algorithm Config structs of the one-shot
+// API).
+type ClusterOption func(*clusterOptions)
+
+// clusterOptions is the resolved option set: the resident engine config
+// plus the load-path selection (OpenCluster's edge source override).
+type clusterOptions struct {
+	resident.Config
+	src graph.EdgeSource
+}
+
+// WithEdgeSource makes OpenCluster load from the given stream instead of
+// a file path (pass "" as the path). The source is streamed by the
+// shard-direct loader — two passes, each endpoint hashed to its owner
+// machine — and a coordinator-side Graph is never built. Any EdgeSource
+// works: a store Reader's Source, an OpenEdgeList scanner, a streaming
+// generator, or a custom feed.
+func WithEdgeSource(src EdgeSource) ClusterOption {
+	return func(c *clusterOptions) { c.src = src }
+}
 
 // WithK sets the machine count (default DefaultClusterK).
-func WithK(k int) ClusterOption { return func(c *resident.Config) { c.K = k } }
+func WithK(k int) ClusterOption { return func(c *clusterOptions) { c.K = k } }
 
 // WithSeed sets the seed driving the vertex partition and all coins.
-func WithSeed(seed int64) ClusterOption { return func(c *resident.Config) { c.Seed = seed } }
+func WithSeed(seed int64) ClusterOption { return func(c *clusterOptions) { c.Seed = seed } }
 
 // WithBandwidth sets the per-link per-round bit budget (default
 // DefaultBandwidth(n)).
 func WithBandwidth(bits int) ClusterOption {
-	return func(c *resident.Config) { c.BandwidthBits = bits }
+	return func(c *clusterOptions) { c.BandwidthBits = bits }
 }
 
 // WithMessageOverhead sets the per-message framing bits (default 64).
 func WithMessageOverhead(bits int) ClusterOption {
-	return func(c *resident.Config) { c.MessageOverheadBits = bits }
+	return func(c *clusterOptions) { c.MessageOverheadBits = bits }
 }
 
 // WithMaxPhases caps Boruvka phases per job (default 12·ceil(log2 n)+4).
 func WithMaxPhases(p int) ClusterOption {
-	return func(c *resident.Config) { c.MaxPhasesPerQuery = p }
+	return func(c *clusterOptions) { c.MaxPhasesPerQuery = p }
 }
 
 // WithBanks sets the number of persistent sketch banks (default
 // 2·ceil(log2 n)+4).
-func WithBanks(b int) ClusterOption { return func(c *resident.Config) { c.Banks = b } }
+func WithBanks(b int) ClusterOption { return func(c *clusterOptions) { c.Banks = b } }
 
 // WithSketchParams overrides the sketch dimensions (default
 // sketch defaults for n).
 func WithSketchParams(p SketchParams) ClusterOption {
-	return func(c *resident.Config) { c.Sketch = p }
+	return func(c *clusterOptions) { c.Sketch = p }
 }
 
 // WithCollapseLevelWise selects the paper-exact O(depth) tree collapse
 // (ablation E10).
 func WithCollapseLevelWise() ClusterOption {
-	return func(c *resident.Config) { c.CollapseLevelWise = true }
+	return func(c *clusterOptions) { c.CollapseLevelWise = true }
 }
 
 // WithCoinMerge selects the footnote-9 coin merge rule.
-func WithCoinMerge() ClusterOption { return func(c *resident.Config) { c.CoinMerge = true } }
+func WithCoinMerge() ClusterOption { return func(c *clusterOptions) { c.CoinMerge = true } }
 
 // WithFaithfulRandomness distributes shared random bits in-model and
 // drives proxy selection through the d-wise independent family (§2.2).
 func WithFaithfulRandomness() ClusterOption {
-	return func(c *resident.Config) { c.FaithfulRandomness = true }
+	return func(c *clusterOptions) { c.FaithfulRandomness = true }
 }
 
 // WithMaxRounds caps cumulative engine rounds for the whole session
 // (default 5,000,000).
-func WithMaxRounds(r int) ClusterOption { return func(c *resident.Config) { c.MaxRounds = r } }
+func WithMaxRounds(r int) ClusterOption { return func(c *clusterOptions) { c.MaxRounds = r } }
 
 // WithMaxElimIters caps MST elimination iterations per phase (default
 // 2·ceil(log2 n)+8).
 func WithMaxElimIters(i int) ClusterOption {
-	return func(c *resident.Config) { c.MaxElimIters = i }
+	return func(c *clusterOptions) { c.MaxElimIters = i }
 }
 
 // WithObserver registers a per-phase progress hook: job start/done events
@@ -99,7 +122,7 @@ func WithMaxElimIters(i int) ClusterOption {
 // component count, and failure count. The hook runs on engine goroutines
 // between metered rounds; it must be fast and goroutine-safe.
 func WithObserver(fn func(ClusterEvent)) ClusterOption {
-	return func(c *resident.Config) { c.Observer = fn }
+	return func(c *clusterOptions) { c.Observer = fn }
 }
 
 // SketchParams fixes sketch dimensions (see WithSketchParams).
@@ -136,16 +159,108 @@ var ErrClusterClosed = resident.ErrClosed
 // NewCluster loads g across a resident k-machine cluster (one graph
 // distribution, metered as Metrics().Load) and returns the job interface.
 // Close it when done.
+//
+// NewCluster serves graphs already materialized in memory; for graphs
+// too large to materialize, use OpenCluster, whose shard-direct loader
+// produces a bit-identical residency from a stream.
 func NewCluster(g *Graph, opts ...ClusterOption) (*Cluster, error) {
-	cfg := resident.Config{K: DefaultClusterK}
-	for _, opt := range opts {
-		opt(&cfg)
+	o := resolveClusterOptions(opts)
+	if o.src != nil {
+		return nil, errors.New("kmgraph: WithEdgeSource is an OpenCluster option; NewCluster takes a *Graph")
 	}
-	e, err := resident.New(g, cfg)
+	e, err := resident.New(g, o.Config)
 	if err != nil {
 		return nil, err
 	}
 	return &Cluster{e: e}, nil
+}
+
+// OpenCluster loads a stored graph across a resident k-machine cluster
+// shard-direct: the input is streamed (twice — a degree pass and a fill
+// pass), each endpoint hashed to its owner machine, and per-machine
+// adjacency shards filled in place. The full graph is never
+// materialized on the coordinator, which is what lets million-vertex
+// inputs serve from a fraction of NewCluster's peak memory; the
+// resulting residency is bit-identical to NewCluster on the same graph
+// and seed (same partition, rounds, and Metrics).
+//
+// path names either a kmgs binary store (written by cmd/kmconvert or
+// store.Write; detected by magic) or a whitespace-separated text edge
+// list. With WithEdgeSource, path must be "" and the given stream is
+// loaded instead.
+func OpenCluster(path string, opts ...ClusterOption) (*Cluster, error) {
+	o := resolveClusterOptions(opts)
+	src := o.src
+	var closer io.Closer
+	switch {
+	case src != nil:
+		if path != "" {
+			return nil, errors.New("kmgraph: OpenCluster takes a path or WithEdgeSource, not both")
+		}
+	case path == "":
+		return nil, errors.New("kmgraph: OpenCluster needs a path or WithEdgeSource")
+	default:
+		var err error
+		src, closer, err = OpenSource(path)
+		if err != nil {
+			return nil, err
+		}
+	}
+	e, err := resident.NewFromSource(src, o.Config)
+	if closer != nil {
+		// The residency owns the shards now; the mapping/file can go.
+		closer.Close()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{e: e}, nil
+}
+
+func resolveClusterOptions(opts []ClusterOption) *clusterOptions {
+	o := &clusterOptions{Config: resident.Config{K: DefaultClusterK}}
+	for _, opt := range opts {
+		opt(o)
+	}
+	return o
+}
+
+// OpenSource opens a graph file as an EdgeSource: a kmgs binary store
+// (detected by magic) or a whitespace-separated text edge list —
+// exactly the sniffing OpenCluster performs. Close the returned closer
+// when done with the source.
+func OpenSource(path string) (EdgeSource, io.Closer, error) {
+	isStore, err := sniffStore(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if isStore {
+		r, err := store.Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return r.Source(), r, nil
+	}
+	s, err := graph.OpenEdgeList(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, s, nil
+}
+
+// sniffStore reports whether the file at path starts with the kmgs
+// container magic.
+func sniffStore(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	var magic [4]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return false, nil // shorter than any container: treat as text
+	}
+	return string(magic[:]) == store.Magic, nil
 }
 
 // Connectivity answers components/labels/spanning-forest on the current

@@ -9,7 +9,7 @@
 // Usage:
 //
 //	kmbench [-quick] [-exp E1,E6] [-seed 42] [-trials 3] [-csv dir]
-//	kmbench -json BENCH_kmachine.json
+//	kmbench -json BENCH_kmachine.json [-store graph.kmgs]
 package main
 
 import (
@@ -24,20 +24,29 @@ import (
 	"time"
 
 	"kmgraph"
+	"kmgraph/internal/procstat"
 )
 
-// benchResult is one engine-throughput measurement. Rounds is the model
+// benchResult is one engine-throughput measurement (schema
+// kmachine-bench/v2; every v1 field is unchanged). Rounds is the model
 // cost of a single operation (independent of wall-clock), so regressions
-// in either dimension are visible separately.
+// in either dimension are visible separately. GraphLoadMs is the wall
+// time spent building or loading this benchmark's input graph (one-time,
+// outside the op loop); MaxRSSBytes is the process's peak resident set
+// as of the end of this benchmark — cumulative and monotone across the
+// run, so the interesting signal is the *increase* over the preceding
+// entry and the input-loading benchmarks are ordered smallest-first.
 type benchResult struct {
 	Name        string  `json:"name"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	Rounds      int     `json:"rounds"`
+	GraphLoadMs float64 `json:"graph_load_ms"`
+	MaxRSSBytes int64   `json:"max_rss_bytes"`
 }
 
-func measure(name string, rounds int, fn func(b *testing.B)) benchResult {
+func measure(name string, rounds int, loadMs float64, fn func(b *testing.B)) benchResult {
 	r := testing.Benchmark(fn)
 	if r.N == 0 {
 		fmt.Fprintf(os.Stderr, "benchmark %s failed (b.Fatal inside the loop)\n", name)
@@ -49,7 +58,16 @@ func measure(name string, rounds int, fn func(b *testing.B)) benchResult {
 		BytesPerOp:  r.AllocedBytesPerOp(),
 		AllocsPerOp: r.AllocsPerOp(),
 		Rounds:      rounds,
+		GraphLoadMs: loadMs,
+		MaxRSSBytes: procstat.MaxRSSBytes(),
 	}
+}
+
+// timed runs fn and returns its wall time in milliseconds.
+func timed(fn func()) float64 {
+	start := time.Now()
+	fn()
+	return float64(time.Since(start).Nanoseconds()) / 1e6
 }
 
 // engineBenchmarks mirrors the repo's hot-path Go benchmarks: one-shot
@@ -59,13 +77,14 @@ func engineBenchmarks() ([]benchResult, error) {
 	var results []benchResult
 
 	for _, size := range []struct{ n, k int }{{512, 4}, {1024, 8}, {2048, 16}} {
-		g := kmgraph.GNM(size.n, 3*size.n, 1)
+		var g *kmgraph.Graph
+		loadMs := timed(func() { g = kmgraph.GNM(size.n, 3*size.n, 1) })
 		probe, err := kmgraph.Connectivity(g, kmgraph.Config{K: size.k, Seed: 0})
 		if err != nil {
 			return nil, err
 		}
 		results = append(results, measure(
-			fmt.Sprintf("ConnectivitySketch/n%d_k%d", size.n, size.k), probe.Metrics.Rounds,
+			fmt.Sprintf("ConnectivitySketch/n%d_k%d", size.n, size.k), probe.Metrics.Rounds, loadMs,
 			func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
@@ -77,12 +96,13 @@ func engineBenchmarks() ([]benchResult, error) {
 	}
 
 	{
-		g := kmgraph.WithDistinctWeights(kmgraph.GNM(512, 1536, 1), 2)
+		var g *kmgraph.Graph
+		loadMs := timed(func() { g = kmgraph.WithDistinctWeights(kmgraph.GNM(512, 1536, 1), 2) })
 		probe, err := kmgraph.MST(g, kmgraph.MSTConfig{Config: kmgraph.Config{K: 8, Seed: 0}})
 		if err != nil {
 			return nil, err
 		}
-		results = append(results, measure("MSTSketch/n512_k8", probe.Metrics.Rounds,
+		results = append(results, measure("MSTSketch/n512_k8", probe.Metrics.Rounds, loadMs,
 			func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
@@ -96,7 +116,7 @@ func engineBenchmarks() ([]benchResult, error) {
 	{
 		n, m, k := 1024, 3072, 8
 		var meanRounds int
-		results = append(results, measure("DynamicBatchMixedChurn/n1024_k8", 0,
+		results = append(results, measure("DynamicBatchMixedChurn/n1024_k8", 0, 0,
 			func(b *testing.B) {
 				stream := kmgraph.RandomChurnStream(n, m, b.N, 30, 0.5, 7)
 				sess, err := kmgraph.NewDynamic(stream.Initial, kmgraph.DynamicConfig{K: k, Seed: 7, MaxRounds: 1 << 30})
@@ -128,11 +148,12 @@ func engineBenchmarks() ([]benchResult, error) {
 	}
 
 	{
-		g := kmgraph.GNM(1024, 3072, 7)
+		var g *kmgraph.Graph
+		loadMs := timed(func() { g = kmgraph.GNM(1024, 3072, 7) })
 		ctx := context.Background()
 		const jobs = 8
 		var meanRounds int
-		results = append(results, measure("ClusterReuseResident/n1024_k8", 0,
+		results = append(results, measure("ClusterReuseResident/n1024_k8", 0, loadMs,
 			func(b *testing.B) {
 				b.ReportAllocs()
 				rounds := 0
@@ -159,16 +180,60 @@ func engineBenchmarks() ([]benchResult, error) {
 	return results, nil
 }
 
-func runJSON(path string) {
+// storeBenchmark measures the shard-direct serving path against a kmgs
+// store: wall time and engine rounds of OpenCluster + one Connectivity
+// query, with the load wall time recorded in graph_load_ms.
+func storeBenchmark(storePath string, k int, seed int64) (benchResult, error) {
+	ctx := context.Background()
+	var loadMs float64
+	var rounds int
+	name := fmt.Sprintf("StoreShardDirect/%s_k%d_seed%d", filepath.Base(storePath), k, seed)
+	res := measure(name, 0, 0,
+		func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var c *kmgraph.Cluster
+				var err error
+				loadMs = timed(func() {
+					c, err = kmgraph.OpenCluster(storePath,
+						kmgraph.WithK(k), kmgraph.WithSeed(seed), kmgraph.WithMaxRounds(1<<30))
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				q, err := c.Connectivity(ctx)
+				if err != nil {
+					c.Close()
+					b.Fatal(err)
+				}
+				rounds = c.Metrics().LoadRounds + q.Rounds
+				c.Close()
+			}
+		})
+	res.Rounds = rounds
+	res.GraphLoadMs = loadMs
+	res.MaxRSSBytes = procstat.MaxRSSBytes()
+	return res, nil
+}
+
+func runJSON(path, storePath string, storeK int, storeSeed int64) {
 	results, err := engineBenchmarks()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if storePath != "" {
+		sb, err := storeBenchmark(storePath, storeK, storeSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		results = append(results, sb)
+	}
 	doc := struct {
 		Schema     string        `json:"schema"`
 		Benchmarks []benchResult `json:"benchmarks"`
-	}{Schema: "kmachine-bench/v1", Benchmarks: results}
+	}{Schema: "kmachine-bench/v2", Benchmarks: results}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -180,8 +245,9 @@ func runJSON(path string) {
 		os.Exit(1)
 	}
 	for _, r := range results {
-		fmt.Printf("%-34s %14.0f ns/op %10d B/op %8d allocs/op %6d rounds\n",
-			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.Rounds)
+		fmt.Printf("%-34s %14.0f ns/op %10d B/op %8d allocs/op %6d rounds %8.1f load-ms %6d rss-MB\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.Rounds,
+			r.GraphLoadMs, r.MaxRSSBytes>>20)
 	}
 	fmt.Printf("wrote %s\n", path)
 }
@@ -193,10 +259,13 @@ func main() {
 	trials := flag.Int("trials", 0, "seeds per configuration (0 = default)")
 	csvDir := flag.String("csv", "", "also write tables as CSV files to this directory")
 	jsonPath := flag.String("json", "", "run engine-throughput benchmarks and write machine-readable results to this file")
+	storePath := flag.String("store", "", "with -json: also benchmark the shard-direct load path against this kmgs store")
+	storeK := flag.Int("store-k", 16, "machine count for the -store benchmark")
+	storeSeed := flag.Int64("store-seed", 1, "seed for the -store benchmark")
 	flag.Parse()
 
 	if *jsonPath != "" {
-		runJSON(*jsonPath)
+		runJSON(*jsonPath, *storePath, *storeK, *storeSeed)
 		return
 	}
 

@@ -9,6 +9,10 @@
 //	          [-n 4096] [-m 12288] [-p 0.01] [-c 5]
 //	          [-k 8] [-seed 1] [-timeout 0]
 //	          [-algo sketch|edgecheck|flooding|referee]
+//	kmconnect -store graph.kmgs [-k 8] [-seed 1] [-timeout 0]
+//
+// With -store, the graph is served shard-direct from a kmgs container
+// (see cmd/kmconvert) and never materialized in this process.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"time"
 
 	"kmgraph"
+	"kmgraph/internal/procstat"
 )
 
 func buildGraph(gen string, n, m, c int, p float64, seed int64) (*kmgraph.Graph, error) {
@@ -61,9 +66,89 @@ func jobCtx(timeout time.Duration) (context.Context, context.CancelFunc) {
 	return context.WithCancel(context.Background())
 }
 
+// runStore serves a kmgs store (or text edge list) shard-direct: the
+// graph is never materialized in this process — the residency's
+// per-machine shards are filled straight from the stream, and the
+// oracle is a one-pass streaming union-find. With materialize set it
+// instead drains the store into a full graph.Graph and loads via
+// NewCluster (the legacy path), which is the E15 memory baseline; the
+// two paths produce bit-identical residencies and Metrics.
+func runStore(path string, k int, seed int64, timeout time.Duration, materialize, skipOracle bool) {
+	oracleCount := -1
+	if !skipOracle {
+		src, closer, err := kmgraph.OpenSource(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		oracleCount, err = kmgraph.ComponentsFromSourceOracle(src)
+		closer.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	loadStart := time.Now()
+	var cl *kmgraph.Cluster
+	var err error
+	mode := "shard-direct"
+	if materialize {
+		mode = "materialize-then-load"
+		var src kmgraph.EdgeSource
+		var closer interface{ Close() error }
+		src, closer, err = kmgraph.OpenSource(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var edges []kmgraph.Edge
+		edges, err = kmgraph.DrainEdgeSource(src)
+		n := src.N()
+		closer.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		g := kmgraph.FromEdges(n, edges)
+		edges = nil
+		cl, err = kmgraph.NewCluster(g, kmgraph.WithK(k), kmgraph.WithSeed(seed))
+	} else {
+		cl, err = kmgraph.OpenCluster(path, kmgraph.WithK(k), kmgraph.WithSeed(seed))
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer cl.Close()
+	loadWall := time.Since(loadStart)
+	met := cl.Metrics()
+	fmt.Printf("store: %s n=%d m=%d; cluster: k=%d B=%d bits/link/round (%s load %v)\n",
+		path, cl.N(), met.Edges, k, kmgraph.DefaultBandwidth(cl.N()), mode, loadWall.Round(time.Millisecond))
+	fmt.Printf("after-load peak RSS: %d MB\n", procstat.MaxRSSBytes()>>20)
+
+	ctx, cancel := jobCtx(timeout)
+	defer cancel()
+	queryStart := time.Now()
+	res, err := cl.Connectivity(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	met = cl.Metrics()
+	fmt.Printf("components: %d (oracle: %d)\n", res.Components, oracleCount)
+	fmt.Printf("phases: %d  sketch failures: %d\n", res.Phases, res.SketchFailures)
+	fmt.Printf("cost: load %d rounds (paid once) + query %d rounds (query wall %v)\n",
+		met.LoadRounds, res.Rounds, time.Since(queryStart).Round(time.Millisecond))
+	fmt.Printf("peak RSS: %d MB\n", procstat.MaxRSSBytes()>>20)
+}
+
 func main() {
 	gen := flag.String("gen", "gnm", "graph generator")
 	input := flag.String("input", "", "read an edge-list file instead of generating")
+	storePath := flag.String("store", "", "serve a kmgs store shard-direct (never materializes the graph)")
+	materialize := flag.Bool("materialize", false, "with -store: drain the store into a full in-memory graph and load via NewCluster (E15 memory baseline)")
+	skipOracle := flag.Bool("no-oracle", false, "with -store: skip the streaming union-find oracle pass")
 	n := flag.Int("n", 4096, "vertices")
 	m := flag.Int("m", 0, "edges (gnm; default 3n)")
 	p := flag.Float64("p", 0.01, "edge probability (gnp)")
@@ -74,6 +159,10 @@ func main() {
 	algo := flag.String("algo", "sketch", "sketch|edgecheck|flooding|referee")
 	flag.Parse()
 
+	if *storePath != "" {
+		runStore(*storePath, *k, *seed, *timeout, *materialize, *skipOracle)
+		return
+	}
 	if *m == 0 {
 		*m = 3 * *n
 	}

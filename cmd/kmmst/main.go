@@ -34,9 +34,36 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "job deadline (0 = none), e.g. 30s")
 	strong := flag.Bool("strong", false, "strong output criterion (both endpoints)")
 	repMode := flag.Bool("rep", false, "use the random edge partition model instead")
+	storePath := flag.String("store", "", "serve a kmgs store shard-direct (never materializes the graph; no oracle check)")
 	flag.Parse()
 	if *m == 0 {
 		*m = 3 * *n
+	}
+
+	if *storePath != "" {
+		cl, err := kmgraph.OpenCluster(*storePath, kmgraph.WithK(*k), kmgraph.WithSeed(*seed))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer cl.Close()
+		met := cl.Metrics()
+		fmt.Printf("store: %s n=%d m=%d (shard-direct; oracle skipped)\n", *storePath, cl.N(), met.Edges)
+		ctx, cancel := jobCtx(*timeout)
+		defer cancel()
+		var opts []kmgraph.MSTOption
+		if *strong {
+			opts = append(opts, kmgraph.StrongOutput())
+		}
+		res, err := cl.MST(ctx, opts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("MST: weight=%d edges=%d\n", res.TotalWeight, len(res.Edges))
+		fmt.Printf("cost: load %d rounds (paid once) + MST %d rounds\n",
+			cl.Metrics().LoadRounds, res.Metrics.Rounds)
+		return
 	}
 
 	g := kmgraph.WithDistinctWeights(kmgraph.GNM(*n, *m, *seed), *seed+1)

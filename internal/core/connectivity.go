@@ -177,6 +177,42 @@ func RunWithPartition(g *graph.Graph, part *kmachine.VertexPartition, cfg Config
 	return RunWithPartitionContext(context.Background(), g, part, cfg)
 }
 
+// RunSource executes the connectivity algorithm shard-direct: src is
+// streamed once per loader pass, each endpoint hashed to its owner
+// machine, and per-machine adjacency shards filled in place — no global
+// graph.Graph is ever built. Results and Metrics are bit-identical to
+// Run on the materialized graph with the same seed.
+func RunSource(src graph.EdgeSource, cfg Config) (*Result, error) {
+	return RunSourceContext(context.Background(), src, cfg)
+}
+
+// RunSourceContext is RunSource with cancellation.
+func RunSourceContext(ctx context.Context, src graph.EdgeSource, cfg Config) (*Result, error) {
+	part, err := kmachine.LoadShards(src, cfg.K, uint64(cfg.Seed)^0x9e37)
+	if err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults(part.N())
+	cluster, err := kmachine.New(kmachine.Config{
+		K:                   cfg.K,
+		BandwidthBits:       cfg.BandwidthBits,
+		MessageOverheadBits: cfg.MessageOverheadBits,
+		Seed:                cfg.Seed,
+		MaxRounds:           cfg.MaxRounds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := cluster.RunContext(ctx, func(mctx *kmachine.Ctx) error {
+		m := newMachine(mctx, part.View(mctx.ID()), cfg)
+		return m.run()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return assemble(part.N(), res)
+}
+
 // RunWithPartitionContext is RunWithPartition with cancellation.
 func RunWithPartitionContext(ctx context.Context, g *graph.Graph, part *kmachine.VertexPartition, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults(g.N())
@@ -241,7 +277,7 @@ type machine struct {
 	*Merger
 }
 
-func newMachine(ctx *kmachine.Ctx, view *kmachine.LocalView, cfg Config) *machine {
+func newMachine(ctx *kmachine.Ctx, view GraphView, cfg Config) *machine {
 	return &machine{Merger: NewMerger(ctx, view, cfg)}
 }
 

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"kmgraph/internal/graph"
+)
+
+// TestRunSourceBitExact pins that the shard-direct one-shot path is
+// indistinguishable from the materialized path: same labels, same
+// phases, same full engine Metrics.
+func TestRunSourceBitExact(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+		k    int
+	}{
+		{"gnm", graph.GNM(600, 1800, 3), 8},
+		{"components", graph.DisjointComponents(400, 7, 0.2, 5), 4},
+		{"star", graph.Star(257), 5},
+	} {
+		cfg := Config{K: tc.k, Seed: 42}
+		want, err := Run(tc.g, cfg)
+		if err != nil {
+			t.Fatalf("%s: Run: %v", tc.name, err)
+		}
+		got, err := RunSource(tc.g.Source(), cfg)
+		if err != nil {
+			t.Fatalf("%s: RunSource: %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(got.Labels, want.Labels) {
+			t.Fatalf("%s: labels differ between load paths", tc.name)
+		}
+		if got.Components != want.Components || got.Phases != want.Phases {
+			t.Fatalf("%s: got components=%d phases=%d, want %d/%d",
+				tc.name, got.Components, got.Phases, want.Components, want.Phases)
+		}
+		if !reflect.DeepEqual(got.Metrics, want.Metrics) {
+			t.Fatalf("%s: Metrics differ between load paths:\n got %+v\nwant %+v",
+				tc.name, got.Metrics, want.Metrics)
+		}
+	}
+}

@@ -175,6 +175,12 @@ func (b *Builder) M() int { return len(b.edges) }
 
 // Build produces the immutable graph. Adjacency lists are sorted by
 // neighbor ID so iteration order is deterministic.
+//
+// Degrees are counted first and all 2m half-edges are carved from one
+// exactly-sized arena — one allocation instead of n, no append
+// re-slicing, no per-slice allocator slack — which is what keeps the
+// in-memory build's peak footprint close to the theoretical 16 bytes
+// per half-edge.
 func (b *Builder) Build() *Graph {
 	g := &Graph{n: b.n, m: len(b.edges), adj: make([][]Half, b.n)}
 	deg := make([]int, b.n)
@@ -183,13 +189,23 @@ func (b *Builder) Build() *Graph {
 		deg[u]++
 		deg[v]++
 	}
+	arena := make([]Half, 2*len(b.edges))
+	off := 0
+	cur := make([]int, b.n)
 	for v := range g.adj {
-		g.adj[v] = make([]Half, 0, deg[v])
+		if deg[v] == 0 {
+			continue
+		}
+		g.adj[v] = arena[off : off+deg[v] : off+deg[v]]
+		cur[v] = off
+		off += deg[v]
 	}
 	for id, w := range b.edges {
 		u, v := DecodeEdgeID(id, b.n)
-		g.adj[u] = append(g.adj[u], Half{To: v, W: w})
-		g.adj[v] = append(g.adj[v], Half{To: u, W: w})
+		arena[cur[u]] = Half{To: v, W: w}
+		cur[u]++
+		arena[cur[v]] = Half{To: u, W: w}
+		cur[v]++
 	}
 	for v := range g.adj {
 		a := g.adj[v]
@@ -198,14 +214,57 @@ func (b *Builder) Build() *Graph {
 	return g
 }
 
-// FromEdges builds a graph directly from a canonical edge list.
+// FromEdges builds a graph directly from a canonical edge list. Unlike
+// the Builder it never holds a dedup map: degrees are counted from the
+// slice, half-edges are placed into one exactly-sized arena, and
+// duplicates are caught by the post-sort adjacency scan — so peak
+// memory is the output graph itself. It panics on self-loops,
+// out-of-range endpoints, or duplicates, like Builder.AddEdge.
 func FromEdges(n int, edges []Edge) *Graph {
-	b := NewBuilder(n)
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	g := &Graph{n: n, m: len(edges), adj: make([][]Half, n)}
+	deg := make([]int, n)
 	for _, e := range edges {
 		e = e.Canon()
-		b.AddEdge(e.U, e.V, e.W)
+		if e.U == e.V {
+			panic(fmt.Sprintf("graph: self-loop at %d", e.U))
+		}
+		if e.U < 0 || e.V >= n {
+			panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.V, n))
+		}
+		deg[e.U]++
+		deg[e.V]++
 	}
-	return b.Build()
+	arena := make([]Half, 2*len(edges))
+	off := 0
+	cur := make([]int, n)
+	for v := 0; v < n; v++ {
+		if deg[v] == 0 {
+			continue
+		}
+		g.adj[v] = arena[off : off+deg[v] : off+deg[v]]
+		cur[v] = off
+		off += deg[v]
+	}
+	for _, e := range edges {
+		e = e.Canon()
+		arena[cur[e.U]] = Half{To: e.V, W: e.W}
+		cur[e.U]++
+		arena[cur[e.V]] = Half{To: e.U, W: e.W}
+		cur[e.V]++
+	}
+	for v := range g.adj {
+		a := g.adj[v]
+		sort.Slice(a, func(i, j int) bool { return a[i].To < a[j].To })
+		for i := 1; i < len(a); i++ {
+			if a[i].To == a[i-1].To {
+				panic(fmt.Sprintf("graph: duplicate edge (%d,%d)", v, a[i].To))
+			}
+		}
+	}
+	return g
 }
 
 // Filter returns the subgraph of g keeping exactly the edges for which

@@ -1,0 +1,268 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// EdgeSource is a resettable stream of the edges of an n-vertex graph —
+// the input contract of the shard-direct load path. A source is consumed
+// with repeated Next calls until io.EOF; Reset rewinds it for another
+// pass (loaders make a degree-counting pass before the fill pass, so
+// adjacency shards are allocated exactly once at their final size).
+//
+// Sources need not deliver edges in any particular order and need not
+// deduplicate; consumers canonicalize endpoints and reject self-loops,
+// out-of-range endpoints, and duplicate edges. The binary store
+// (internal/store), the text edge-list scanner, in-memory graphs, and
+// the streaming generators all implement EdgeSource.
+type EdgeSource interface {
+	// N returns the number of vertices of the streamed graph.
+	N() int
+	// Next returns the next edge, or io.EOF after the last one. Any
+	// other error aborts the stream.
+	Next() (Edge, error)
+	// Reset rewinds the source to the beginning. A Reset source must
+	// replay exactly the same edge sequence.
+	Reset() error
+}
+
+// SliceSource streams a fixed edge slice.
+type SliceSource struct {
+	n     int
+	edges []Edge
+	pos   int
+}
+
+// NewSliceSource returns an EdgeSource over a fixed edge slice.
+func NewSliceSource(n int, edges []Edge) *SliceSource {
+	return &SliceSource{n: n, edges: edges}
+}
+
+// N returns the vertex count.
+func (s *SliceSource) N() int { return s.n }
+
+// Next returns the next edge or io.EOF.
+func (s *SliceSource) Next() (Edge, error) {
+	if s.pos >= len(s.edges) {
+		return Edge{}, io.EOF
+	}
+	e := s.edges[s.pos]
+	s.pos++
+	return e, nil
+}
+
+// Reset rewinds the source.
+func (s *SliceSource) Reset() error { s.pos = 0; return nil }
+
+// graphSource streams a materialized Graph in canonical row order
+// (ascending U, then ascending V), without building an edge slice.
+type graphSource struct {
+	g    *Graph
+	u, i int
+}
+
+// Source returns an EdgeSource streaming g's edges in canonical row
+// order. It allocates nothing per edge; the shard-direct loaders use it
+// to treat an in-memory graph like any other stream.
+func (g *Graph) Source() EdgeSource { return &graphSource{g: g} }
+
+func (s *graphSource) N() int { return s.g.N() }
+
+func (s *graphSource) Next() (Edge, error) {
+	for s.u < s.g.n {
+		adj := s.g.adj[s.u]
+		for s.i < len(adj) {
+			h := adj[s.i]
+			s.i++
+			if s.u < h.To {
+				return Edge{U: s.u, V: h.To, W: h.W}, nil
+			}
+		}
+		s.u++
+		s.i = 0
+	}
+	return Edge{}, io.EOF
+}
+
+func (s *graphSource) Reset() error { s.u, s.i = 0, 0; return nil }
+
+// EdgeListSource streams a whitespace-separated text edge list (the
+// ReadEdgeList format) without materializing a graph. The constructor
+// makes one scan to determine the vertex count (maxID+1) and edge count;
+// streaming passes then re-read the file from the start.
+type EdgeListSource struct {
+	path string
+	n    int
+	m    int
+	f    *os.File
+	sc   *bufio.Scanner
+	line int
+}
+
+// OpenEdgeList opens a text edge-list file as an EdgeSource. Close it
+// when done.
+func OpenEdgeList(path string) (*EdgeListSource, error) {
+	s := &EdgeListSource{path: path}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	s.f = f
+	s.startScan()
+	// Sizing pass: vertex and edge counts.
+	maxID := -1
+	for {
+		e, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		if e.V > maxID {
+			maxID = e.V
+		}
+		if e.U > maxID {
+			maxID = e.U
+		}
+		s.m++
+	}
+	s.n = maxID + 1
+	if err := s.Reset(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *EdgeListSource) startScan() {
+	sc := bufio.NewScanner(s.f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	s.sc = sc
+	s.line = 0
+}
+
+// N returns the vertex count (maxID+1 over the whole file).
+func (s *EdgeListSource) N() int { return s.n }
+
+// M returns the number of edge lines in the file.
+func (s *EdgeListSource) M() int { return s.m }
+
+// Next returns the next edge line. Missing weights default to 1.
+func (s *EdgeListSource) Next() (Edge, error) {
+	for s.sc.Scan() {
+		s.line++
+		text := strings.TrimSpace(s.sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") || strings.HasPrefix(text, "%") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 && len(fields) != 3 {
+			return Edge{}, fmt.Errorf("graph: %s line %d: want 'u v [w]', got %q", s.path, s.line, text)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return Edge{}, fmt.Errorf("graph: %s line %d: bad vertex %q", s.path, s.line, fields[0])
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return Edge{}, fmt.Errorf("graph: %s line %d: bad vertex %q", s.path, s.line, fields[1])
+		}
+		if u < 0 || v < 0 {
+			return Edge{}, fmt.Errorf("graph: %s line %d: negative vertex ID", s.path, s.line)
+		}
+		w := int64(1)
+		if len(fields) == 3 {
+			w, err = strconv.ParseInt(fields[2], 10, 64)
+			if err != nil {
+				return Edge{}, fmt.Errorf("graph: %s line %d: bad weight %q", s.path, s.line, fields[2])
+			}
+		}
+		return Edge{U: u, V: v, W: w}, nil
+	}
+	if err := s.sc.Err(); err != nil {
+		return Edge{}, err
+	}
+	return Edge{}, io.EOF
+}
+
+// Reset rewinds to the start of the file.
+func (s *EdgeListSource) Reset() error {
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	s.startScan()
+	return nil
+}
+
+// Close releases the underlying file.
+func (s *EdgeListSource) Close() error { return s.f.Close() }
+
+// Drain collects a source into a canonical edge slice (Reset first, then
+// read to EOF). Intended for tests and small inputs; the serving path
+// never drains.
+func Drain(src EdgeSource) ([]Edge, error) {
+	if err := src.Reset(); err != nil {
+		return nil, err
+	}
+	var out []Edge
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e.Canon())
+	}
+}
+
+// ComponentsFromSource computes the connected-component count of a
+// streamed graph with a union-find over one pass — the O(n)-memory
+// oracle for store-backed runs, where materializing the graph is exactly
+// what we are avoiding. Invalid edges (self-loops, out of range) are
+// skipped, matching the distributed loader's rejection behavior.
+func ComponentsFromSource(src EdgeSource) (int, error) {
+	if err := src.Reset(); err != nil {
+		return 0, err
+	}
+	n := src.N()
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	comps := n
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, err
+		}
+		if e.U == e.V || e.U < 0 || e.V < 0 || e.U >= n || e.V >= n {
+			continue
+		}
+		ru, rv := find(int32(e.U)), find(int32(e.V))
+		if ru != rv {
+			parent[ru] = rv
+			comps--
+		}
+	}
+	return comps, nil
+}

@@ -1,0 +1,123 @@
+package graph
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestGraphSourceStreamsCanonicalEdges(t *testing.T) {
+	g := WithDistinctWeights(GNM(200, 600, 4), 5)
+	got, err := Drain(g.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, g.Edges()) {
+		t.Fatal("Graph.Source drifted from Edges()")
+	}
+	// Replays identically after Reset (Drain resets internally).
+	src := g.Source()
+	if _, err := Drain(src); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Drain(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, g.Edges()) {
+		t.Fatal("Graph.Source replay drifted")
+	}
+}
+
+func TestEdgeListSourceMatchesReadEdgeList(t *testing.T) {
+	g := WithUniformWeights(GNM(80, 200, 9), 50, 9)
+	path := filepath.Join(t.TempDir(), "g.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteEdgeList(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	src, err := OpenEdgeList(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if src.N() != g.N() || src.M() != g.M() {
+		t.Fatalf("sizing pass: got n=%d m=%d, want n=%d m=%d", src.N(), src.M(), g.N(), g.M())
+	}
+	got, err := Drain(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, g.Edges()) {
+		t.Fatal("EdgeListSource drifted from the materialized parse")
+	}
+}
+
+func TestStreamGeneratorsAreDeterministic(t *testing.T) {
+	for name, mk := range map[string]func() EdgeSource{
+		"gnm":      func() EdgeSource { return StreamGNM(500, 1500, 11) },
+		"rmat":     func() EdgeSource { return StreamRMAT(500, 1500, 11) },
+		"powerlaw": func() EdgeSource { return StreamPowerLaw(500, 1500, 2.5, 11) },
+	} {
+		a, err := Drain(mk())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(a) != 1500 {
+			t.Fatalf("%s: got %d edges, want 1500", name, len(a))
+		}
+		src := mk()
+		if _, err := Drain(src); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := Drain(src) // Reset replay
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: Reset replay drifted", name)
+		}
+		seen := make(map[uint64]bool, len(a))
+		for _, e := range a {
+			if e.U >= e.V || e.U < 0 || e.V >= 500 {
+				t.Fatalf("%s: invalid edge %+v", name, e)
+			}
+			id := EdgeID(e.U, e.V, 500)
+			if seen[id] {
+				t.Fatalf("%s: duplicate edge %+v", name, e)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestComponentsFromSourceMatchesOracle(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		g := DisjointComponents(200, 1+trial, 0.1, int64(trial))
+		_, want := Components(g)
+		got, err := ComponentsFromSource(g.Source())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: got %d components, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestSliceSourceEOF(t *testing.T) {
+	src := NewSliceSource(3, []Edge{{U: 0, V: 1, W: 1}})
+	if _, err := src.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF, got %v", err)
+	}
+}

@@ -54,7 +54,15 @@ func (p *VertexPartition) Home(v int) int {
 	if p.explicit != nil {
 		return p.explicit[v]
 	}
-	return hashing.RangeOf(hashing.Hash2(p.seed^0x52d5, uint64(v)), p.k)
+	return HomeOf(p.seed, p.k, v)
+}
+
+// HomeOf is the RVP home hash: the machine vertex v lands on under a
+// given shared seed and machine count. Both the in-memory partition and
+// the shard-direct loader route through it, which is what makes the two
+// load paths produce bit-identical residencies.
+func HomeOf(seed uint64, k, v int) int {
+	return hashing.RangeOf(hashing.Hash2(seed^0x52d5, uint64(v)), k)
 }
 
 // K returns the machine count.

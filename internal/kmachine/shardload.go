@@ -1,0 +1,255 @@
+package kmachine
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"kmgraph/internal/graph"
+)
+
+// ShardPartition is the shard-direct realization of the random vertex
+// partition: built by streaming an EdgeSource exactly once per pass and
+// hashing each endpoint to its owner machine, so per-machine adjacency
+// shards are filled directly from the stream and a coordinator-side
+// graph.Graph never exists. This is also the model's own story — in the
+// k-machine model edges *arrive* random-partitioned; central
+// materialization is an artifact of the simulator, which this loader
+// removes.
+//
+// The result is bit-identical to NewRVP on the same graph and seed: the
+// same HomeOf hash assigns vertices, owned lists are ascending, and each
+// adjacency row is sorted by neighbor with identical weights — so seeds,
+// partitions, round counts, and Metrics of any run are unchanged by
+// which load path produced the residency.
+type ShardPartition struct {
+	n, m  int
+	k     int
+	seed  uint64
+	owned [][]int
+	adj   []map[int][]graph.Half // per machine: owned vertex -> sorted adjacency
+}
+
+// LoadShards streams src into per-machine adjacency shards for k
+// machines under the RVP seed. It makes two passes when the source
+// supports Reset (degree counting, then a fill into exactly-sized rows
+// backed by one arena per machine). Self-loops, out-of-range endpoints,
+// and duplicate edges are errors, matching graph.Builder.
+func LoadShards(src graph.EdgeSource, k int, seed uint64) (*ShardPartition, error) {
+	n := src.N()
+	if n < 0 {
+		return nil, fmt.Errorf("kmachine: negative vertex count %d", n)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("kmachine: k = %d, need >= 1", k)
+	}
+	p := &ShardPartition{n: n, k: k, seed: seed, owned: make([][]int, k),
+		adj: make([]map[int][]graph.Half, k)}
+
+	if k > 1<<16 {
+		return nil, fmt.Errorf("kmachine: k = %d exceeds the shard loader's machine table", k)
+	}
+	home := make([]uint16, n)
+	perMachine := make([]int, k)
+	for v := 0; v < n; v++ {
+		h := HomeOf(seed, k, v)
+		home[v] = uint16(h)
+		perMachine[h]++
+	}
+	for i := 0; i < k; i++ {
+		p.owned[i] = make([]int, 0, perMachine[i])
+		p.adj[i] = make(map[int][]graph.Half, perMachine[i])
+	}
+	for v := 0; v < n; v++ {
+		p.owned[home[v]] = append(p.owned[home[v]], v)
+	}
+
+	// Pass 1: full degrees (both endpoints), so each machine's arena and
+	// every row within it are allocated at exactly their final size.
+	if err := src.Reset(); err != nil {
+		return nil, err
+	}
+	deg := make([]int32, n)
+	m := 0
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		e = e.Canon()
+		if err := checkShardEdge(e, n); err != nil {
+			return nil, err
+		}
+		deg[e.U]++
+		deg[e.V]++
+		m++
+	}
+	p.m = m
+
+	// Exactly-sized rows carved from one arena per machine.
+	cur := make([]int32, n)
+	for i := 0; i < k; i++ {
+		total := 0
+		for _, v := range p.owned[i] {
+			total += int(deg[v])
+		}
+		arena := make([]graph.Half, total)
+		off := 0
+		for _, v := range p.owned[i] {
+			d := int(deg[v])
+			if d == 0 {
+				continue
+			}
+			p.adj[i][v] = arena[off : off : off+d]
+			off += d
+		}
+	}
+
+	// Pass 2: fill both half-edges of every edge into the owners' rows.
+	if err := src.Reset(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < m; i++ {
+		e, err := src.Next()
+		if err != nil {
+			if err == io.EOF {
+				return nil, fmt.Errorf("kmachine: source shrank between passes (%d of %d edges)", i, m)
+			}
+			return nil, err
+		}
+		e = e.Canon()
+		if err := checkShardEdge(e, n); err != nil {
+			return nil, err
+		}
+		if int(cur[e.U]) >= int(deg[e.U]) || int(cur[e.V]) >= int(deg[e.V]) {
+			return nil, fmt.Errorf("kmachine: source changed between passes (row %d/%d overflow)", e.U, e.V)
+		}
+		hu, hv := home[e.U], home[e.V]
+		p.adj[hu][e.U] = append(p.adj[hu][e.U], graph.Half{To: e.V, W: e.W})
+		p.adj[hv][e.V] = append(p.adj[hv][e.V], graph.Half{To: e.U, W: e.W})
+		cur[e.U]++
+		cur[e.V]++
+	}
+	if _, err := src.Next(); err != io.EOF {
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("kmachine: source grew between passes")
+	}
+
+	// Sort rows by neighbor (a no-op for canonical-row-order sources like
+	// the store, whose halves arrive pre-sorted) and reject duplicates.
+	for i := 0; i < k; i++ {
+		for v, row := range p.adj[i] {
+			if !halvesSorted(row) {
+				sort.Slice(row, func(a, b int) bool { return row[a].To < row[b].To })
+			}
+			for j := 1; j < len(row); j++ {
+				if row[j].To == row[j-1].To {
+					return nil, fmt.Errorf("kmachine: duplicate edge (%d,%d) in stream", v, row[j].To)
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+func checkShardEdge(e graph.Edge, n int) error {
+	if e.U == e.V {
+		return fmt.Errorf("kmachine: self-loop at %d in stream", e.U)
+	}
+	if e.U < 0 || e.V >= n {
+		return fmt.Errorf("kmachine: edge (%d,%d) out of range [0,%d) in stream", e.U, e.V, n)
+	}
+	return nil
+}
+
+func halvesSorted(row []graph.Half) bool {
+	for i := 1; i < len(row); i++ {
+		if row[i].To < row[i-1].To {
+			return false
+		}
+	}
+	return true
+}
+
+// N returns the vertex count.
+func (p *ShardPartition) N() int { return p.n }
+
+// M returns the edge count of the streamed graph.
+func (p *ShardPartition) M() int { return p.m }
+
+// K returns the machine count.
+func (p *ShardPartition) K() int { return p.k }
+
+// Home returns the home machine of vertex v (the shared RVP hash).
+func (p *ShardPartition) Home(v int) int { return HomeOf(p.seed, p.k, v) }
+
+// Owned returns the vertices homed at machine i (sorted ascending).
+func (p *ShardPartition) Owned(i int) []int { return p.owned[i] }
+
+// MaxLoad returns the largest number of vertices on one machine.
+func (p *ShardPartition) MaxLoad() int {
+	m := 0
+	for _, o := range p.owned {
+		if len(o) > m {
+			m = len(o)
+		}
+	}
+	return m
+}
+
+// TakeAdj surrenders machine i's adjacency shard to the caller (the
+// resident engine adopts it as the machine's mutable view, avoiding a
+// second copy of the graph in memory). The partition's own View for
+// that machine must not be used afterwards.
+func (p *ShardPartition) TakeAdj(i int) map[int][]graph.Half {
+	a := p.adj[i]
+	p.adj[i] = nil
+	return a
+}
+
+// View returns machine i's restricted view of the sharded input — the
+// same contract as VertexPartition.View.
+func (p *ShardPartition) View(i int) *ShardView {
+	return &ShardView{id: i, p: p}
+}
+
+// ShardView is a machine's local knowledge under a shard-direct load:
+// its owned vertices with adjacency, plus the globally computable home
+// hash. It implements the same GraphView surface as LocalView.
+type ShardView struct {
+	id int
+	p  *ShardPartition
+}
+
+// ID returns the machine this view belongs to.
+func (v *ShardView) ID() int { return v.id }
+
+// N returns the vertex count (public knowledge).
+func (v *ShardView) N() int { return v.p.n }
+
+// K returns the machine count.
+func (v *ShardView) K() int { return v.p.k }
+
+// Owned returns this machine's vertices.
+func (v *ShardView) Owned() []int { return v.p.owned[v.id] }
+
+// Home returns the home machine of any vertex.
+func (v *ShardView) Home(x int) int { return v.p.Home(x) }
+
+// Adj returns the adjacency list of an owned vertex. Accessing a vertex
+// homed elsewhere panics: that would violate the model.
+func (v *ShardView) Adj(u int) []graph.Half {
+	if v.p.Home(u) != v.id {
+		panic(fmt.Sprintf("kmachine: machine %d accessed non-local vertex %d (home %d)",
+			v.id, u, v.p.Home(u)))
+	}
+	return v.p.adj[v.id][u]
+}
+
+// Degree returns the degree of an owned vertex.
+func (v *ShardView) Degree(u int) int { return len(v.Adj(u)) }

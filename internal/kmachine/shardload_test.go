@@ -1,0 +1,103 @@
+package kmachine
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"kmgraph/internal/graph"
+)
+
+// TestShardLoadMatchesRVP pins the bit-exactness contract: the shard
+// loader must reproduce the in-memory random vertex partition exactly —
+// same owned lists, same per-vertex adjacency, same order, same weights.
+func TestShardLoadMatchesRVP(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(300)
+		maxM := n * (n - 1) / 2
+		m := 0
+		if maxM > 0 {
+			m = rng.Intn(maxM/2 + 1)
+		}
+		g := graph.GNM(n, m, int64(trial))
+		if trial%2 == 0 {
+			g = graph.WithDistinctWeights(g, int64(trial))
+		}
+		k := 1 + rng.Intn(12)
+		seed := uint64(trial) * 0x9e3779b97f4a7c15
+
+		rvp := NewRVP(g, k, seed)
+		sp, err := LoadShards(g.Source(), k, seed)
+		if err != nil {
+			t.Fatalf("trial %d: LoadShards: %v", trial, err)
+		}
+		if sp.N() != n || sp.M() != g.M() {
+			t.Fatalf("trial %d: got n=%d m=%d, want n=%d m=%d", trial, sp.N(), sp.M(), n, g.M())
+		}
+		for i := 0; i < k; i++ {
+			if !reflect.DeepEqual(rvp.Owned(i), sp.Owned(i)) {
+				t.Fatalf("trial %d: machine %d owned lists differ", trial, i)
+			}
+			lv, sv := rvp.View(i), sp.View(i)
+			for _, v := range rvp.Owned(i) {
+				want := lv.Adj(v)
+				got := sv.Adj(v)
+				if len(want) == 0 && len(got) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d: machine %d vertex %d adjacency differs\n got %v\nwant %v",
+						trial, i, v, got, want)
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if rvp.Home(v) != sp.Home(v) {
+				t.Fatalf("trial %d: home(%d) differs", trial, v)
+			}
+		}
+	}
+}
+
+func TestShardLoadUnsortedSourceIsSorted(t *testing.T) {
+	// Edges delivered in scrambled, non-canonical order must still land
+	// as sorted rows.
+	edges := []graph.Edge{
+		{U: 9, V: 2, W: 5}, {U: 0, V: 9, W: 1}, {U: 5, V: 2, W: 3},
+		{U: 2, V: 0, W: 7}, {U: 9, V: 5, W: 2},
+	}
+	sp, err := LoadShards(graph.NewSliceSource(10, edges), 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.FromEdges(10, edges)
+	rvp := NewRVP(g, 3, 42)
+	for i := 0; i < 3; i++ {
+		lv, sv := rvp.View(i), sp.View(i)
+		for _, v := range rvp.Owned(i) {
+			if len(lv.Adj(v)) == 0 && len(sv.Adj(v)) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(sv.Adj(v), lv.Adj(v)) {
+				t.Fatalf("vertex %d adjacency differs: got %v want %v", v, sv.Adj(v), lv.Adj(v))
+			}
+		}
+	}
+}
+
+func TestShardLoadRejectsBadStreams(t *testing.T) {
+	for name, edges := range map[string][]graph.Edge{
+		"self-loop":    {{U: 1, V: 1, W: 1}},
+		"out-of-range": {{U: 1, V: 50, W: 1}},
+		"negative":     {{U: -2, V: 1, W: 1}},
+		"duplicate":    {{U: 1, V: 2, W: 1}, {U: 2, V: 1, W: 9}},
+	} {
+		if _, err := LoadShards(graph.NewSliceSource(10, edges), 4, 1); err == nil {
+			t.Errorf("%s: loader accepted bad stream", name)
+		}
+	}
+	if _, err := LoadShards(graph.NewSliceSource(10, nil), 0, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+}

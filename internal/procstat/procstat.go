@@ -1,0 +1,24 @@
+// Package procstat reads host-process statistics for the CLIs' memory
+// reporting (kmbench's max_rss_bytes, kmconnect's peak-RSS lines). One
+// shared implementation so the platform normalization lives in exactly
+// one place.
+package procstat
+
+import (
+	"runtime"
+	"syscall"
+)
+
+// MaxRSSBytes returns the process's peak resident set size in bytes, or
+// 0 if rusage is unavailable.
+func MaxRSSBytes() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	rss := int64(ru.Maxrss)
+	if runtime.GOOS == "darwin" {
+		return rss // darwin reports bytes
+	}
+	return rss * 1024 // linux reports KB
+}

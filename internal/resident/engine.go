@@ -61,10 +61,43 @@ type Engine struct {
 // bank seeds, resident adjacency). The load is the only time the graph is
 // distributed; its cost is recorded in Metrics().Load.
 func New(g *graph.Graph, cfg Config) (*Engine, error) {
-	n := g.N()
+	if err := validConfig(g.N(), cfg); err != nil {
+		return nil, err
+	}
+	part := kmachine.NewRVP(g, cfg.K, uint64(cfg.Seed)^0x9e37)
+	return newEngine(g.N(), g.M(), cfg, func(id int) *dynView {
+		lv := part.View(id)
+		return newDynView(g.N(), id, lv.Home, lv.Owned(), lv.Adj)
+	})
+}
+
+// NewFromSource loads a streamed graph shard-direct: src is consumed by
+// the kmachine shard loader (two streaming passes), each endpoint hashed
+// to its owner machine and appended into that machine's adjacency shard,
+// which the resident view then adopts without copying. No global
+// graph.Graph is ever materialized — this is the out-of-core serving
+// path — and the residency is bit-identical to New on the same graph
+// and seed: same partition, same round counts, same Metrics.
+func NewFromSource(src graph.EdgeSource, cfg Config) (*Engine, error) {
+	n := src.N()
 	if err := validConfig(n, cfg); err != nil {
 		return nil, err
 	}
+	part, err := kmachine.LoadShards(src, cfg.K, uint64(cfg.Seed)^0x9e37)
+	if err != nil {
+		return nil, err
+	}
+	return newEngine(n, part.M(), cfg, func(id int) *dynView {
+		return adoptDynView(n, id, part.Home, part.Owned(id), part.TakeAdj(id))
+	})
+}
+
+// newEngine is the shared residency bring-up: the view maker is called
+// once per machine, on that machine's goroutine, to produce its mutable
+// graph knowledge. Callers own config validation (they must validate
+// before touching their partition machinery, so newEngine does not
+// repeat it).
+func newEngine(n, edges int, cfg Config, makeView func(id int) *dynView) (*Engine, error) {
 	ccfg := cfg.coreConfig(n)
 	banksN := cfg.Banks
 	if banksN <= 0 {
@@ -80,7 +113,6 @@ func New(g *graph.Graph, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	part := kmachine.NewRVP(g, ccfg.K, uint64(ccfg.Seed)^0x9e37)
 
 	e := &Engine{
 		cfg:     cfg,
@@ -94,15 +126,14 @@ func New(g *graph.Graph, cfg Config) (*Engine, error) {
 		ackCh:   make(chan int, ccfg.K),
 		done:    make(chan struct{}),
 		sem:     make(chan struct{}, 1),
-		edges:   g.M(),
+		edges:   edges,
 	}
 	for i := range e.cmds {
 		e.cmds[i] = make(chan hostCmd, 1)
 	}
 	go func() {
 		res, err := kc.Run(func(ctx *kmachine.Ctx) error {
-			lv := part.View(ctx.ID())
-			view := newDynView(n, ctx.ID(), lv.Home, lv.Owned(), lv.Adj)
+			view := makeView(ctx.ID())
 			m := &rmachine{
 				e:      e,
 				ctx:    ctx,

@@ -27,6 +27,17 @@ func newDynView(n, id int, home func(int) int, owned []int, initAdj func(v int) 
 	return v
 }
 
+// adoptDynView wraps an adjacency shard the caller surrenders (the
+// shard-direct load path): the rows are adopted as the live adjacency
+// without copying, so the streamed shards ARE the residency. Rows must
+// be sorted by neighbor, which the shard loader guarantees.
+func adoptDynView(n, id int, home func(int) int, owned []int, adj map[int][]graph.Half) *dynView {
+	if adj == nil {
+		adj = make(map[int][]graph.Half)
+	}
+	return &dynView{n: n, id: id, home: home, owned: owned, adj: adj}
+}
+
 // N returns the vertex count.
 func (v *dynView) N() int { return v.n }
 

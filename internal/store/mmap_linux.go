@@ -1,0 +1,22 @@
+//go:build linux
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps f read-only. The returned release func unmaps; data stays
+// valid until then. Empty files map to a nil slice.
+func mapFile(f *os.File, size int64) (data []byte, release func() error, err error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Fall back to a plain read (e.g. special files that refuse mmap).
+		return readFile(f, size)
+	}
+	return b, func() error { return syscall.Munmap(b) }, nil
+}

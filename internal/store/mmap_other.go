@@ -1,0 +1,11 @@
+//go:build !linux
+
+package store
+
+import "os"
+
+// mapFile on platforms without a wired-up mmap reads the file into
+// memory; the Reader API is unchanged.
+func mapFile(f *os.File, size int64) (data []byte, release func() error, err error) {
+	return readFile(f, size)
+}

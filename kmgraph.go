@@ -38,6 +38,20 @@
 //	q2, err := c.Connectivity(ctx)                // incremental: certificate + banks
 //	// c.Metrics().LoadRounds — the load phase, paid exactly once.
 //
+// # Large graphs: the out-of-core store
+//
+// Graphs too large to materialize are served shard-direct from disk:
+// OpenCluster streams a kmgs binary store (cmd/kmconvert) or a text
+// edge list, hashes each endpoint to its owner machine, and fills
+// per-machine adjacency shards in place — no coordinator-side Graph,
+// and a residency bit-identical to NewCluster's on the same seed:
+//
+//	c, err := kmgraph.OpenCluster("web.kmgs", kmgraph.WithK(32))
+//	q, err := c.Connectivity(ctx)
+//
+// WithEdgeSource plugs in any EdgeSource stream; WriteStore and
+// ConnectivityFromSource round out the streaming surface.
+//
 // # Migration note: one-shot functions
 //
 // The original one-shot entry points — Connectivity(g, cfg), MST(g, cfg),
@@ -55,6 +69,8 @@
 package kmgraph
 
 import (
+	"io"
+
 	"kmgraph/internal/baseline"
 	"kmgraph/internal/congested"
 	"kmgraph/internal/core"
@@ -65,6 +81,7 @@ import (
 	"kmgraph/internal/lowerbound"
 	"kmgraph/internal/mincut"
 	"kmgraph/internal/rep"
+	"kmgraph/internal/store"
 	"kmgraph/internal/verify"
 )
 
@@ -118,6 +135,12 @@ var (
 	WithUniformWeights = graph.WithUniformWeights
 	// ReadEdgeList parses a whitespace-separated edge-list file.
 	ReadEdgeList = graph.ReadEdgeList
+	// FromEdges builds a graph directly from a canonical edge list
+	// (arena-backed; peak memory is the output graph itself).
+	FromEdges = graph.FromEdges
+	// DrainEdgeSource collects an EdgeSource into a canonical edge slice
+	// (small inputs and tests; the serving path never drains).
+	DrainEdgeSource = graph.Drain
 	// WriteEdgeList writes a graph as an edge-list file.
 	WriteEdgeList = graph.WriteEdgeList
 	// MaxDegree returns the maximum degree.
@@ -152,6 +175,61 @@ type Result = core.Result
 // One-shot: builds a fresh cluster per call. For repeated questions on
 // one graph, use NewCluster and Cluster.Connectivity instead.
 func Connectivity(g *Graph, cfg Config) (*Result, error) { return core.Run(g, cfg) }
+
+// EdgeSource is a resettable edge stream — the input contract of the
+// shard-direct load path (OpenCluster, ConnectivityFromSource,
+// WriteStore). The binary store, text edge lists, in-memory graphs
+// (Graph.Source), and the streaming generators all implement it.
+type EdgeSource = graph.EdgeSource
+
+// Streaming inputs and generators for the out-of-core load path.
+var (
+	// OpenEdgeListSource opens a text edge-list file as an EdgeSource
+	// without materializing the graph (one sizing scan, then streaming
+	// passes). Close it when done.
+	OpenEdgeListSource = graph.OpenEdgeList
+	// NewEdgeSource wraps a fixed edge slice as an EdgeSource.
+	NewEdgeSource = graph.NewSliceSource
+	// StreamGNM streams a uniform G(n, m) sample (converter-scale: peak
+	// memory is the dedup set, never adjacency).
+	StreamGNM = graph.StreamGNM
+	// StreamRMAT streams an R-MAT sample (a=0.57, b=c=0.19, d=0.05).
+	StreamRMAT = graph.StreamRMAT
+	// StreamPowerLaw streams a Chung–Lu-style power-law sample with an
+	// exact edge count.
+	StreamPowerLaw = graph.StreamPowerLaw
+	// ComponentsFromSourceOracle counts connected components of a stream
+	// with a one-pass union-find (the O(n)-memory oracle for store-backed
+	// runs).
+	ComponentsFromSourceOracle = graph.ComponentsFromSource
+)
+
+// WriteStore writes an edge stream as a kmgs/v1 binary store at path —
+// the container OpenCluster serves shard-direct (see cmd/kmconvert for
+// the CLI). The source is streamed twice; peak memory is a compact CSR
+// working set, never a materialized Graph.
+func WriteStore(path string, src EdgeSource) error { return store.WriteFile(path, src) }
+
+// OpenStoreSource opens a kmgs store as an EdgeSource (mmap-backed,
+// zero-copy, checksummed). Close it when done. Most callers want
+// OpenCluster(path) directly; this is the escape hatch for feeding a
+// store to other consumers (WriteStore round-trips, custom loaders).
+func OpenStoreSource(path string) (EdgeSource, io.Closer, error) {
+	r, err := store.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r.Source(), r, nil
+}
+
+// ConnectivityFromSource is Connectivity over a streamed input: the
+// shard-direct loader fills per-machine adjacency straight from the
+// stream (no global Graph), then the algorithm runs unchanged. Results
+// and Metrics are bit-identical to Connectivity on the materialized
+// graph with the same seed.
+func ConnectivityFromSource(src EdgeSource, cfg Config) (*Result, error) {
+	return core.RunSource(src, cfg)
+}
 
 // MSTConfig parameterizes the MST algorithm.
 type MSTConfig = core.MSTConfig
