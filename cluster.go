@@ -11,6 +11,7 @@ import (
 	"errors"
 	"io"
 	"os"
+	"time"
 
 	"kmgraph/internal/graph"
 	"kmgraph/internal/resident"
@@ -115,6 +116,17 @@ func WithMaxRounds(r int) ClusterOption { return func(c *clusterOptions) { c.Max
 // 2·ceil(log2 n)+8).
 func WithMaxElimIters(i int) ClusterOption {
 	return func(c *clusterOptions) { c.MaxElimIters = i }
+}
+
+// WithJobTimeout sets a default wall-clock deadline for every job whose
+// context carries no earlier deadline (0 = none). The deadline covers
+// queueing and execution; an expired job returns
+// context.DeadlineExceeded at the next phase boundary and the cluster
+// stays serviceable. It is a safety net for embedders whose call sites
+// cannot all be trusted to pass deadline contexts; kmserve instead
+// derives an explicit per-request context from its ?timeout= parameter.
+func WithJobTimeout(d time.Duration) ClusterOption {
+	return func(c *clusterOptions) { c.JobTimeout = d }
 }
 
 // WithObserver registers a per-phase progress hook: job start/done events
@@ -343,6 +355,20 @@ func (c *Cluster) N() int { return c.e.N() }
 
 // K returns the machine count.
 func (c *Cluster) K() int { return c.e.K() }
+
+// Epoch returns the graph's mutation epoch: 0 at load, bumped by every
+// ApplyBatch that changed the edge set. Two equal reads bracket an
+// unchanged graph, so a result computed at epoch x may be served from a
+// cache for as long as Epoch() still returns x — the invariant the
+// kmserve result cache is built on. Safe to call concurrently with
+// running jobs.
+func (c *Cluster) Epoch() uint64 { return c.e.Epoch() }
+
+// Queue snapshots the job admission queue: jobs waiting for the cluster
+// and the in-flight job count (0 or 1). Safe to call concurrently with
+// running jobs; serving layers use it for backpressure and load
+// shedding.
+func (c *Cluster) Queue() (queued, running int) { return c.e.Queue() }
 
 // Close shuts the resident cluster down (waiting for the in-flight job,
 // if any). Further jobs return ErrClusterClosed; Close is idempotent.

@@ -1,0 +1,140 @@
+package kmgraph
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"kmgraph/internal/resident"
+)
+
+// TestClusterOptionValidation pins that option misuse surfaces as typed
+// errors from NewCluster/OpenCluster — never a panic, and never a
+// silently mis-partitioned cluster (the CLIs turn these into non-zero
+// exits with a message).
+func TestClusterOptionValidation(t *testing.T) {
+	g := GNM(50, 150, 1)
+
+	for _, tc := range []struct {
+		name string
+		k    int
+	}{
+		{"zero K", 0},
+		{"negative K", -3},
+		{"K beyond n", 51},
+	} {
+		c, err := NewCluster(g, WithK(tc.k))
+		if err == nil {
+			c.Close()
+			t.Fatalf("%s: NewCluster accepted K=%d on n=50", tc.name, tc.k)
+		}
+		if !errors.Is(err, resident.ErrBadConfig) {
+			t.Errorf("%s: error %v is not ErrBadConfig", tc.name, err)
+		}
+	}
+	// K == n is the boundary: legal (one vertex per machine possible).
+	pg := Path(8)
+	c, err := NewCluster(pg, WithK(8), WithSeed(3))
+	if err != nil {
+		t.Fatalf("K == n rejected: %v", err)
+	}
+	c.Close()
+
+	// The same validation guards the shard-direct path.
+	if _, err := OpenCluster("", WithEdgeSource(g.Source()), WithK(60)); err == nil {
+		t.Error("OpenCluster accepted K beyond n")
+	}
+
+	// Negative job timeouts are configuration errors, not deadlines.
+	if _, err := NewCluster(g, WithK(4), WithJobTimeout(-time.Second)); err == nil {
+		t.Error("negative WithJobTimeout accepted")
+	}
+}
+
+// TestClusterJobTimeout pins WithJobTimeout: a default deadline that
+// expires mid-job returns context.DeadlineExceeded and leaves the
+// cluster serviceable; an explicit earlier/later request deadline wins.
+func TestClusterJobTimeout(t *testing.T) {
+	g := GNM(400, 1200, 5)
+	c, err := NewCluster(g, WithK(4), WithSeed(7), WithJobTimeout(time.Nanosecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Connectivity(context.Background()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("default deadline: got %v, want DeadlineExceeded", err)
+	}
+	// A context with its own (later) deadline overrides the default.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	q, err := c.Connectivity(ctx)
+	if err != nil {
+		t.Fatalf("job under explicit deadline: %v", err)
+	}
+	if q.Components < 1 {
+		t.Fatalf("bad result: %+v", q)
+	}
+}
+
+// TestClusterEpochSemantics pins the cache-invalidation contract: the
+// epoch starts at 0, only edge-set-changing batches bump it, and it is
+// reported consistently by Epoch() and Metrics().
+func TestClusterEpochSemantics(t *testing.T) {
+	g := GNM(100, 300, 9)
+	c, err := NewCluster(g, WithK(4), WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	if e := c.Epoch(); e != 0 {
+		t.Fatalf("fresh cluster at epoch %d", e)
+	}
+	if _, err := c.Connectivity(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if e := c.Epoch(); e != 0 {
+		t.Fatalf("read-only job bumped epoch to %d", e)
+	}
+	br, err := c.ApplyBatch(ctx, []EdgeOp{{U: 0, V: 1, W: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(0)
+	if br.Applied > 0 {
+		want = 1
+	}
+	if e := c.Epoch(); e != want {
+		t.Fatalf("after batch (applied=%d): epoch %d, want %d", br.Applied, e, want)
+	}
+	// A fully-rejected batch (re-insert of a live edge) leaves the epoch.
+	if br.Applied > 0 {
+		br2, err := c.ApplyBatch(ctx, []EdgeOp{{U: 0, V: 1, W: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if br2.Applied != 0 {
+			t.Fatalf("duplicate insert applied: %+v", br2)
+		}
+		if e := c.Epoch(); e != want {
+			t.Fatalf("rejected batch bumped epoch to %d", e)
+		}
+	}
+	if met := c.Metrics(); met.Epoch != c.Epoch() {
+		t.Fatalf("Metrics.Epoch %d != Epoch() %d", met.Epoch, c.Epoch())
+	}
+	queued, running := c.Queue()
+	if queued != 0 || running != 0 {
+		t.Fatalf("idle cluster reports queue (%d, %d)", queued, running)
+	}
+}
+
+// TestErrBadConfigMessageNamesTheProblem keeps CLI error output useful.
+func TestErrBadConfigMessageNamesTheProblem(t *testing.T) {
+	_, err := NewCluster(GNM(10, 20, 1), WithK(99))
+	if err == nil || !strings.Contains(err.Error(), "99") || !strings.Contains(err.Error(), "10") {
+		t.Fatalf("error %v does not name K and n", err)
+	}
+}

@@ -14,7 +14,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,27 +23,21 @@ import (
 	"time"
 
 	"kmgraph"
+	"kmgraph/internal/benchfmt"
 	"kmgraph/internal/procstat"
 )
 
-// benchResult is one engine-throughput measurement (schema
-// kmachine-bench/v2; every v1 field is unchanged). Rounds is the model
-// cost of a single operation (independent of wall-clock), so regressions
-// in either dimension are visible separately. GraphLoadMs is the wall
-// time spent building or loading this benchmark's input graph (one-time,
+// benchResult is one engine-throughput measurement in the shared
+// kmachine-bench/v2 schema (internal/benchfmt, also written by
+// cmd/kmload for serving benchmarks). Rounds is the model cost of a
+// single operation (independent of wall-clock), so regressions in
+// either dimension are visible separately. GraphLoadMs is the wall time
+// spent building or loading this benchmark's input graph (one-time,
 // outside the op loop); MaxRSSBytes is the process's peak resident set
 // as of the end of this benchmark — cumulative and monotone across the
 // run, so the interesting signal is the *increase* over the preceding
 // entry and the input-loading benchmarks are ordered smallest-first.
-type benchResult struct {
-	Name        string  `json:"name"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	Rounds      int     `json:"rounds"`
-	GraphLoadMs float64 `json:"graph_load_ms"`
-	MaxRSSBytes int64   `json:"max_rss_bytes"`
-}
+type benchResult = benchfmt.Result
 
 func measure(name string, rounds int, loadMs float64, fn func(b *testing.B)) benchResult {
 	r := testing.Benchmark(fn)
@@ -230,17 +223,7 @@ func runJSON(path, storePath string, storeK int, storeSeed int64) {
 		}
 		results = append(results, sb)
 	}
-	doc := struct {
-		Schema     string        `json:"schema"`
-		Benchmarks []benchResult `json:"benchmarks"`
-	}{Schema: "kmachine-bench/v2", Benchmarks: results}
-	data, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := benchfmt.WriteFile(path, results); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -1,0 +1,300 @@
+// Command kmload is a closed-loop load generator for kmserve: a fixed
+// set of workers issues a mixed workload against one hosted graph for a
+// fixed duration, each worker sending its next request as soon as the
+// previous one answers. It records per-family and overall throughput
+// and latency percentiles, printing a summary and optionally writing
+// the shared kmachine-bench/v2 JSON (internal/benchfmt) so serving
+// performance joins the engine-benchmark trajectory.
+//
+// Usage:
+//
+//	kmload -addr http://localhost:8471 -graph web
+//	       [-c 8] [-duration 10s] [-timeout 30s] [-seed 1]
+//	       [-mix connectivity=8,metrics=2,mst=1,batch=1]
+//	       [-batch-size 16] [-json BENCH_serve.json]
+//
+// The mix is a comma-separated weight per request family: connectivity,
+// spanning-tree, mst, mincut, verify (bipartiteness), batch (random
+// edge churn), metrics. 429 backpressure refusals are counted
+// separately from errors — load shedding is the server working as
+// designed — and are excluded from the latency population.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"kmgraph/internal/benchfmt"
+)
+
+// op is one workload family: a name and a request builder.
+type op struct {
+	name   string
+	weight int
+}
+
+func parseMix(spec string) ([]op, error) {
+	known := map[string]bool{
+		"connectivity": true, "spanning-tree": true, "mst": true,
+		"mincut": true, "verify": true, "batch": true, "metrics": true,
+	}
+	var mix []op
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, wstr, found := strings.Cut(part, "=")
+		w := 1
+		if found {
+			var err error
+			w, err = strconv.Atoi(wstr)
+			if err != nil || w < 0 {
+				return nil, fmt.Errorf("bad weight in %q", part)
+			}
+		}
+		if !known[name] {
+			return nil, fmt.Errorf("unknown request family %q", name)
+		}
+		if w > 0 {
+			mix = append(mix, op{name: name, weight: w})
+		}
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("empty mix")
+	}
+	return mix, nil
+}
+
+// pick draws a family from the weighted mix.
+func pick(mix []op, rng *rand.Rand) string {
+	total := 0
+	for _, o := range mix {
+		total += o.weight
+	}
+	r := rng.Intn(total)
+	for _, o := range mix {
+		if r < o.weight {
+			return o.name
+		}
+		r -= o.weight
+	}
+	return mix[len(mix)-1].name
+}
+
+// sample is one completed request.
+type sample struct {
+	family  string
+	latency time.Duration
+	status  int
+	err     bool
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8471", "kmserve base URL")
+	graph := flag.String("graph", "", "graph name to load against (required)")
+	conc := flag.Int("c", 8, "concurrent closed-loop workers")
+	duration := flag.Duration("duration", 10*time.Second, "run length")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request job deadline (?timeout=)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	mixSpec := flag.String("mix", "connectivity=8,metrics=2,batch=1", "weighted request mix")
+	batchSize := flag.Int("batch-size", 16, "edge ops per batch request")
+	jsonPath := flag.String("json", "", "write kmachine-bench/v2 results to this file")
+	flag.Parse()
+
+	if *graph == "" {
+		fmt.Fprintln(os.Stderr, "kmload: -graph is required")
+		os.Exit(2)
+	}
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kmload: -mix: %v\n", err)
+		os.Exit(2)
+	}
+
+	base := strings.TrimRight(*addr, "/") + "/graphs/" + *graph
+	client := &http.Client{Timeout: *timeout + 10*time.Second}
+
+	// Sizing probe: n bounds the random endpoints of batch churn.
+	var info struct {
+		N     int `json:"n"`
+		Edges int `json:"edges"`
+	}
+	if err := getJSON(client, base, &info); err != nil {
+		fmt.Fprintf(os.Stderr, "kmload: probing %s: %v\n", base, err)
+		os.Exit(1)
+	}
+	for _, o := range mix {
+		if o.name == "batch" && info.N < 2 {
+			fmt.Fprintf(os.Stderr, "kmload: graph %q has %d vertices; the batch family needs at least 2\n", *graph, info.N)
+			os.Exit(2)
+		}
+	}
+	fmt.Printf("kmload: %s n=%d m=%d; %d workers, %v, mix %s\n",
+		*graph, info.N, info.Edges, *conc, *duration, *mixSpec)
+
+	timeoutParam := "timeout=" + timeout.String()
+	urlFor := func(family string) string {
+		switch family {
+		case "metrics":
+			return base + "/metrics"
+		default:
+			return base + "/" + family + "?" + timeoutParam
+		}
+	}
+
+	var (
+		mu      sync.Mutex
+		samples []sample
+	)
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)*7919))
+			var local []sample
+			for time.Now().Before(deadline) {
+				family := pick(mix, rng)
+				var (
+					resp *http.Response
+					err  error
+				)
+				t0 := time.Now()
+				switch family {
+				case "batch":
+					ops := make([]map[string]any, *batchSize)
+					for i := range ops {
+						u, v := rng.Intn(info.N), rng.Intn(info.N)
+						for v == u {
+							v = rng.Intn(info.N)
+						}
+						ops[i] = map[string]any{"u": u, "v": v, "del": rng.Intn(3) == 0}
+					}
+					body, _ := json.Marshal(map[string]any{"ops": ops})
+					resp, err = client.Post(urlFor(family), "application/json", bytes.NewReader(body))
+				case "verify":
+					body, _ := json.Marshal(map[string]any{"problem": "bipartite"})
+					resp, err = client.Post(urlFor(family), "application/json", bytes.NewReader(body))
+				default:
+					resp, err = client.Get(urlFor(family))
+				}
+				s := sample{family: family, latency: time.Since(t0)}
+				if err != nil {
+					s.err = true
+				} else {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					s.status = resp.StatusCode
+					s.err = resp.StatusCode >= 400 && resp.StatusCode != http.StatusTooManyRequests
+				}
+				local = append(local, s)
+				if s.status == http.StatusTooManyRequests {
+					// Closed-loop politeness: back off briefly on shed load.
+					time.Sleep(5 * time.Millisecond)
+				}
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	results := summarize(samples, elapsed)
+	for _, r := range results {
+		fmt.Printf("%-26s %7d req %8.1f req/s  p50 %8.2fms  p90 %8.2fms  p99 %8.2fms  %d rejected  %d errors\n",
+			r.Name, r.Requests, r.RequestsPerSec,
+			r.P50Ns/1e6, r.P90Ns/1e6, r.P99Ns/1e6, r.Rejected, r.Errors)
+	}
+	if *jsonPath != "" {
+		if err := benchfmt.WriteFile(*jsonPath, results); err != nil {
+			fmt.Fprintf(os.Stderr, "kmload: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	for _, r := range results {
+		if r.Errors > 0 {
+			os.Exit(1)
+		}
+	}
+}
+
+// summarize folds samples into per-family results plus an overall row,
+// excluding 429s from the latency population (they answer in
+// microseconds and would flatter every percentile).
+func summarize(samples []sample, elapsed time.Duration) []benchfmt.Result {
+	perFamily := make(map[string][]time.Duration)
+	errs := make(map[string]int64)
+	rejected := make(map[string]int64)
+	var all []time.Duration
+	var allErrs, allRejected int64
+	for _, s := range samples {
+		switch {
+		case s.err:
+			errs[s.family]++
+			allErrs++
+		case s.status == http.StatusTooManyRequests:
+			rejected[s.family]++
+			allRejected++
+		default:
+			perFamily[s.family] = append(perFamily[s.family], s.latency)
+			all = append(all, s.latency)
+		}
+	}
+	families := make([]string, 0, len(perFamily))
+	for f := range perFamily {
+		families = append(families, f)
+	}
+	for f := range errs {
+		if _, ok := perFamily[f]; !ok {
+			families = append(families, f)
+		}
+	}
+	for f := range rejected {
+		if _, ok := perFamily[f]; !ok && errs[f] == 0 {
+			families = append(families, f)
+		}
+	}
+	sort.Strings(families)
+
+	results := []benchfmt.Result{
+		benchfmt.Summarize("ServeLoad/overall", all, elapsed, allErrs, allRejected),
+	}
+	for _, f := range families {
+		results = append(results,
+			benchfmt.Summarize("ServeLoad/"+f, perFamily[f], elapsed, errs[f], rejected[f]))
+	}
+	return results
+}
+
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	return json.Unmarshal(body, out)
+}

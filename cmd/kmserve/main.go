@@ -1,0 +1,128 @@
+// Command kmserve serves a registry of resident k-machine clusters over
+// HTTP/JSON: every job family of the Cluster API — connectivity,
+// spanning-tree, MST, approximate min-cut, verification, dynamic edge
+// batches, metrics — becomes an endpoint, with per-request deadlines,
+// bounded admission queues with 429 backpressure, and an epoch-keyed
+// result cache so repeated queries on an unchanged graph cost zero
+// simulation rounds.
+//
+// Usage:
+//
+//	kmserve -graph web=web.kmgs -graph social=edges.txt [-addr :8471]
+//	        [-k 16] [-seed 1] [-max-queue 16] [-timeout 60s] [-cache 128]
+//	        [-allow-load]
+//
+// Each -graph name=path loads a kmgs store (shard-direct, never
+// materialized) or a text edge list at startup. With -allow-load,
+// clients may also POST /graphs {"name":..., "path":...} to load more
+// at runtime and DELETE /graphs/{name} to drop them.
+//
+// Endpoints (all JSON):
+//
+//	GET    /healthz
+//	GET    /graphs
+//	POST   /graphs                              (with -allow-load)
+//	DELETE /graphs/{name}                       (with -allow-load)
+//	GET    /graphs/{name}
+//	GET    /graphs/{name}/connectivity          ?labels=true&forest=true&timeout=30s
+//	GET    /graphs/{name}/spanning-tree
+//	GET    /graphs/{name}/mst                   ?strong=true&edges=true
+//	GET    /graphs/{name}/mincut                ?trials=3&maxlevel=40
+//	POST   /graphs/{name}/verify                {"problem":"bipartite", ...}
+//	POST   /graphs/{name}/batch                 {"ops":[{"u":0,"v":1}, ...]}
+//	GET    /graphs/{name}/metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"kmgraph"
+	"kmgraph/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8471", "listen address")
+	k := flag.Int("k", 16, "machines per cluster for -graph loads")
+	seed := flag.Int64("seed", 1, "seed for -graph loads")
+	maxQueue := flag.Int("max-queue", 16, "per-graph admission queue bound (running job included)")
+	timeout := flag.Duration("timeout", 60*time.Second, "default per-request job deadline")
+	cache := flag.Int("cache", 128, "per-graph result cache entries (0 disables)")
+	allowLoad := flag.Bool("allow-load", false, "allow POST /graphs and DELETE /graphs/{name}")
+	var loads []string
+	flag.Func("graph", "name=path of a kmgs store or text edge list to serve (repeatable)", func(v string) error {
+		if !strings.Contains(v, "=") {
+			return fmt.Errorf("want name=path, got %q", v)
+		}
+		loads = append(loads, v)
+		return nil
+	})
+	flag.Parse()
+
+	if len(loads) == 0 && !*allowLoad {
+		fmt.Fprintln(os.Stderr, "kmserve: nothing to serve: pass at least one -graph name=path or -allow-load")
+		os.Exit(2)
+	}
+
+	cacheEntries := *cache
+	if cacheEntries == 0 {
+		cacheEntries = -1 // flag semantics: 0 disables (server: negative disables)
+	}
+	srv := server.New(server.Config{
+		MaxQueue:       *maxQueue,
+		DefaultTimeout: *timeout,
+		CacheEntries:   cacheEntries,
+		AllowLoad:      *allowLoad,
+		DefaultK:       *k,
+		DefaultSeed:    *seed,
+	})
+	for _, spec := range loads {
+		name, path, _ := strings.Cut(spec, "=")
+		start := time.Now()
+		c, err := kmgraph.OpenCluster(path, kmgraph.WithK(*k), kmgraph.WithSeed(*seed))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kmserve: loading %q from %s: %v\n", name, path, err)
+			os.Exit(1)
+		}
+		if err := srv.Register(name, c); err != nil {
+			fmt.Fprintf(os.Stderr, "kmserve: %v\n", err)
+			os.Exit(1)
+		}
+		met := c.Metrics()
+		fmt.Printf("kmserve: loaded %q from %s: n=%d m=%d k=%d (%d load rounds, %v)\n",
+			name, path, c.N(), met.Edges, c.K(), met.LoadRounds, time.Since(start).Round(time.Millisecond))
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	fmt.Printf("kmserve: listening on %s\n", *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "kmserve: %v\n", err)
+		srv.Close()
+		os.Exit(1)
+	case s := <-sig:
+		fmt.Printf("kmserve: %v: draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			// Grace period expired with jobs still running: close the
+			// connections so request contexts cancel and in-flight jobs
+			// abort at their next phase boundary, instead of blocking
+			// srv.Close() for the rest of a long computation.
+			hs.Close()
+		}
+		srv.Close()
+	}
+}

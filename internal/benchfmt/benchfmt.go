@@ -1,0 +1,166 @@
+// Package benchfmt is the shared machine-readable benchmark schema
+// ("kmachine-bench/v2") written by cmd/kmbench (engine-throughput
+// microbenchmarks) and cmd/kmload (serving throughput/latency), so the
+// project's performance trajectory is tracked in one format across PRs.
+//
+// v2 is a strict superset of v1: every v1 field is unchanged, v2 added
+// max_rss_bytes and graph_load_ms, and the serving fields (requests,
+// latency percentiles) are additive and omitted when empty — a v2
+// consumer reads every producer's output.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"time"
+)
+
+// Schema is the current schema identifier.
+const Schema = "kmachine-bench/v2"
+
+// Result is one benchmark measurement.
+type Result struct {
+	// Name identifies the benchmark (slash-separated, parameters after
+	// the family name, e.g. "ConnectivitySketch/n2048_k16").
+	Name string `json:"name"`
+	// NsPerOp is the mean wall time per operation (for serving
+	// benchmarks: the mean request latency).
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp / AllocsPerOp are the Go benchmark allocation counters
+	// (0 for serving benchmarks, which measure across processes).
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// Rounds is the model cost of one operation (independent of
+	// wall-clock).
+	Rounds int `json:"rounds"`
+	// GraphLoadMs is the one-time input build/load wall time.
+	GraphLoadMs float64 `json:"graph_load_ms"`
+	// MaxRSSBytes is the process's peak resident set at the end of this
+	// benchmark (cumulative and monotone across a run).
+	MaxRSSBytes int64 `json:"max_rss_bytes"`
+
+	// Serving extensions (cmd/kmload; zero values are omitted).
+	//
+	// Requests counts completed requests; Errors counts non-2xx
+	// responses other than 429; Rejected counts 429 backpressure
+	// refusals (not errors: the server shedding load is it working).
+	Requests int64 `json:"requests,omitempty"`
+	Errors   int64 `json:"errors,omitempty"`
+	Rejected int64 `json:"rejected,omitempty"`
+	// RequestsPerSec is completed-request throughput over the run.
+	RequestsPerSec float64 `json:"requests_per_sec,omitempty"`
+	// P50Ns / P90Ns / P99Ns are request latency percentiles.
+	P50Ns float64 `json:"p50_ns,omitempty"`
+	P90Ns float64 `json:"p90_ns,omitempty"`
+	P99Ns float64 `json:"p99_ns,omitempty"`
+}
+
+// Doc is one benchmark file.
+type Doc struct {
+	Schema     string   `json:"schema"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// Validate checks d is a well-formed kmachine-bench/v2 document.
+func (d *Doc) Validate() error {
+	if d.Schema != Schema {
+		return fmt.Errorf("benchfmt: schema %q, want %q", d.Schema, Schema)
+	}
+	for i, r := range d.Benchmarks {
+		if r.Name == "" {
+			return fmt.Errorf("benchfmt: benchmark %d has no name", i)
+		}
+		for name, v := range map[string]float64{
+			"ns_per_op": r.NsPerOp, "graph_load_ms": r.GraphLoadMs,
+			"requests_per_sec": r.RequestsPerSec,
+			"p50_ns":           r.P50Ns, "p90_ns": r.P90Ns, "p99_ns": r.P99Ns,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return fmt.Errorf("benchfmt: %s: bad %s %v", r.Name, name, v)
+			}
+		}
+		if (r.P90Ns != 0 && r.P50Ns > r.P90Ns+1e-9) || (r.P99Ns != 0 && r.P90Ns > r.P99Ns+1e-9) {
+			return fmt.Errorf("benchfmt: %s: percentiles not monotone (p50=%v p90=%v p99=%v)",
+				r.Name, r.P50Ns, r.P90Ns, r.P99Ns)
+		}
+	}
+	return nil
+}
+
+// WriteFile writes results as a kmachine-bench/v2 document at path.
+func WriteFile(path string, results []Result) error {
+	doc := Doc{Schema: Schema, Benchmarks: results}
+	if err := doc.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadFile reads and validates a kmachine-bench document.
+func ReadFile(path string) (*Doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Doc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, err
+	}
+	if err := doc.Validate(); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of sorted
+// latencies by nearest-rank; 0 on an empty slice.
+func Percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// Summarize folds one request-latency population into a serving Result:
+// mean and percentile latencies, throughput over elapsed, and the
+// error/backpressure counters.
+func Summarize(name string, latencies []time.Duration, elapsed time.Duration, errors, rejected int64) Result {
+	r := Result{
+		Name:     name,
+		Requests: int64(len(latencies)),
+		Errors:   errors,
+		Rejected: rejected,
+	}
+	if len(latencies) == 0 {
+		return r
+	}
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	r.NsPerOp = float64(sum.Nanoseconds()) / float64(len(sorted))
+	r.P50Ns = float64(Percentile(sorted, 50).Nanoseconds())
+	r.P90Ns = float64(Percentile(sorted, 90).Nanoseconds())
+	r.P99Ns = float64(Percentile(sorted, 99).Nanoseconds())
+	if elapsed > 0 {
+		r.RequestsPerSec = float64(len(sorted)) / elapsed.Seconds()
+	}
+	return r
+}

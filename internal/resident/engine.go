@@ -45,6 +45,14 @@ type Engine struct {
 
 	cancel atomic.Pointer[atomic.Bool] // current job's cancel flag
 
+	// epoch counts graph mutations (ApplyBatch calls that changed the
+	// edge set); it is readable while a job is in flight.
+	epoch atomic.Uint64
+	// queued/running snapshot the admission queue; guarded by statMu so
+	// a Queue()/Metrics() reader never sees one job counted twice (or
+	// not at all) mid-transition.
+	queued, running int
+
 	// statMu guards the counters surfaced by Metrics, which must be
 	// readable while a job is in flight.
 	statMu       sync.Mutex
@@ -260,7 +268,9 @@ type jobToken struct {
 	name      string
 	seq       int
 	ctx       context.Context
+	cancelFn  context.CancelFunc // non-nil when begin applied Config.JobTimeout
 	startR    int
+	epoch     uint64 // graph epoch at admission (stable for read-only jobs)
 	before    kmachine.Metrics
 	stopWatch chan struct{}
 }
@@ -272,6 +282,26 @@ func (e *Engine) begin(ctx context.Context, name string) (*jobToken, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	var cancelFn context.CancelFunc
+	if d := e.cfg.JobTimeout; d > 0 {
+		if _, has := ctx.Deadline(); !has {
+			ctx, cancelFn = context.WithTimeout(ctx, d)
+		}
+	}
+	e.statMu.Lock()
+	e.queued++
+	e.statMu.Unlock()
+	admitted := false
+	defer func() {
+		if !admitted {
+			e.statMu.Lock()
+			e.queued--
+			e.statMu.Unlock()
+			if cancelFn != nil {
+				cancelFn()
+			}
+		}
+	}()
 	select {
 	case e.sem <- struct{}{}:
 	case <-ctx.Done():
@@ -291,9 +321,13 @@ func (e *Engine) begin(ctx context.Context, name string) (*jobToken, error) {
 		<-e.sem
 		return nil, err
 	}
+	admitted = true
 	e.jobSeq++
-	t := &jobToken{e: e, name: name, seq: e.jobSeq, ctx: ctx, startR: e.lastMaxRound}
+	t := &jobToken{e: e, name: name, seq: e.jobSeq, ctx: ctx, cancelFn: cancelFn,
+		startR: e.lastMaxRound, epoch: e.epoch.Load()}
 	e.statMu.Lock()
+	e.queued--
+	e.running = 1
 	t.before = e.lastSnapshot
 	e.statMu.Unlock()
 	if ctx.Done() != nil {
@@ -323,6 +357,9 @@ func (t *jobToken) end(jobErr error) kmachine.Metrics {
 		close(t.stopWatch)
 		e.cancel.Store(nil)
 	}
+	if t.cancelFn != nil {
+		t.cancelFn()
+	}
 	after, ok := e.kc.Snapshot()
 	e.statMu.Lock()
 	if !ok {
@@ -341,6 +378,9 @@ func (t *jobToken) end(jobErr error) kmachine.Metrics {
 		errStr = jobErr.Error()
 	}
 	e.notify(Event{Job: t.name, Seq: t.seq, Phase: -1, Round: e.lastMaxRound, Done: true, Err: errStr})
+	e.statMu.Lock()
+	e.running = 0
+	e.statMu.Unlock()
 	<-e.sem
 	return delta
 }
@@ -383,6 +423,12 @@ func (e *Engine) ApplyBatch(ctx context.Context, ops []graph.EdgeOp) (*BatchResu
 	e.batches++
 	e.edges += r0.appliedIns - r0.appliedDel
 	e.statMu.Unlock()
+	if r0.applied > 0 {
+		// The edge set changed: cached answers for the previous epoch are
+		// stale. A fully-rejected batch leaves the epoch (and caches) alive.
+		e.epoch.Add(1)
+	}
+	epochAfter := e.epoch.Load() // exact: read while still holding the job slot
 	t.end(nil)
 	return &BatchResult{
 		Ops:             len(ops),
@@ -391,6 +437,7 @@ func (e *Engine) ApplyBatch(ctx context.Context, ops []graph.EdgeOp) (*BatchResu
 		RejectedDeletes: r0.rejDel,
 		RejectedInvalid: invalid,
 		Rounds:          rounds,
+		Epoch:           epochAfter,
 	}, nil
 }
 
@@ -416,7 +463,7 @@ func (e *Engine) Query(ctx context.Context) (*QueryResult, error) {
 		t.end(err)
 		return nil, err
 	}
-	res := &QueryResult{Labels: make([]uint64, e.n), Rounds: rounds}
+	res := &QueryResult{Labels: make([]uint64, e.n), Rounds: rounds, Epoch: t.epoch}
 	converged := true
 	for _, r := range rs {
 		for v, l := range r.labels {
@@ -760,14 +807,34 @@ func (e *Engine) Metrics() Metrics {
 	e.statMu.Lock()
 	defer e.statMu.Unlock()
 	return Metrics{
-		Load:       e.loadMetrics,
-		Total:      e.lastSnapshot,
-		LoadRounds: e.loadMetrics.Rounds,
-		Jobs:       e.jobs,
-		Batches:    e.batches,
-		Queries:    e.queries,
-		Edges:      e.edges,
+		Load:        e.loadMetrics,
+		Total:       e.lastSnapshot,
+		LoadRounds:  e.loadMetrics.Rounds,
+		Jobs:        e.jobs,
+		Batches:     e.batches,
+		Queries:     e.queries,
+		Edges:       e.edges,
+		Epoch:       e.epoch.Load(),
+		QueuedJobs:  e.queued,
+		RunningJobs: e.running,
 	}
+}
+
+// Epoch returns the graph's mutation epoch: 0 at load, bumped by every
+// ApplyBatch that changed the edge set. Safe to call concurrently with
+// running jobs; a result computed and tagged with epoch x is valid for
+// as long as Epoch() still returns x.
+func (e *Engine) Epoch() uint64 { return e.epoch.Load() }
+
+// Queue snapshots the admission queue: jobs waiting on the semaphore and
+// the in-flight job count (0 or 1). Safe to call concurrently with
+// running jobs — the snapshot is consistent (one job is never counted
+// as both queued and running); the serving layer uses it for
+// backpressure decisions and introspection.
+func (e *Engine) Queue() (queued, running int) {
+	e.statMu.Lock()
+	defer e.statMu.Unlock()
+	return e.queued, e.running
 }
 
 // N returns the (fixed) vertex count.

@@ -39,6 +39,7 @@ package resident
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"kmgraph/internal/core"
 	"kmgraph/internal/graph"
@@ -76,6 +77,12 @@ type Config struct {
 	// MaxElimIters caps MST elimination iterations per phase; 0 selects
 	// 2·ceil(log2 n) + 8.
 	MaxElimIters int
+	// JobTimeout, when positive, is the default wall-clock deadline applied
+	// to every job whose context carries no earlier deadline. It covers the
+	// whole job — time queued on the admission semaphore included — and a
+	// job that exceeds it returns context.DeadlineExceeded at the next
+	// phase boundary, leaving the engine serviceable.
+	JobTimeout time.Duration
 	// Observer, when non-nil, receives per-phase progress events. It is
 	// invoked from the engine's machine-0 goroutine (phase events) and the
 	// submitting goroutine (job start/done events); it must be safe for
@@ -116,13 +123,29 @@ func defaultBanks(n int) int {
 
 func validConfig(n int, cfg Config) error {
 	if cfg.K < 1 {
-		return fmt.Errorf("resident: K = %d, need >= 1", cfg.K)
+		return fmt.Errorf("resident: %w: K = %d, need >= 1", ErrBadConfig, cfg.K)
 	}
 	if n < 1 {
-		return fmt.Errorf("resident: empty vertex set")
+		return fmt.Errorf("resident: %w: empty vertex set", ErrBadConfig)
+	}
+	if cfg.K > n {
+		// More machines than vertices leaves machines with no home
+		// vertices; the model (and the partition hash) requires k <= n.
+		return fmt.Errorf("resident: %w: K = %d exceeds vertex count n = %d", ErrBadConfig, cfg.K, n)
+	}
+	if cfg.BandwidthBits < 0 {
+		return fmt.Errorf("resident: %w: negative BandwidthBits %d", ErrBadConfig, cfg.BandwidthBits)
+	}
+	if cfg.JobTimeout < 0 {
+		return fmt.Errorf("resident: %w: negative JobTimeout %v", ErrBadConfig, cfg.JobTimeout)
 	}
 	return nil
 }
+
+// ErrBadConfig tags configuration errors from New/NewFromSource so
+// callers (the CLIs, the server's POST /graphs handler) can distinguish
+// caller mistakes from engine failures.
+var ErrBadConfig = errors.New("invalid configuration")
 
 // Event is one progress notification delivered to Config.Observer.
 type Event struct {
@@ -162,6 +185,10 @@ type BatchResult struct {
 	// Rounds is the number of engine rounds the batch cost (routing ops to
 	// home machines and collecting accept/reject verdicts).
 	Rounds int
+	// Epoch is the graph's mutation epoch after this batch (exact: read
+	// while the batch still held the job slot, so no other job
+	// interleaved).
+	Epoch uint64
 }
 
 // QueryResult reports one connectivity query.
@@ -192,6 +219,9 @@ type QueryResult struct {
 	// MergeEdges is the number of fresh forest edges discovered by this
 	// query's merge phases (i.e. bank-sketch samples that won a merge).
 	MergeEdges int
+	// Epoch is the graph's mutation epoch this query answered (exact:
+	// jobs serialize, so the epoch cannot change while a query runs).
+	Epoch uint64
 }
 
 // SameComponent reports whether u and v were connected at query time.
@@ -220,6 +250,14 @@ type Metrics struct {
 	// Edges is the current number of live edges (initial graph plus net
 	// accepted insertions).
 	Edges int
+	// Epoch is the graph's mutation epoch: 0 at load, bumped by every
+	// ApplyBatch that changed the edge set. Two reads of the same Epoch
+	// bracket an unchanged graph, which is what makes query results
+	// cacheable (the serving layer keys its result cache on it).
+	Epoch uint64
+	// QueuedJobs and RunningJobs snapshot the admission queue: jobs
+	// waiting on the semaphore and the in-flight job count (0 or 1).
+	QueuedJobs, RunningJobs int
 }
 
 // Problem identifies one of the Theorem 4 verification problems.

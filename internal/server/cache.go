@@ -1,0 +1,135 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a per-graph LRU of finished job results keyed on
+// (graph epoch, job family, canonical args). The epoch is part of the
+// key, so a mutation (ApplyBatch bumping the cluster epoch) implicitly
+// invalidates every cached answer: lookups at the new epoch miss, and
+// stale entries age out of the LRU. Entries are stored only for jobs
+// that ran entirely within one epoch (the caller re-checks the epoch
+// after the job), which is what makes a hit exactly equivalent to
+// re-running the job — zero simulation rounds included.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[cacheKey]*list.Element
+	order   *list.List // front = most recently used
+
+	hits, misses uint64
+}
+
+type cacheKey struct {
+	epoch uint64
+	job   string
+	args  string
+}
+
+type cacheEntry struct {
+	key cacheKey
+	val any
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:     capacity,
+		entries: make(map[cacheKey]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// get returns the cached result for key, if present.
+func (c *resultCache) get(key cacheKey) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// put stores val under key, evicting the least recently used entry past
+// capacity, and prunes every entry from epochs before key's — those
+// keys can never hit again (the epoch is monotone), and on large graphs
+// a stale entry can pin O(n) of labels and forest edges.
+func (c *resultCache) put(key cacheKey, val any) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var stale []*list.Element
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		if el.Value.(*cacheEntry).key.epoch < key.epoch {
+			stale = append(stale, el)
+		}
+	}
+	for _, el := range stale {
+		c.order.Remove(el)
+		delete(c.entries, el.Value.(*cacheEntry).key)
+	}
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
+	for c.order.Len() > c.cap {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).key)
+	}
+}
+
+// stats returns cumulative hit/miss counters and the live entry count.
+func (c *resultCache) stats() (hits, misses uint64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.order.Len()
+}
+
+// enabled reports whether this cache stores anything (capacity > 0);
+// miss coalescing is pointless when results are never stored.
+func (c *resultCache) enabled() bool { return c.cap > 0 }
+
+// flightGroup coalesces concurrent misses on one cache key: the first
+// caller becomes the leader and runs the job; followers wait for the
+// leader to finish, then re-check the cache — so a cold, expensive
+// answer is computed once, not once per concurrent requester.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[cacheKey]chan struct{}
+}
+
+// join registers interest in key. The first caller is the leader
+// (leader == true) and must call leave(key) when done; followers get
+// the leader's done channel to wait on.
+func (g *flightGroup) join(key cacheKey) (done chan struct{}, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.m == nil {
+		g.m = make(map[cacheKey]chan struct{})
+	}
+	if ch, ok := g.m[key]; ok {
+		return ch, false
+	}
+	ch := make(chan struct{})
+	g.m[key] = ch
+	return ch, true
+}
+
+// leave releases leadership of key and wakes every follower.
+func (g *flightGroup) leave(key cacheKey) {
+	g.mu.Lock()
+	ch := g.m[key]
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(ch)
+}

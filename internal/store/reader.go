@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 
 	"kmgraph/internal/graph"
 )
@@ -18,12 +19,17 @@ import (
 // bounds-checked: corrupted or truncated input yields an error, never a
 // panic.
 //
-// A Reader is safe for concurrent metadata access (N, M, RowDegree);
-// each Source() iterator is single-goroutine like any EdgeSource.
+// A Reader is safe for concurrent metadata access (N, M, RowDegree) and
+// for concurrent Source() iterators over one mapping: each iterator is
+// single-goroutine like any EdgeSource, but any number of them may run
+// in parallel — per-block CRC verification, the only shared mutable
+// state, is atomic (racing verifications are idempotent). Close must not
+// race with in-flight iterators.
 type Reader struct {
 	f        *os.File
 	data     []byte
 	release  func() error
+	closed   bool
 	n        int
 	m        int
 	weighted bool
@@ -31,9 +37,9 @@ type Reader struct {
 	deg      []byte // degree table (4 bytes per row), inside data
 	index    []byte // block index entries, inside data
 	nblocks  int
-	blockOff []int  // per block: payload offset of block start, +1 entry
-	payload  []byte // edge blocks, inside data
-	verified []bool // lazily-set per-block CRC verdicts
+	blockOff []int         // per block: payload offset of block start, +1 entry
+	payload  []byte        // edge blocks, inside data
+	verified []atomic.Bool // lazily-set per-block CRC verdicts
 }
 
 func readFile(f *os.File, size int64) ([]byte, func() error, error) {
@@ -44,27 +50,35 @@ func readFile(f *os.File, size int64) ([]byte, func() error, error) {
 	return b, func() error { return nil }, nil
 }
 
-// Open opens the kmgs container at path.
+// Open opens the kmgs container at path. Every error branch releases
+// whatever was acquired before it — the file on a stat/map failure, the
+// file and the mapping on a validation failure — so a failed Open never
+// leaks an fd or an mmap.
 func Open(path string) (*Reader, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	st, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return nil, err
-	}
-	data, release, err := mapFile(f, st.Size())
-	if err != nil {
-		f.Close()
-		return nil, err
-	}
-	r, err := newReader(data)
-	if err != nil {
+	release := func() error { return nil }
+	fail := func(err error) (*Reader, error) {
+		// Unmap before closing the file: both must happen even if one
+		// errors, and the mapping must not outlive the descriptor.
 		release()
 		f.Close()
 		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return fail(err)
+	}
+	data, rel, err := mapFile(f, st.Size())
+	if err != nil {
+		return fail(err)
+	}
+	release = rel
+	r, err := newReader(data)
+	if err != nil {
+		return fail(err)
 	}
 	r.f = f
 	r.release = release
@@ -93,7 +107,7 @@ func newReader(data []byte) (*Reader, error) {
 	}
 	n64, m64 := getU64(data[16:]), getU64(data[24:])
 	if n64 > maxN {
-		return nil, fmt.Errorf("store: vertex count %d out of range", n64)
+		return nil, fmt.Errorf("store: %w: vertex count %d out of range [0, %d]", ErrLimit, n64, maxN)
 	}
 	nblocks := int(getU32(data[36:]))
 	r := &Reader{
@@ -132,7 +146,7 @@ func newReader(data []byte) (*Reader, error) {
 	}
 	r.payload = data[idxEnd:]
 	r.blockOff = make([]int, nblocks+1)
-	r.verified = make([]bool, nblocks)
+	r.verified = make([]atomic.Bool, nblocks)
 	nextRow := 0
 	off := 0
 	for b := 0; b < nblocks; b++ {
@@ -187,8 +201,14 @@ func (r *Reader) RowDegree(u int) int {
 }
 
 // Close releases the mapping and the file. The Reader and any sources
-// derived from it must not be used afterwards.
+// derived from it must not be used afterwards. Close is idempotent:
+// second and later calls are no-ops returning nil, and a partial failure
+// (unmap or file close erroring) never leaves the other half acquired.
 func (r *Reader) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
 	var err error
 	if r.release != nil {
 		err = r.release()
@@ -204,25 +224,27 @@ func (r *Reader) Close() error {
 	return err
 }
 
-// checkBlock verifies a block's payload checksum once.
+// checkBlock verifies a block's payload checksum once. The verified
+// flags are atomic, so concurrent sources may race here safely: the
+// payload is immutable, verification is idempotent, and the worst case
+// is the same CRC computed twice.
 func (r *Reader) checkBlock(b int) error {
-	if r.verified[b] {
+	if r.verified[b].Load() {
 		return nil
 	}
 	blk := r.payload[r.blockOff[b]:r.blockOff[b+1]]
 	if got, want := crcOf(blk), getU32(r.index[indexEntryLen*b+12:]); got != want {
 		return fmt.Errorf("store: block %d checksum mismatch (%08x != %08x)", b, got, want)
 	}
-	r.verified[b] = true
+	r.verified[b].Store(true)
 	return nil
 }
 
 // Source returns an EdgeSource streaming the store in canonical row
-// order, decoding straight from the mapping. Multiple concurrent
-// sources over one Reader are allowed (block verification flags are the
-// only shared mutable state; racing verifications are idempotent —
-// callers wanting strict -race cleanliness use one source at a time,
-// which is also the only pattern the loaders use).
+// order, decoding straight from the mapping. Each source is
+// single-goroutine like any EdgeSource, but any number of concurrent
+// sources may stream one Reader in parallel — the serving layer hands
+// every worker its own iterator over one shared mapping.
 func (r *Reader) Source() graph.EdgeSource { return &readerSource{r: r} }
 
 // readerSource iterates blocks and rows sequentially.

@@ -39,6 +39,7 @@ package store
 
 import (
 	"encoding/binary"
+	"errors"
 	"hash/crc32"
 )
 
@@ -61,7 +62,22 @@ const (
 	// maxN bounds the vertex count so degrees and rows fit the uint32
 	// tables.
 	maxN = 1 << 31
+	// maxBlockBytes bounds one block's payload so its byte length fits the
+	// uint32 index entry.
+	maxBlockBytes = 1<<32 - 1
 )
+
+// maxRowDegree bounds one row's canonical out-degree so it fits the
+// uint32 degree table. A variable (not a const) so the overflow branch is
+// testable without writing 2^32 edges.
+var maxRowDegree uint32 = 1<<32 - 1
+
+// ErrLimit tags size-bound violations: a vertex count beyond maxN, a row
+// whose canonical out-degree overflows the uint32 degree table, or a
+// block too large for its uint32 index entry. Both the Writer and the
+// Reader report these as wrapped ErrLimit errors (errors.Is) instead of
+// silently truncating to the narrower on-disk integer.
+var ErrLimit = errors.New("size limit exceeded")
 
 func crcOf(b []byte) uint32 { return crc32.ChecksumIEEE(b) }
 

@@ -50,7 +50,7 @@ func dirOf(path string) string {
 func write(w io.Writer, src graph.EdgeSource, blockTarget int) error {
 	n := src.N()
 	if n < 0 || n > maxN {
-		return fmt.Errorf("store: vertex count %d out of range [0, %d]", n, maxN)
+		return fmt.Errorf("store: %w: vertex count %d out of range [0, %d]", ErrLimit, n, maxN)
 	}
 	if blockTarget <= 0 {
 		blockTarget = DefaultBlockTarget
@@ -74,6 +74,10 @@ func write(w io.Writer, src graph.EdgeSource, blockTarget int) error {
 		e = e.Canon()
 		if err := checkEdge(e, n); err != nil {
 			return err
+		}
+		if deg[e.U] >= maxRowDegree {
+			// uint32 degree-table overflow: an error, never a wrap-around.
+			return fmt.Errorf("store: %w: row %d exceeds %d edges", ErrLimit, e.U, maxRowDegree)
 		}
 		deg[e.U]++
 		if e.W != 1 {
@@ -156,9 +160,15 @@ func write(w io.Writer, src graph.EdgeSource, blockTarget int) error {
 		nblocks  = 0
 		varbuf   [binary.MaxVarintLen64]byte
 	)
-	closeBlock := func() {
+	closeBlock := func() error {
 		if rows == 0 {
-			return
+			return nil
+		}
+		if len(blockBuf) > maxBlockBytes {
+			// A single row can exceed blockTarget (blocks close only at row
+			// boundaries); it must still fit the index's uint32 byte length.
+			return fmt.Errorf("store: %w: block at row %d is %d bytes (max %d)",
+				ErrLimit, firstRow, len(blockBuf), maxBlockBytes)
 		}
 		var ent [indexEntryLen]byte
 		putU32(ent[0:], uint32(firstRow))
@@ -170,6 +180,7 @@ func write(w io.Writer, src graph.EdgeSource, blockTarget int) error {
 		blockBuf = blockBuf[:0]
 		nblocks++
 		rows = 0
+		return nil
 	}
 	for u := 0; u < n; u++ {
 		if rows == 0 {
@@ -188,10 +199,14 @@ func write(w io.Writer, src graph.EdgeSource, blockTarget int) error {
 		}
 		rows++
 		if len(blockBuf) >= blockTarget {
-			closeBlock()
+			if err := closeBlock(); err != nil {
+				return err
+			}
 		}
 	}
-	closeBlock()
+	if err := closeBlock(); err != nil {
+		return err
+	}
 
 	// Emit: header, degree table, block index, blocks.
 	bw := bufio.NewWriterSize(w, 1<<20)

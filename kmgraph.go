@@ -52,6 +52,16 @@
 // WithEdgeSource plugs in any EdgeSource stream; WriteStore and
 // ConnectivityFromSource round out the streaming surface.
 //
+// # Serving over the network
+//
+// cmd/kmserve hosts a registry of named resident Clusters behind an
+// HTTP/JSON API (internal/server): every job family becomes an
+// endpoint with per-request deadlines, a bounded admission queue with
+// 429 backpressure, and a result cache keyed on the graph's mutation
+// epoch (Cluster.Epoch) so repeated queries on an unchanged graph cost
+// zero simulation rounds. cmd/kmload is the matching closed-loop load
+// generator; see the README's "Serving" section and EXPERIMENTS.md E16.
+//
 // # Migration note: one-shot functions
 //
 // The original one-shot entry points — Connectivity(g, cfg), MST(g, cfg),
