@@ -9,7 +9,12 @@ package kmgraph
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sync/atomic"
 	"testing"
+	"time"
+
+	"kmgraph/internal/telemetry"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -82,6 +87,92 @@ func BenchmarkConnectivitySketch(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkConnectivitySketchTelemetry is BenchmarkConnectivitySketch
+// with the serving layer's per-request instrumentation around every
+// operation — request counter, latency histogram observation, job
+// outcome counter — so the cost of metering a hot caller is measured
+// against the uninstrumented twin above. EXPERIMENTS.md E17 records the
+// gap (the budget is <2%; the instrumentation is a handful of atomics
+// per op against milliseconds of simulation).
+func BenchmarkConnectivitySketchTelemetry(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	endpoint := telemetry.Label{Name: "endpoint", Value: "connectivity"}
+	reqs := reg.Counter("kmserve_requests_total", "Requests.",
+		endpoint, telemetry.Label{Name: "code", Value: "200"})
+	lat := reg.Histogram("kmserve_request_seconds", "Latency.", endpoint)
+	jobs := reg.Counter("kmgraph_jobs_total", "Jobs.",
+		telemetry.Label{Name: "job", Value: "connectivity"},
+		telemetry.Label{Name: "status", Value: "ok"})
+	for _, size := range []struct{ n, k int }{{512, 4}, {1024, 8}, {2048, 16}} {
+		g := GNM(size.n, 3*size.n, 1)
+		b.Run(fmt.Sprintf("n%d_k%d", size.n, size.k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				if _, err := Connectivity(g, Config{K: size.k, Seed: int64(i)}); err != nil {
+					b.Fatal(err)
+				}
+				lat.Observe(time.Since(start).Seconds())
+				reqs.Inc()
+				jobs.Inc()
+			}
+		})
+	}
+}
+
+// TestObserverKeepsRoundLoopAllocationFree pins the telemetry
+// acceptance property at the engine layer: attaching an observer (the
+// default serving configuration, PhaseMetrics off) adds only a bounded
+// number of allocations per job — O(phases), from the event
+// notifications at phase boundaries — never per round or per message.
+// The round loop itself stays allocation-free.
+func TestObserverKeepsRoundLoopAllocationFree(t *testing.T) {
+	g := GNM(1024, 3072, 7)
+	measure := func(opts ...ClusterOption) (uint64, *QueryResult) {
+		opts = append(opts, WithK(8), WithSeed(7), WithMaxRounds(1<<30))
+		best := ^uint64(0)
+		var res *QueryResult
+		// Min over trials strips GC and goroutine-stack noise; the
+		// workload itself is deterministic for a fixed seed.
+		for trial := 0; trial < 3; trial++ {
+			c, err := NewCluster(g, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runtime.GC()
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			q, err := c.Connectivity(context.Background())
+			runtime.ReadMemStats(&m1)
+			c.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := m1.Mallocs - m0.Mallocs; d < best {
+				best = d
+			}
+			res = q
+		}
+		return best, res
+	}
+
+	bare, _ := measure()
+	var events atomic.Int64
+	observed, q := measure(WithObserver(func(ClusterEvent) { events.Add(1) }))
+	if events.Load() == 0 {
+		t.Fatal("observer never fired")
+	}
+	// Budget: a generous constant per delivered event (start, phases,
+	// done). The query spends hundreds of rounds and thousands of
+	// messages — a per-round or per-message leak blows through this
+	// immediately.
+	budget := uint64(64 * (q.Phases + 2))
+	if observed > bare+budget {
+		t.Errorf("observer overhead: %d allocs bare, %d observed (budget +%d for %d phases, %d rounds)",
+			bare, observed, budget, q.Phases, q.Rounds)
 	}
 }
 

@@ -137,6 +137,17 @@ func WithObserver(fn func(ClusterEvent)) ClusterOption {
 	return func(c *clusterOptions) { c.Observer = fn }
 }
 
+// WithPhaseMetrics makes every observer phase and job event carry a deep
+// cluster-wide metrics snapshot (ClusterEvent.Snap): cumulative rounds,
+// messages, payload bytes, and the full per-link bit matrix. This is
+// what the trace exporters consume to annotate spans with per-phase
+// message/byte deltas and link skew. Each snapshot costs one
+// coordinator round-trip and a k×k copy outside the metered rounds;
+// leave it off when the observer only needs phase/round progress.
+func WithPhaseMetrics() ClusterOption {
+	return func(c *clusterOptions) { c.PhaseMetrics = true }
+}
+
 // SketchParams fixes sketch dimensions (see WithSketchParams).
 type SketchParams = sketch.Params
 
@@ -167,6 +178,12 @@ type VerifyArgs = resident.VerifyArgs
 
 // ErrClusterClosed is returned by jobs submitted to a closed Cluster.
 var ErrClusterClosed = resident.ErrClosed
+
+// ErrObserverPanic is returned by a job during which a WithObserver hook
+// panicked: the panic is recovered (the cluster stays serviceable) and
+// counted in Metrics().ObserverPanics, but the job is failed so the
+// caller knows its progress stream is incomplete.
+var ErrObserverPanic = resident.ErrObserverPanic
 
 // NewCluster loads g across a resident k-machine cluster (one graph
 // distribution, metered as Metrics().Load) and returns the job interface.

@@ -6,10 +6,15 @@
 // and writes machine-readable results, so the simulator's performance
 // trajectory is tracked across PRs.
 //
+// With -trace it runs one resident connectivity job (on a generated
+// graph, or -store for a kmgs container) with the phase tracer attached
+// and writes the Chrome trace-event JSON (Perfetto / chrome://tracing).
+//
 // Usage:
 //
 //	kmbench [-quick] [-exp E1,E6] [-seed 42] [-trials 3] [-csv dir]
 //	kmbench -json BENCH_kmachine.json [-store graph.kmgs]
+//	kmbench -trace out.json [-store graph.kmgs] [-n 2048] [-store-k 16]
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"kmgraph"
 	"kmgraph/internal/benchfmt"
 	"kmgraph/internal/procstat"
+	"kmgraph/internal/telemetry"
 )
 
 // benchResult is one engine-throughput measurement in the shared
@@ -235,6 +241,43 @@ func runJSON(path, storePath string, storeK int, storeSeed int64) {
 	fmt.Printf("wrote %s\n", path)
 }
 
+// runTrace runs one resident connectivity job with the phase tracer
+// attached and writes the Chrome trace-event JSON to path.
+func runTrace(path, storePath string, n, k int, seed int64) {
+	tracer := telemetry.NewJobTracer()
+	opts := []kmgraph.ClusterOption{
+		kmgraph.WithK(k), kmgraph.WithSeed(seed),
+		kmgraph.WithObserver(tracer.Observer()),
+		kmgraph.WithPhaseMetrics(),
+	}
+	var (
+		c   *kmgraph.Cluster
+		err error
+	)
+	if storePath != "" {
+		c, err = kmgraph.OpenCluster(storePath, opts...)
+	} else {
+		c, err = kmgraph.NewCluster(kmgraph.GNM(n, 3*n, seed), opts...)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer c.Close()
+	res, err := c.Connectivity(context.Background())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := tracer.WriteFile(path); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("traced connectivity: n=%d components=%d rounds=%d phases=%d\n",
+		c.N(), res.Components, res.Rounds, res.Phases)
+	fmt.Printf("wrote %s\n", path)
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "run reduced sweeps")
 	expList := flag.String("exp", "", "comma-separated experiment IDs (default: all)")
@@ -245,8 +288,14 @@ func main() {
 	storePath := flag.String("store", "", "with -json: also benchmark the shard-direct load path against this kmgs store")
 	storeK := flag.Int("store-k", 16, "machine count for the -store benchmark")
 	storeSeed := flag.Int64("store-seed", 1, "seed for the -store benchmark")
+	tracePath := flag.String("trace", "", "run one traced resident connectivity job and write Chrome trace-event JSON to this file")
+	traceN := flag.Int("n", 2048, "with -trace and no -store: vertices of the generated graph")
 	flag.Parse()
 
+	if *tracePath != "" {
+		runTrace(*tracePath, *storePath, *traceN, *storeK, *storeSeed)
+		return
+	}
 	if *jsonPath != "" {
 		runJSON(*jsonPath, *storePath, *storeK, *storeSeed)
 		return

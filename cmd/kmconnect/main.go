@@ -7,12 +7,19 @@
 //
 //	kmconnect [-gen gnm|gnp|path|cycle|star|components|planted]
 //	          [-n 4096] [-m 12288] [-p 0.01] [-c 5]
-//	          [-k 8] [-seed 1] [-timeout 0]
+//	          [-k 8] [-seed 1] [-timeout 0] [-trace out.json]
 //	          [-algo sketch|edgecheck|flooding|referee]
-//	kmconnect -store graph.kmgs [-k 8] [-seed 1] [-timeout 0]
+//	kmconnect -store graph.kmgs [-k 8] [-seed 1] [-timeout 0] [-trace out.json]
 //
 // With -store, the graph is served shard-direct from a kmgs container
 // (see cmd/kmconvert) and never materialized in this process.
+//
+// With -trace, the resident engine's phase events are recorded and
+// written as Chrome trace-event JSON (loadable in Perfetto or
+// chrome://tracing): one span per job enclosing one span per merge
+// phase, annotated with rounds, message and payload deltas, and link
+// skew. Only the resident sketch path (-algo sketch or -store) emits
+// phase events.
 package main
 
 import (
@@ -24,7 +31,34 @@ import (
 
 	"kmgraph"
 	"kmgraph/internal/procstat"
+	"kmgraph/internal/telemetry"
 )
+
+// traceOpts returns a tracer plus the cluster options that wire it in,
+// or nil options when tracing is off.
+func traceOpts(path string) (*telemetry.JobTracer, []kmgraph.ClusterOption) {
+	if path == "" {
+		return nil, nil
+	}
+	tr := telemetry.NewJobTracer()
+	return tr, []kmgraph.ClusterOption{
+		kmgraph.WithObserver(tr.Observer()),
+		kmgraph.WithPhaseMetrics(),
+	}
+}
+
+// writeTrace flushes the tracer (when tracing is on) and reports the
+// output path.
+func writeTrace(tr *telemetry.JobTracer, path string) {
+	if tr == nil {
+		return
+	}
+	if err := tr.WriteFile(path); err != nil {
+		fmt.Fprintf(os.Stderr, "writing trace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("trace: wrote %s\n", path)
+}
 
 func buildGraph(gen string, n, m, c int, p float64, seed int64) (*kmgraph.Graph, error) {
 	switch gen {
@@ -73,7 +107,7 @@ func jobCtx(timeout time.Duration) (context.Context, context.CancelFunc) {
 // instead drains the store into a full graph.Graph and loads via
 // NewCluster (the legacy path), which is the E15 memory baseline; the
 // two paths produce bit-identical residencies and Metrics.
-func runStore(path string, k int, seed int64, timeout time.Duration, materialize, skipOracle bool) {
+func runStore(path string, k int, seed int64, timeout time.Duration, materialize, skipOracle bool, tracePath string) {
 	oracleCount := -1
 	if !skipOracle {
 		src, closer, err := kmgraph.OpenSource(path)
@@ -88,6 +122,9 @@ func runStore(path string, k int, seed int64, timeout time.Duration, materialize
 			os.Exit(1)
 		}
 	}
+
+	tracer, clOpts := traceOpts(tracePath)
+	clOpts = append(clOpts, kmgraph.WithK(k), kmgraph.WithSeed(seed))
 
 	loadStart := time.Now()
 	var cl *kmgraph.Cluster
@@ -112,9 +149,9 @@ func runStore(path string, k int, seed int64, timeout time.Duration, materialize
 		}
 		g := kmgraph.FromEdges(n, edges)
 		edges = nil
-		cl, err = kmgraph.NewCluster(g, kmgraph.WithK(k), kmgraph.WithSeed(seed))
+		cl, err = kmgraph.NewCluster(g, clOpts...)
 	} else {
-		cl, err = kmgraph.OpenCluster(path, kmgraph.WithK(k), kmgraph.WithSeed(seed))
+		cl, err = kmgraph.OpenCluster(path, clOpts...)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -141,6 +178,7 @@ func runStore(path string, k int, seed int64, timeout time.Duration, materialize
 	fmt.Printf("cost: load %d rounds (paid once) + query %d rounds (query wall %v)\n",
 		met.LoadRounds, res.Rounds, time.Since(queryStart).Round(time.Millisecond))
 	fmt.Printf("peak RSS: %d MB\n", procstat.MaxRSSBytes()>>20)
+	writeTrace(tracer, tracePath)
 }
 
 func main() {
@@ -157,10 +195,15 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed")
 	timeout := flag.Duration("timeout", 0, "job deadline (0 = none), e.g. 30s")
 	algo := flag.String("algo", "sketch", "sketch|edgecheck|flooding|referee")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the resident job's phases to this file")
 	flag.Parse()
 
+	if *tracePath != "" && *storePath == "" && *algo != "sketch" {
+		fmt.Fprintln(os.Stderr, "kmconnect: -trace requires the resident engine (-algo sketch or -store)")
+		os.Exit(2)
+	}
 	if *storePath != "" {
-		runStore(*storePath, *k, *seed, *timeout, *materialize, *skipOracle)
+		runStore(*storePath, *k, *seed, *timeout, *materialize, *skipOracle, *tracePath)
 		return
 	}
 	if *m == 0 {
@@ -184,7 +227,9 @@ func main() {
 	_, oracleCount := kmgraph.ComponentsOracle(g)
 	switch *algo {
 	case "sketch":
-		cl, err := kmgraph.NewCluster(g, kmgraph.WithK(*k), kmgraph.WithSeed(*seed))
+		tracer, clOpts := traceOpts(*tracePath)
+		clOpts = append(clOpts, kmgraph.WithK(*k), kmgraph.WithSeed(*seed))
+		cl, err := kmgraph.NewCluster(g, clOpts...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -202,6 +247,7 @@ func main() {
 		fmt.Printf("phases: %d  sketch failures: %d\n", res.Phases, res.SketchFailures)
 		fmt.Printf("cost: load %d rounds (paid once) + query %d rounds\n",
 			met.LoadRounds, res.Rounds)
+		writeTrace(tracer, *tracePath)
 	case "edgecheck":
 		cfg := kmgraph.Config{K: *k, Seed: *seed, EdgeCheckSelection: true}
 		res, err := kmgraph.Connectivity(g, cfg)

@@ -17,17 +17,22 @@
 // spanning-tree, mst, mincut, verify (bipartiteness), batch (random
 // edge churn), metrics. 429 backpressure refusals are counted
 // separately from errors — load shedding is the server working as
-// designed — and are excluded from the latency population.
+// designed — and are excluded from the latency population. Errors are
+// classified by cause (non-2xx response, client timeout, transport
+// failure), broken down per family in the summary and in the JSON.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
 	"strconv"
@@ -93,12 +98,37 @@ func pick(mix []op, rng *rand.Rand) string {
 	return mix[len(mix)-1].name
 }
 
+// errKind classifies a failed request by cause.
+type errKind int
+
+const (
+	errNone errKind = iota
+	errNon2xx
+	errTimeout
+	errTransport
+)
+
+// classifyErr maps a client error to timeout vs transport. net/http
+// wraps everything in *url.Error; its Timeout() covers both the
+// Client.Timeout path and dial/read deadlines, and DeadlineExceeded
+// catches context-propagated expiry.
+func classifyErr(err error) errKind {
+	var ue *url.Error
+	if errors.As(err, &ue) && ue.Timeout() {
+		return errTimeout
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return errTimeout
+	}
+	return errTransport
+}
+
 // sample is one completed request.
 type sample struct {
 	family  string
 	latency time.Duration
 	status  int
-	err     bool
+	kind    errKind
 }
 
 func main() {
@@ -194,12 +224,14 @@ func main() {
 				}
 				s := sample{family: family, latency: time.Since(t0)}
 				if err != nil {
-					s.err = true
+					s.kind = classifyErr(err)
 				} else {
 					io.Copy(io.Discard, resp.Body)
 					resp.Body.Close()
 					s.status = resp.StatusCode
-					s.err = resp.StatusCode >= 400 && resp.StatusCode != http.StatusTooManyRequests
+					if resp.StatusCode >= 400 && resp.StatusCode != http.StatusTooManyRequests {
+						s.kind = errNon2xx
+					}
 				}
 				local = append(local, s)
 				if s.status == http.StatusTooManyRequests {
@@ -217,9 +249,14 @@ func main() {
 
 	results := summarize(samples, elapsed)
 	for _, r := range results {
-		fmt.Printf("%-26s %7d req %8.1f req/s  p50 %8.2fms  p90 %8.2fms  p99 %8.2fms  %d rejected  %d errors\n",
+		fmt.Printf("%-26s %7d req %8.1f req/s  p50 %8.2fms  p90 %8.2fms  p99 %8.2fms  %d rejected  %d errors",
 			r.Name, r.Requests, r.RequestsPerSec,
 			r.P50Ns/1e6, r.P90Ns/1e6, r.P99Ns/1e6, r.Rejected, r.Errors)
+		if r.Errors > 0 {
+			fmt.Printf(" (%d non-2xx, %d timeout, %d transport)",
+				r.Non2xx, r.Timeouts, r.TransportErrors)
+		}
+		fmt.Println()
 	}
 	if *jsonPath != "" {
 		if err := benchfmt.WriteFile(*jsonPath, results); err != nil {
@@ -237,18 +274,38 @@ func main() {
 
 // summarize folds samples into per-family results plus an overall row,
 // excluding 429s from the latency population (they answer in
-// microseconds and would flatter every percentile).
+// microseconds and would flatter every percentile). Errors carry their
+// cause breakdown into the results.
 func summarize(samples []sample, elapsed time.Duration) []benchfmt.Result {
 	perFamily := make(map[string][]time.Duration)
-	errs := make(map[string]int64)
+	errs := make(map[string]*benchfmt.ErrorCounts)
 	rejected := make(map[string]int64)
 	var all []time.Duration
-	var allErrs, allRejected int64
+	var allErrs benchfmt.ErrorCounts
+	var allRejected int64
+	errsFor := func(f string) *benchfmt.ErrorCounts {
+		ec, ok := errs[f]
+		if !ok {
+			ec = &benchfmt.ErrorCounts{}
+			errs[f] = ec
+		}
+		return ec
+	}
 	for _, s := range samples {
 		switch {
-		case s.err:
-			errs[s.family]++
-			allErrs++
+		case s.kind != errNone:
+			ec := errsFor(s.family)
+			switch s.kind {
+			case errNon2xx:
+				ec.Non2xx++
+				allErrs.Non2xx++
+			case errTimeout:
+				ec.Timeouts++
+				allErrs.Timeouts++
+			case errTransport:
+				ec.Transport++
+				allErrs.Transport++
+			}
 		case s.status == http.StatusTooManyRequests:
 			rejected[s.family]++
 			allRejected++
@@ -267,7 +324,7 @@ func summarize(samples []sample, elapsed time.Duration) []benchfmt.Result {
 		}
 	}
 	for f := range rejected {
-		if _, ok := perFamily[f]; !ok && errs[f] == 0 {
+		if _, ok := perFamily[f]; !ok && errs[f] == nil {
 			families = append(families, f)
 		}
 	}
@@ -277,8 +334,12 @@ func summarize(samples []sample, elapsed time.Duration) []benchfmt.Result {
 		benchfmt.Summarize("ServeLoad/overall", all, elapsed, allErrs, allRejected),
 	}
 	for _, f := range families {
+		var ec benchfmt.ErrorCounts
+		if e := errs[f]; e != nil {
+			ec = *e
+		}
 		results = append(results,
-			benchfmt.Summarize("ServeLoad/"+f, perFamily[f], elapsed, errs[f], rejected[f]))
+			benchfmt.Summarize("ServeLoad/"+f, perFamily[f], elapsed, ec, rejected[f]))
 	}
 	return results
 }

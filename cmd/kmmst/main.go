@@ -6,6 +6,11 @@
 // Usage:
 //
 //	kmmst [-n 2048] [-m 6144] [-k 8] [-seed 1] [-timeout 0] [-strong] [-rep]
+//	      [-trace out.json]
+//
+// With -trace, the resident engine's phase events are written as Chrome
+// trace-event JSON (Perfetto / chrome://tracing). -rep does not use the
+// resident engine and cannot be traced.
 package main
 
 import (
@@ -16,7 +21,34 @@ import (
 	"time"
 
 	"kmgraph"
+	"kmgraph/internal/telemetry"
 )
+
+// traceOpts returns a tracer plus the cluster options that wire it in,
+// or nil options when tracing is off.
+func traceOpts(path string) (*telemetry.JobTracer, []kmgraph.ClusterOption) {
+	if path == "" {
+		return nil, nil
+	}
+	tr := telemetry.NewJobTracer()
+	return tr, []kmgraph.ClusterOption{
+		kmgraph.WithObserver(tr.Observer()),
+		kmgraph.WithPhaseMetrics(),
+	}
+}
+
+// writeTrace flushes the tracer (when tracing is on) and reports the
+// output path.
+func writeTrace(tr *telemetry.JobTracer, path string) {
+	if tr == nil {
+		return
+	}
+	if err := tr.WriteFile(path); err != nil {
+		fmt.Fprintf(os.Stderr, "writing trace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("trace: wrote %s\n", path)
+}
 
 // jobCtx maps the -timeout flag to a job context (0 = no deadline).
 func jobCtx(timeout time.Duration) (context.Context, context.CancelFunc) {
@@ -35,13 +67,20 @@ func main() {
 	strong := flag.Bool("strong", false, "strong output criterion (both endpoints)")
 	repMode := flag.Bool("rep", false, "use the random edge partition model instead")
 	storePath := flag.String("store", "", "serve a kmgs store shard-direct (never materializes the graph; no oracle check)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the resident job's phases to this file")
 	flag.Parse()
 	if *m == 0 {
 		*m = 3 * *n
 	}
+	if *tracePath != "" && *repMode {
+		fmt.Fprintln(os.Stderr, "kmmst: -trace requires the resident engine (not -rep)")
+		os.Exit(2)
+	}
+	tracer, clOpts := traceOpts(*tracePath)
+	clOpts = append(clOpts, kmgraph.WithK(*k), kmgraph.WithSeed(*seed))
 
 	if *storePath != "" {
-		cl, err := kmgraph.OpenCluster(*storePath, kmgraph.WithK(*k), kmgraph.WithSeed(*seed))
+		cl, err := kmgraph.OpenCluster(*storePath, clOpts...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -63,6 +102,7 @@ func main() {
 		fmt.Printf("MST: weight=%d edges=%d\n", res.TotalWeight, len(res.Edges))
 		fmt.Printf("cost: load %d rounds (paid once) + MST %d rounds\n",
 			cl.Metrics().LoadRounds, res.Metrics.Rounds)
+		writeTrace(tracer, *tracePath)
 		return
 	}
 
@@ -83,7 +123,7 @@ func main() {
 		return
 	}
 
-	cl, err := kmgraph.NewCluster(g, kmgraph.WithK(*k), kmgraph.WithSeed(*seed))
+	cl, err := kmgraph.NewCluster(g, clOpts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -112,4 +152,5 @@ func main() {
 		fmt.Printf("cost: load %d rounds (paid once) + MST %d rounds\n",
 			met.LoadRounds, res.Metrics.Rounds)
 	}
+	writeTrace(tracer, *tracePath)
 }

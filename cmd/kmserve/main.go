@@ -10,7 +10,7 @@
 //
 //	kmserve -graph web=web.kmgs -graph social=edges.txt [-addr :8471]
 //	        [-k 16] [-seed 1] [-max-queue 16] [-timeout 60s] [-cache 128]
-//	        [-allow-load]
+//	        [-allow-load] [-debug-addr :8472] [-log-requests]
 //
 // Each -graph name=path loads a kmgs store (shard-direct, never
 // materialized) or a text edge list at startup. With -allow-load,
@@ -20,6 +20,8 @@
 // Endpoints (all JSON):
 //
 //	GET    /healthz
+//	GET    /metrics                             (Prometheus text exposition)
+//	GET    /version
 //	GET    /graphs
 //	POST   /graphs                              (with -allow-load)
 //	DELETE /graphs/{name}                       (with -allow-load)
@@ -31,13 +33,22 @@
 //	POST   /graphs/{name}/verify                {"problem":"bipartite", ...}
 //	POST   /graphs/{name}/batch                 {"ops":[{"u":0,"v":1}, ...]}
 //	GET    /graphs/{name}/metrics
+//	GET    /graphs/{name}/trace                 (Chrome trace-event JSON)
+//
+// With -debug-addr, a second private listener serves net/http/pprof
+// under /debug/pprof/. With -log-requests, every request emits one
+// structured JSON log record (request ID, endpoint, status, duration)
+// to stderr; the request ID is echoed as X-Request-Id and threaded
+// through job execution.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // mounted on the -debug-addr listener only
 	"os"
 	"os/signal"
 	"strings"
@@ -56,6 +67,8 @@ func main() {
 	timeout := flag.Duration("timeout", 60*time.Second, "default per-request job deadline")
 	cache := flag.Int("cache", 128, "per-graph result cache entries (0 disables)")
 	allowLoad := flag.Bool("allow-load", false, "allow POST /graphs and DELETE /graphs/{name}")
+	debugAddr := flag.String("debug-addr", "", "if set, serve net/http/pprof on this address (keep it private)")
+	logRequests := flag.Bool("log-requests", false, "emit one structured (JSON, stderr) log record per request")
 	var loads []string
 	flag.Func("graph", "name=path of a kmgs store or text edge list to serve (repeatable)", func(v string) error {
 		if !strings.Contains(v, "=") {
@@ -75,6 +88,10 @@ func main() {
 	if cacheEntries == 0 {
 		cacheEntries = -1 // flag semantics: 0 disables (server: negative disables)
 	}
+	var logger *slog.Logger
+	if *logRequests {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
 	srv := server.New(server.Config{
 		MaxQueue:       *maxQueue,
 		DefaultTimeout: *timeout,
@@ -82,11 +99,17 @@ func main() {
 		AllowLoad:      *allowLoad,
 		DefaultK:       *k,
 		DefaultSeed:    *seed,
+		Logger:         logger,
 	})
 	for _, spec := range loads {
 		name, path, _ := strings.Cut(spec, "=")
 		start := time.Now()
-		c, err := kmgraph.OpenCluster(path, kmgraph.WithK(*k), kmgraph.WithSeed(*seed))
+		// The observer is wired before the cluster exists so even the
+		// load phase lands in the graph's metrics and trace buffer.
+		c, err := kmgraph.OpenCluster(path,
+			kmgraph.WithK(*k), kmgraph.WithSeed(*seed),
+			kmgraph.WithObserver(srv.JobObserver(name)),
+			kmgraph.WithPhaseMetrics())
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "kmserve: loading %q from %s: %v\n", name, path, err)
 			os.Exit(1)
@@ -104,6 +127,17 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
 	fmt.Printf("kmserve: listening on %s\n", *addr)
+
+	if *debugAddr != "" {
+		// The pprof mux lives on its own listener so profiling endpoints
+		// are never exposed on the serving address.
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "kmserve: debug listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("kmserve: pprof on %s/debug/pprof/\n", *debugAddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

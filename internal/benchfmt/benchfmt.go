@@ -50,6 +50,14 @@ type Result struct {
 	Requests int64 `json:"requests,omitempty"`
 	Errors   int64 `json:"errors,omitempty"`
 	Rejected int64 `json:"rejected,omitempty"`
+	// Non2xx / Timeouts / TransportErrors break Errors down by cause:
+	// HTTP responses with status >= 400 other than 429, client-side
+	// deadline expiries, and transport-level failures (connection
+	// refused/reset, DNS). Producers that classify set all three and
+	// they sum to Errors; older producers leave them zero.
+	Non2xx          int64 `json:"non_2xx,omitempty"`
+	Timeouts        int64 `json:"timeouts,omitempty"`
+	TransportErrors int64 `json:"transport_errors,omitempty"`
 	// RequestsPerSec is completed-request throughput over the run.
 	RequestsPerSec float64 `json:"requests_per_sec,omitempty"`
 	// P50Ns / P90Ns / P99Ns are request latency percentiles.
@@ -85,6 +93,10 @@ func (d *Doc) Validate() error {
 		if (r.P90Ns != 0 && r.P50Ns > r.P90Ns+1e-9) || (r.P99Ns != 0 && r.P90Ns > r.P99Ns+1e-9) {
 			return fmt.Errorf("benchfmt: %s: percentiles not monotone (p50=%v p90=%v p99=%v)",
 				r.Name, r.P50Ns, r.P90Ns, r.P99Ns)
+		}
+		if sub := r.Non2xx + r.Timeouts + r.TransportErrors; sub > r.Errors {
+			return fmt.Errorf("benchfmt: %s: error breakdown %d exceeds errors %d",
+				r.Name, sub, r.Errors)
 		}
 	}
 	return nil
@@ -136,15 +148,41 @@ func Percentile(sorted []time.Duration, p float64) time.Duration {
 	return sorted[rank-1]
 }
 
+// ErrorCounts is a failed-request breakdown by cause, accumulated by a
+// load generator and folded into a Result by Summarize.
+type ErrorCounts struct {
+	// Non2xx counts HTTP responses with status >= 400 other than 429.
+	Non2xx int64
+	// Timeouts counts client-side deadline expiries (the request never
+	// produced a response in time).
+	Timeouts int64
+	// Transport counts transport-level failures: connection refused or
+	// reset, DNS errors — anything below HTTP.
+	Transport int64
+}
+
+// Total is the summed error count across causes.
+func (e ErrorCounts) Total() int64 { return e.Non2xx + e.Timeouts + e.Transport }
+
+// Add accumulates another breakdown into e.
+func (e *ErrorCounts) Add(o ErrorCounts) {
+	e.Non2xx += o.Non2xx
+	e.Timeouts += o.Timeouts
+	e.Transport += o.Transport
+}
+
 // Summarize folds one request-latency population into a serving Result:
 // mean and percentile latencies, throughput over elapsed, and the
-// error/backpressure counters.
-func Summarize(name string, latencies []time.Duration, elapsed time.Duration, errors, rejected int64) Result {
+// error/backpressure counters (Errors is the breakdown's total).
+func Summarize(name string, latencies []time.Duration, elapsed time.Duration, errs ErrorCounts, rejected int64) Result {
 	r := Result{
-		Name:     name,
-		Requests: int64(len(latencies)),
-		Errors:   errors,
-		Rejected: rejected,
+		Name:            name,
+		Requests:        int64(len(latencies)),
+		Errors:          errs.Total(),
+		Non2xx:          errs.Non2xx,
+		Timeouts:        errs.Timeouts,
+		TransportErrors: errs.Transport,
+		Rejected:        rejected,
 	}
 	if len(latencies) == 0 {
 		return r

@@ -12,9 +12,13 @@ func TestSummarizePercentiles(t *testing.T) {
 	for i := 1; i <= 100; i++ {
 		lats = append(lats, time.Duration(i)*time.Millisecond)
 	}
-	r := Summarize("ServeLoad/connectivity", lats, 2*time.Second, 3, 7)
+	r := Summarize("ServeLoad/connectivity", lats, 2*time.Second,
+		ErrorCounts{Non2xx: 1, Timeouts: 2}, 7)
 	if r.Requests != 100 || r.Errors != 3 || r.Rejected != 7 {
 		t.Fatalf("counters: %+v", r)
+	}
+	if r.Non2xx != 1 || r.Timeouts != 2 || r.TransportErrors != 0 {
+		t.Fatalf("error breakdown: %+v", r)
 	}
 	if r.P50Ns != float64(50*time.Millisecond) ||
 		r.P90Ns != float64(90*time.Millisecond) ||
@@ -30,7 +34,7 @@ func TestSummarizePercentiles(t *testing.T) {
 }
 
 func TestSummarizeEmpty(t *testing.T) {
-	r := Summarize("ServeLoad/mst", nil, time.Second, 0, 2)
+	r := Summarize("ServeLoad/mst", nil, time.Second, ErrorCounts{}, 2)
 	if r.Requests != 0 || r.Rejected != 2 || r.P99Ns != 0 || r.RequestsPerSec != 0 {
 		t.Fatalf("empty summary: %+v", r)
 	}
@@ -42,7 +46,7 @@ func TestWriteReadRoundTrip(t *testing.T) {
 		{Name: "ConnectivitySketch/n512_k4", NsPerOp: 1e6, Rounds: 400},
 		Summarize("ServeLoad/overall",
 			[]time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond},
-			time.Second, 0, 1),
+			time.Second, ErrorCounts{}, 1),
 	}
 	if err := WriteFile(path, results); err != nil {
 		t.Fatalf("WriteFile: %v", err)
@@ -65,6 +69,7 @@ func TestValidateRejectsBadDocs(t *testing.T) {
 		{Schema: Schema, Benchmarks: []Result{{Name: ""}}},
 		{Schema: Schema, Benchmarks: []Result{{Name: "x", NsPerOp: -1}}},
 		{Schema: Schema, Benchmarks: []Result{{Name: "x", P50Ns: 5, P90Ns: 1, P99Ns: 2}}},
+		{Schema: Schema, Benchmarks: []Result{{Name: "x", Errors: 1, Non2xx: 1, Timeouts: 1}}},
 	}
 	for i, d := range bad {
 		if err := d.Validate(); err == nil {

@@ -45,6 +45,13 @@ type Engine struct {
 
 	cancel atomic.Pointer[atomic.Bool] // current job's cancel flag
 
+	// observerPanics counts recovered Observer panics for the session;
+	// obsTripped marks that one fired during the current job (reset at
+	// job begin, checked at job end — jobs serialize, so a trip always
+	// belongs to the job that observes it).
+	observerPanics atomic.Uint64
+	obsTripped     atomic.Bool
+
 	// epoch counts graph mutations (ApplyBatch calls that changed the
 	// edge set); it is readable while a job is in flight.
 	epoch atomic.Uint64
@@ -170,14 +177,33 @@ func newEngine(n, edges int, cfg Config, makeView func(id int) *dynView) (*Engin
 		e.loadMetrics = met
 		e.lastSnapshot = met
 	}
-	e.notify(Event{Job: "load", Seq: 0, Phase: -1, Round: e.lastMaxRound, Done: true})
+	loadEv := Event{Job: "load", Seq: 0, Phase: -1, Round: e.lastMaxRound, Done: true}
+	if cfg.PhaseMetrics {
+		snap := e.loadMetrics
+		loadEv.Snap = &snap
+		delta := kmachine.Metrics{Rounds: snap.Rounds, Messages: snap.Messages, PayloadBytes: snap.PayloadBytes}
+		loadEv.Delta = &delta
+	}
+	e.notify(loadEv)
 	return e, nil
 }
 
+// notify delivers an event to the user Observer. The callback runs on
+// engine goroutines (machine 0 for phase events, the submitter for job
+// events), so a panic out of it would otherwise take the whole cluster
+// down; instead it is recovered here, counted, and latched so the
+// current job fails with ErrObserverPanic.
 func (e *Engine) notify(ev Event) {
-	if e.cfg.Observer != nil {
-		e.cfg.Observer(ev)
+	if e.cfg.Observer == nil {
+		return
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			e.observerPanics.Add(1)
+			e.obsTripped.Store(true)
+		}
+	}()
+	e.cfg.Observer(ev)
 }
 
 // jobCancelled reports whether the currently running job has been asked to
@@ -344,7 +370,13 @@ func (e *Engine) begin(ctx context.Context, name string) (*jobToken, error) {
 			}
 		}()
 	}
-	e.notify(Event{Job: name, Seq: t.seq, Phase: -1, Round: t.startR})
+	e.obsTripped.Store(false)
+	startEv := Event{Job: name, Seq: t.seq, Phase: -1, Round: t.startR}
+	if e.cfg.PhaseMetrics {
+		snap := t.before
+		startEv.Snap = &snap
+	}
+	e.notify(startEv)
 	return t, nil
 }
 
@@ -377,12 +409,36 @@ func (t *jobToken) end(jobErr error) kmachine.Metrics {
 	if jobErr != nil {
 		errStr = jobErr.Error()
 	}
-	e.notify(Event{Job: t.name, Seq: t.seq, Phase: -1, Round: e.lastMaxRound, Done: true, Err: errStr})
+	doneEv := Event{Job: t.name, Seq: t.seq, Phase: -1, Round: e.lastMaxRound, Done: true, Err: errStr}
+	if e.cfg.Observer != nil {
+		// The delta is already computed; handing the observer its own
+		// copy costs one small allocation per job end, never per round.
+		d := delta
+		doneEv.Delta = &d
+		if e.cfg.PhaseMetrics {
+			snap := after
+			doneEv.Snap = &snap
+		}
+	}
+	e.notify(doneEv)
 	e.statMu.Lock()
 	e.running = 0
 	e.statMu.Unlock()
 	<-e.sem
 	return delta
+}
+
+// endOK completes a job that succeeded on its own terms, unless the
+// Observer panicked somewhere during it — then the job fails with
+// ErrObserverPanic instead (the caller's progress stream is incomplete
+// and must not be trusted silently). Returns the job's cost delta and
+// the final job error.
+func (t *jobToken) endOK() (kmachine.Metrics, error) {
+	var jobErr error
+	if t.e.obsTripped.Load() {
+		jobErr = ErrObserverPanic
+	}
+	return t.end(jobErr), jobErr
 }
 
 // cancelErr maps a machine-reported cancellation to the caller's context
@@ -429,8 +485,7 @@ func (e *Engine) ApplyBatch(ctx context.Context, ops []graph.EdgeOp) (*BatchResu
 		e.epoch.Add(1)
 	}
 	epochAfter := e.epoch.Load() // exact: read while still holding the job slot
-	t.end(nil)
-	return &BatchResult{
+	res := &BatchResult{
 		Ops:             len(ops),
 		Applied:         r0.applied,
 		RejectedInserts: r0.rejIns,
@@ -438,7 +493,13 @@ func (e *Engine) ApplyBatch(ctx context.Context, ops []graph.EdgeOp) (*BatchResu
 		RejectedInvalid: invalid,
 		Rounds:          rounds,
 		Epoch:           epochAfter,
-	}, nil
+	}
+	if _, oerr := t.endOK(); oerr != nil {
+		// The batch is applied (the result is real); the error reports
+		// the broken observer hook, not a rejected mutation.
+		return res, oerr
+	}
+	return res, nil
 }
 
 // Query answers connectivity on the current graph: component labels, the
@@ -488,7 +549,9 @@ func (e *Engine) Query(ctx context.Context) (*QueryResult, error) {
 		t.end(ErrNotConverged)
 		return res, ErrNotConverged
 	}
-	t.end(nil)
+	if _, oerr := t.endOK(); oerr != nil {
+		return res, oerr
+	}
 	return res, nil
 }
 
@@ -548,7 +611,11 @@ func (e *Engine) MST(ctx context.Context, strong bool) (*core.MSTResult, error) 
 		out.TotalWeight += ed.W
 	}
 	out.WeakRounds = weakMax - startR
-	out.Metrics = t.end(nil)
+	var oerr error
+	out.Metrics, oerr = t.endOK()
+	if oerr != nil {
+		return out, oerr
+	}
 	return out, nil
 }
 
@@ -635,8 +702,9 @@ func (e *Engine) MinCut(ctx context.Context, trials, maxLevel int) (*mincut.Resu
 	if base > 1 && e.n > 0 {
 		res.Level = -1
 		res.Estimate = 0
-		res.Metrics = t.end(nil)
-		return res, nil
+		var oerr error
+		res.Metrics, oerr = t.endOK()
+		return res, oerr
 	}
 
 	sampleSeed := hashing.Hash2(uint64(e.ccfg.Seed), 0x3c17)
@@ -662,15 +730,17 @@ func (e *Engine) MinCut(ctx context.Context, trials, maxLevel int) (*mincut.Resu
 			if res.Estimate < 1 {
 				res.Estimate = 1
 			}
-			res.Metrics = t.end(nil)
-			return res, nil
+			var oerr error
+			res.Metrics, oerr = t.endOK()
+			return res, oerr
 		}
 	}
 	// Never disconnected: λ exceeds every tested rate's threshold.
 	res.Level = maxLevel + 1
 	res.Estimate = math.Exp2(float64(maxLevel)) * logn / 2
-	res.Metrics = t.end(nil)
-	return res, nil
+	var oerr error
+	res.Metrics, oerr = t.endOK()
+	return res, oerr
 }
 
 // edgeIDSet canonicalizes an edge list into an EdgeID set over n vertices.
@@ -796,7 +866,11 @@ func (e *Engine) Verify(ctx context.Context, p Problem, args VerifyArgs) (*verif
 	default:
 		return fail(errors.New("resident: unknown verification problem"))
 	}
-	out.Metrics = t.end(nil)
+	var oerr error
+	out.Metrics, oerr = t.endOK()
+	if oerr != nil {
+		return out, oerr
+	}
 	return out, nil
 }
 
@@ -814,9 +888,10 @@ func (e *Engine) Metrics() Metrics {
 		Batches:     e.batches,
 		Queries:     e.queries,
 		Edges:       e.edges,
-		Epoch:       e.epoch.Load(),
-		QueuedJobs:  e.queued,
-		RunningJobs: e.running,
+		Epoch:          e.epoch.Load(),
+		QueuedJobs:     e.queued,
+		RunningJobs:    e.running,
+		ObserverPanics: e.observerPanics.Load(),
 	}
 }
 

@@ -154,15 +154,25 @@ func (m *rmachine) reply(r reply) {
 }
 
 // phaseEvent emits an observer event from machine 0 (free host-side
-// observability, between metered rounds).
+// observability, between metered rounds). With Config.PhaseMetrics the
+// event carries a deep cluster-metrics snapshot, served by the
+// coordinator out-of-band (snapshot requests ride the event channel but
+// are not barrier events, so fetching one mid-run cannot wedge the
+// round loop or change any metered quantity).
 func (m *rmachine) phaseEvent(cmd hostCmd, phase int, active, failures uint64) {
-	if m.ctx.ID() != 0 {
+	if m.ctx.ID() != 0 || m.e.cfg.Observer == nil {
 		return
 	}
-	m.e.notify(Event{
+	ev := Event{
 		Job: cmd.name, Seq: cmd.seq, Phase: phase,
 		Round: m.ctx.Round(), Active: active, Failures: failures,
-	})
+	}
+	if m.e.cfg.PhaseMetrics {
+		if met, ok := m.e.kc.Snapshot(); ok {
+			ev.Snap = &met
+		}
+	}
+	m.e.notify(ev)
 }
 
 // applyBatch distributes a batch from the ingress to the endpoints' home

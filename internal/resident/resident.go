@@ -87,7 +87,16 @@ type Config struct {
 	// invoked from the engine's machine-0 goroutine (phase events) and the
 	// submitting goroutine (job start/done events); it must be safe for
 	// that and should return quickly — it runs between metered rounds.
+	// A panicking Observer does not kill the engine: the panic is
+	// recovered, counted in Metrics.ObserverPanics, and the job during
+	// which it fired fails with ErrObserverPanic.
 	Observer func(Event)
+	// PhaseMetrics, when set (and Observer is non-nil), attaches a deep
+	// cluster-wide kmachine.Metrics snapshot to every phase and job event
+	// (Event.Snap). Each phase snapshot costs one coordinator round-trip
+	// and a k×k link-matrix copy outside the metered rounds; it is off by
+	// default so the plain observer path stays allocation-free.
+	PhaseMetrics bool
 }
 
 const defaultSessionMaxRounds = 5_000_000
@@ -167,6 +176,15 @@ type Event struct {
 	Done bool
 	// Err reports the job's outcome on a Done event ("" = success).
 	Err string
+	// Snap, when Config.PhaseMetrics is set, is a deep snapshot of the
+	// cluster-wide cumulative engine metrics at the time of the event
+	// (phase and job events). Nil otherwise. The snapshot is owned by the
+	// observer; the engine never mutates it after delivery.
+	Snap *kmachine.Metrics
+	// Delta, on Done events, is the job's engine-cost delta (Rounds,
+	// Messages, PayloadBytes — the same quantity end() meters). Nil on
+	// other events.
+	Delta *kmachine.Metrics
 }
 
 // BatchResult reports one applied update batch.
@@ -258,6 +276,8 @@ type Metrics struct {
 	// QueuedJobs and RunningJobs snapshot the admission queue: jobs
 	// waiting on the semaphore and the in-flight job count (0 or 1).
 	QueuedJobs, RunningJobs int
+	// ObserverPanics counts recovered panics out of Config.Observer.
+	ObserverPanics uint64
 }
 
 // Problem identifies one of the Theorem 4 verification problems.
@@ -327,3 +347,10 @@ var ErrNotConverged = errors.New("resident: job did not converge within MaxPhase
 
 // ErrClosed is returned by operations on a closed engine.
 var ErrClosed = errors.New("resident: cluster closed")
+
+// ErrObserverPanic is returned by a job during which the Config.Observer
+// callback panicked. The engine recovers the panic (the cluster stays
+// alive and serviceable) but fails the job so the caller knows its
+// progress stream is incomplete. The job's effects stand: a batch that
+// applied before its done-event hook panicked is still applied.
+var ErrObserverPanic = errors.New("resident: observer callback panicked")

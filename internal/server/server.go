@@ -26,14 +26,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"kmgraph"
 	"kmgraph/internal/resident"
+	"kmgraph/internal/telemetry"
 )
 
 // Config parameterizes a Server. The zero value is usable: every field
@@ -60,6 +63,12 @@ type Config struct {
 	// flags here). DefaultK 0 falls back to the library default.
 	DefaultK    int
 	DefaultSeed int64
+	// Logger, when non-nil, receives one structured record per request:
+	// request ID, method, path, status, duration, and cache disposition.
+	// The request ID (client-provided X-Request-Id or minted) is echoed
+	// on the response and threaded through the request context into
+	// every job the request runs.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -89,8 +98,16 @@ type Server struct {
 	cfg Config
 	mux *http.ServeMux
 
+	registry *telemetry.Registry
+	inflight atomic.Int64
+
 	mu     sync.RWMutex
 	graphs map[string]*tenant
+
+	// obs maps graph name -> observer funnel; populated by JobObserver
+	// (possibly before the cluster exists) and consulted by Register.
+	obsMu sync.Mutex
+	obs   map[string]*graphObs
 }
 
 // tenant is one hosted graph: the resident cluster, its bounded
@@ -101,15 +118,34 @@ type tenant struct {
 	slots  chan struct{}
 	cache  *resultCache
 	flight flightGroup
+
+	// shed counts 429 refusals; coalesced counts requests that waited
+	// behind an identical in-flight request. Both feed the registry via
+	// scrape-time CounterFuncs.
+	shed      atomic.Int64
+	coalesced atomic.Int64
 }
 
 // New returns a Server hosting no graphs yet; Register graphs (or
 // enable Config.AllowLoad and POST them) before serving traffic.
 func New(cfg Config) *Server {
 	s := &Server{
-		cfg:    cfg.withDefaults(),
-		graphs: make(map[string]*tenant),
+		cfg:      cfg.withDefaults(),
+		graphs:   make(map[string]*tenant),
+		obs:      make(map[string]*graphObs),
+		registry: telemetry.NewRegistry(),
 	}
+	telemetry.RegisterProcessMetrics(s.registry)
+	s.registry.GaugeFunc("kmserve_inflight_requests",
+		"HTTP requests currently being served.",
+		func() float64 { return float64(s.inflight.Load()) })
+	s.registry.GaugeFunc("kmserve_graphs",
+		"Graphs currently hosted.",
+		func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return float64(len(s.graphs))
+		})
 	s.routes()
 	return s
 }
@@ -140,6 +176,7 @@ func (s *Server) register(name string, c *kmgraph.Cluster) (*tenant, error) {
 		cache: newResultCache(s.cfg.CacheEntries),
 	}
 	s.graphs[name] = t
+	s.registerTenantMetrics(t)
 	return t, nil
 }
 
@@ -157,28 +194,96 @@ func (s *Server) Close() error {
 		if cerr := t.c.Close(); err == nil {
 			err = cerr
 		}
+		s.registry.DropLabeled("graph", t.name)
+		s.dropObs(t.name)
 	}
 	return err
 }
 
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// statusWriter captures the response status and lets the matched route
+// tag itself with an endpoint name for per-endpoint metrics (go.mod
+// targets a Go version without http.Request.Pattern, so routes
+// self-identify instead).
+type statusWriter struct {
+	http.ResponseWriter
+	code     int
+	endpoint string
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.code = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP instruments every request: request-ID threading, in-flight
+// gauge, per-endpoint latency histogram and status-labeled counter, and
+// (when Config.Logger is set) one structured log record per request.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	rid := r.Header.Get("X-Request-Id")
+	if rid == "" {
+		rid = newRequestID()
+	}
+	w.Header().Set("X-Request-Id", rid)
+	r = r.WithContext(context.WithValue(r.Context(), ridKey{}, rid))
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	s.inflight.Add(1)
+	s.mux.ServeHTTP(sw, r)
+	s.inflight.Add(-1)
+	dur := time.Since(start)
+	endpoint := sw.endpoint
+	if endpoint == "" {
+		endpoint = "other"
+	}
+	ep := telemetry.Label{Name: "endpoint", Value: endpoint}
+	s.registry.Histogram("kmserve_request_seconds",
+		"HTTP request latency in seconds, by endpoint.", ep).Observe(dur.Seconds())
+	s.registry.Counter("kmserve_requests_total",
+		"HTTP requests served, by endpoint and status code.",
+		ep, telemetry.Label{Name: "code", Value: strconv.Itoa(sw.code)}).Inc()
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("id", rid),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("endpoint", endpoint),
+			slog.Int("status", sw.code),
+			slog.Duration("duration", dur),
+			slog.String("cache", sw.Header().Get("X-Kmserve-Cache")),
+		)
+	}
+}
+
+// handle registers a route whose requests are tagged with the endpoint
+// name for the per-endpoint series.
+func (s *Server) handle(pattern, endpoint string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		if sw, ok := w.(*statusWriter); ok {
+			sw.endpoint = endpoint
+		}
+		h(w, r)
+	})
+}
 
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /graphs", s.handleList)
-	s.mux.HandleFunc("POST /graphs", s.handleLoad)
-	s.mux.HandleFunc("DELETE /graphs/{name}", s.handleUnload)
-	s.mux.HandleFunc("GET /graphs/{name}", s.handleInfo)
-	s.mux.HandleFunc("GET /graphs/{name}/metrics", s.handleMetrics)
+	s.handle("GET /healthz", "healthz", s.handleHealth)
+	s.handle("GET /metrics", "metrics", s.handlePrometheus)
+	s.handle("GET /version", "version", s.handleVersion)
+	s.handle("GET /graphs", "list", s.handleList)
+	s.handle("POST /graphs", "load", s.handleLoad)
+	s.handle("DELETE /graphs/{name}", "unload", s.handleUnload)
+	s.handle("GET /graphs/{name}", "info", s.handleInfo)
+	s.handle("GET /graphs/{name}/metrics", "graph_metrics", s.handleMetrics)
+	s.handle("GET /graphs/{name}/trace", "trace", s.handleTrace)
 	for _, m := range []string{"GET", "POST"} {
-		s.mux.HandleFunc(m+" /graphs/{name}/connectivity", s.handleConnectivity)
-		s.mux.HandleFunc(m+" /graphs/{name}/spanning-tree", s.handleSpanningTree)
-		s.mux.HandleFunc(m+" /graphs/{name}/mst", s.handleMST)
-		s.mux.HandleFunc(m+" /graphs/{name}/mincut", s.handleMinCut)
+		s.handle(m+" /graphs/{name}/connectivity", "connectivity", s.handleConnectivity)
+		s.handle(m+" /graphs/{name}/spanning-tree", "spanning-tree", s.handleSpanningTree)
+		s.handle(m+" /graphs/{name}/mst", "mst", s.handleMST)
+		s.handle(m+" /graphs/{name}/mincut", "mincut", s.handleMinCut)
 	}
-	s.mux.HandleFunc("POST /graphs/{name}/verify", s.handleVerify)
-	s.mux.HandleFunc("POST /graphs/{name}/batch", s.handleBatch)
+	s.handle("POST /graphs/{name}/verify", "verify", s.handleVerify)
+	s.handle("POST /graphs/{name}/batch", "batch", s.handleBatch)
 }
 
 // ---- plumbing ----------------------------------------------------------
@@ -234,6 +339,7 @@ func (t *tenant) admit(w http.ResponseWriter) bool {
 	case t.slots <- struct{}{}:
 		return true
 	default:
+		t.shed.Add(1)
 		queued, running := t.c.Queue()
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests,
@@ -405,7 +511,13 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	if k <= 0 {
 		k = s.cfg.DefaultK
 	}
-	opts := []kmgraph.ClusterOption{kmgraph.WithSeed(seed)}
+	opts := []kmgraph.ClusterOption{
+		kmgraph.WithSeed(seed),
+		// Runtime loads get the same observability as startup loads:
+		// job metrics and phase-annotated traces from the first event on.
+		kmgraph.WithObserver(s.JobObserver(req.Name)),
+		kmgraph.WithPhaseMetrics(),
+	}
 	if k > 0 {
 		opts = append(opts, kmgraph.WithK(k))
 	}
@@ -439,6 +551,8 @@ func (s *Server) handleUnload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown graph %q", name)
 		return
 	}
+	s.registry.DropLabeled("graph", name)
+	s.dropObs(name)
 	if err := t.c.Close(); err != nil {
 		writeError(w, http.StatusInternalServerError, "close: %v", err)
 		return
@@ -497,11 +611,16 @@ func (s *Server) runCached(w http.ResponseWriter, r *http.Request, t *tenant, jo
 	// concurrent requester. With caching disabled there is nothing for
 	// followers to re-check, so every request runs its own job.
 	if t.cache.enabled() {
+		waited := false
 		for {
 			done, leader := t.flight.join(key)
 			if leader {
 				defer t.flight.leave(key)
 				break
+			}
+			if !waited {
+				waited = true
+				t.coalesced.Add(1)
 			}
 			select {
 			case <-done:

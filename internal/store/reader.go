@@ -232,8 +232,10 @@ func (r *Reader) checkBlock(b int) error {
 	if r.verified[b].Load() {
 		return nil
 	}
+	statCRCVerifications.Add(1)
 	blk := r.payload[r.blockOff[b]:r.blockOff[b+1]]
 	if got, want := crcOf(blk), getU32(r.index[indexEntryLen*b+12:]); got != want {
+		statCRCFailures.Add(1)
 		return fmt.Errorf("store: block %d checksum mismatch (%08x != %08x)", b, got, want)
 	}
 	r.verified[b].Store(true)
@@ -292,6 +294,7 @@ func (s *readerSource) Next() (graph.Edge, error) {
 					s.err = err
 					return graph.Edge{}, err
 				}
+				statBlocksDecoded.Add(1)
 				s.buf = r.payload[r.blockOff[s.block]:r.blockOff[s.block+1]]
 				s.row = int(getU32(r.index[indexEntryLen*s.block:]))
 				s.block++

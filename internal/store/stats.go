@@ -1,0 +1,38 @@
+package store
+
+import "sync/atomic"
+
+// Process-wide decode accounting. The counters are package-level (not
+// per-Reader) because they feed process-level telemetry: a serving
+// process wants "how much store work is this process doing", summed
+// over every tenant's Reader, and per-Reader counters would be lost
+// each time a graph is unloaded. All three are monotone.
+var (
+	statBlocksDecoded    atomic.Int64
+	statCRCVerifications atomic.Int64
+	statCRCFailures      atomic.Int64
+)
+
+// Stats is a snapshot of the process-wide store decode counters.
+type Stats struct {
+	// BlocksDecoded counts edge blocks entered by scans (a block
+	// re-scanned by a later iterator counts again: this meters decode
+	// work performed, not unique blocks touched).
+	BlocksDecoded int64
+	// CRCVerifications counts block payload checksums actually computed
+	// (each block verifies lazily at most once per Reader, so for one
+	// scan of one Reader this equals the block count; racing iterators
+	// may add a handful of duplicate verifications).
+	CRCVerifications int64
+	// CRCFailures counts checksum mismatches (corrupted blocks).
+	CRCFailures int64
+}
+
+// ReadStats returns the process-wide decode counters.
+func ReadStats() Stats {
+	return Stats{
+		BlocksDecoded:    statBlocksDecoded.Load(),
+		CRCVerifications: statCRCVerifications.Load(),
+		CRCFailures:      statCRCFailures.Load(),
+	}
+}

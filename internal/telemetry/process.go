@@ -1,0 +1,52 @@
+package telemetry
+
+import (
+	"runtime"
+
+	"kmgraph/internal/procstat"
+	"kmgraph/internal/store"
+)
+
+// RegisterProcessMetrics wires process- and runtime-level gauges into a
+// registry: resident set size (current and peak, via procstat),
+// goroutine count, heap occupancy, GC cycles, and the store's
+// process-wide decode counters. All values are read at scrape time;
+// registering costs nothing between scrapes.
+func RegisterProcessMetrics(r *Registry) {
+	r.GaugeFunc("process_resident_memory_bytes",
+		"Current resident set size in bytes (0 where unavailable).",
+		func() float64 { return float64(procstat.RSSBytes()) })
+	r.GaugeFunc("process_max_resident_memory_bytes",
+		"Peak resident set size in bytes (rusage).",
+		func() float64 { return float64(procstat.MaxRSSBytes()) })
+	r.GaugeFunc("go_goroutines",
+		"Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	// One ReadMemStats serves all heap gauges per scrape: the samples
+	// within a family are rendered in one pass, and a scrape happens at
+	// human frequency, so the brief stop-the-world is acceptable here
+	// (and nowhere near any job's round loop).
+	r.GaugeFunc("go_heap_alloc_bytes",
+		"Bytes of allocated heap objects.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	r.CounterFunc("go_gc_cycles_total",
+		"Completed GC cycles.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.NumGC)
+		})
+	r.CounterFunc("kmgs_blocks_decoded_total",
+		"Store edge blocks entered by scans, process-wide.",
+		func() float64 { return float64(store.ReadStats().BlocksDecoded) })
+	r.CounterFunc("kmgs_crc_verifications_total",
+		"Store block checksums computed, process-wide.",
+		func() float64 { return float64(store.ReadStats().CRCVerifications) })
+	r.CounterFunc("kmgs_crc_failures_total",
+		"Store block checksum mismatches, process-wide.",
+		func() float64 { return float64(store.ReadStats().CRCFailures) })
+}

@@ -1,0 +1,269 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"kmgraph/internal/kmachine"
+	"kmgraph/internal/resident"
+)
+
+// TraceEvent is one Chrome trace-event (the JSON schema Perfetto and
+// chrome://tracing load). Ts and Dur are microseconds since the
+// tracer's epoch.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Trace is a complete trace document (JSON object form, the variant
+// that allows metadata alongside the event array).
+type Trace struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// JobTracer turns resident-engine Observer events into a Chrome trace:
+// each job becomes a "job" span enclosing one "phase" span per merge
+// phase plus a trailing "sync" span (the work between the last phase
+// boundary and job completion — certificate sync, result collection).
+//
+// Round accounting telescopes exactly: phase i's rounds are the round
+// counter delta since the previous event, the sync span covers the
+// remainder, so the per-span round totals of a job sum to precisely the
+// job's metered Metrics.Rounds. When the engine runs with PhaseMetrics,
+// spans are additionally annotated with per-phase message and payload
+// deltas and the cumulative max-link-bits skew.
+//
+// A JobTracer is safe for concurrent use (Observer callbacks arrive on
+// engine goroutines while Snapshot/WriteTo run on servers') and is
+// attached via WithObserver / Config.Observer.
+type JobTracer struct {
+	mu        sync.Mutex
+	epoch     time.Time
+	events    []TraceEvent
+	jobs      map[int]*traceJob
+	maxEvents int
+}
+
+// traceJob is the open-span state of one in-flight job.
+type traceJob struct {
+	name       string
+	start      time.Time
+	startRound int
+	lastT      time.Time
+	lastRound  int
+	lastSnap   *kmachine.Metrics
+	phases     int
+}
+
+// NewJobTracer returns a tracer whose time origin is now.
+func NewJobTracer() *JobTracer {
+	t := &JobTracer{
+		epoch: time.Now(),
+		jobs:  make(map[int]*traceJob),
+	}
+	t.events = append(t.events,
+		TraceEvent{Name: "process_name", Ph: "M", Pid: 1, Tid: 1,
+			Args: map[string]any{"name": "kmgraph"}},
+		TraceEvent{Name: "thread_name", Ph: "M", Pid: 1, Tid: 1,
+			Args: map[string]any{"name": "resident engine"}},
+	)
+	return t
+}
+
+// SetMaxEvents bounds the retained event buffer: when a completed job
+// pushes the buffer past n, the oldest job spans are discarded (the
+// serving layer uses this so a long-lived tenant's tracer holds the
+// recent jobs, not the whole session).
+func (t *JobTracer) SetMaxEvents(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.maxEvents = n
+}
+
+// us converts an absolute time to trace microseconds.
+func (t *JobTracer) us(at time.Time) float64 {
+	return float64(at.Sub(t.epoch).Nanoseconds()) / 1e3
+}
+
+// Observer returns the callback to register with the engine
+// (resident.Config.Observer / kmgraph.WithObserver).
+func (t *JobTracer) Observer() func(resident.Event) {
+	return t.observe
+}
+
+func (t *JobTracer) observe(ev resident.Event) {
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch {
+	case ev.Phase < 0 && !ev.Done:
+		t.jobs[ev.Seq] = &traceJob{
+			name:       ev.Job,
+			start:      now,
+			startRound: ev.Round,
+			lastT:      now,
+			lastRound:  ev.Round,
+			lastSnap:   ev.Snap,
+		}
+
+	case ev.Phase >= 0:
+		j := t.open(ev, now)
+		args := map[string]any{
+			"phase":    ev.Phase,
+			"rounds":   ev.Round - j.lastRound,
+			"round":    ev.Round,
+			"active":   ev.Active,
+			"failures": ev.Failures,
+		}
+		t.annotate(args, j.lastSnap, ev.Snap)
+		t.events = append(t.events, TraceEvent{
+			Name: fmt.Sprintf("phase %d", ev.Phase), Cat: "phase", Ph: "X",
+			Ts: t.us(j.lastT), Dur: t.us(now) - t.us(j.lastT),
+			Pid: 1, Tid: 1, Args: args,
+		})
+		j.lastT = now
+		j.lastRound = ev.Round
+		if ev.Snap != nil {
+			j.lastSnap = ev.Snap
+		}
+		j.phases++
+
+	case ev.Done:
+		j := t.open(ev, now)
+		if j.phases > 0 {
+			// The remainder between the last phase boundary and job
+			// completion (certificate sync, final collectives). Always
+			// emitted — even 0-round — so span rounds telescope exactly
+			// to the job's metered total.
+			args := map[string]any{
+				"rounds": ev.Round - j.lastRound,
+				"round":  ev.Round,
+			}
+			t.annotate(args, j.lastSnap, ev.Snap)
+			t.events = append(t.events, TraceEvent{
+				Name: "sync", Cat: "phase", Ph: "X",
+				Ts: t.us(j.lastT), Dur: t.us(now) - t.us(j.lastT),
+				Pid: 1, Tid: 1, Args: args,
+			})
+		}
+		rounds := ev.Round - j.startRound
+		args := map[string]any{
+			"seq":    ev.Seq,
+			"rounds": rounds,
+			"phases": j.phases,
+		}
+		if ev.Delta != nil {
+			args["rounds"] = ev.Delta.Rounds
+			args["messages"] = ev.Delta.Messages
+			args["payload_bytes"] = ev.Delta.PayloadBytes
+		}
+		if ev.Snap != nil {
+			args["max_link_bits"] = ev.Snap.MaxLinkBits
+			if mean := ev.Snap.MeanLinkBits(); mean > 0 {
+				args["link_skew"] = float64(ev.Snap.MaxLinkBits) / mean
+			}
+		}
+		if ev.Err != "" {
+			args["err"] = ev.Err
+		}
+		t.events = append(t.events, TraceEvent{
+			Name: fmt.Sprintf("%s #%d", ev.Job, ev.Seq), Cat: "job", Ph: "X",
+			Ts: t.us(j.start), Dur: t.us(now) - t.us(j.start),
+			Pid: 1, Tid: 1, Args: args,
+		})
+		delete(t.jobs, ev.Seq)
+		t.trim()
+	}
+}
+
+// open returns the in-flight record for the event's job, synthesizing
+// one when the tracer was attached mid-job (or, for the load job, when
+// there is no start event at all: the load span then starts at the
+// tracer's epoch with round origin 0, which is exact — the session
+// round counter starts at 0).
+func (t *JobTracer) open(ev resident.Event, now time.Time) *traceJob {
+	if j, ok := t.jobs[ev.Seq]; ok {
+		return j
+	}
+	start := now
+	startRound := ev.Round
+	if ev.Job == "load" {
+		start = t.epoch
+		startRound = 0
+	}
+	j := &traceJob{name: ev.Job, start: start, startRound: startRound,
+		lastT: start, lastRound: startRound}
+	t.jobs[ev.Seq] = j
+	return j
+}
+
+// annotate adds PhaseMetrics-derived deltas to a span's args.
+func (t *JobTracer) annotate(args map[string]any, prev, cur *kmachine.Metrics) {
+	if cur == nil {
+		return
+	}
+	if prev != nil {
+		args["messages"] = cur.Messages - prev.Messages
+		args["payload_bytes"] = cur.PayloadBytes - prev.PayloadBytes
+	}
+	args["max_link_bits"] = cur.MaxLinkBits
+	if mean := cur.MeanLinkBits(); mean > 0 {
+		args["link_skew"] = float64(cur.MaxLinkBits) / mean
+	}
+}
+
+// trim enforces the event cap by dropping the oldest job spans (the
+// two leading metadata records are kept).
+func (t *JobTracer) trim() {
+	if t.maxEvents <= 0 || len(t.events) <= t.maxEvents {
+		return
+	}
+	const meta = 2
+	keep := t.maxEvents - meta
+	if keep < 0 {
+		keep = 0
+	}
+	tail := t.events[len(t.events)-keep:]
+	t.events = append(t.events[:meta:meta], tail...)
+}
+
+// Snapshot returns a copy of the trace so far.
+func (t *JobTracer) Snapshot() Trace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return Trace{
+		TraceEvents:     append([]TraceEvent(nil), t.events...),
+		DisplayTimeUnit: "ms",
+	}
+}
+
+// Write writes the trace as Chrome trace-event JSON.
+func (t *JobTracer) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(t.Snapshot())
+}
+
+// WriteFile writes the trace to path (the CLIs' -trace flag).
+func (t *JobTracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,178 @@
+package telemetry_test
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"kmgraph"
+	"kmgraph/internal/telemetry"
+)
+
+// TestTraceRoundsTelescopeExactly is the tracer's core accounting
+// guarantee: the rounds recorded on a job's phase spans plus its
+// trailing sync span sum to precisely the job's metered Metrics.Rounds
+// — no rounds invented, none lost.
+func TestTraceRoundsTelescopeExactly(t *testing.T) {
+	tracer := telemetry.NewJobTracer()
+	g := kmgraph.GNM(600, 1800, 3)
+	cl, err := kmgraph.NewCluster(g,
+		kmgraph.WithK(4), kmgraph.WithSeed(7),
+		kmgraph.WithObserver(tracer.Observer()),
+		kmgraph.WithPhaseMetrics())
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer cl.Close()
+	res, err := cl.Connectivity(context.Background())
+	if err != nil {
+		t.Fatalf("Connectivity: %v", err)
+	}
+
+	tr := tracer.Snapshot()
+	var jobSpan *telemetry.TraceEvent
+	phaseRounds := 0
+	phaseSpans := 0
+	sawSync := false
+	for i := range tr.TraceEvents {
+		ev := &tr.TraceEvents[i]
+		switch ev.Cat {
+		case "job":
+			if ev.Name == "connectivity #1" {
+				jobSpan = ev
+			}
+		case "phase":
+			// The load job emits no phase events, so every phase/sync
+			// span here belongs to the connectivity job.
+			phaseRounds += asInt(t, ev.Args["rounds"])
+			if ev.Name == "sync" {
+				sawSync = true
+			} else {
+				phaseSpans++
+			}
+		}
+	}
+	if jobSpan == nil {
+		t.Fatalf("no connectivity job span in %d events", len(tr.TraceEvents))
+	}
+	if !sawSync {
+		t.Error("no trailing sync span")
+	}
+	if phaseSpans != res.Phases {
+		t.Errorf("phase spans: %d, want %d", phaseSpans, res.Phases)
+	}
+	if phaseRounds != res.Rounds {
+		t.Errorf("span rounds sum %d != job rounds %d", phaseRounds, res.Rounds)
+	}
+	if got := asInt(t, jobSpan.Args["rounds"]); got != res.Rounds {
+		t.Errorf("job span rounds %d != job rounds %d", got, res.Rounds)
+	}
+	// PhaseMetrics annotations made it onto the job span.
+	if _, ok := jobSpan.Args["messages"]; !ok {
+		t.Errorf("job span missing message delta: %v", jobSpan.Args)
+	}
+}
+
+// TestTraceDocumentSchema validates the serialized form against the
+// Chrome trace-event contract Perfetto relies on: a traceEvents array,
+// every event with name/ph/pid/tid, complete events with non-negative
+// ts and dur.
+func TestTraceDocumentSchema(t *testing.T) {
+	tracer := telemetry.NewJobTracer()
+	cl, err := kmgraph.NewCluster(kmgraph.GNM(200, 600, 1),
+		kmgraph.WithK(4), kmgraph.WithSeed(1),
+		kmgraph.WithObserver(tracer.Observer()),
+		kmgraph.WithPhaseMetrics())
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer cl.Close()
+	if _, err := cl.Connectivity(context.Background()); err != nil {
+		t.Fatalf("Connectivity: %v", err)
+	}
+
+	data, err := json.Marshal(tracer.Snapshot())
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		DisplayUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if doc.DisplayUnit != "ms" {
+		t.Errorf("displayTimeUnit: %q", doc.DisplayUnit)
+	}
+	if len(doc.TraceEvents) < 3 { // 2 metadata + at least the load span
+		t.Fatalf("too few events: %d", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		for _, field := range []string{"name", "ph", "pid", "tid"} {
+			if _, ok := ev[field]; !ok {
+				t.Errorf("event missing %q: %v", field, ev)
+			}
+		}
+		ph, _ := ev["ph"].(string)
+		switch ph {
+		case "X":
+			ts, _ := ev["ts"].(float64)
+			if ts < 0 {
+				t.Errorf("negative ts: %v", ev)
+			}
+			if dur, ok := ev["dur"].(float64); ok && dur < 0 {
+				t.Errorf("negative dur: %v", ev)
+			}
+		case "M":
+		default:
+			t.Errorf("unexpected phase type %q: %v", ph, ev)
+		}
+	}
+}
+
+// TestTraceTrimKeepsMetadataAndRecentSpans bounds the buffer the way
+// the serving layer uses it.
+func TestTraceTrimKeepsMetadataAndRecentSpans(t *testing.T) {
+	tracer := telemetry.NewJobTracer()
+	tracer.SetMaxEvents(8)
+	cl, err := kmgraph.NewCluster(kmgraph.GNM(200, 600, 1),
+		kmgraph.WithK(4), kmgraph.WithSeed(1),
+		kmgraph.WithObserver(tracer.Observer()),
+		kmgraph.WithPhaseMetrics())
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer cl.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Connectivity(context.Background()); err != nil {
+			t.Fatalf("Connectivity: %v", err)
+		}
+	}
+	tr := tracer.Snapshot()
+	if len(tr.TraceEvents) > 8 {
+		t.Errorf("buffer exceeds cap: %d events", len(tr.TraceEvents))
+	}
+	if tr.TraceEvents[0].Name != "process_name" || tr.TraceEvents[1].Name != "thread_name" {
+		t.Errorf("metadata lost after trim: %v, %v", tr.TraceEvents[0], tr.TraceEvents[1])
+	}
+}
+
+// asInt reads a numeric arg that may be float64 (after JSON) or a Go
+// integer type (straight from Snapshot).
+func asInt(t *testing.T, v any) int {
+	t.Helper()
+	switch x := v.(type) {
+	case int:
+		return x
+	case int64:
+		return int(x)
+	case uint64:
+		return int(x)
+	case float64:
+		return int(x)
+	default:
+		t.Fatalf("non-numeric arg %T: %v", v, v)
+		return 0
+	}
+}
