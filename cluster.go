@@ -17,6 +17,7 @@ import (
 	"kmgraph/internal/resident"
 	"kmgraph/internal/sketch"
 	"kmgraph/internal/store"
+	"kmgraph/internal/transport"
 )
 
 // DefaultClusterK is the machine count NewCluster uses when WithK is not
@@ -184,6 +185,12 @@ var ErrClusterClosed = resident.ErrClosed
 // counted in Metrics().ObserverPanics, but the job is failed so the
 // caller knows its progress stream is incomplete.
 var ErrObserverPanic = resident.ErrObserverPanic
+
+// ErrLinkDown is the typed failure of distributed jobs (-transport tcp,
+// kmworker fleets): a peer process died or desynchronized mid-round, so
+// the job fails promptly at the barrier instead of hanging. Match with
+// errors.Is to tell a crashed fleet from a bad job spec.
+var ErrLinkDown = transport.ErrLinkDown
 
 // NewCluster loads g across a resident k-machine cluster (one graph
 // distribution, metered as Metrics().Load) and returns the job interface.

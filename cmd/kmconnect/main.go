@@ -10,9 +10,20 @@
 //	          [-k 8] [-seed 1] [-timeout 0] [-trace out.json]
 //	          [-algo sketch|edgecheck|flooding|referee]
 //	kmconnect -store graph.kmgs [-k 8] [-seed 1] [-timeout 0] [-trace out.json]
+//	kmconnect -transport tcp -workers host:9601,host:9602 \
+//	          (-store graph.kmgs | -gen gnm -n ... -m ...) [-k 8] [-seed 1]
 //
 // With -store, the graph is served shard-direct from a kmgs container
 // (see cmd/kmconvert) and never materialized in this process.
+//
+// With -transport tcp, the k machines run distributed across the
+// kmworker processes listed in -workers (see cmd/kmworker): this
+// process coordinates, each worker loads its own slice of the graph
+// from the source spec and hosts a contiguous machine range. Only
+// -store and -gen gnm sources are supported (the workers must be able
+// to reproduce the graph independently), and only the one-shot sketch
+// algorithm runs distributed. The result and its Metrics are
+// bit-identical to a local run with the same parameters.
 //
 // With -trace, the resident engine's phase events are recorded and
 // written as Chrome trace-event JSON (loadable in Perfetto or
@@ -27,9 +38,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"kmgraph"
+	"kmgraph/internal/core"
+	"kmgraph/internal/dist"
 	"kmgraph/internal/procstat"
 	"kmgraph/internal/telemetry"
 )
@@ -181,6 +195,35 @@ func runStore(path string, k int, seed int64, timeout time.Duration, materialize
 	writeTrace(tracer, tracePath)
 }
 
+// runDistributed coordinates a connectivity job over a kmworker fleet.
+func runDistributed(workers []string, source string, k int, seed int64, timeout time.Duration) {
+	fmt.Printf("distributed: %s over %d workers, k=%d\n", source, len(workers), k)
+	ctx, cancel := jobCtx(timeout)
+	defer cancel()
+	start := time.Now()
+	res, err := dist.RunConnectivity(ctx, workers, source, core.Config{K: k, Seed: seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("components: %d\n", res.Components)
+	fmt.Printf("phases: %d  sketch failures: %d\n", res.Phases, res.SketchFailures)
+	fmt.Printf("cost: %s (wall %v)\n", res.Metrics.String(), time.Since(start).Round(time.Millisecond))
+}
+
+// distSource maps the graph flags to a dist source spec that every
+// worker can open independently.
+func distSource(storePath, gen string, n, m int, seed int64) (string, error) {
+	switch {
+	case storePath != "":
+		return "store:" + storePath, nil
+	case gen == "gnm":
+		return fmt.Sprintf("gnm:%d:%d:%d", n, m, seed), nil
+	default:
+		return "", fmt.Errorf("-transport tcp supports -store or -gen gnm (got -gen %s)", gen)
+	}
+}
+
 func main() {
 	gen := flag.String("gen", "gnm", "graph generator")
 	input := flag.String("input", "", "read an edge-list file instead of generating")
@@ -196,10 +239,33 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "job deadline (0 = none), e.g. 30s")
 	algo := flag.String("algo", "sketch", "sketch|edgecheck|flooding|referee")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the resident job's phases to this file")
+	transportMode := flag.String("transport", "local", "local|tcp: where the k machines run")
+	workerList := flag.String("workers", "", "with -transport tcp: comma-separated kmworker addresses")
 	flag.Parse()
 
 	if *tracePath != "" && *storePath == "" && *algo != "sketch" {
 		fmt.Fprintln(os.Stderr, "kmconnect: -trace requires the resident engine (-algo sketch or -store)")
+		os.Exit(2)
+	}
+	switch *transportMode {
+	case "local":
+	case "tcp":
+		if *workerList == "" {
+			fmt.Fprintln(os.Stderr, "kmconnect: -transport tcp requires -workers")
+			os.Exit(2)
+		}
+		if *m == 0 {
+			*m = 3 * *n
+		}
+		source, err := distSource(*storePath, *gen, *n, *m, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kmconnect: %v\n", err)
+			os.Exit(2)
+		}
+		runDistributed(strings.Split(*workerList, ","), source, *k, *seed, *timeout)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "kmconnect: unknown transport %q\n", *transportMode)
 		os.Exit(2)
 	}
 	if *storePath != "" {

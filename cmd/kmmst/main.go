@@ -7,10 +7,19 @@
 //
 //	kmmst [-n 2048] [-m 6144] [-k 8] [-seed 1] [-timeout 0] [-strong] [-rep]
 //	      [-trace out.json]
+//	kmmst -transport tcp -workers host:9601,host:9602 -store graph.kmgs
+//	      [-k 8] [-seed 1] [-strong]
 //
 // With -trace, the resident engine's phase events are written as Chrome
 // trace-event JSON (Perfetto / chrome://tracing). -rep does not use the
 // resident engine and cannot be traced.
+//
+// With -transport tcp, the k machines run distributed across the
+// kmworker processes listed in -workers; each loads its slice of the
+// graph from the -store spec (the path must be readable by every
+// worker). The result and Metrics are bit-identical to a local
+// shard-direct run. No oracle check (the coordinator never sees the
+// graph).
 package main
 
 import (
@@ -18,9 +27,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"kmgraph"
+	"kmgraph/internal/core"
+	"kmgraph/internal/dist"
 	"kmgraph/internal/telemetry"
 )
 
@@ -58,6 +70,24 @@ func jobCtx(timeout time.Duration) (context.Context, context.CancelFunc) {
 	return context.WithCancel(context.Background())
 }
 
+// runDistributed coordinates an MST job over a kmworker fleet.
+func runDistributed(workers []string, source string, k int, seed int64, strong bool, timeout time.Duration) {
+	fmt.Printf("distributed: %s over %d workers, k=%d\n", source, len(workers), k)
+	ctx, cancel := jobCtx(timeout)
+	defer cancel()
+	start := time.Now()
+	cfg := core.MSTConfig{Config: core.Config{K: k, Seed: seed}, StrongOutput: strong}
+	res, err := dist.RunMST(ctx, workers, source, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("MST: weight=%d edges=%d\n", res.TotalWeight, len(res.Edges))
+	fmt.Printf("phases: %d  elimination iterations: %d  sketch failures: %d\n",
+		res.Phases, res.ElimIters, res.SketchFailures)
+	fmt.Printf("cost: %s (wall %v)\n", res.Metrics.String(), time.Since(start).Round(time.Millisecond))
+}
+
 func main() {
 	n := flag.Int("n", 2048, "vertices")
 	m := flag.Int("m", 0, "edges (default 3n)")
@@ -68,12 +98,27 @@ func main() {
 	repMode := flag.Bool("rep", false, "use the random edge partition model instead")
 	storePath := flag.String("store", "", "serve a kmgs store shard-direct (never materializes the graph; no oracle check)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the resident job's phases to this file")
+	transportMode := flag.String("transport", "local", "local|tcp: where the k machines run")
+	workerList := flag.String("workers", "", "with -transport tcp: comma-separated kmworker addresses")
 	flag.Parse()
 	if *m == 0 {
 		*m = 3 * *n
 	}
 	if *tracePath != "" && *repMode {
 		fmt.Fprintln(os.Stderr, "kmmst: -trace requires the resident engine (not -rep)")
+		os.Exit(2)
+	}
+	switch *transportMode {
+	case "local":
+	case "tcp":
+		if *workerList == "" || *storePath == "" {
+			fmt.Fprintln(os.Stderr, "kmmst: -transport tcp requires -workers and -store")
+			os.Exit(2)
+		}
+		runDistributed(strings.Split(*workerList, ","), "store:"+*storePath, *k, *seed, *strong, *timeout)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "kmmst: unknown transport %q\n", *transportMode)
 		os.Exit(2)
 	}
 	tracer, clOpts := traceOpts(*tracePath)

@@ -1,0 +1,77 @@
+// Command kmworker hosts a contiguous range of a distributed k-machine
+// cluster. A coordinator (kmconnect/kmmst with -transport tcp) dials
+// the worker, ships a job spec, and the worker forms a TCP mesh with
+// its peers, loads its slice of the graph shard-direct from the job's
+// source spec, runs the round engine over its hosted machines, and
+// returns its partial result on the control connection. Workers are
+// stateless between jobs and serve concurrent jobs from different
+// coordinators.
+//
+// Usage:
+//
+//	kmworker -listen :9601 [-metrics-addr :9602] [-mesh-timeout 60s]
+//
+// With -metrics-addr, the worker serves its transport telemetry
+// (per-link bytes/frames, reconnects, handshake failures, barrier-wait
+// histogram) in Prometheus exposition format on GET /metrics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"kmgraph/internal/dist"
+	"kmgraph/internal/telemetry"
+	"kmgraph/internal/transport/tcp"
+)
+
+func main() {
+	listen := flag.String("listen", ":9601", "address to serve jobs and peer links on")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus transport telemetry on this address (empty = off)")
+	meshTimeout := flag.Duration("mesh-timeout", 60*time.Second, "bound on forming the full peer mesh for one job")
+	flag.Parse()
+
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		tcp.RegisterTelemetry(reg)
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			reg.WritePrometheus(w)
+		})
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kmworker: metrics listener: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("kmworker: metrics on http://%s/metrics\n", mln.Addr())
+		go http.Serve(mln, mux)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kmworker: %v\n", err)
+		os.Exit(1)
+	}
+	w := dist.NewWorker(ln, dist.WorkerOptions{MeshTimeout: *meshTimeout})
+	fmt.Printf("kmworker: serving on %s\n", w.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "kmworker: shutting down")
+		w.Close()
+	}()
+
+	if err := w.Serve(); err != nil {
+		fmt.Fprintf(os.Stderr, "kmworker: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,256 @@
+package dist
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"kmgraph/internal/core"
+	"kmgraph/internal/kmachine"
+	"kmgraph/internal/transport"
+	"kmgraph/internal/transport/tcp"
+	"kmgraph/internal/wire"
+)
+
+// The coordinator hosts zero machines: it assigns ranges, ships the
+// job, and reassembles the workers' partial results. All round traffic
+// flows worker-to-worker.
+
+// SplitRanges assigns k machines to w workers as contiguous, near-even
+// ranges (the first k%w workers get one extra machine).
+func SplitRanges(k, w int) ([][2]int, error) {
+	if w < 1 {
+		return nil, errors.New("dist: no workers")
+	}
+	if w > k {
+		return nil, fmt.Errorf("dist: %d workers for %d machines (need w <= k)", w, k)
+	}
+	ranges := make([][2]int, w)
+	base, extra := k/w, k%w
+	lo := 0
+	for i := range ranges {
+		hi := lo + base
+		if i < extra {
+			hi++
+		}
+		ranges[i] = [2]int{lo, hi}
+		lo = hi
+	}
+	return ranges, nil
+}
+
+func newClusterID() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("dist: crypto/rand unavailable: " + err.Error())
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// RunConnectivity runs a distributed connectivity job over the worker
+// fleet at addrs, on the graph named by the source spec. The assembled
+// result (and its Metrics) is bit-identical to core.RunSource with the
+// same spec and configuration.
+func RunConnectivity(ctx context.Context, addrs []string, source string, cfg core.Config) (*core.Result, error) {
+	job := Job{Kind: KindConnectivity, Source: source, Conn: cfg}
+	res, n, err := run(ctx, addrs, job)
+	if err != nil {
+		return nil, err
+	}
+	return core.Assemble(n, res)
+}
+
+// RunMST runs a distributed MST job over the worker fleet at addrs.
+func RunMST(ctx context.Context, addrs []string, source string, cfg core.MSTConfig) (*core.MSTResult, error) {
+	job := Job{Kind: KindMST, Source: source, MST: cfg}
+	res, n, err := run(ctx, addrs, job)
+	if err != nil {
+		return nil, err
+	}
+	return core.AssembleMST(n, res)
+}
+
+type gathered struct {
+	idx int
+	rf  *resultFrame
+	err error
+}
+
+// run ships the job to every worker, gathers and merges the partials.
+func run(ctx context.Context, addrs []string, job Job) (*kmachine.Result, int, error) {
+	k := job.K()
+	ranges, err := SplitRanges(k, len(addrs))
+	if err != nil {
+		return nil, 0, err
+	}
+	job.ClusterID = newClusterID()
+	job.Workers = make([]WorkerSpec, len(addrs))
+	for i, a := range addrs {
+		job.Workers[i] = WorkerSpec{Addr: a, Lo: ranges[i][0], Hi: ranges[i][1]}
+	}
+
+	conns := make([]net.Conn, len(addrs))
+	closeAll := func() {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}
+	for i, a := range addrs {
+		conn, err := net.DialTimeout("tcp", a, 10*time.Second)
+		if err != nil {
+			closeAll()
+			return nil, 0, fmt.Errorf("dist: dialing worker %d at %s: %w", i, a, err)
+		}
+		conns[i] = conn
+		job.Index = i
+		conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+		if _, err := conn.Write(tcp.AppendFrame(nil, tcp.FrameJob, AppendJob(nil, &job))); err != nil {
+			closeAll()
+			return nil, 0, fmt.Errorf("dist: sending job to worker %d: %w", i, err)
+		}
+	}
+
+	// Cancellation reaches workers by hanging up their control
+	// connections; each worker then cancels its job context, and the
+	// abort propagates through the mesh as closing links.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			closeAll()
+		case <-watchDone:
+		}
+	}()
+
+	results := make(chan gathered, len(conns))
+	for i, conn := range conns {
+		go func(i int, conn net.Conn) {
+			rf, err := gatherOne(conn)
+			results <- gathered{idx: i, rf: rf, err: err}
+		}(i, conn)
+	}
+
+	met := transport.NewMetrics(k)
+	outputs := make([]any, k)
+	n := -1
+	var firstErr error
+	// A dying worker makes every peer report ErrLinkDown while the dead
+	// one itself may only report a cancelled context; prefer the typed
+	// link-down error so callers can tell a crash from a bad job.
+	setErr := func(err error) {
+		if firstErr == nil ||
+			(!errors.Is(firstErr, transport.ErrLinkDown) && errors.Is(err, transport.ErrLinkDown)) {
+			firstErr = err
+		}
+	}
+	for range conns {
+		g := <-results
+		if g.err != nil {
+			setErr(fmt.Errorf("dist: worker %d (%s): %w", g.idx, addrs[g.idx], g.err))
+			continue
+		}
+		rf := g.rf
+		want := ranges[g.idx]
+		if rf.lo != want[0] || rf.hi != want[1] {
+			setErr(fmt.Errorf("dist: worker %d reported range [%d,%d), want [%d,%d)",
+				g.idx, rf.lo, rf.hi, want[0], want[1]))
+			continue
+		}
+		if n == -1 {
+			n = rf.n
+		} else if rf.n != n {
+			setErr(fmt.Errorf("dist: workers disagree on n (%d vs %d)", rf.n, n))
+			continue
+		}
+		pm, err := transport.ReadMetrics(wire.NewReader(rf.metrics))
+		if err == nil {
+			err = transport.MergeMetrics(met, pm)
+		}
+		if err != nil {
+			setErr(err)
+			continue
+		}
+		for i, o := range rf.outputs {
+			outputs[rf.lo+i] = o
+		}
+	}
+	closeAll()
+	if firstErr != nil {
+		if ctx.Err() != nil {
+			return nil, 0, ctx.Err()
+		}
+		return nil, 0, firstErr
+	}
+	met.Finish()
+	return &kmachine.Result{Metrics: *met, Outputs: outputs}, n, nil
+}
+
+// gatherOne reads a worker's result (or error) frame. No read deadline:
+// a job runs as long as it runs; a dying worker closes the connection
+// and surfaces here as an error.
+func gatherOne(conn net.Conn) (*resultFrame, error) {
+	conn.SetReadDeadline(time.Time{})
+	var buf []byte
+	t, body, err := tcp.ReadFrame(conn, &buf)
+	if err != nil {
+		return nil, fmt.Errorf("dist: reading result: %v: %w", err, transport.ErrLinkDown)
+	}
+	switch t {
+	case tcp.FrameResult:
+		return decodeResultFrame(body)
+	case tcp.FrameError:
+		ef, err := decodeErrorFrame(body)
+		if err != nil {
+			return nil, err
+		}
+		if ef.linkDown {
+			return nil, fmt.Errorf("dist: remote job failed: %s: %w", ef.msg, transport.ErrLinkDown)
+		}
+		return nil, fmt.Errorf("dist: remote job failed: %s", ef.msg)
+	default:
+		return nil, fmt.Errorf("dist: unexpected frame type %d from worker", t)
+	}
+}
+
+func decodeResultFrame(body []byte) (*resultFrame, error) {
+	r := wire.NewReader(body)
+	rf := &resultFrame{
+		n:  int(r.Uvarint()),
+		lo: int(r.Uvarint()),
+		hi: int(r.Uvarint()),
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if rf.n < 0 || rf.lo < 0 || rf.hi <= rf.lo || rf.hi-rf.lo > maxK {
+		return nil, fmt.Errorf("dist: result frame with n=%d range [%d,%d)", rf.n, rf.lo, rf.hi)
+	}
+	// Metrics claim the rest of the frame up to the outputs; re-parse via
+	// the shared reader so offsets stay aligned.
+	pm, err := transport.ReadMetrics(r)
+	if err != nil {
+		return nil, err
+	}
+	rf.metrics = transport.AppendMetrics(nil, pm)
+	for i := rf.lo; i < rf.hi; i++ {
+		o, err := core.ReadOutput(r)
+		if err != nil {
+			return nil, err
+		}
+		rf.outputs = append(rf.outputs, o)
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return rf, nil
+}
+
+// maxK mirrors the transport's machine bound.
+const maxK = 1 << 16

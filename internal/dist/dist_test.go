@@ -1,0 +1,296 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"kmgraph/internal/core"
+	"kmgraph/internal/graph"
+	"kmgraph/internal/kmachine"
+	"kmgraph/internal/store"
+	"kmgraph/internal/transport"
+)
+
+// metricsFingerprint folds every field of a Metrics — including the
+// full LinkBits matrix and per-machine counters — so any drift between
+// the local and TCP backends shows up as a mismatch.
+func metricsFingerprint(m *kmachine.Metrics) uint64 {
+	h := fnv.New64a()
+	add := func(x int64) {
+		var b [8]byte
+		for i := range b {
+			b[i] = byte(uint64(x) >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	add(int64(m.Rounds))
+	add(m.Messages)
+	add(m.PayloadBytes)
+	add(m.MaxLinkBits)
+	add(int64(m.DroppedMessages))
+	for _, row := range m.LinkBits {
+		for _, b := range row {
+			add(b)
+		}
+	}
+	for i := range m.SentMsgs {
+		add(m.SentMsgs[i])
+		add(m.RecvMsgs[i])
+	}
+	return h.Sum64()
+}
+
+// startWorkers launches count in-process workers on localhost listeners
+// and returns their dialable addresses.
+func startWorkers(t *testing.T, count int) []string {
+	t.Helper()
+	addrs := make([]string, count)
+	for i := 0; i < count; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := NewWorker(ln, WorkerOptions{MeshTimeout: 30 * time.Second})
+		addrs[i] = w.Addr()
+		go w.Serve()
+		t.Cleanup(func() { w.Close() })
+	}
+	return addrs
+}
+
+// TestGoldenConnectivityLocalVsTCP pins the tentpole acceptance: the
+// same graph, k, and seed produce bit-identical results and Metrics
+// fingerprints whether the k machines share a process (local backend)
+// or run distributed over TCP across three worker processes.
+func TestGoldenConnectivityLocalVsTCP(t *testing.T) {
+	const (
+		n, m = 600, 1800
+		gs   = int64(7)
+		k    = 6
+		seed = int64(11)
+	)
+	cfg := core.Config{K: k, Seed: seed}
+
+	local, err := core.RunSource(graph.StreamGNM(n, m, gs), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addrs := startWorkers(t, 3)
+	spec := fmt.Sprintf("gnm:%d:%d:%d", n, m, gs)
+	dist, err := RunConnectivity(context.Background(), addrs, spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if dist.Components != local.Components {
+		t.Errorf("components: tcp %d, local %d", dist.Components, local.Components)
+	}
+	if dist.Phases != local.Phases || dist.SketchFailures != local.SketchFailures {
+		t.Errorf("phases/failures: tcp %d/%d, local %d/%d",
+			dist.Phases, dist.SketchFailures, local.Phases, local.SketchFailures)
+	}
+	for v := range local.Labels {
+		if dist.Labels[v] != local.Labels[v] {
+			t.Fatalf("label of vertex %d: tcp %d, local %d", v, dist.Labels[v], local.Labels[v])
+		}
+	}
+	lf, df := metricsFingerprint(&local.Metrics), metricsFingerprint(&dist.Metrics)
+	if lf != df {
+		t.Errorf("metrics fingerprint drifted: tcp %d, local %d\n tcp:   %+v\n local: %+v",
+			df, lf, dist.Metrics, local.Metrics)
+	}
+	if local.Metrics.Rounds == 0 || local.Metrics.Messages == 0 {
+		t.Fatalf("degenerate local run: %+v", local.Metrics)
+	}
+}
+
+// TestGoldenMSTLocalVsTCP pins the same equality for MST, serving the
+// graph from a kmgs store so every worker loads its slice shard-direct.
+func TestGoldenMSTLocalVsTCP(t *testing.T) {
+	const (
+		n, m = 400, 1200
+		k    = 4
+		seed = int64(3)
+	)
+	g := graph.WithDistinctWeights(graph.GNM(n, m, 5), 6)
+	path := filepath.Join(t.TempDir(), "g.kmgs")
+	if err := store.WriteFile(path, g.Source()); err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.MSTConfig{Config: core.Config{K: k, Seed: seed}}
+
+	local, err := core.RunMST(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addrs := startWorkers(t, 2)
+	dist, err := RunMST(context.Background(), addrs, "store:"+path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if dist.TotalWeight != local.TotalWeight || len(dist.Edges) != len(local.Edges) {
+		t.Errorf("forest: tcp weight=%d/%d edges, local weight=%d/%d edges",
+			dist.TotalWeight, len(dist.Edges), local.TotalWeight, len(local.Edges))
+	}
+	for i := range local.Edges {
+		if dist.Edges[i] != local.Edges[i] {
+			t.Fatalf("edge %d: tcp %+v, local %+v", i, dist.Edges[i], local.Edges[i])
+		}
+	}
+	lf, df := metricsFingerprint(&local.Metrics), metricsFingerprint(&dist.Metrics)
+	if lf != df {
+		t.Errorf("metrics fingerprint drifted: tcp %d, local %d", df, lf)
+	}
+}
+
+// TestConcurrentJobs runs two distributed jobs at once over the same
+// worker fleet (distinct cluster IDs route each mesh independently) and
+// checks both against their local goldens. Run under -race, this also
+// exercises the workers' shared listener routing and telemetry.
+func TestConcurrentJobs(t *testing.T) {
+	addrs := startWorkers(t, 2)
+	jobs := []struct {
+		n, m int
+		gs   int64
+		k    int
+		seed int64
+	}{
+		{500, 1500, 21, 4, 9},
+		{450, 900, 22, 6, 13},
+	}
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(n, m int, gs int64, k int, seed int64) {
+			defer wg.Done()
+			cfg := core.Config{K: k, Seed: seed}
+			local, err := core.RunSource(graph.StreamGNM(n, m, gs), cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			spec := fmt.Sprintf("gnm:%d:%d:%d", n, m, gs)
+			dist, err := RunConnectivity(context.Background(), addrs, spec, cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if dist.Components != local.Components {
+				t.Errorf("n=%d: components tcp %d, local %d", n, dist.Components, local.Components)
+			}
+			if metricsFingerprint(&dist.Metrics) != metricsFingerprint(&local.Metrics) {
+				t.Errorf("n=%d: metrics fingerprint drifted", n)
+			}
+		}(j.n, j.m, j.gs, j.k, j.seed)
+	}
+	wg.Wait()
+}
+
+// TestKilledWorkerFailsJob shuts one worker down mid-job and asserts
+// the coordinator fails promptly with the typed link-down error instead
+// of hanging at the next barrier.
+func TestKilledWorkerFailsJob(t *testing.T) {
+	lns := make([]net.Listener, 2)
+	workers := make([]*Worker, 2)
+	addrs := make([]string, 2)
+	for i := range workers {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		workers[i] = NewWorker(ln, WorkerOptions{MeshTimeout: 30 * time.Second})
+		addrs[i] = workers[i].Addr()
+		go workers[i].Serve()
+	}
+	defer workers[0].Close()
+
+	// Big enough to outlive the kill below by a wide margin.
+	cfg := core.Config{K: 8, Seed: 1}
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunConnectivity(context.Background(), addrs, "gnm:20000:60000:3", cfg)
+		done <- err
+	}()
+
+	time.Sleep(300 * time.Millisecond)
+	workers[1].Close()
+
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("job succeeded despite a killed worker")
+		}
+		if !errors.Is(err, transport.ErrLinkDown) {
+			t.Fatalf("err = %v, want wrapping transport.ErrLinkDown", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("job hung after killing a worker")
+	}
+}
+
+// TestSplitRanges pins the contiguous near-even split.
+func TestSplitRanges(t *testing.T) {
+	r, err := SplitRanges(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]int{{0, 3}, {3, 6}, {6, 8}}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("SplitRanges(8,3) = %v, want %v", r, want)
+		}
+	}
+	if _, err := SplitRanges(2, 3); err == nil {
+		t.Fatal("SplitRanges(2,3) should fail: more workers than machines")
+	}
+	if _, err := SplitRanges(4, 0); err == nil {
+		t.Fatal("SplitRanges(4,0) should fail")
+	}
+}
+
+// TestJobSpecRoundTrip pins the job wire format.
+func TestJobSpecRoundTrip(t *testing.T) {
+	j := &Job{
+		ClusterID: 0xdeadbeef,
+		Kind:      KindMST,
+		Source:    "store:/tmp/g.kmgs",
+		Index:     1,
+		Workers: []WorkerSpec{
+			{Addr: "a:1", Lo: 0, Hi: 3},
+			{Addr: "b:2", Lo: 3, Hi: 8},
+		},
+	}
+	j.MST.K = 8
+	j.MST.Seed = 42
+	j.MST.StrongOutput = true
+	j.MST.MaxElimIters = 7
+	j.Conn = j.MST.Config
+
+	got, err := DecodeJob(AppendJob(nil, j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ClusterID != j.ClusterID || got.Kind != j.Kind || got.Source != j.Source ||
+		got.Index != j.Index || got.MST.K != 8 || got.MST.Seed != 42 ||
+		!got.MST.StrongOutput || got.MST.MaxElimIters != 7 || len(got.Workers) != 2 ||
+		got.Workers[1] != j.Workers[1] {
+		t.Fatalf("round trip drifted: %+v vs %+v", got, j)
+	}
+
+	// Non-contiguous cover must be rejected.
+	j.Workers[1].Lo = 4
+	if _, err := DecodeJob(AppendJob(nil, j)); err == nil {
+		t.Fatal("gap in worker cover not rejected")
+	}
+}

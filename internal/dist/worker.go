@@ -1,0 +1,380 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"kmgraph/internal/core"
+	"kmgraph/internal/kmachine"
+	"kmgraph/internal/transport"
+	"kmgraph/internal/transport/tcp"
+	"kmgraph/internal/wire"
+)
+
+// WorkerOptions tune a worker process.
+type WorkerOptions struct {
+	// Transport tunes the peer links (zero value = tcp defaults).
+	Transport tcp.Options
+	// MeshTimeout bounds forming the full peer mesh for one job
+	// (default 60s).
+	MeshTimeout time.Duration
+}
+
+func (o WorkerOptions) withDefaults() WorkerOptions {
+	if o.MeshTimeout == 0 {
+		o.MeshTimeout = 60 * time.Second
+	}
+	return o
+}
+
+// Worker serves distributed k-machine jobs: it accepts control
+// connections carrying job specs and peer connections opening transport
+// links, routes each by its first frame, and runs one engine instance
+// per job over the hosted machine range the spec assigns it. Jobs are
+// independent — a worker serves concurrent jobs from different
+// coordinators, each with its own mesh keyed by cluster ID.
+type Worker struct {
+	ln   net.Listener
+	opts WorkerOptions
+
+	mu     sync.Mutex
+	meshes map[uint64]*meshInbox
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	wg        sync.WaitGroup
+}
+
+// inboundPeer is a routed peer connection whose hello has been read.
+type inboundPeer struct {
+	conn  net.Conn
+	hello *tcp.Hello
+}
+
+type meshInbox struct {
+	ch      chan inboundPeer
+	created time.Time
+}
+
+// NewWorker wraps a listener. Call Serve to start accepting.
+func NewWorker(ln net.Listener, opts WorkerOptions) *Worker {
+	return &Worker{
+		ln:     ln,
+		opts:   opts.withDefaults(),
+		meshes: make(map[uint64]*meshInbox),
+		closed: make(chan struct{}),
+	}
+}
+
+// Addr returns the listener address (dialable by coordinator and peers).
+func (w *Worker) Addr() string { return w.ln.Addr().String() }
+
+// Serve accepts and routes connections until Close. It returns nil
+// after a clean Close.
+func (w *Worker) Serve() error {
+	for {
+		conn, err := w.ln.Accept()
+		if err != nil {
+			select {
+			case <-w.closed:
+				return nil
+			default:
+				return err
+			}
+		}
+		w.wg.Add(1)
+		go w.route(conn)
+	}
+}
+
+// Close stops accepting and waits for in-flight jobs to finish their
+// connection handling.
+func (w *Worker) Close() error {
+	w.closeOnce.Do(func() {
+		close(w.closed)
+		w.ln.Close()
+	})
+	w.wg.Wait()
+	return nil
+}
+
+// route reads a connection's first frame and dispatches: a Hello opens
+// a peer link (parked on its cluster's mesh inbox until the job claims
+// it), a Job runs a job with this connection as the control channel.
+func (w *Worker) route(conn net.Conn) {
+	defer w.wg.Done()
+	topts := w.opts.Transport
+	conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	var buf []byte
+	t, body, err := tcp.ReadFrame(conn, &buf)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	switch t {
+	case tcp.FrameHello:
+		h, err := tcp.DecodeHello(body)
+		if err != nil {
+			conn.Close()
+			return
+		}
+		inbox := w.inboxFor(h.ClusterID)
+		select {
+		case inbox <- inboundPeer{conn: conn, hello: h}:
+		default:
+			conn.Close() // inbox full: a runaway dialer, drop it
+		}
+	case tcp.FrameJob:
+		job, err := DecodeJob(body)
+		if err != nil {
+			writeError(conn, topts, err)
+			conn.Close()
+			return
+		}
+		w.runJob(conn, job)
+	default:
+		conn.Close()
+	}
+}
+
+// inboxFor returns (creating if needed) the mesh inbox for a cluster,
+// pruning inboxes abandoned for longer than two mesh timeouts.
+func (w *Worker) inboxFor(clusterID uint64) chan inboundPeer {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	cutoff := time.Now().Add(-2 * w.opts.MeshTimeout)
+	for id, m := range w.meshes {
+		if id != clusterID && m.created.Before(cutoff) {
+			drainInbox(m.ch)
+			delete(w.meshes, id)
+		}
+	}
+	m, ok := w.meshes[clusterID]
+	if !ok {
+		m = &meshInbox{ch: make(chan inboundPeer, 256), created: time.Now()}
+		w.meshes[clusterID] = m
+	}
+	return m.ch
+}
+
+func (w *Worker) dropInbox(clusterID uint64) {
+	w.mu.Lock()
+	m, ok := w.meshes[clusterID]
+	delete(w.meshes, clusterID)
+	w.mu.Unlock()
+	if ok {
+		drainInbox(m.ch)
+	}
+}
+
+func drainInbox(ch chan inboundPeer) {
+	for {
+		select {
+		case ip := <-ch:
+			ip.conn.Close()
+		default:
+			return
+		}
+	}
+}
+
+// runJob executes one job with conn as the control channel: the result
+// (or error) frame goes back on it, and the job aborts if the
+// coordinator hangs up.
+func (w *Worker) runJob(conn net.Conn, job *Job) {
+	defer conn.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// The coordinator stays silent until the job ends; any frame (Bye =
+	// explicit cancel) or a closed connection aborts the job.
+	go func() {
+		var buf []byte
+		for {
+			if _, _, err := tcp.ReadFrame(conn, &buf); err != nil {
+				cancel()
+				return
+			}
+		}
+	}()
+	go func() {
+		// A worker shutting down cancels its jobs.
+		select {
+		case <-w.closed:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+
+	body, err := w.execute(ctx, job)
+	topts := w.opts.Transport
+	if err != nil {
+		writeError(conn, topts, err)
+		return
+	}
+	writeFrameTo(conn, topts, tcp.FrameResult, body)
+}
+
+// execute runs the job's hosted slice and returns the encoded result
+// frame body.
+func (w *Worker) execute(ctx context.Context, job *Job) ([]byte, error) {
+	me := job.Workers[job.Index]
+	lo, hi := me.Lo, me.Hi
+	k := job.K()
+	base := job.config()
+
+	peers, err := w.formMesh(ctx, job)
+	if err != nil {
+		return nil, fmt.Errorf("dist: forming mesh: %w", err)
+	}
+	peersOwned := true // until the transport takes them
+	defer func() {
+		if peersOwned {
+			for _, p := range peers {
+				p.Close()
+			}
+		}
+	}()
+
+	src, closer, err := OpenJobSource(job.Source)
+	if err != nil {
+		return nil, err
+	}
+	part, err := kmachine.LoadShardsRange(src, k, uint64(base.Seed)^0x9e37, lo, hi)
+	closer.Close()
+	if err != nil {
+		return nil, err
+	}
+	n := part.N()
+
+	var handler kmachine.Handler
+	var resolved core.Config
+	view := func(id int) core.GraphView { return part.View(id) }
+	switch job.Kind {
+	case KindConnectivity:
+		cfg := job.Conn.WithDefaults(n)
+		resolved = cfg
+		handler = core.ConnectivityHandler(view, cfg)
+	case KindMST:
+		cfg := job.MST.WithDefaults(n)
+		resolved = cfg.Config
+		handler = core.MSTHandler(view, cfg)
+	default:
+		return nil, fmt.Errorf("dist: unknown job kind %d", job.Kind)
+	}
+
+	cluster, err := kmachine.NewWithTransport(kmachine.Config{
+		K:                   k,
+		BandwidthBits:       resolved.BandwidthBits,
+		MessageOverheadBits: resolved.MessageOverheadBits,
+		Seed:                resolved.Seed,
+		MaxRounds:           resolved.MaxRounds,
+	}, func(p transport.Params, met *transport.Metrics, workers int) (transport.Transport, error) {
+		tr, err := tcp.New(p, met, workers, lo, hi, peers)
+		if err == nil {
+			peersOwned = false
+		}
+		return tr, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	kres, err := cluster.RunContext(ctx, handler)
+	if err != nil {
+		return nil, err
+	}
+
+	body := wire.AppendUvarint(nil, uint64(n))
+	body = wire.AppendUvarint(body, uint64(lo))
+	body = wire.AppendUvarint(body, uint64(hi))
+	body = transport.AppendMetrics(body, &kres.Metrics)
+	for id := lo; id < hi; id++ {
+		body, err = core.AppendOutput(body, kres.Outputs[id])
+		if err != nil {
+			return nil, err
+		}
+	}
+	return body, nil
+}
+
+// formMesh establishes this worker's peer links: dial every lower-index
+// participant, accept from every higher-index one (routed here by the
+// listener via the cluster's mesh inbox).
+func (w *Worker) formMesh(ctx context.Context, job *Job) ([]*tcp.Peer, error) {
+	me := job.Workers[job.Index]
+	base := job.config()
+	ours := &tcp.Hello{
+		ClusterID:           job.ClusterID,
+		K:                   base.K,
+		Seed:                base.Seed,
+		Index:               job.Index,
+		Lo:                  me.Lo,
+		Hi:                  me.Hi,
+		BandwidthBits:       base.BandwidthBits,
+		MessageOverheadBits: base.MessageOverheadBits,
+	}
+	var peers []*tcp.Peer
+	fail := func(err error) ([]*tcp.Peer, error) {
+		for _, p := range peers {
+			p.Close()
+		}
+		w.dropInbox(job.ClusterID)
+		return nil, err
+	}
+
+	inbox := w.inboxFor(job.ClusterID)
+	for j := 0; j < job.Index; j++ {
+		p, err := tcp.Dial(job.Workers[j].Addr, ours, j, w.opts.Transport)
+		if err != nil {
+			return fail(err)
+		}
+		peers = append(peers, p)
+	}
+
+	have := make(map[int]bool)
+	deadline := time.NewTimer(w.opts.MeshTimeout)
+	defer deadline.Stop()
+	for need := len(job.Workers) - 1 - job.Index; need > 0; {
+		select {
+		case ip := <-inbox:
+			if ip.hello.Index <= job.Index || ip.hello.Index >= len(job.Workers) || have[ip.hello.Index] {
+				ip.conn.Close()
+				continue
+			}
+			p, err := tcp.AcceptPeer(ip.conn, ip.hello, ours, w.opts.Transport)
+			if err != nil {
+				// A stale retry or a mismatched hello; keep waiting for a
+				// good link from that index.
+				ip.conn.Close()
+				continue
+			}
+			have[p.Index] = true
+			peers = append(peers, p)
+			need--
+		case <-deadline.C:
+			return fail(fmt.Errorf("dist: mesh incomplete after %v: %w",
+				w.opts.MeshTimeout, transport.ErrLinkDown))
+		case <-ctx.Done():
+			return fail(ctx.Err())
+		}
+	}
+	w.dropInbox(job.ClusterID)
+	return peers, nil
+}
+
+func writeFrameTo(conn net.Conn, opts tcp.Options, t tcp.FrameType, body []byte) error {
+	if wt := opts.WriteTimeout; wt > 0 {
+		conn.SetWriteDeadline(time.Now().Add(wt))
+	} else {
+		conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+	}
+	_, err := conn.Write(tcp.AppendFrame(nil, t, body))
+	return err
+}
+
+func writeError(conn net.Conn, opts tcp.Options, jobErr error) {
+	writeFrameTo(conn, opts, tcp.FrameError, appendErrorFrame(nil, jobErr))
+}

@@ -12,6 +12,15 @@
 // delivered in the round its last bit arrives, so oversized messages
 // automatically cost multiple rounds, exactly as the model prescribes.
 //
+// The link layer itself lives behind transport.Transport: the coordinator
+// stages each barrier's outboxes and hands them to the transport, which
+// runs the bandwidth simulation for the destinations this process hosts
+// and synchronizes the barrier with any peer processes. The default
+// backend (transport/local) hosts all k machines in this process and is
+// the bit-exact reference; transport/tcp hosts a contiguous sub-range so
+// a cluster spans OS processes connected by real sockets, with identical
+// Metrics by construction.
+//
 // The simulation is deterministic: machine code is deterministic given its
 // inputs and per-machine seeded RNG, events are processed in machine-ID
 // order, and deliveries are sorted by (source, send order).
@@ -31,13 +40,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/bits"
 	"math/rand"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"kmgraph/internal/hashing"
+	"kmgraph/internal/transport"
+	"kmgraph/internal/transport/local"
 	"kmgraph/internal/wire"
 )
 
@@ -69,11 +78,19 @@ func Bandwidth(n int) int {
 
 const defaultMaxRounds = 30_000_000
 
-// Message is a point-to-point message between machines.
-type Message struct {
-	Src, Dst int
-	Data     []byte
-}
+// Message is a point-to-point message between machines. It is the
+// transport layer's message type; the alias keeps every algorithm written
+// against kmachine.Message compiling unchanged.
+type Message = transport.Message
+
+// Metrics aggregates the cost of a run (an alias for the transport
+// layer's accounting type, which distributed runs merge across workers).
+type Metrics = transport.Metrics
+
+// TransportMaker builds the transport backend for one run: it receives
+// the link parameters, the run's metrics sink, and the bound on sharded
+// transmit workers. The default maker builds transport/local.
+type TransportMaker func(p transport.Params, met *Metrics, workers int) (transport.Transport, error)
 
 // Handler is the per-machine program. It runs on every machine (SPMD);
 // ctx.ID distinguishes them. Returning ends the machine's participation.
@@ -84,14 +101,26 @@ type Handler func(ctx *Ctx) error
 // keeps exactly one alive for its whole lifetime).
 type Cluster struct {
 	cfg Config
+	mk  TransportMaker
 
 	mu      sync.Mutex
 	evCh    chan event    // live run's event channel (nil before Run)
 	runDone chan struct{} // closed when the coordinator exits
 }
 
-// New validates cfg and returns a cluster.
+// New validates cfg and returns a cluster on the in-process reference
+// transport.
 func New(cfg Config) (*Cluster, error) {
+	return NewWithTransport(cfg, nil)
+}
+
+// NewWithTransport is New with an explicit transport backend; a nil maker
+// selects the in-process reference backend (transport/local). The maker
+// is invoked once per Run with that run's metrics sink. A transport that
+// hosts a sub-range [lo, hi) of the machines makes this cluster one
+// participant of a multi-process run: only the hosted machines execute
+// here, and Result.Outputs is filled for them alone.
+func NewWithTransport(cfg Config, mk TransportMaker) (*Cluster, error) {
 	if cfg.K < 1 {
 		return nil, fmt.Errorf("kmachine: K = %d, need >= 1", cfg.K)
 	}
@@ -104,14 +133,22 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.MaxRounds == 0 {
 		cfg.MaxRounds = defaultMaxRounds
 	}
-	return &Cluster{cfg: cfg}, nil
+	if mk == nil {
+		mk = func(p transport.Params, met *Metrics, workers int) (transport.Transport, error) {
+			return local.New(p, met, workers), nil
+		}
+	}
+	return &Cluster{cfg: cfg, mk: mk}, nil
 }
 
 // Config returns the cluster configuration.
 func (c *Cluster) Config() Config { return c.cfg }
 
 // Result carries the run metrics and each machine's designated output
-// variable o_i (§1.1), set via Ctx.SetOutput.
+// variable o_i (§1.1), set via Ctx.SetOutput. In a multi-process run the
+// Metrics are this process's partial accounting (its hosted destinations)
+// and Outputs is filled only for hosted machines; transport.MergeMetrics
+// reassembles the global view.
 type Result struct {
 	Metrics Metrics
 	Outputs []any
@@ -229,7 +266,8 @@ func (c *Ctx) submit(e event) {
 // queued (a collective can complete without a final Step when all its
 // frames pre-arrived) are submitted with the park event, exactly as a
 // Step or handler return would submit them. Call Unpark before
-// communicating again.
+// communicating again. Parking requires the local transport (the hosted
+// range must be the whole cluster).
 func (c *Ctx) Park() {
 	c.submit(event{id: c.id, outbox: c.outbox, park: true})
 	c.outbox = nil
@@ -294,194 +332,22 @@ func (c *Cluster) Snapshot() (Metrics, bool) {
 	}
 }
 
-// queued is an in-flight message with transmission progress.
-type queued struct {
-	msg      Message
-	sentBits int
-}
-
-func (q *queued) totalBits(overhead int) int {
-	b := 8*len(q.msg.Data) + overhead
-	if b < 1 {
-		b = 1
-	}
-	return b
-}
-
-// linkQueue is the FIFO of one directed link. head indexes the first
-// undelivered message; the backing array is reset and reused whenever the
-// queue fully drains, so steady-state traffic allocates nothing.
-type linkQueue struct {
-	items []queued
-	head  int
-}
-
-func (q *linkQueue) empty() bool { return q.head == len(q.items) }
-
-// Parallel-transmit tuning. The transmit loop shards per-destination work
-// across workers only when enough links are active to amortize the join;
-// small or sparse rounds take the serial path. Both paths are bit-exact.
-// The vars are overridable by tests to force the parallel path.
-var (
-	transmitParallelMinLinks = 64
-	transmitMaxWorkers       = 16
-	transmitForceParallel    = false // tests only: take the sharded path always
-)
-
-// coordinator is the per-run engine state: link queues with their active
-// index, the event barrier slots, and the recycled delivery buffers.
+// coordinator is the per-run engine state above the transport: the event
+// barrier slots for hosted machines plus the park/pending bookkeeping.
+// Slot indices are hosted-relative (machine id minus lo).
 type coordinator struct {
-	cfg Config
-	k   int
-	met *Metrics
+	lo, hi int
 
-	queues    []linkQueue // [src*k + dst]
-	activeSrc [][]uint64  // [dst]: bitmap of sources with a non-empty queue
-	dstActive []int       // [dst]: population count of activeSrc[dst]
-	active    int         // total non-empty directed links
-
-	evSlots []event // one slot per machine ID; replaces sorting per barrier
+	evSlots []event // one slot per hosted machine; replaces sorting per barrier
 	evHave  []bool
 	evCount int
 
 	stepped      []bool
 	parked       []bool
 	nParked      int
-	running      int
+	running      int         // hosted machines still running
 	pendingInbox [][]Message // buffered deliveries for parked machines
 	spareOutbox  [][]Message // drained outbox backings awaiting hand-back
-
-	// Per-destination delivery buffers, double-buffered so a slice handed
-	// to a machine is not refilled until the machine has stepped again.
-	inbox    [][]Message
-	inboxBuf [][2][]Message
-	inboxSel []int
-
-	// Per-destination transmit results, merged deterministically (in
-	// destination order) after a parallel round.
-	dstMsgs    []int64
-	dstBytes   []int64
-	dstDrained []int32
-
-	workers int
-	next    atomic.Int64 // destination cursor for the sharded transmit
-}
-
-// enqueue appends m to its link queue, maintaining the active-link index.
-// It is the single enqueue path for step, park, and handler-return
-// outboxes, so their accounting can never drift.
-func (c *coordinator) enqueue(m Message) {
-	q := &c.queues[m.Src*c.k+m.Dst]
-	if q.empty() {
-		if q.head > 0 {
-			q.items = q.items[:0]
-			q.head = 0
-		}
-		c.activeSrc[m.Dst][m.Src>>6] |= 1 << uint(m.Src&63)
-		c.dstActive[m.Dst]++
-		c.active++
-	}
-	q.items = append(q.items, queued{msg: m})
-	c.met.SentMsgs[m.Src]++
-}
-
-// transmitDst drains one round of bandwidth on every active link into
-// destination d. It touches only d-indexed state (queues, bitmaps, inbox,
-// counters) plus distinct LinkBits elements, so distinct destinations can
-// run concurrently.
-func (c *coordinator) transmitDst(d int) {
-	buf := c.inbox[d]
-	words := c.activeSrc[d]
-	var delivered, drained int32
-	var payload int64
-	for wi, w := range words {
-		for w != 0 {
-			s := wi<<6 + bits.TrailingZeros64(w)
-			w &= w - 1
-			q := &c.queues[s*c.k+d]
-			budget := c.cfg.BandwidthBits
-			if s == d {
-				budget = 1 << 30 // local delivery is free
-			}
-			i := q.head
-			for i < len(q.items) && budget > 0 {
-				qi := &q.items[i]
-				total := qi.totalBits(c.cfg.MessageOverheadBits)
-				rem := total - qi.sentBits
-				take := rem
-				if take > budget {
-					take = budget
-				}
-				qi.sentBits += take
-				budget -= take
-				if s != d {
-					c.met.LinkBits[s][d] += int64(take)
-				}
-				if qi.sentBits == total {
-					buf = append(buf, qi.msg)
-					delivered++
-					payload += int64(len(qi.msg.Data))
-					i++
-				}
-			}
-			q.head = i
-			if q.empty() {
-				q.items = q.items[:0]
-				q.head = 0
-				words[wi] &^= 1 << uint(s&63)
-				drained++
-			}
-		}
-	}
-	c.inbox[d] = buf
-	c.inboxBuf[d][c.inboxSel[d]] = buf // retain grown capacity for reuse
-	c.met.RecvMsgs[d] += int64(delivered)
-	c.dstMsgs[d] = int64(delivered)
-	c.dstBytes[d] = payload
-	c.dstDrained[d] = drained
-	c.dstActive[d] -= int(drained)
-}
-
-// transmitRound advances every active link by one round of bandwidth,
-// choosing the sharded or serial path, and merges the per-destination
-// counters into the global metrics in destination order.
-func (c *coordinator) transmitRound() {
-	k := c.k
-	for d := 0; d < k; d++ {
-		c.inbox[d] = c.inboxBuf[d][c.inboxSel[d]][:0]
-		c.dstMsgs[d], c.dstBytes[d], c.dstDrained[d] = 0, 0, 0
-	}
-	if c.workers > 1 && (c.active >= transmitParallelMinLinks || transmitForceParallel) {
-		c.next.Store(0)
-		var wg sync.WaitGroup
-		wg.Add(c.workers)
-		for w := 0; w < c.workers; w++ {
-			go func() {
-				defer wg.Done()
-				for {
-					d := int(c.next.Add(1)) - 1
-					if d >= k {
-						return
-					}
-					if c.dstActive[d] > 0 {
-						c.transmitDst(d)
-					}
-				}
-			}()
-		}
-		wg.Wait()
-	} else {
-		for d := 0; d < k; d++ {
-			if c.dstActive[d] > 0 {
-				c.transmitDst(d)
-			}
-		}
-	}
-	for d := 0; d < k; d++ {
-		c.met.Messages += c.dstMsgs[d]
-		c.met.PayloadBytes += c.dstBytes[d]
-		c.active -= int(c.dstDrained[d])
-	}
 }
 
 // Run executes h on every machine and returns the metrics and outputs.
@@ -498,7 +364,28 @@ func (c *Cluster) Run(h Handler) (*Result, error) {
 // RunContext returns ctx.Err().
 func (c *Cluster) RunContext(ctx context.Context, h Handler) (*Result, error) {
 	k := c.cfg.K
-	evCh := make(chan event, k)
+	met := transport.NewMetrics(k)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > transport.TransmitMaxWorkers {
+		workers = transport.TransmitMaxWorkers
+	}
+	tr, err := c.mk(transport.Params{
+		K:                   k,
+		BandwidthBits:       c.cfg.BandwidthBits,
+		MessageOverheadBits: c.cfg.MessageOverheadBits,
+	}, met, workers)
+	if err != nil {
+		return nil, err
+	}
+	defer tr.Close()
+	lo, hi := tr.Hosted()
+	if lo < 0 || hi > k || lo >= hi {
+		return nil, fmt.Errorf("kmachine: transport hosts [%d,%d) of %d machines", lo, hi, k)
+	}
+	hosted := hi - lo
+
+	evCh := make(chan event, hosted)
 	runDone := make(chan struct{})
 	c.mu.Lock()
 	c.evCh, c.runDone = evCh, runDone
@@ -520,18 +407,19 @@ func (c *Cluster) RunContext(ctx context.Context, h Handler) (*Result, error) {
 		}()
 	}
 
-	ctxs := make([]*Ctx, k)
-	for i := 0; i < k; i++ {
+	ctxs := make([]*Ctx, hosted)
+	for i := 0; i < hosted; i++ {
+		id := lo + i
 		ctxs[i] = &Ctx{
-			id:   i,
+			id:   id,
 			cfg:  c.cfg,
-			rng:  rand.New(rand.NewSource(int64(hashing.Hash2(uint64(c.cfg.Seed), uint64(i)+0xabcd)))),
+			rng:  rand.New(rand.NewSource(int64(hashing.Hash2(uint64(c.cfg.Seed), uint64(id)+0xabcd)))),
 			evCh: evCh,
 			inCh: make(chan delivery, 1),
 			stop: runDone,
 		}
 	}
-	for i := 0; i < k; i++ {
+	for i := 0; i < hosted; i++ {
 		go func(ctx *Ctx) {
 			var err error
 			func() {
@@ -554,96 +442,80 @@ func (c *Cluster) RunContext(ctx context.Context, h Handler) (*Result, error) {
 		}(ctxs[i])
 	}
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers > k {
-		workers = k
-	}
-	if workers > transmitMaxWorkers {
-		workers = transmitMaxWorkers
-	}
-	if transmitForceParallel && workers < 2 && k >= 2 {
-		workers = 2
-	}
-	met := newMetrics(k)
 	res := &Result{Outputs: make([]any, k)}
 	co := &coordinator{
-		cfg:          c.cfg,
-		k:            k,
-		met:          met,
-		queues:       make([]linkQueue, k*k),
-		activeSrc:    make([][]uint64, k),
-		dstActive:    make([]int, k),
-		evSlots:      make([]event, k),
-		evHave:       make([]bool, k),
-		stepped:      make([]bool, k),
-		parked:       make([]bool, k),
-		running:      k,
-		pendingInbox: make([][]Message, k),
-		spareOutbox:  make([][]Message, k),
-		inbox:        make([][]Message, k),
-		inboxBuf:     make([][2][]Message, k),
-		inboxSel:     make([]int, k),
-		dstMsgs:      make([]int64, k),
-		dstBytes:     make([]int64, k),
-		dstDrained:   make([]int32, k),
-		workers:      workers,
-	}
-	words := (k + 63) >> 6
-	for d := 0; d < k; d++ {
-		co.activeSrc[d] = make([]uint64, words)
+		lo:           lo,
+		hi:           hi,
+		evSlots:      make([]event, hosted),
+		evHave:       make([]bool, hosted),
+		stepped:      make([]bool, hosted),
+		parked:       make([]bool, hosted),
+		running:      hosted,
+		pendingInbox: make([][]Message, hosted),
+		spareOutbox:  make([][]Message, hosted),
 	}
 	var firstErr error
 	aborting := false
+	unilateral := false // abort not shared by peers (cancel / transport death)
+	dead := false       // the transport failed: no more rounds, only drain
+	globalRunning := k
+	var in transport.RoundIn
+	var out transport.RoundOut
 
 	handle := func(e event) {
 		switch {
 		case e.cancel:
 			aborting = true
+			unilateral = true
 			if firstErr == nil {
 				firstErr = e.err
 			}
 		case e.snap != nil:
 			e.snap <- met.Snapshot()
 		case e.park:
-			for _, m := range e.outbox {
-				co.enqueue(m)
-			}
-			co.spareOutbox[e.id] = e.outbox[:0]
-			co.parked[e.id] = true
+			// Stage the park outbox immediately, exactly as a step would at
+			// barrier end: the machine cannot submit again this barrier, so
+			// its per-link send order is preserved.
+			in.Msgs = append(in.Msgs, e.outbox...)
+			co.spareOutbox[e.id-lo] = e.outbox[:0]
+			co.parked[e.id-lo] = true
 			co.nParked++
 		case e.unpark:
-			co.parked[e.id] = false
+			co.parked[e.id-lo] = false
 			co.nParked--
 		default:
-			if e.done && co.parked[e.id] {
+			i := e.id - lo
+			if e.done && co.parked[i] {
 				// A machine may return while parked; un-mark it so the
 				// barrier arithmetic stays consistent (the slot this
 				// event fills is the one the un-marking adds).
-				co.parked[e.id] = false
+				co.parked[i] = false
 				co.nParked--
 			}
-			if !co.evHave[e.id] {
+			if !co.evHave[i] {
 				co.evCount++
 			}
-			co.evSlots[e.id] = e
-			co.evHave[e.id] = true
+			co.evSlots[i] = e
+			co.evHave[i] = true
 		}
 	}
 
-	for co.running > 0 {
-		// Barrier: one event per running non-parked machine. Park/unpark
-		// events adjust the barrier size as they arrive.
-		if aborting && co.running == co.nParked {
-			// Every survivor is parked on external input and will never
-			// observe the abort; end the run rather than hang.
+	for globalRunning > 0 {
+		// Barrier: one event per running non-parked hosted machine.
+		// Park/unpark events adjust the barrier size as they arrive.
+		if (aborting || dead) && co.running == co.nParked && co.running > 0 {
+			// Every hosted survivor is parked on external input and will
+			// never observe the abort; end the run rather than hang.
 			if firstErr == nil {
 				firstErr = ErrMaxRounds
 			}
 			break
 		}
-		if co.running-co.nParked == 0 && co.active == 0 {
-			// Fully quiescent: every machine is parked and no bits are in
-			// flight. Block (without burning rounds) until one re-enters.
+		if co.running > 0 && co.running-co.nParked == 0 && !tr.Pending() && len(in.Msgs) == 0 {
+			// Fully quiescent: every hosted machine is parked and no bits
+			// are in flight. Block (without burning rounds) until one
+			// re-enters. (Only the local backend parks, so quiescence here
+			// is global quiescence.)
 			handle(<-evCh)
 			if co.evCount == 0 {
 				continue
@@ -657,66 +529,117 @@ func (c *Cluster) RunContext(ctx context.Context, h Handler) (*Result, error) {
 		// most once per machine per barrier, so bucketing by ID replaces a
 		// comparison sort).
 		nEvents := co.evCount
-		for id := 0; id < k; id++ {
-			if !co.evHave[id] {
+		doneDelta := 0
+		for i := 0; i < hosted; i++ {
+			if !co.evHave[i] {
 				continue
 			}
-			e := &co.evSlots[id]
-			for _, m := range e.outbox {
-				co.enqueue(m)
-			}
+			e := &co.evSlots[i]
+			in.Msgs = append(in.Msgs, e.outbox...)
 			if e.done {
 				co.running--
-				res.Outputs[id] = e.output
+				doneDelta++
+				res.Outputs[e.id] = e.output
 				if e.err != nil && firstErr == nil && !errors.Is(e.err, ErrMaxRounds) {
 					firstErr = e.err
 				}
 			} else {
-				co.spareOutbox[id] = e.outbox[:0]
-				co.stepped[id] = true
+				co.spareOutbox[i] = e.outbox[:0]
+				co.stepped[i] = true
 			}
 			*e = event{}
-			co.evHave[id] = false
+			co.evHave[i] = false
 		}
 		co.evCount = 0
-		if co.running == 0 {
+
+		if dead {
+			// The transport is gone: release stepped machines with an abort
+			// delivery and drain until every hosted machine has returned.
+			in.Msgs = in.Msgs[:0]
+			for i := 0; i < hosted; i++ {
+				if co.stepped[i] {
+					co.stepped[i] = false
+					ctxs[i].inCh <- delivery{abort: true}
+				}
+			}
+			if co.running == 0 {
+				break
+			}
+			continue
+		}
+		if unilateral && co.running == 0 && co.nParked == 0 && hosted < k {
+			// This participant aborted on its own (cancellation) and has
+			// fully drained; stop joining barriers (peers observe the link
+			// closing and abort too). Shared aborts (MaxRounds) are hit by
+			// every participant at the same round, so those keep joining
+			// barriers and drain the whole cluster in lockstep.
 			break
 		}
-		if nEvents == 0 && co.active == 0 {
+		if nEvents == 0 && len(in.Msgs) == 0 && !tr.Pending() && hosted == k {
 			// Only park/unpark churn: nothing to transmit, no round passes.
+			// (A multi-process participant never takes this shortcut: even
+			// with all its hosted machines done it must keep pacing the
+			// shared barrier until the whole cluster's running count hits
+			// zero, or its peers would starve.)
 			continue
 		}
 
-		// Transmit one round on every active directed link.
+		// Run the round: barrier with peers, one bandwidth quantum on
+		// every active link.
+		in.Events = nEvents
+		in.DoneDelta = doneDelta
+		if err := tr.Round(&in, &out); err != nil {
+			dead = true
+			aborting = true
+			unilateral = true
+			if firstErr == nil {
+				firstErr = err
+			}
+			in.Msgs = in.Msgs[:0]
+			for i := 0; i < hosted; i++ {
+				if co.stepped[i] {
+					co.stepped[i] = false
+					ctxs[i].inCh <- delivery{abort: true}
+				}
+			}
+			if co.running == 0 {
+				break
+			}
+			continue
+		}
+		in.Msgs = in.Msgs[:0]
+		globalRunning = out.Running
+		if globalRunning == 0 {
+			break
+		}
+		if !out.Advanced {
+			continue
+		}
 		met.Rounds++
-		co.transmitRound()
 
 		if met.Rounds > c.cfg.MaxRounds {
 			aborting = true
 		}
-		for id := 0; id < k; id++ {
+		for i := 0; i < hosted; i++ {
+			inbox := out.Inboxes[i]
 			switch {
-			case co.stepped[id]:
-				msgs := co.inbox[id]
-				if len(co.pendingInbox[id]) > 0 {
+			case co.stepped[i]:
+				msgs := inbox
+				if len(co.pendingInbox[i]) > 0 {
 					// Hand over the pending buffer (merged with this round's
 					// deliveries); it now belongs to the machine.
-					msgs = append(co.pendingInbox[id], msgs...)
-					co.pendingInbox[id] = nil
-				} else {
-					// Hand over the inbox buffer; flip to the twin so this
-					// one is not refilled before the machine steps again.
-					co.inboxSel[id] ^= 1
+					msgs = append(co.pendingInbox[i], msgs...)
+					co.pendingInbox[i] = nil
 				}
-				co.stepped[id] = false
-				ctxs[id].inCh <- delivery{msgs: msgs, spare: co.spareOutbox[id], abort: aborting}
-				co.spareOutbox[id] = nil
-			case co.parked[id]:
+				co.stepped[i] = false
+				ctxs[i].inCh <- delivery{msgs: msgs, spare: co.spareOutbox[i], abort: aborting}
+				co.spareOutbox[i] = nil
+			case co.parked[i]:
 				// Buffer for the machine's next Step after it unparks.
-				co.pendingInbox[id] = append(co.pendingInbox[id], co.inbox[id]...)
-			case len(co.inbox[id]) > 0:
-				met.DroppedMessages += len(co.inbox[id])
-				for _, m := range co.inbox[id] {
+				co.pendingInbox[i] = append(co.pendingInbox[i], inbox...)
+			case len(inbox) > 0:
+				met.DroppedMessages += len(inbox)
+				for _, m := range inbox {
 					met.DroppedBytes += int64(len(m.Data))
 				}
 			}
@@ -729,20 +652,16 @@ func (c *Cluster) RunContext(ctx context.Context, h Handler) (*Result, error) {
 	// Undelivered queue remnants (including buffers for machines that
 	// returned while their deliveries were parked) are protocol bugs;
 	// surface them.
-	for i := range co.queues {
-		q := &co.queues[i]
-		for _, qm := range q.items[q.head:] {
-			met.DroppedMessages++
-			met.DroppedBytes += int64(len(qm.msg.Data))
-		}
-	}
+	rm, rb := tr.Remnants()
+	met.DroppedMessages += rm
+	met.DroppedBytes += rb
 	for _, p := range co.pendingInbox {
 		for _, m := range p {
 			met.DroppedMessages++
 			met.DroppedBytes += int64(len(m.Data))
 		}
 	}
-	met.finish()
+	met.Finish()
 	res.Metrics = *met
 	return res, firstErr
 }

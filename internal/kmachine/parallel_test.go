@@ -1,6 +1,8 @@
 package kmachine
 
 import (
+	"kmgraph/internal/transport"
+
 	"fmt"
 	"hash/fnv"
 	"testing"
@@ -91,8 +93,8 @@ func fingerprint(m Metrics) uint64 {
 // bitmaps, LinkBits, and per-destination counters.
 func TestParallelTransmitDeterminism(t *testing.T) {
 	serial := runChatter(t, 9, 25)
-	defer func() { transmitForceParallel = false }()
-	transmitForceParallel = true
+	defer func() { transport.TransmitForceParallel = false }()
+	transport.TransmitForceParallel = true
 	parallel := runChatter(t, 9, 25)
 	if fingerprint(serial) != fingerprint(parallel) {
 		t.Fatalf("parallel transmit drifted from serial:\n serial:   %+v\n parallel: %+v", serial, parallel)
@@ -106,8 +108,8 @@ func TestParallelTransmitDeterminism(t *testing.T) {
 // times and asserts identical metrics each time (no scheduling-dependent
 // accounting).
 func TestParallelTransmitRepeatable(t *testing.T) {
-	defer func() { transmitForceParallel = false }()
-	transmitForceParallel = true
+	defer func() { transport.TransmitForceParallel = false }()
+	transport.TransmitForceParallel = true
 	want := fingerprint(runChatter(t, 6, 15))
 	for i := 0; i < 3; i++ {
 		if got := fingerprint(runChatter(t, 6, 15)); got != want {

@@ -23,11 +23,12 @@ import (
 // partitions, round counts, and Metrics of any run are unchanged by
 // which load path produced the residency.
 type ShardPartition struct {
-	n, m  int
-	k     int
-	seed  uint64
-	owned [][]int
-	adj   []map[int][]graph.Half // per machine: owned vertex -> sorted adjacency
+	n, m   int
+	k      int
+	lo, hi int // machines whose shards are materialized
+	seed   uint64
+	owned  [][]int
+	adj    []map[int][]graph.Half // per machine: owned vertex -> sorted adjacency
 }
 
 // LoadShards streams src into per-machine adjacency shards for k
@@ -36,6 +37,16 @@ type ShardPartition struct {
 // backed by one arena per machine). Self-loops, out-of-range endpoints,
 // and duplicate edges are errors, matching graph.Builder.
 func LoadShards(src graph.EdgeSource, k int, seed uint64) (*ShardPartition, error) {
+	return LoadShardsRange(src, k, seed, 0, k)
+}
+
+// LoadShardsRange is LoadShards restricted to machines [lo, hi): only
+// their owned lists and adjacency rows are materialized, so a worker
+// process hosting a sub-range of a distributed cluster holds only its
+// own slice of the graph. The stream is still validated in full, and
+// the shards produced for [lo, hi) are bit-identical to the same
+// machines' shards under a full LoadShards with the same seed.
+func LoadShardsRange(src graph.EdgeSource, k int, seed uint64, lo, hi int) (*ShardPartition, error) {
 	n := src.N()
 	if n < 0 {
 		return nil, fmt.Errorf("kmachine: negative vertex count %d", n)
@@ -43,12 +54,16 @@ func LoadShards(src graph.EdgeSource, k int, seed uint64) (*ShardPartition, erro
 	if k < 1 {
 		return nil, fmt.Errorf("kmachine: k = %d, need >= 1", k)
 	}
-	p := &ShardPartition{n: n, k: k, seed: seed, owned: make([][]int, k),
-		adj: make([]map[int][]graph.Half, k)}
+	if lo < 0 || hi > k || lo >= hi {
+		return nil, fmt.Errorf("kmachine: shard range [%d,%d) outside [0,%d)", lo, hi, k)
+	}
+	p := &ShardPartition{n: n, k: k, lo: lo, hi: hi, seed: seed,
+		owned: make([][]int, k), adj: make([]map[int][]graph.Half, k)}
 
 	if k > 1<<16 {
 		return nil, fmt.Errorf("kmachine: k = %d exceeds the shard loader's machine table", k)
 	}
+	hosted := func(mach uint16) bool { return int(mach) >= lo && int(mach) < hi }
 	home := make([]uint16, n)
 	perMachine := make([]int, k)
 	for v := 0; v < n; v++ {
@@ -56,15 +71,17 @@ func LoadShards(src graph.EdgeSource, k int, seed uint64) (*ShardPartition, erro
 		home[v] = uint16(h)
 		perMachine[h]++
 	}
-	for i := 0; i < k; i++ {
+	for i := lo; i < hi; i++ {
 		p.owned[i] = make([]int, 0, perMachine[i])
 		p.adj[i] = make(map[int][]graph.Half, perMachine[i])
 	}
 	for v := 0; v < n; v++ {
-		p.owned[home[v]] = append(p.owned[home[v]], v)
+		if hosted(home[v]) {
+			p.owned[home[v]] = append(p.owned[home[v]], v)
+		}
 	}
 
-	// Pass 1: full degrees (both endpoints), so each machine's arena and
+	// Pass 1: degrees of hosted vertices, so each machine's arena and
 	// every row within it are allocated at exactly their final size.
 	if err := src.Reset(); err != nil {
 		return nil, err
@@ -83,15 +100,19 @@ func LoadShards(src graph.EdgeSource, k int, seed uint64) (*ShardPartition, erro
 		if err := checkShardEdge(e, n); err != nil {
 			return nil, err
 		}
-		deg[e.U]++
-		deg[e.V]++
+		if hosted(home[e.U]) {
+			deg[e.U]++
+		}
+		if hosted(home[e.V]) {
+			deg[e.V]++
+		}
 		m++
 	}
 	p.m = m
 
 	// Exactly-sized rows carved from one arena per machine.
 	cur := make([]int32, n)
-	for i := 0; i < k; i++ {
+	for i := lo; i < hi; i++ {
 		total := 0
 		for _, v := range p.owned[i] {
 			total += int(deg[v])
@@ -108,7 +129,8 @@ func LoadShards(src graph.EdgeSource, k int, seed uint64) (*ShardPartition, erro
 		}
 	}
 
-	// Pass 2: fill both half-edges of every edge into the owners' rows.
+	// Pass 2: fill the hosted half-edges of every edge into the owners'
+	// rows.
 	if err := src.Reset(); err != nil {
 		return nil, err
 	}
@@ -124,14 +146,21 @@ func LoadShards(src graph.EdgeSource, k int, seed uint64) (*ShardPartition, erro
 		if err := checkShardEdge(e, n); err != nil {
 			return nil, err
 		}
-		if int(cur[e.U]) >= int(deg[e.U]) || int(cur[e.V]) >= int(deg[e.V]) {
-			return nil, fmt.Errorf("kmachine: source changed between passes (row %d/%d overflow)", e.U, e.V)
-		}
 		hu, hv := home[e.U], home[e.V]
-		p.adj[hu][e.U] = append(p.adj[hu][e.U], graph.Half{To: e.V, W: e.W})
-		p.adj[hv][e.V] = append(p.adj[hv][e.V], graph.Half{To: e.U, W: e.W})
-		cur[e.U]++
-		cur[e.V]++
+		if hosted(hu) {
+			if int(cur[e.U]) >= int(deg[e.U]) {
+				return nil, fmt.Errorf("kmachine: source changed between passes (row %d overflow)", e.U)
+			}
+			p.adj[hu][e.U] = append(p.adj[hu][e.U], graph.Half{To: e.V, W: e.W})
+			cur[e.U]++
+		}
+		if hosted(hv) {
+			if int(cur[e.V]) >= int(deg[e.V]) {
+				return nil, fmt.Errorf("kmachine: source changed between passes (row %d overflow)", e.V)
+			}
+			p.adj[hv][e.V] = append(p.adj[hv][e.V], graph.Half{To: e.U, W: e.W})
+			cur[e.V]++
+		}
 	}
 	if _, err := src.Next(); err != io.EOF {
 		if err != nil {
@@ -142,7 +171,7 @@ func LoadShards(src graph.EdgeSource, k int, seed uint64) (*ShardPartition, erro
 
 	// Sort rows by neighbor (a no-op for canonical-row-order sources like
 	// the store, whose halves arrive pre-sorted) and reject duplicates.
-	for i := 0; i < k; i++ {
+	for i := lo; i < hi; i++ {
 		for v, row := range p.adj[i] {
 			if !halvesSorted(row) {
 				sort.Slice(row, func(a, b int) bool { return row[a].To < row[b].To })
@@ -188,15 +217,31 @@ func (p *ShardPartition) K() int { return p.k }
 // Home returns the home machine of vertex v (the shared RVP hash).
 func (p *ShardPartition) Home(v int) int { return HomeOf(p.seed, p.k, v) }
 
-// Owned returns the vertices homed at machine i (sorted ascending).
-func (p *ShardPartition) Owned(i int) []int { return p.owned[i] }
+// Hosted returns the half-open machine range whose shards are
+// materialized ([0, K) for LoadShards).
+func (p *ShardPartition) Hosted() (lo, hi int) { return p.lo, p.hi }
 
-// MaxLoad returns the largest number of vertices on one machine.
+// Owned returns the vertices homed at machine i (sorted ascending).
+// The machine's shard must be materialized.
+func (p *ShardPartition) Owned(i int) []int {
+	p.checkHosted(i)
+	return p.owned[i]
+}
+
+func (p *ShardPartition) checkHosted(i int) {
+	if i < p.lo || i >= p.hi {
+		panic(fmt.Sprintf("kmachine: machine %d outside materialized shard range [%d,%d)",
+			i, p.lo, p.hi))
+	}
+}
+
+// MaxLoad returns the largest number of vertices on one materialized
+// machine.
 func (p *ShardPartition) MaxLoad() int {
 	m := 0
-	for _, o := range p.owned {
-		if len(o) > m {
-			m = len(o)
+	for i := p.lo; i < p.hi; i++ {
+		if len(p.owned[i]) > m {
+			m = len(p.owned[i])
 		}
 	}
 	return m
@@ -207,6 +252,7 @@ func (p *ShardPartition) MaxLoad() int {
 // second copy of the graph in memory). The partition's own View for
 // that machine must not be used afterwards.
 func (p *ShardPartition) TakeAdj(i int) map[int][]graph.Half {
+	p.checkHosted(i)
 	a := p.adj[i]
 	p.adj[i] = nil
 	return a
@@ -215,6 +261,7 @@ func (p *ShardPartition) TakeAdj(i int) map[int][]graph.Half {
 // View returns machine i's restricted view of the sharded input — the
 // same contract as VertexPartition.View.
 func (p *ShardPartition) View(i int) *ShardView {
+	p.checkHosted(i)
 	return &ShardView{id: i, p: p}
 }
 

@@ -37,6 +37,7 @@ import (
 	"kmgraph"
 	"kmgraph/internal/resident"
 	"kmgraph/internal/telemetry"
+	"kmgraph/internal/transport/tcp"
 )
 
 // Config parameterizes a Server. The zero value is usable: every field
@@ -136,6 +137,10 @@ func New(cfg Config) *Server {
 		registry: telemetry.NewRegistry(),
 	}
 	telemetry.RegisterProcessMetrics(s.registry)
+	// Distributed-transport series (per-link bytes/frames, reconnects,
+	// handshake failures, barrier waits) join the same exposition, so a
+	// server that also coordinates TCP jobs surfaces them on GET /metrics.
+	tcp.RegisterTelemetry(s.registry)
 	s.registry.GaugeFunc("kmserve_inflight_requests",
 		"HTTP requests currently being served.",
 		func() float64 { return float64(s.inflight.Load()) })

@@ -1,0 +1,262 @@
+package transport
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// queued is an in-flight message with transmission progress.
+type queued struct {
+	msg      Message
+	sentBits int
+}
+
+func (q *queued) totalBits(overhead int) int {
+	b := 8*len(q.msg.Data) + overhead
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// linkQueue is the FIFO of one directed link. head indexes the first
+// undelivered message; the backing array is reset and reused whenever the
+// queue fully drains, so steady-state traffic allocates nothing.
+type linkQueue struct {
+	items []queued
+	head  int
+}
+
+func (q *linkQueue) empty() bool { return q.head == len(q.items) }
+
+// Parallel-transmit tuning. The transmit loop shards per-destination work
+// across workers only when enough links are active to amortize the join;
+// small or sparse rounds take the serial path. Both paths are bit-exact.
+// The vars are overridable by tests to force the parallel path.
+var (
+	TransmitParallelMinLinks = 64
+	TransmitMaxWorkers       = 16
+	TransmitForceParallel    = false // tests only: take the sharded path always
+)
+
+// Switch is the link simulator for the incoming links of destinations
+// [lo, hi) in a k-machine cluster: one FIFO byte queue per directed link,
+// drained at BandwidthBits per round, with an active-link index (a
+// per-destination bitmap of sources with bits in flight) so quiescent
+// links cost zero. It is the single bandwidth-accounting engine shared by
+// every transport backend — the local backend owns [0, k), a TCP worker
+// owns its hosted sub-range — which is what keeps the backends bit-exact
+// with each other.
+//
+// A Switch is driven by one goroutine (the round engine); only the
+// sharded transmit fans out internally, merging per-destination counters
+// deterministically in destination order after the join.
+type Switch struct {
+	p      Params
+	lo, hi int
+	met    *Metrics
+
+	queues    []linkQueue // [(dst-lo)*k + src]
+	activeSrc [][]uint64  // [dst-lo]: bitmap of sources with a non-empty queue
+	dstActive []int       // [dst-lo]: population count of activeSrc
+	active    int         // total non-empty directed links
+
+	// Per-destination delivery buffers, double-buffered so a slice handed
+	// to a machine is not refilled until the machine has stepped again.
+	inbox    [][]Message
+	inboxBuf [][2][]Message
+	inboxSel []int
+
+	// Per-destination transmit results, merged deterministically (in
+	// destination order) after a parallel round.
+	dstMsgs    []int64
+	dstBytes   []int64
+	dstDrained []int32
+
+	workers int
+	next    atomic.Int64 // destination cursor for the sharded transmit
+}
+
+// NewSwitch returns a link simulator for destinations [lo, hi) of a
+// k-machine cluster, accounting into met. workers bounds the sharded
+// transmit fan-out (1 disables it).
+func NewSwitch(p Params, lo, hi int, met *Metrics, workers int) *Switch {
+	n := hi - lo
+	if workers < 1 {
+		workers = 1
+	}
+	s := &Switch{
+		p:          p,
+		lo:         lo,
+		hi:         hi,
+		met:        met,
+		queues:     make([]linkQueue, n*p.K),
+		activeSrc:  make([][]uint64, n),
+		dstActive:  make([]int, n),
+		inbox:      make([][]Message, n),
+		inboxBuf:   make([][2][]Message, n),
+		inboxSel:   make([]int, n),
+		dstMsgs:    make([]int64, n),
+		dstBytes:   make([]int64, n),
+		dstDrained: make([]int32, n),
+		workers:    workers,
+	}
+	words := (p.K + 63) >> 6
+	for d := 0; d < n; d++ {
+		s.activeSrc[d] = make([]uint64, words)
+	}
+	return s
+}
+
+// Enqueue appends m to its link queue, maintaining the active-link index.
+// It is the single enqueue path for every staged message — local or
+// arriving from a peer — so the accounting can never drift between
+// backends. The destination must be hosted.
+func (s *Switch) Enqueue(m Message) {
+	if m.Dst < s.lo || m.Dst >= s.hi {
+		panic(fmt.Sprintf("transport: enqueue for non-hosted machine %d (hosted [%d,%d))",
+			m.Dst, s.lo, s.hi))
+	}
+	di := m.Dst - s.lo
+	q := &s.queues[di*s.p.K+m.Src]
+	if q.empty() {
+		if q.head > 0 {
+			q.items = q.items[:0]
+			q.head = 0
+		}
+		s.activeSrc[di][m.Src>>6] |= 1 << uint(m.Src&63)
+		s.dstActive[di]++
+		s.active++
+	}
+	q.items = append(q.items, queued{msg: m})
+	s.met.SentMsgs[m.Src]++
+}
+
+// transmitDst drains one round of bandwidth on every active link into
+// hosted destination index di. It touches only di-indexed state (queues,
+// bitmaps, inbox, counters) plus distinct LinkBits elements, so distinct
+// destinations can run concurrently.
+func (s *Switch) transmitDst(di int) {
+	d := s.lo + di
+	buf := s.inbox[di]
+	words := s.activeSrc[di]
+	var delivered, drained int32
+	var payload int64
+	for wi, w := range words {
+		for w != 0 {
+			src := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			q := &s.queues[di*s.p.K+src]
+			budget := s.p.BandwidthBits
+			if src == d {
+				budget = 1 << 30 // local delivery is free
+			}
+			i := q.head
+			for i < len(q.items) && budget > 0 {
+				qi := &q.items[i]
+				total := qi.totalBits(s.p.MessageOverheadBits)
+				rem := total - qi.sentBits
+				take := rem
+				if take > budget {
+					take = budget
+				}
+				qi.sentBits += take
+				budget -= take
+				if src != d {
+					s.met.LinkBits[src][d] += int64(take)
+				}
+				if qi.sentBits == total {
+					buf = append(buf, qi.msg)
+					delivered++
+					payload += int64(len(qi.msg.Data))
+					i++
+				}
+			}
+			q.head = i
+			if q.empty() {
+				q.items = q.items[:0]
+				q.head = 0
+				words[wi] &^= 1 << uint(src&63)
+				drained++
+			}
+		}
+	}
+	s.inbox[di] = buf
+	s.inboxBuf[di][s.inboxSel[di]] = buf // retain grown capacity for reuse
+	s.met.RecvMsgs[d] += int64(delivered)
+	s.dstMsgs[di] = int64(delivered)
+	s.dstBytes[di] = payload
+	s.dstDrained[di] = drained
+	s.dstActive[di] -= int(drained)
+}
+
+// TransmitRound advances every active hosted link by one round of
+// bandwidth, choosing the sharded or serial path, and merges the
+// per-destination counters into the metrics in destination order. The
+// deliveries land in the per-destination inboxes (see Inbox) and the
+// double buffers are flipped, so a buffer returned last round stays
+// untouched for one more round.
+func (s *Switch) TransmitRound() {
+	n := s.hi - s.lo
+	for di := 0; di < n; di++ {
+		s.inboxSel[di] ^= 1
+		s.inbox[di] = s.inboxBuf[di][s.inboxSel[di]][:0]
+		s.dstMsgs[di], s.dstBytes[di], s.dstDrained[di] = 0, 0, 0
+	}
+	if s.workers > 1 && (s.active >= TransmitParallelMinLinks || TransmitForceParallel) {
+		s.next.Store(0)
+		var wg sync.WaitGroup
+		wg.Add(s.workers)
+		for w := 0; w < s.workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					di := int(s.next.Add(1)) - 1
+					if di >= n {
+						return
+					}
+					if s.dstActive[di] > 0 {
+						s.transmitDst(di)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for di := 0; di < n; di++ {
+			if s.dstActive[di] > 0 {
+				s.transmitDst(di)
+			}
+		}
+	}
+	for di := 0; di < n; di++ {
+		s.met.Messages += s.dstMsgs[di]
+		s.met.PayloadBytes += s.dstBytes[di]
+		s.active -= int(s.dstDrained[di])
+	}
+}
+
+// Inbox returns hosted destination d's deliveries from the last
+// TransmitRound. The slice is valid until the second-next TransmitRound.
+func (s *Switch) Inbox(d int) []Message { return s.inbox[d-s.lo] }
+
+// Active reports whether any hosted link has bits in flight.
+func (s *Switch) Active() bool { return s.active > 0 }
+
+// Remnants returns the count and payload bytes of messages still queued
+// at termination (undelivered traffic is a protocol bug; the engine
+// surfaces it as dropped).
+func (s *Switch) Remnants() (int, int64) {
+	var msgs int
+	var bytes int64
+	for i := range s.queues {
+		q := &s.queues[i]
+		for _, qm := range q.items[q.head:] {
+			msgs++
+			bytes += int64(len(qm.msg.Data))
+		}
+	}
+	return msgs, bytes
+}

@@ -1,0 +1,242 @@
+// Package tcp is the multi-process transport backend: a cluster's k
+// machines are hosted by several OS processes (workers), each owning a
+// contiguous range of machine indices, connected pairwise by TCP links
+// carrying length-prefixed binary frames. Every worker runs the same
+// round engine over the same link simulator as the in-process backend;
+// the only thing that crosses a socket is what a round needs — the
+// messages staged for the peer's hosted machines and the barrier deltas
+// — so a distributed run produces Metrics bit-identical to a local one.
+//
+// Framing: every frame is [4-byte little-endian length][1 type
+// byte][body], where length counts the type byte plus the body. The
+// handshake (Hello) pins cluster identity, k, seed, and the link
+// parameters before any round traffic; a mismatch is a handshake
+// failure, not undefined behavior. Round frames carry a sequence
+// number so a lost or reordered barrier is detected immediately, and a
+// dead peer surfaces as transport.ErrLinkDown instead of a hung
+// barrier.
+package tcp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"kmgraph/internal/transport"
+	"kmgraph/internal/wire"
+)
+
+// FrameType distinguishes the frames of the kmgraph transport protocol.
+// Types 1-2 flow on peer (worker-to-worker) links; 3-6 on control
+// (coordinator-to-worker) links established by the dist layer.
+type FrameType byte
+
+const (
+	// FrameHello opens a peer link: both sides exchange a Hello.
+	FrameHello FrameType = 1
+	// FrameRound carries one barrier's traffic toward the peer.
+	FrameRound FrameType = 2
+	// FrameJob carries a job spec from coordinator to worker.
+	FrameJob FrameType = 3
+	// FrameResult carries a worker's partial result back.
+	FrameResult FrameType = 4
+	// FrameError carries a worker's job failure back.
+	FrameError FrameType = 5
+	// FrameBye announces an orderly close (a coordinator cancelling a
+	// job, or a worker done with its links).
+	FrameBye FrameType = 6
+)
+
+// MaxFrameBody bounds a frame's body; larger announcements are protocol
+// errors, so a corrupt length prefix cannot trigger an unbounded
+// allocation.
+const MaxFrameBody = 1 << 28
+
+// helloMagic is the first field of every Hello: "KMGT" plus a protocol
+// version, so a stray connection (or a version skew) fails the
+// handshake instead of desynchronizing the round protocol.
+const helloMagic uint64 = 0x4b4d47_5400_0001 // "KMGT" v1
+
+const frameHeaderLen = 4 + 1 // length prefix + type byte
+
+// AppendFrameHeader reserves a frame header for type t at the end of b;
+// the caller appends the body and then calls FinishFrame on the region.
+func AppendFrameHeader(b []byte, t FrameType) []byte {
+	return append(b, 0, 0, 0, 0, byte(t))
+}
+
+// FinishFrame patches the length prefix of the frame starting at off
+// (the offset AppendFrameHeader was called at) and returns b.
+func FinishFrame(b []byte, off int) []byte {
+	binary.LittleEndian.PutUint32(b[off:], uint32(len(b)-off-4))
+	return b
+}
+
+// AppendFrame appends a complete frame of type t with the given body.
+func AppendFrame(b []byte, t FrameType, body []byte) []byte {
+	off := len(b)
+	b = AppendFrameHeader(b, t)
+	b = append(b, body...)
+	return FinishFrame(b, off)
+}
+
+// ReadFrame reads one frame from r. *buf is the reusable read buffer
+// (grown as needed); the returned body aliases it and is valid until
+// the next ReadFrame with the same buffer. An oversized or truncated
+// frame is an error.
+func ReadFrame(r io.Reader, buf *[]byte) (FrameType, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	length := binary.LittleEndian.Uint32(hdr[:])
+	if length < 1 || length > MaxFrameBody+1 {
+		return 0, nil, fmt.Errorf("tcp: frame length %d out of range", length)
+	}
+	if cap(*buf) < int(length) {
+		*buf = make([]byte, length)
+	}
+	b := (*buf)[:length]
+	if _, err := io.ReadFull(r, b); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	return FrameType(b[0]), b[1:], nil
+}
+
+// Hello is the peer-link handshake: everything two participants must
+// agree on before exchanging round frames. BandwidthBits and
+// MessageOverheadBits are the job-specified (pre-resolution) values, so
+// every participant of one job states the same numbers.
+type Hello struct {
+	ClusterID           uint64
+	K                   int
+	Seed                int64
+	Index               int // participant index within the job
+	Lo, Hi              int // hosted machine range [Lo, Hi)
+	BandwidthBits       int
+	MessageOverheadBits int
+}
+
+// AppendHello encodes h as a FrameHello body.
+func AppendHello(b []byte, h *Hello) []byte {
+	b = wire.AppendU64(b, helloMagic)
+	b = wire.AppendU64(b, h.ClusterID)
+	b = wire.AppendUvarint(b, uint64(h.K))
+	b = wire.AppendVarint(b, h.Seed)
+	b = wire.AppendUvarint(b, uint64(h.Index))
+	b = wire.AppendUvarint(b, uint64(h.Lo))
+	b = wire.AppendUvarint(b, uint64(h.Hi))
+	b = wire.AppendUvarint(b, uint64(h.BandwidthBits))
+	b = wire.AppendUvarint(b, uint64(h.MessageOverheadBits))
+	return b
+}
+
+// maxK mirrors the shard loader's machine-table bound.
+const maxK = 1 << 16
+
+// DecodeHello decodes and validates a FrameHello body.
+func DecodeHello(body []byte) (*Hello, error) {
+	r := wire.NewReader(body)
+	if m := r.U64(); m != helloMagic {
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		return nil, fmt.Errorf("tcp: bad hello magic %#x", m)
+	}
+	h := &Hello{
+		ClusterID:           r.U64(),
+		K:                   int(r.Uvarint()),
+		Seed:                r.Varint(),
+		Index:               int(r.Uvarint()),
+		Lo:                  int(r.Uvarint()),
+		Hi:                  int(r.Uvarint()),
+		BandwidthBits:       int(r.Uvarint()),
+		MessageOverheadBits: int(r.Uvarint()),
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if h.K < 1 || h.K > maxK {
+		return nil, fmt.Errorf("tcp: hello k=%d out of range", h.K)
+	}
+	if h.Lo < 0 || h.Hi > h.K || h.Lo >= h.Hi {
+		return nil, fmt.Errorf("tcp: hello hosts [%d,%d) of %d machines", h.Lo, h.Hi, h.K)
+	}
+	if h.Index < 0 || h.Index > maxK {
+		return nil, fmt.Errorf("tcp: hello index %d out of range", h.Index)
+	}
+	if h.BandwidthBits < 0 || h.MessageOverheadBits < 0 {
+		return nil, errors.New("tcp: hello with negative link parameters")
+	}
+	return h, nil
+}
+
+// RoundFrame is one decoded barrier announcement from a peer.
+type RoundFrame struct {
+	Seq       uint64
+	DoneDelta int
+	Msgs      []transport.Message
+}
+
+// AppendRoundBody encodes a round announcement: the barrier sequence
+// number, how many of the sender's hosted machines returned at this
+// barrier, and the messages staged for the receiver's hosted machines
+// (grouped by source ascending, per-source send order preserved — the
+// only order the receiving link FIFOs observe).
+func AppendRoundBody(b []byte, seq uint64, doneDelta int, msgs []transport.Message) []byte {
+	b = wire.AppendUvarint(b, seq)
+	b = wire.AppendUvarint(b, uint64(doneDelta))
+	b = wire.AppendUvarint(b, uint64(len(msgs)))
+	for _, m := range msgs {
+		b = wire.AppendUvarint(b, uint64(m.Src))
+		b = wire.AppendUvarint(b, uint64(m.Dst))
+		b = wire.AppendBytes(b, m.Data)
+	}
+	return b
+}
+
+// DecodeRound decodes a FrameRound body into f. Message payloads are
+// copied into arena (the frame buffer is reused), so they stay valid
+// while queued in the link simulator. Source and destination indices
+// are validated against k; every malformed input is an error, never a
+// panic.
+func DecodeRound(body []byte, k int, arena *wire.Arena, f *RoundFrame) error {
+	r := wire.NewReader(body)
+	f.Seq = r.Uvarint()
+	f.DoneDelta = int(r.Uvarint())
+	count := int(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if f.DoneDelta < 0 || f.DoneDelta > k {
+		return fmt.Errorf("tcp: round doneDelta %d out of range", f.DoneDelta)
+	}
+	// Each message costs at least two bytes on the wire; an announced
+	// count beyond that is corrupt, not worth allocating for.
+	if count < 0 || count > r.Len() {
+		return fmt.Errorf("tcp: round message count %d out of range", count)
+	}
+	f.Msgs = f.Msgs[:0]
+	for i := 0; i < count; i++ {
+		src := int(r.Uvarint())
+		dst := int(r.Uvarint())
+		data := r.Bytes()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if src < 0 || src >= k || dst < 0 || dst >= k {
+			return fmt.Errorf("tcp: round message %d -> %d outside cluster of %d", src, dst, k)
+		}
+		if len(data) > 0 {
+			data = arena.Copy(data)
+		} else {
+			data = nil
+		}
+		f.Msgs = append(f.Msgs, transport.Message{Src: src, Dst: dst, Data: data})
+	}
+	return r.Done()
+}

@@ -1,0 +1,64 @@
+package tcp
+
+import (
+	"bytes"
+	"testing"
+
+	"kmgraph/internal/transport"
+	"kmgraph/internal/wire"
+)
+
+// FuzzFrameDecode drives arbitrary bytes through the full inbound
+// decode path a peer link runs on untrusted network input: frame
+// deframing, hello decoding, and round-frame decoding. The decoders
+// must reject garbage with latched errors — never panic, never
+// over-allocate from a length prefix.
+func FuzzFrameDecode(f *testing.F) {
+	hello := &Hello{ClusterID: 7, K: 16, Seed: 11, Index: 3, Lo: 4, Hi: 8,
+		BandwidthBits: 1024, MessageOverheadBits: 64}
+	f.Add(AppendFrame(nil, FrameHello, AppendHello(nil, hello)))
+	round := AppendRoundBody(nil, 9, 2, []transport.Message{
+		{Src: 1, Dst: 5, Data: []byte("payload")},
+		{Src: 0, Dst: 4, Data: nil},
+	})
+	f.Add(AppendFrame(nil, FrameRound, round))
+	f.Add(AppendFrame(nil, FrameBye, nil))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1}) // oversized length prefix
+	f.Add([]byte{0, 0, 0, 0})                // zero-length frame
+	f.Add([]byte{5, 0, 0, 0, 2, 1, 2, 3, 4}) // truncated round body
+	f.Add(AppendFrame(nil, FrameHello, nil)) // empty hello
+	f.Add(AppendFrame(nil, FrameRound, round[:len(round)-3]))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var buf []byte
+		r := bytes.NewReader(data)
+		arena := wire.NewArena(0)
+		// A stream may hold several frames; decode until it errors out.
+		for {
+			ft, body, err := ReadFrame(r, &buf)
+			if err != nil {
+				return
+			}
+			if len(body) > MaxFrameBody {
+				t.Fatalf("ReadFrame returned %d-byte body, cap %d", len(body), MaxFrameBody)
+			}
+			switch ft {
+			case FrameHello:
+				if h, err := DecodeHello(body); err == nil {
+					if h.K < 1 || h.K > maxK || h.Lo < 0 || h.Hi > h.K || h.Lo >= h.Hi {
+						t.Fatalf("DecodeHello accepted invalid hello: %+v", h)
+					}
+				}
+			case FrameRound:
+				var fr RoundFrame
+				if err := DecodeRound(body, 16, arena, &fr); err == nil {
+					for _, m := range fr.Msgs {
+						if int(m.Src) >= 16 || int(m.Dst) >= 16 {
+							t.Fatalf("DecodeRound accepted out-of-range machine: %+v", m)
+						}
+					}
+				}
+			}
+		}
+	})
+}

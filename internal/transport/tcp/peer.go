@@ -1,0 +1,308 @@
+package tcp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"kmgraph/internal/transport"
+	"kmgraph/internal/wire"
+)
+
+// Options tune a peer link's timeouts. The zero value selects the
+// defaults.
+type Options struct {
+	// DialTimeout bounds one TCP connect attempt (default 5s).
+	DialTimeout time.Duration
+	// DialAttempts is how many times Dial retries the connect+handshake
+	// before giving up (default 40). Retries cover the window where a
+	// peer has not yet received its job spec and opened its listener
+	// routing for this cluster.
+	DialAttempts int
+	// DialBackoff separates retries (default 250ms).
+	DialBackoff time.Duration
+	// HandshakeTimeout bounds the wait for the hello reply after a
+	// connect (default 30s). It is deliberately longer than DialTimeout:
+	// the passive side answers only once its own job spec arrives, so
+	// the dialer waits out that skew inside one attempt instead of
+	// churning retries.
+	HandshakeTimeout time.Duration
+	// WriteTimeout bounds one frame write (default 30s).
+	WriteTimeout time.Duration
+	// IdleTimeout bounds the silence a read loop tolerates between
+	// frames (default 2m — generous enough to cover a peer's shard-load
+	// skew before its first barrier).
+	IdleTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.DialAttempts == 0 {
+		o.DialAttempts = 40
+	}
+	if o.DialBackoff == 0 {
+		o.DialBackoff = 250 * time.Millisecond
+	}
+	if o.HandshakeTimeout == 0 {
+		o.HandshakeTimeout = 30 * time.Second
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = 30 * time.Second
+	}
+	if o.IdleTimeout == 0 {
+		o.IdleTimeout = 2 * time.Minute
+	}
+	return o
+}
+
+// Peer is one established link to another participant of a distributed
+// cluster: the socket, the remote's hosted range, a write buffer (one
+// frame per round, one syscall per frame), and a read loop that decodes
+// inbound round frames under an idle deadline and latches the first
+// error — after which every barrier wait on this peer reports
+// transport.ErrLinkDown instead of blocking.
+type Peer struct {
+	Index  int // remote participant index
+	Lo, Hi int // remote hosted machine range
+
+	conn  net.Conn
+	k     int
+	opts  Options
+	stats linkStats
+
+	wbuf  []byte // frame staging: header + body, one write per round
+	stage []transport.Message
+
+	frames  chan *RoundFrame
+	readErr error // valid once frames is closed
+	arena   *wire.Arena
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+// newPeer wraps an established, handshaken connection. It starts the
+// read loop.
+func newPeer(conn net.Conn, remote *Hello, opts Options) *Peer {
+	p := &Peer{
+		Index:  remote.Index,
+		Lo:     remote.Lo,
+		Hi:     remote.Hi,
+		conn:   conn,
+		k:      remote.K,
+		opts:   opts.withDefaults(),
+		stats:  newLinkStats(remote.Index),
+		frames: make(chan *RoundFrame, 4),
+		arena:  wire.NewArena(0),
+		done:   make(chan struct{}),
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // a round frame must not wait out Nagle
+	}
+	go p.readLoop()
+	return p
+}
+
+// readLoop decodes inbound frames until the link dies or Close. The
+// first error is latched and the frame channel closed, so a blocked
+// barrier wait wakes immediately.
+func (p *Peer) readLoop() {
+	var buf []byte
+	var err error
+	for err == nil {
+		p.conn.SetReadDeadline(time.Now().Add(p.opts.IdleTimeout))
+		var t FrameType
+		var body []byte
+		t, body, err = ReadFrame(p.conn, &buf)
+		if err != nil {
+			break
+		}
+		p.stats.framesRecv.Inc()
+		p.stats.bytesRecv.Add(int64(len(body)) + frameHeaderLen)
+		switch t {
+		case FrameRound:
+			f := &RoundFrame{}
+			if err = DecodeRound(body, p.k, p.arena, f); err != nil {
+				break
+			}
+			select {
+			case p.frames <- f:
+			case <-p.done:
+				err = net.ErrClosed
+			}
+		case FrameBye:
+			err = io.EOF
+		default:
+			err = fmt.Errorf("tcp: unexpected frame type %d on peer link", t)
+		}
+	}
+	p.readErr = err
+	close(p.frames)
+}
+
+// writeRound stages and writes one round frame in a single syscall.
+func (p *Peer) writeRound(seq uint64, doneDelta int, msgs []transport.Message) error {
+	b := AppendFrameHeader(p.wbuf[:0], FrameRound)
+	b = AppendRoundBody(b, seq, doneDelta, msgs)
+	b = FinishFrame(b, 0)
+	p.wbuf = b
+	p.conn.SetWriteDeadline(time.Now().Add(p.opts.WriteTimeout))
+	if _, err := p.conn.Write(b); err != nil {
+		return err
+	}
+	p.stats.framesSent.Inc()
+	p.stats.bytesSent.Add(int64(len(b)))
+	return nil
+}
+
+// recvRound blocks until the peer's announcement for barrier seq
+// arrives, the link dies, or the idle deadline passes in the read loop.
+func (p *Peer) recvRound(seq uint64) (*RoundFrame, error) {
+	f, ok := <-p.frames
+	if !ok {
+		return nil, fmt.Errorf("tcp: peer %d (machines [%d,%d)): %v: %w",
+			p.Index, p.Lo, p.Hi, p.readErr, transport.ErrLinkDown)
+	}
+	if f.Seq != seq {
+		return nil, fmt.Errorf("tcp: peer %d barrier desync (got seq %d, want %d): %w",
+			p.Index, f.Seq, seq, transport.ErrLinkDown)
+	}
+	return f, nil
+}
+
+// Close shuts the link down: a best-effort Bye, then the socket. Safe
+// to call more than once and concurrently with a blocked recvRound.
+func (p *Peer) Close() error {
+	p.closeOnce.Do(func() {
+		close(p.done)
+		p.conn.SetWriteDeadline(time.Now().Add(time.Second))
+		p.conn.Write(AppendFrame(nil, FrameBye, nil))
+		p.conn.Close()
+	})
+	return nil
+}
+
+// writeFrame sends one complete frame on conn under the write timeout.
+func writeFrame(conn net.Conn, opts Options, t FrameType, body []byte) error {
+	conn.SetWriteDeadline(time.Now().Add(opts.WriteTimeout))
+	_, err := conn.Write(AppendFrame(nil, t, body))
+	return err
+}
+
+// readHello reads and decodes the peer's FrameHello under the
+// handshake timeout.
+func readHello(conn net.Conn, opts Options) (*Hello, error) {
+	conn.SetReadDeadline(time.Now().Add(opts.HandshakeTimeout))
+	var buf []byte
+	t, body, err := ReadFrame(conn, &buf)
+	if err != nil {
+		return nil, err
+	}
+	if t != FrameHello {
+		return nil, fmt.Errorf("tcp: expected hello, got frame type %d", t)
+	}
+	return DecodeHello(body)
+}
+
+// ValidateHello checks that a remote hello describes the same cluster
+// as ours: identity, size, seed, and link parameters. A mismatch is
+// counted as a handshake failure.
+func ValidateHello(theirs, ours *Hello) error {
+	switch {
+	case theirs.ClusterID != ours.ClusterID:
+		return fmt.Errorf("tcp: handshake for cluster %#x, want %#x", theirs.ClusterID, ours.ClusterID)
+	case theirs.K != ours.K:
+		return fmt.Errorf("tcp: handshake with k=%d, want %d", theirs.K, ours.K)
+	case theirs.Seed != ours.Seed:
+		return fmt.Errorf("tcp: handshake with seed %d, want %d", theirs.Seed, ours.Seed)
+	case theirs.BandwidthBits != ours.BandwidthBits,
+		theirs.MessageOverheadBits != ours.MessageOverheadBits:
+		return fmt.Errorf("tcp: handshake with link parameters B=%d/H=%d, want B=%d/H=%d",
+			theirs.BandwidthBits, theirs.MessageOverheadBits,
+			ours.BandwidthBits, ours.MessageOverheadBits)
+	case theirs.Index == ours.Index:
+		return fmt.Errorf("tcp: handshake from our own index %d", theirs.Index)
+	}
+	// Hosted ranges must not overlap: each machine has exactly one owner.
+	if theirs.Lo < ours.Hi && ours.Lo < theirs.Hi {
+		return fmt.Errorf("tcp: peer %d hosts [%d,%d), overlapping our [%d,%d)",
+			theirs.Index, theirs.Lo, theirs.Hi, ours.Lo, ours.Hi)
+	}
+	return nil
+}
+
+// errHandshake marks permanent handshake rejections, which Dial must
+// not retry.
+var errHandshake = fmt.Errorf("tcp: handshake rejected")
+
+// Dial connects to a lower-index participant at addr, performs the
+// handshake (send ours, read theirs, validate), and returns the
+// established link. Connect and handshake failures are retried under
+// Options (a peer may not have learned about the cluster yet); each
+// retry increments the reconnect counter.
+func Dial(addr string, ours *Hello, wantIndex int, opts Options) (*Peer, error) {
+	opts = opts.withDefaults()
+	var lastErr error
+	for attempt := 0; attempt < opts.DialAttempts; attempt++ {
+		if attempt > 0 {
+			reconnectsCounter().Inc()
+			time.Sleep(opts.DialBackoff)
+		}
+		conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		theirs, err := handshakeActive(conn, ours, opts)
+		if err != nil {
+			conn.Close()
+			if errors.Is(err, errHandshake) {
+				return nil, err
+			}
+			lastErr = err
+			continue
+		}
+		if theirs.Index != wantIndex {
+			conn.Close()
+			handshakeFailuresCounter().Inc()
+			return nil, fmt.Errorf("tcp: %s is participant %d, want %d", addr, theirs.Index, wantIndex)
+		}
+		return newPeer(conn, theirs, opts), nil
+	}
+	return nil, fmt.Errorf("tcp: dialing peer %d at %s: %w", wantIndex, addr, lastErr)
+}
+
+func handshakeActive(conn net.Conn, ours *Hello, opts Options) (*Hello, error) {
+	if err := writeFrame(conn, opts, FrameHello, AppendHello(nil, ours)); err != nil {
+		return nil, err
+	}
+	theirs, err := readHello(conn, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := ValidateHello(theirs, ours); err != nil {
+		handshakeFailuresCounter().Inc()
+		return nil, fmt.Errorf("%w: %v", errHandshake, err)
+	}
+	return theirs, nil
+}
+
+// AcceptPeer completes the passive side of a peer handshake: the
+// listener's router has already read the remote's hello; validate it,
+// answer with ours, and return the established link.
+func AcceptPeer(conn net.Conn, theirs, ours *Hello, opts Options) (*Peer, error) {
+	opts = opts.withDefaults()
+	if err := ValidateHello(theirs, ours); err != nil {
+		handshakeFailuresCounter().Inc()
+		return nil, err
+	}
+	if err := writeFrame(conn, opts, FrameHello, AppendHello(nil, ours)); err != nil {
+		return nil, err
+	}
+	return newPeer(conn, theirs, opts), nil
+}

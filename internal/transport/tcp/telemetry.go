@@ -1,0 +1,76 @@
+package tcp
+
+import (
+	"strconv"
+	"sync/atomic"
+
+	"kmgraph/internal/telemetry"
+)
+
+// The transport's telemetry lands in a process-wide registry so every
+// link of every concurrent job aggregates into one scrape surface. The
+// package starts with a private registry (so counters always work);
+// kmserve and kmworker redirect it into their serving registry with
+// RegisterTelemetry before opening any links.
+var telemetryReg atomic.Pointer[telemetry.Registry]
+
+func init() {
+	telemetryReg.Store(telemetry.NewRegistry())
+}
+
+// RegisterTelemetry directs all subsequently created links' telemetry
+// into reg (exposed by kmserve's and kmworker's GET /metrics).
+func RegisterTelemetry(reg *telemetry.Registry) {
+	telemetryReg.Store(reg)
+}
+
+// Telemetry returns the registry transport telemetry currently lands in.
+func Telemetry() *telemetry.Registry {
+	return telemetryReg.Load()
+}
+
+// barrierWaitBuckets spans the observed range of round-barrier waits:
+// tens of microseconds on a warm localhost mesh up to the tens of
+// seconds a skewed shard load can impose on the first barrier.
+var barrierWaitBuckets = []float64{
+	0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005, 0.001,
+	0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// linkStats is one peer link's counters, fetched idempotently from the
+// current registry at link creation.
+type linkStats struct {
+	bytesSent, bytesRecv   *telemetry.Counter
+	framesSent, framesRecv *telemetry.Counter
+}
+
+func newLinkStats(peerIndex int) linkStats {
+	reg := telemetryReg.Load()
+	l := telemetry.Label{Name: "peer", Value: strconv.Itoa(peerIndex)}
+	return linkStats{
+		bytesSent: reg.Counter("kmgraph_transport_bytes_sent_total",
+			"Bytes written to peer links, including frame headers.", l),
+		bytesRecv: reg.Counter("kmgraph_transport_bytes_recv_total",
+			"Bytes read from peer links, including frame headers.", l),
+		framesSent: reg.Counter("kmgraph_transport_frames_sent_total",
+			"Frames written to peer links.", l),
+		framesRecv: reg.Counter("kmgraph_transport_frames_recv_total",
+			"Frames read from peer links.", l),
+	}
+}
+
+func barrierWaitHistogram() *telemetry.Histogram {
+	return telemetryReg.Load().HistogramWith(barrierWaitBuckets,
+		"kmgraph_transport_barrier_wait_seconds",
+		"Time a worker spent waiting at the round barrier for peer frames.")
+}
+
+func reconnectsCounter() *telemetry.Counter {
+	return telemetryReg.Load().Counter("kmgraph_transport_reconnects_total",
+		"Peer dial retries during mesh formation.")
+}
+
+func handshakeFailuresCounter() *telemetry.Counter {
+	return telemetryReg.Load().Counter("kmgraph_transport_handshake_failures_total",
+		"Peer handshakes rejected (bad magic, cluster, or link parameters).")
+}

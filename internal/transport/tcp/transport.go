@@ -1,0 +1,151 @@
+package tcp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"kmgraph/internal/transport"
+)
+
+// Transport implements transport.Transport for one participant of a
+// multi-process cluster: it runs the link simulator for its hosted
+// destinations [lo, hi) and keeps the round barrier in lockstep with
+// its peers by exchanging exactly one round frame per link per barrier.
+//
+// The frame a peer receives carries everything its slice of the
+// simulation needs: the messages staged for its hosted machines (each
+// source machine lives on exactly one participant, so per-(src,dst)
+// FIFO order — the only order the simulator observes — is preserved no
+// matter how frames interleave) and the sender's done count, from which
+// every participant derives the same global running total and halts at
+// the same barrier. All accounting for a destination accrues on its
+// owner, so the per-worker partial Metrics merge into exactly the
+// single-process numbers.
+type Transport struct {
+	p      transport.Params
+	sw     *transport.Switch
+	lo, hi int
+
+	peers   []*Peer // ascending remote index
+	owner   []*Peer // machine id -> owning peer (nil for hosted)
+	running int     // global running count, derived identically everywhere
+	seq     uint64
+
+	inboxes     [][]transport.Message
+	barrierWait interface{ Observe(float64) }
+
+	closeOnce sync.Once
+}
+
+// New assembles the transport for the participant hosting [lo, hi),
+// from already-handshaken peer links covering the rest of [0, K).
+// workers bounds the sharded transmit fan-out. New takes ownership of
+// the peers; Close closes them.
+func New(p transport.Params, met *transport.Metrics, workers, lo, hi int, peers []*Peer) (*Transport, error) {
+	if lo < 0 || hi > p.K || lo >= hi {
+		return nil, fmt.Errorf("tcp: hosting [%d,%d) of %d machines", lo, hi, p.K)
+	}
+	t := &Transport{
+		p:           p,
+		sw:          transport.NewSwitch(p, lo, hi, met, workers),
+		lo:          lo,
+		hi:          hi,
+		peers:       append([]*Peer(nil), peers...),
+		owner:       make([]*Peer, p.K),
+		running:     p.K,
+		inboxes:     make([][]transport.Message, hi-lo),
+		barrierWait: barrierWaitHistogram(),
+	}
+	sort.Slice(t.peers, func(i, j int) bool { return t.peers[i].Index < t.peers[j].Index })
+	for _, pr := range t.peers {
+		for d := pr.Lo; d < pr.Hi; d++ {
+			if d >= lo && d < hi || t.owner[d] != nil {
+				return nil, fmt.Errorf("tcp: machine %d hosted twice", d)
+			}
+			t.owner[d] = pr
+		}
+	}
+	for d := 0; d < p.K; d++ {
+		if t.owner[d] == nil && (d < lo || d >= hi) {
+			return nil, fmt.Errorf("tcp: machine %d hosted by no participant", d)
+		}
+	}
+	return t, nil
+}
+
+// Hosted returns this participant's machine range.
+func (t *Transport) Hosted() (int, int) { return t.lo, t.hi }
+
+// Round runs one barrier: stage hosted traffic locally, ship each
+// peer's share in one frame, wait for every peer's frame (the barrier),
+// fold in their done counts and messages, then advance the hosted links
+// by one bandwidth quantum. A dead or desynchronized peer surfaces as
+// an error wrapping transport.ErrLinkDown.
+func (t *Transport) Round(in *transport.RoundIn, out *transport.RoundOut) error {
+	t.seq++
+	for _, m := range in.Msgs {
+		if own := t.owner[m.Dst]; own != nil {
+			own.stage = append(own.stage, m)
+		} else {
+			t.sw.Enqueue(m)
+		}
+	}
+	for _, pr := range t.peers {
+		err := pr.writeRound(t.seq, in.DoneDelta, pr.stage)
+		pr.stage = pr.stage[:0]
+		if err != nil {
+			return fmt.Errorf("tcp: sending round %d to peer %d: %v: %w",
+				t.seq, pr.Index, err, transport.ErrLinkDown)
+		}
+	}
+	t.running -= in.DoneDelta
+
+	start := time.Now()
+	for _, pr := range t.peers {
+		f, err := pr.recvRound(t.seq)
+		if err != nil {
+			return err
+		}
+		t.running -= f.DoneDelta
+		for _, m := range f.Msgs {
+			if m.Dst < t.lo || m.Dst >= t.hi {
+				return fmt.Errorf("tcp: peer %d sent message for machine %d outside our [%d,%d): %w",
+					pr.Index, m.Dst, t.lo, t.hi, transport.ErrLinkDown)
+			}
+			t.sw.Enqueue(m)
+		}
+	}
+	t.barrierWait.Observe(time.Since(start).Seconds())
+
+	out.Running = t.running
+	if t.running <= 0 {
+		out.Advanced = false
+		out.Inboxes = nil
+		return nil
+	}
+	t.sw.TransmitRound()
+	for i := range t.inboxes {
+		t.inboxes[i] = t.sw.Inbox(t.lo + i)
+	}
+	out.Advanced = true
+	out.Inboxes = t.inboxes
+	return nil
+}
+
+// Pending reports whether any hosted link has bits in flight.
+func (t *Transport) Pending() bool { return t.sw.Active() }
+
+// Remnants reports traffic still queued on hosted links at termination.
+func (t *Transport) Remnants() (int, int64) { return t.sw.Remnants() }
+
+// Close tears down every peer link (best-effort Bye, then the socket).
+func (t *Transport) Close() error {
+	t.closeOnce.Do(func() {
+		for _, pr := range t.peers {
+			pr.Close()
+		}
+	})
+	return nil
+}

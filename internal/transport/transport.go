@@ -1,0 +1,104 @@
+// Package transport abstracts the link layer of the k-machine model: how
+// one synchronous round of point-to-point traffic moves between machines.
+//
+// The round engine in internal/kmachine is written against the Transport
+// interface, which carries exactly what a round needs — the messages staged
+// by the machines a process hosts, the round barrier that keeps every
+// participant in lockstep, and the per-destination deliveries whose last
+// bit arrived this round. Two backends implement it:
+//
+//   - transport/local hosts all k machines in one process and is the
+//     bit-exact reference: it is the pre-existing in-process simulator's
+//     link machinery behind the interface.
+//   - transport/tcp hosts a contiguous sub-range of the machines and
+//     exchanges length-prefixed round frames with peer processes over TCP,
+//     so a cluster spans OS processes and hosts.
+//
+// Both backends drive the same link simulator (Switch): every directed
+// link is a FIFO byte queue drained at BandwidthBits per round, and a
+// message is delivered in the round its last bit arrives. Because the
+// simulator state of destination d is touched only by d's owner, the
+// simulation partitions cleanly across processes by destination — which is
+// what makes the two backends produce identical Metrics by construction.
+package transport
+
+import "errors"
+
+// Message is a point-to-point message between machines. It is the same
+// type the engine exposes as kmachine.Message (an alias).
+type Message struct {
+	Src, Dst int
+	Data     []byte
+}
+
+// Params are the link-layer parameters every participant must agree on.
+type Params struct {
+	// K is the number of machines.
+	K int
+	// BandwidthBits is the per-round bit budget of each directed link.
+	BandwidthBits int
+	// MessageOverheadBits is added to every message's transmission cost.
+	MessageOverheadBits int
+}
+
+// ErrLinkDown is reported when a peer process dies or a link breaks while
+// a job is in flight. Jobs fail with this typed error instead of hanging
+// the round barrier; callers can errors.Is against it.
+var ErrLinkDown = errors.New("transport: link down")
+
+// RoundIn is what the engine hands the transport at each round barrier.
+// The struct is reused across rounds; the transport must not retain it.
+type RoundIn struct {
+	// Msgs holds every message staged by hosted machines at this barrier,
+	// grouped by source machine ID ascending with per-source send order
+	// preserved (the only order the link FIFOs observe).
+	Msgs []Message
+	// Events is the number of hosted machines that submitted a step or
+	// return event at this barrier.
+	Events int
+	// DoneDelta is the number of hosted machines that returned (halted)
+	// at this barrier.
+	DoneDelta int
+}
+
+// RoundOut is the transport's answer to one barrier. Inboxes is owned by
+// the transport and reused: slot i stays valid until the second-next
+// Round call delivers into it (double buffering), exactly the contract
+// machines get from Ctx.Step.
+type RoundOut struct {
+	// Advanced reports whether a communication round passed. It is false
+	// when the cluster halted at this barrier (Running == 0): the engine
+	// must not count a round then.
+	Advanced bool
+	// Running is the global number of machines still running after this
+	// barrier, across every participating process.
+	Running int
+	// Inboxes[i] holds hosted machine (lo+i)'s deliveries this round,
+	// sorted by (source, send order).
+	Inboxes [][]Message
+}
+
+// Transport moves rounds of k-machine traffic for the machines one
+// process hosts. Implementations are driven by a single engine goroutine;
+// Round is never called concurrently.
+type Transport interface {
+	// Hosted returns the half-open range [lo, hi) of machine indices this
+	// process runs. The local backend hosts [0, K).
+	Hosted() (lo, hi int)
+	// Round executes one synchronous round: it ships the staged messages
+	// and the barrier deltas, waits for every peer to reach the same
+	// barrier, advances every hosted incoming link by one bandwidth
+	// quantum, and reports the completed deliveries. A transport that has
+	// lost a peer returns an error wrapping ErrLinkDown; the engine then
+	// aborts the job.
+	Round(in *RoundIn, out *RoundOut) error
+	// Pending reports whether any bits are still in flight on hosted
+	// links (used by the engine's quiescence logic for parked clusters).
+	Pending() bool
+	// Remnants returns the count and payload bytes of messages still
+	// queued on hosted links at termination (protocol-bug accounting).
+	Remnants() (int, int64)
+	// Close releases the transport's resources. It is safe to call more
+	// than once.
+	Close() error
+}
