@@ -196,12 +196,12 @@ func runStore(path string, k int, seed int64, timeout time.Duration, materialize
 }
 
 // runDistributed coordinates a connectivity job over a kmworker fleet.
-func runDistributed(workers []string, source string, k int, seed int64, timeout time.Duration) {
+func runDistributed(workers []string, source string, k int, seed int64, timeout time.Duration, opts dist.CoordOptions) {
 	fmt.Printf("distributed: %s over %d workers, k=%d\n", source, len(workers), k)
 	ctx, cancel := jobCtx(timeout)
 	defer cancel()
 	start := time.Now()
-	res, err := dist.RunConnectivity(ctx, workers, source, core.Config{K: k, Seed: seed})
+	res, err := dist.RunConnectivityOpts(ctx, workers, source, core.Config{K: k, Seed: seed}, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -241,6 +241,8 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the resident job's phases to this file")
 	transportMode := flag.String("transport", "local", "local|tcp: where the k machines run")
 	workerList := flag.String("workers", "", "with -transport tcp: comma-separated kmworker addresses")
+	retries := flag.Int("retries", 1, "with -transport tcp: total job attempts; lost workers are re-dialed between attempts")
+	hbTimeout := flag.Duration("heartbeat-timeout", 30*time.Second, "with -transport tcp: silence tolerated on a worker before declaring it stalled")
 	flag.Parse()
 
 	if *tracePath != "" && *storePath == "" && *algo != "sketch" {
@@ -262,7 +264,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "kmconnect: %v\n", err)
 			os.Exit(2)
 		}
-		runDistributed(strings.Split(*workerList, ","), source, *k, *seed, *timeout)
+		runDistributed(strings.Split(*workerList, ","), source, *k, *seed, *timeout, dist.CoordOptions{
+			HeartbeatTimeout: *hbTimeout,
+			Retry:            dist.RetryPolicy{Attempts: *retries},
+		})
 		return
 	default:
 		fmt.Fprintf(os.Stderr, "kmconnect: unknown transport %q\n", *transportMode)

@@ -71,13 +71,13 @@ func jobCtx(timeout time.Duration) (context.Context, context.CancelFunc) {
 }
 
 // runDistributed coordinates an MST job over a kmworker fleet.
-func runDistributed(workers []string, source string, k int, seed int64, strong bool, timeout time.Duration) {
+func runDistributed(workers []string, source string, k int, seed int64, strong bool, timeout time.Duration, opts dist.CoordOptions) {
 	fmt.Printf("distributed: %s over %d workers, k=%d\n", source, len(workers), k)
 	ctx, cancel := jobCtx(timeout)
 	defer cancel()
 	start := time.Now()
 	cfg := core.MSTConfig{Config: core.Config{K: k, Seed: seed}, StrongOutput: strong}
-	res, err := dist.RunMST(ctx, workers, source, cfg)
+	res, err := dist.RunMSTOpts(ctx, workers, source, cfg, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -100,6 +100,8 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the resident job's phases to this file")
 	transportMode := flag.String("transport", "local", "local|tcp: where the k machines run")
 	workerList := flag.String("workers", "", "with -transport tcp: comma-separated kmworker addresses")
+	retries := flag.Int("retries", 1, "with -transport tcp: total job attempts; lost workers are re-dialed between attempts")
+	hbTimeout := flag.Duration("heartbeat-timeout", 30*time.Second, "with -transport tcp: silence tolerated on a worker before declaring it stalled")
 	flag.Parse()
 	if *m == 0 {
 		*m = 3 * *n
@@ -115,7 +117,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "kmmst: -transport tcp requires -workers and -store")
 			os.Exit(2)
 		}
-		runDistributed(strings.Split(*workerList, ","), "store:"+*storePath, *k, *seed, *strong, *timeout)
+		runDistributed(strings.Split(*workerList, ","), "store:"+*storePath, *k, *seed, *strong, *timeout, dist.CoordOptions{
+			HeartbeatTimeout: *hbTimeout,
+			Retry:            dist.RetryPolicy{Attempts: *retries},
+		})
 		return
 	default:
 		fmt.Fprintf(os.Stderr, "kmmst: unknown transport %q\n", *transportMode)

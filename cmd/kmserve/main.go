@@ -17,6 +17,13 @@
 // clients may also POST /graphs {"name":..., "path":...} to load more
 // at runtime and DELETE /graphs/{name} to drop them.
 //
+// Each -fleet name=source@addr1,addr2,... registers a distributed-backed
+// graph: jobs run over a kmworker fleet instead of a resident cluster,
+// with heartbeat supervision and retry recovery (-fleet-retries,
+// -fleet-heartbeat-timeout), and degrade gracefully — an unhealthy
+// fleet answers 503 with Retry-After instead of hanging, and the
+// kmserve_graph_state gauge tracks fleet health on /metrics.
+//
 // Endpoints (all JSON):
 //
 //	GET    /healthz
@@ -34,6 +41,10 @@
 //	POST   /graphs/{name}/batch                 {"ops":[{"u":0,"v":1}, ...]}
 //	GET    /graphs/{name}/metrics
 //	GET    /graphs/{name}/trace                 (Chrome trace-event JSON)
+//	GET    /fleet
+//	GET    /fleet/{name}                        (503 body when the fleet is down)
+//	GET    /fleet/{name}/connectivity           ?labels=true&timeout=30s
+//	GET    /fleet/{name}/mst                    ?edges=true
 //
 // With -debug-addr, a second private listener serves net/http/pprof
 // under /debug/pprof/. With -log-requests, every request emits one
@@ -56,6 +67,8 @@ import (
 	"time"
 
 	"kmgraph"
+	"kmgraph/internal/core"
+	"kmgraph/internal/dist"
 	"kmgraph/internal/server"
 )
 
@@ -69,6 +82,8 @@ func main() {
 	allowLoad := flag.Bool("allow-load", false, "allow POST /graphs and DELETE /graphs/{name}")
 	debugAddr := flag.String("debug-addr", "", "if set, serve net/http/pprof on this address (keep it private)")
 	logRequests := flag.Bool("log-requests", false, "emit one structured (JSON, stderr) log record per request")
+	retries := flag.Int("fleet-retries", 3, "job attempts per fleet request (1 disables retry)")
+	hbTimeout := flag.Duration("fleet-heartbeat-timeout", 30*time.Second, "silence tolerated on a fleet worker before declaring it stalled")
 	var loads []string
 	flag.Func("graph", "name=path of a kmgs store or text edge list to serve (repeatable)", func(v string) error {
 		if !strings.Contains(v, "=") {
@@ -77,10 +92,18 @@ func main() {
 		loads = append(loads, v)
 		return nil
 	})
+	var fleets []string
+	flag.Func("fleet", "name=source@addr1,addr2,... distributed-backed graph over a kmworker fleet (repeatable)", func(v string) error {
+		if !strings.Contains(v, "=") || !strings.Contains(v, "@") {
+			return fmt.Errorf("want name=source@addr1,addr2,..., got %q", v)
+		}
+		fleets = append(fleets, v)
+		return nil
+	})
 	flag.Parse()
 
-	if len(loads) == 0 && !*allowLoad {
-		fmt.Fprintln(os.Stderr, "kmserve: nothing to serve: pass at least one -graph name=path or -allow-load")
+	if len(loads) == 0 && len(fleets) == 0 && !*allowLoad {
+		fmt.Fprintln(os.Stderr, "kmserve: nothing to serve: pass at least one -graph name=path, -fleet name=source@addrs, or -allow-load")
 		os.Exit(2)
 	}
 
@@ -121,6 +144,26 @@ func main() {
 		met := c.Metrics()
 		fmt.Printf("kmserve: loaded %q from %s: n=%d m=%d k=%d (%d load rounds, %v)\n",
 			name, path, c.N(), met.Edges, c.K(), met.LoadRounds, time.Since(start).Round(time.Millisecond))
+	}
+	for _, spec := range fleets {
+		name, rest, _ := strings.Cut(spec, "=")
+		source, addrList, _ := strings.Cut(rest, "@")
+		addrs := strings.Split(addrList, ",")
+		err := srv.RegisterFleet(name, server.FleetSpec{
+			Source: source,
+			Addrs:  addrs,
+			Conn:   core.Config{K: *k, Seed: *seed},
+			Coord: dist.CoordOptions{
+				HeartbeatTimeout: *hbTimeout,
+				Retry:            dist.RetryPolicy{Attempts: *retries},
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kmserve: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("kmserve: fleet %q: source %s over %d workers (k=%d, %d attempts)\n",
+			name, source, len(addrs), *k, *retries)
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv}

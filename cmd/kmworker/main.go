@@ -10,6 +10,15 @@
 // Usage:
 //
 //	kmworker -listen :9601 [-metrics-addr :9602] [-mesh-timeout 60s]
+//	         [-heartbeat 2s] [-drain-timeout 30s]
+//
+// The worker beats on each job's control connection every -heartbeat so
+// coordinators can tell a slow worker from a dead one. On SIGINT or
+// SIGTERM it drains: it stops accepting jobs, reports the per-cluster
+// state of everything still running, finishes those jobs within
+// -drain-timeout, and exits 0. A second signal (or an expired drain)
+// aborts the remaining jobs immediately; their coordinators see a
+// classified link-down failure and can retry on a replacement worker.
 //
 // With -metrics-addr, the worker serves its transport telemetry
 // (per-link bytes/frames, reconnects, handshake failures, barrier-wait
@@ -17,6 +26,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -35,6 +46,8 @@ func main() {
 	listen := flag.String("listen", ":9601", "address to serve jobs and peer links on")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus transport telemetry on this address (empty = off)")
 	meshTimeout := flag.Duration("mesh-timeout", 60*time.Second, "bound on forming the full peer mesh for one job")
+	heartbeat := flag.Duration("heartbeat", 2*time.Second, "control-connection liveness beat interval (negative disables)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "on SIGTERM, how long to let active jobs finish before aborting them")
 	flag.Parse()
 
 	if *metricsAddr != "" {
@@ -59,18 +72,51 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kmworker: %v\n", err)
 		os.Exit(1)
 	}
-	w := dist.NewWorker(ln, dist.WorkerOptions{MeshTimeout: *meshTimeout})
+	w := dist.NewWorker(ln, dist.WorkerOptions{
+		MeshTimeout:       *meshTimeout,
+		HeartbeatInterval: *heartbeat,
+	})
 	fmt.Printf("kmworker: serving on %s\n", w.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	draining := make(chan struct{})
+	drained := make(chan struct{})
 	go func() {
-		<-sig
-		fmt.Fprintln(os.Stderr, "kmworker: shutting down")
-		w.Close()
+		s := <-sig
+		close(draining)
+		jobs := w.Jobs()
+		fmt.Fprintf(os.Stderr, "kmworker: %v: draining (%d active jobs, up to %v)\n", s, len(jobs), *drainTimeout)
+		for _, j := range jobs {
+			fmt.Fprintf(os.Stderr, "kmworker:   cluster %016x %s machines [%d,%d) round %d (running %v)\n",
+				j.ClusterID, j.Kind, j.Lo, j.Hi, j.Rounds, time.Since(j.Started).Round(time.Millisecond))
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		go func() {
+			// A second signal cuts the drain short: abort what's left.
+			<-sig
+			fmt.Fprintln(os.Stderr, "kmworker: second signal: aborting active jobs")
+			cancel()
+		}()
+		if err := w.Drain(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "kmworker: drain expired, aborted %d jobs: %v\n", len(w.Jobs()), err)
+		} else {
+			fmt.Fprintln(os.Stderr, "kmworker: drained clean")
+		}
+		cancel()
+		close(drained)
 	}()
 
-	if err := w.Serve(); err != nil {
+	err = w.Serve()
+	select {
+	case <-draining:
+		// Deliberate shutdown: Serve returned because the drain closed
+		// the listener. Wait for the active jobs to finish, then exit 0.
+		<-drained
+		return
+	default:
+	}
+	if err != nil && !errors.Is(err, net.ErrClosed) {
 		fmt.Fprintf(os.Stderr, "kmworker: %v\n", err)
 		os.Exit(1)
 	}

@@ -51,13 +51,43 @@ func newClusterID() uint64 {
 	return binary.LittleEndian.Uint64(b[:])
 }
 
+// CoordOptions tune the coordinator side of a distributed job.
+type CoordOptions struct {
+	// HeartbeatTimeout is the longest silence tolerated on a worker
+	// control connection before the gather declares the worker stalled
+	// (default 30s; negative disables the deadline). Workers beat every
+	// WorkerOptions.HeartbeatInterval, so this must comfortably exceed
+	// that.
+	HeartbeatTimeout time.Duration
+	// Retry governs recovery after a failed attempt. The zero value
+	// never retries.
+	Retry RetryPolicy
+}
+
+func (o CoordOptions) withDefaults() CoordOptions {
+	if o.HeartbeatTimeout == 0 {
+		o.HeartbeatTimeout = 30 * time.Second
+	}
+	o.Retry = o.Retry.withDefaults()
+	return o
+}
+
 // RunConnectivity runs a distributed connectivity job over the worker
 // fleet at addrs, on the graph named by the source spec. The assembled
 // result (and its Metrics) is bit-identical to core.RunSource with the
 // same spec and configuration.
 func RunConnectivity(ctx context.Context, addrs []string, source string, cfg core.Config) (*core.Result, error) {
+	return RunConnectivityOpts(ctx, addrs, source, cfg, CoordOptions{})
+}
+
+// RunConnectivityOpts is RunConnectivity with coordinator tuning:
+// heartbeat deadlines and retry-with-respawn recovery. A recovered run
+// (one that succeeded after retries) is bit-identical to a fault-free
+// one — jobs are deterministic and re-materializable from their source
+// spec, so a retry replays the exact computation.
+func RunConnectivityOpts(ctx context.Context, addrs []string, source string, cfg core.Config, opts CoordOptions) (*core.Result, error) {
 	job := Job{Kind: KindConnectivity, Source: source, Conn: cfg}
-	res, n, err := run(ctx, addrs, job)
+	res, n, err := runRetry(ctx, addrs, job, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -66,8 +96,13 @@ func RunConnectivity(ctx context.Context, addrs []string, source string, cfg cor
 
 // RunMST runs a distributed MST job over the worker fleet at addrs.
 func RunMST(ctx context.Context, addrs []string, source string, cfg core.MSTConfig) (*core.MSTResult, error) {
+	return RunMSTOpts(ctx, addrs, source, cfg, CoordOptions{})
+}
+
+// RunMSTOpts is RunMST with coordinator tuning (see RunConnectivityOpts).
+func RunMSTOpts(ctx context.Context, addrs []string, source string, cfg core.MSTConfig, opts CoordOptions) (*core.MSTResult, error) {
 	job := Job{Kind: KindMST, Source: source, MST: cfg}
-	res, n, err := run(ctx, addrs, job)
+	res, n, err := runRetry(ctx, addrs, job, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -80,8 +115,9 @@ type gathered struct {
 	err error
 }
 
-// run ships the job to every worker, gathers and merges the partials.
-func run(ctx context.Context, addrs []string, job Job) (*kmachine.Result, int, error) {
+// runOnce ships the job to every worker, gathers and merges the
+// partials. One attempt: retries live in runRetry.
+func runOnce(ctx context.Context, addrs []string, job Job, opts CoordOptions) (*kmachine.Result, int, error) {
 	k := job.K()
 	ranges, err := SplitRanges(k, len(addrs))
 	if err != nil {
@@ -105,7 +141,13 @@ func run(ctx context.Context, addrs []string, job Job) (*kmachine.Result, int, e
 		conn, err := net.DialTimeout("tcp", a, 10*time.Second)
 		if err != nil {
 			closeAll()
-			return nil, 0, fmt.Errorf("dist: dialing worker %d at %s: %w", i, a, err)
+			// Unreachable at dial time is a crashed worker: classify it
+			// so the retry policy (and Respawn) can recover from it.
+			workerFailuresCounter(transport.ReasonCrash).Inc()
+			return nil, 0, &transport.LinkDownError{
+				Peer: i, Addr: a, Reason: transport.ReasonCrash,
+				Err: fmt.Errorf("dist: dialing worker: %w", err),
+			}
 		}
 		conns[i] = conn
 		job.Index = i
@@ -132,7 +174,7 @@ func run(ctx context.Context, addrs []string, job Job) (*kmachine.Result, int, e
 	results := make(chan gathered, len(conns))
 	for i, conn := range conns {
 		go func(i int, conn net.Conn) {
-			rf, err := gatherOne(conn)
+			rf, err := gatherOne(conn, i, addrs[i], opts.HeartbeatTimeout)
 			results <- gathered{idx: i, rf: rf, err: err}
 		}(i, conn)
 	}
@@ -141,32 +183,34 @@ func run(ctx context.Context, addrs []string, job Job) (*kmachine.Result, int, e
 	outputs := make([]any, k)
 	n := -1
 	var firstErr error
-	// A dying worker makes every peer report ErrLinkDown while the dead
-	// one itself may only report a cancelled context; prefer the typed
-	// link-down error so callers can tell a crash from a bad job.
-	setErr := func(err error) {
-		if firstErr == nil ||
-			(!errors.Is(firstErr, transport.ErrLinkDown) && errors.Is(err, transport.ErrLinkDown)) {
+	// The first failure closes every control connection immediately:
+	// the surviving gathers wake on their closed conns instead of
+	// waiting out the job, and the workers abort when their control
+	// links drop. Later errors are self-inflicted by that close and are
+	// not recorded.
+	fail := func(err error) {
+		if firstErr == nil {
 			firstErr = err
+			closeAll()
 		}
 	}
 	for range conns {
 		g := <-results
 		if g.err != nil {
-			setErr(fmt.Errorf("dist: worker %d (%s): %w", g.idx, addrs[g.idx], g.err))
+			fail(fmt.Errorf("dist: worker %d (%s): %w", g.idx, addrs[g.idx], g.err))
 			continue
 		}
 		rf := g.rf
 		want := ranges[g.idx]
 		if rf.lo != want[0] || rf.hi != want[1] {
-			setErr(fmt.Errorf("dist: worker %d reported range [%d,%d), want [%d,%d)",
+			fail(fmt.Errorf("dist: worker %d reported range [%d,%d), want [%d,%d)",
 				g.idx, rf.lo, rf.hi, want[0], want[1]))
 			continue
 		}
 		if n == -1 {
 			n = rf.n
 		} else if rf.n != n {
-			setErr(fmt.Errorf("dist: workers disagree on n (%d vs %d)", rf.n, n))
+			fail(fmt.Errorf("dist: workers disagree on n (%d vs %d)", rf.n, n))
 			continue
 		}
 		pm, err := transport.ReadMetrics(wire.NewReader(rf.metrics))
@@ -174,7 +218,7 @@ func run(ctx context.Context, addrs []string, job Job) (*kmachine.Result, int, e
 			err = transport.MergeMetrics(met, pm)
 		}
 		if err != nil {
-			setErr(err)
+			fail(err)
 			continue
 		}
 		for i, o := range rf.outputs {
@@ -192,30 +236,60 @@ func run(ctx context.Context, addrs []string, job Job) (*kmachine.Result, int, e
 	return &kmachine.Result{Metrics: *met, Outputs: outputs}, n, nil
 }
 
-// gatherOne reads a worker's result (or error) frame. No read deadline:
-// a job runs as long as it runs; a dying worker closes the connection
-// and surfaces here as an error.
-func gatherOne(conn net.Conn) (*resultFrame, error) {
-	conn.SetReadDeadline(time.Time{})
+// gatherOne reads a worker's result (or error) frame, consuming
+// heartbeats as liveness along the way. Silence past hbTimeout declares
+// the worker stalled; a dead connection, crashed — both as structured
+// LinkDownErrors carrying the worker index and its last reported round.
+func gatherOne(conn net.Conn, idx int, addr string, hbTimeout time.Duration) (*resultFrame, error) {
 	var buf []byte
-	t, body, err := tcp.ReadFrame(conn, &buf)
-	if err != nil {
-		return nil, fmt.Errorf("dist: reading result: %v: %w", err, transport.ErrLinkDown)
-	}
-	switch t {
-	case tcp.FrameResult:
-		return decodeResultFrame(body)
-	case tcp.FrameError:
-		ef, err := decodeErrorFrame(body)
+	var lastRounds uint64
+	for {
+		if hbTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(hbTimeout))
+		} else {
+			conn.SetReadDeadline(time.Time{})
+		}
+		t, body, err := tcp.ReadFrame(conn, &buf)
 		if err != nil {
-			return nil, err
+			reason := transport.ReasonCrash
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				reason = transport.ReasonStall
+				heartbeatsMissedCounter().Inc()
+			}
+			workerFailuresCounter(reason).Inc()
+			return nil, &transport.LinkDownError{
+				Peer: idx, Addr: addr, Round: lastRounds, Reason: reason,
+				Err: fmt.Errorf("dist: reading result: %v", err),
+			}
 		}
-		if ef.linkDown {
-			return nil, fmt.Errorf("dist: remote job failed: %s: %w", ef.msg, transport.ErrLinkDown)
+		switch t {
+		case tcp.FrameHeartbeat:
+			if _, rounds, err := decodeHeartbeat(body); err == nil {
+				lastRounds = rounds
+			}
+		case tcp.FrameResult:
+			return decodeResultFrame(body)
+		case tcp.FrameError:
+			ef, err := decodeErrorFrame(body)
+			if err != nil {
+				return nil, err
+			}
+			if ef.linkDown {
+				reason := ef.reason
+				if reason == "" {
+					reason = transport.ReasonCrash
+				}
+				workerFailuresCounter(reason).Inc()
+			}
+			return nil, ef.err()
+		default:
+			workerFailuresCounter(transport.ReasonDesync).Inc()
+			return nil, &transport.LinkDownError{
+				Peer: idx, Addr: addr, Round: lastRounds, Reason: transport.ReasonDesync,
+				Err: fmt.Errorf("dist: unexpected frame type %d from worker", t),
+			}
 		}
-		return nil, fmt.Errorf("dist: remote job failed: %s", ef.msg)
-	default:
-		return nil, fmt.Errorf("dist: unexpected frame type %d from worker", t)
 	}
 }
 

@@ -45,6 +45,17 @@ const (
 	KindMST Kind = 2
 )
 
+func (k Kind) String() string {
+	switch k {
+	case KindConnectivity:
+		return "connectivity"
+	case KindMST:
+		return "mst"
+	default:
+		return "kind(" + strconv.Itoa(int(k)) + ")"
+	}
+}
+
 // WorkerSpec is one participant of a job: its dialable address and its
 // hosted machine range.
 type WorkerSpec struct {
@@ -238,23 +249,72 @@ type resultFrame struct {
 	outputs []any
 }
 
-// errorFrame is a worker's job failure.
+// errorFrame is a worker's job failure. Link-down failures carry the
+// structured fields of transport.LinkDownError across the wire, so the
+// coordinator's classification and retry decisions see the same peer,
+// round, and reason a local caller would.
 type errorFrame struct {
 	msg      string
 	linkDown bool
+	peer     int // -1 when unknown
+	round    uint64
+	reason   transport.LinkDownReason
+}
+
+// err reconstructs the failure the worker reported, preserving the
+// ErrLinkDown identity and the structured fields.
+func (f *errorFrame) err() error {
+	if !f.linkDown {
+		return fmt.Errorf("dist: remote job failed: %s", f.msg)
+	}
+	return &transport.LinkDownError{
+		Peer:   f.peer,
+		Round:  f.round,
+		Reason: f.reason,
+		Err:    fmt.Errorf("dist: remote job failed: %s", f.msg),
+	}
 }
 
 func appendErrorFrame(b []byte, err error) []byte {
-	b = wire.AppendBytes(b, []byte(err.Error()))
-	b = wire.AppendBool(b, errors.Is(err, transport.ErrLinkDown))
+	f := errorFrame{msg: err.Error(), linkDown: errors.Is(err, transport.ErrLinkDown), peer: -1}
+	var ld *transport.LinkDownError
+	if errors.As(err, &ld) {
+		f.peer, f.round, f.reason = ld.Peer, ld.Round, ld.Reason
+	}
+	b = wire.AppendBytes(b, []byte(f.msg))
+	b = wire.AppendBool(b, f.linkDown)
+	b = wire.AppendVarint(b, int64(f.peer))
+	b = wire.AppendUvarint(b, f.round)
+	b = wire.AppendBytes(b, []byte(f.reason))
 	return b
 }
 
 func decodeErrorFrame(body []byte) (*errorFrame, error) {
 	r := wire.NewReader(body)
-	f := &errorFrame{msg: string(r.Bytes()), linkDown: r.Bool()}
+	f := &errorFrame{
+		msg:      string(r.Bytes()),
+		linkDown: r.Bool(),
+		peer:     int(r.Varint()),
+		round:    r.Uvarint(),
+		reason:   transport.LinkDownReason(r.Bytes()),
+	}
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
 	return f, nil
+}
+
+// appendHeartbeat encodes a FrameHeartbeat body: which cluster the beat
+// is for and how many rounds its engine has completed.
+func appendHeartbeat(b []byte, clusterID, rounds uint64) []byte {
+	b = wire.AppendU64(b, clusterID)
+	b = wire.AppendUvarint(b, rounds)
+	return b
+}
+
+func decodeHeartbeat(body []byte) (clusterID, rounds uint64, err error) {
+	r := wire.NewReader(body)
+	clusterID = r.U64()
+	rounds = r.Uvarint()
+	return clusterID, rounds, r.Err()
 }

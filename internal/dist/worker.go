@@ -2,9 +2,12 @@ package dist
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"kmgraph/internal/core"
@@ -21,11 +24,18 @@ type WorkerOptions struct {
 	// MeshTimeout bounds forming the full peer mesh for one job
 	// (default 60s).
 	MeshTimeout time.Duration
+	// HeartbeatInterval separates the liveness beats a worker writes on
+	// each job's control connection (default 2s; negative disables). The
+	// coordinator's HeartbeatTimeout must comfortably exceed it.
+	HeartbeatInterval time.Duration
 }
 
 func (o WorkerOptions) withDefaults() WorkerOptions {
 	if o.MeshTimeout == 0 {
 		o.MeshTimeout = 60 * time.Second
+	}
+	if o.HeartbeatInterval == 0 {
+		o.HeartbeatInterval = 2 * time.Second
 	}
 	return o
 }
@@ -42,10 +52,46 @@ type Worker struct {
 
 	mu     sync.Mutex
 	meshes map[uint64]*meshInbox
+	active map[uint64]*jobState // in-flight jobs by serial
+	serial uint64
 
-	closeOnce sync.Once
-	closed    chan struct{}
+	drainOnce sync.Once
+	abortOnce sync.Once
+	closed    chan struct{} // stop accepting (drain or close)
+	aborted   chan struct{} // cancel in-flight jobs (close only)
 	wg        sync.WaitGroup
+}
+
+// JobStatus describes one in-flight job for supervision and drain
+// reporting.
+type JobStatus struct {
+	ClusterID uint64
+	Kind      Kind
+	Lo, Hi    int // hosted machine range
+	Rounds    uint64
+	Started   time.Time
+}
+
+// jobState is the worker's supervision record for one running job. The
+// cluster pointer is set once the engine exists; heartbeats and Jobs()
+// snapshot live round counts through it.
+type jobState struct {
+	clusterID uint64
+	kind      Kind
+	lo, hi    int
+	started   time.Time
+	cluster   atomic.Pointer[kmachine.Cluster]
+}
+
+// rounds reports the job's live round count (0 before the engine
+// starts or after it finishes).
+func (s *jobState) rounds() uint64 {
+	if c := s.cluster.Load(); c != nil {
+		if m, ok := c.Snapshot(); ok {
+			return uint64(m.Rounds)
+		}
+	}
+	return 0
 }
 
 // inboundPeer is a routed peer connection whose hello has been read.
@@ -62,10 +108,12 @@ type meshInbox struct {
 // NewWorker wraps a listener. Call Serve to start accepting.
 func NewWorker(ln net.Listener, opts WorkerOptions) *Worker {
 	return &Worker{
-		ln:     ln,
-		opts:   opts.withDefaults(),
-		meshes: make(map[uint64]*meshInbox),
-		closed: make(chan struct{}),
+		ln:      ln,
+		opts:    opts.withDefaults(),
+		meshes:  make(map[uint64]*meshInbox),
+		active:  make(map[uint64]*jobState),
+		closed:  make(chan struct{}),
+		aborted: make(chan struct{}),
 	}
 }
 
@@ -90,15 +138,91 @@ func (w *Worker) Serve() error {
 	}
 }
 
-// Close stops accepting and waits for in-flight jobs to finish their
-// connection handling.
+// Close stops accepting, aborts in-flight jobs, and waits for them to
+// finish their connection handling.
 func (w *Worker) Close() error {
-	w.closeOnce.Do(func() {
+	w.stopAccepting()
+	w.abortOnce.Do(func() { close(w.aborted) })
+	w.wg.Wait()
+	return nil
+}
+
+// Drain stops accepting new connections but lets in-flight jobs run to
+// completion. It returns nil once the worker is idle; if ctx expires
+// first, the remaining jobs are aborted (as Close would) and ctx's
+// error is returned after they unwind. A job still forming its mesh
+// when Drain fires cannot complete (the listener no longer routes peer
+// links) and fails with its mesh timeout.
+func (w *Worker) Drain(ctx context.Context) error {
+	w.stopAccepting()
+	idle := make(chan struct{})
+	go func() {
+		w.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		w.abortOnce.Do(func() { close(w.aborted) })
+		<-idle
+		return ctx.Err()
+	}
+}
+
+func (w *Worker) stopAccepting() {
+	w.drainOnce.Do(func() {
 		close(w.closed)
 		w.ln.Close()
 	})
-	w.wg.Wait()
-	return nil
+}
+
+// Jobs snapshots the in-flight jobs, oldest first. Round counts are
+// live (engine snapshots), so a supervisor can log per-cluster progress
+// while draining.
+func (w *Worker) Jobs() []JobStatus {
+	w.mu.Lock()
+	states := make([]*jobState, 0, len(w.active))
+	for _, st := range w.active {
+		states = append(states, st)
+	}
+	w.mu.Unlock()
+	sort.Slice(states, func(i, j int) bool { return states[i].started.Before(states[j].started) })
+	out := make([]JobStatus, len(states))
+	for i, st := range states {
+		out[i] = JobStatus{
+			ClusterID: st.clusterID,
+			Kind:      st.kind,
+			Lo:        st.lo,
+			Hi:        st.hi,
+			Rounds:    st.rounds(),
+			Started:   st.started,
+		}
+	}
+	return out
+}
+
+func (w *Worker) registerJob(job *Job) (uint64, *jobState) {
+	me := job.Workers[job.Index]
+	st := &jobState{
+		clusterID: job.ClusterID,
+		kind:      job.Kind,
+		lo:        me.Lo,
+		hi:        me.Hi,
+		started:   time.Now(),
+	}
+	w.mu.Lock()
+	w.serial++
+	id := w.serial
+	w.active[id] = st
+	w.mu.Unlock()
+	return id, st
+}
+
+func (w *Worker) unregisterJob(id uint64) {
+	w.mu.Lock()
+	delete(w.active, id)
+	w.mu.Unlock()
 }
 
 // route reads a connection's first frame and dispatches: a Hello opens
@@ -187,6 +311,8 @@ func drainInbox(ch chan inboundPeer) {
 // coordinator hangs up.
 func (w *Worker) runJob(conn net.Conn, job *Job) {
 	defer conn.Close()
+	id, st := w.registerJob(job)
+	defer w.unregisterJob(id)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	// The coordinator stays silent until the job ends; any frame (Bye =
@@ -201,26 +327,77 @@ func (w *Worker) runJob(conn net.Conn, job *Job) {
 		}
 	}()
 	go func() {
-		// A worker shutting down cancels its jobs.
+		// An aborting worker (Close, or an expired Drain) cancels its
+		// jobs; a plain Drain lets them finish.
 		select {
-		case <-w.closed:
+		case <-w.aborted:
 			cancel()
 		case <-ctx.Done():
 		}
 	}()
 
-	body, err := w.execute(ctx, job)
+	// Heartbeats flow from job start (mesh formation and shard loading
+	// count as liveness too). The beater is stopped before the result
+	// write so the control connection has a single writer at a time.
+	hbStop := make(chan struct{})
+	hbDone := make(chan struct{})
+	if iv := w.opts.HeartbeatInterval; iv > 0 {
+		go w.heartbeat(conn, st, iv, hbStop, hbDone, cancel)
+	} else {
+		close(hbDone)
+	}
+
+	body, err := w.execute(ctx, job, st)
+	close(hbStop)
+	<-hbDone
 	topts := w.opts.Transport
 	if err != nil {
+		// A job this worker aborted by shutting down is a lost worker
+		// from the coordinator's point of view: report it as link-down
+		// so the failure classifies as retryable, not as a bad job.
+		select {
+		case <-w.aborted:
+			if !errors.Is(err, transport.ErrLinkDown) {
+				err = &transport.LinkDownError{Peer: -1, Reason: transport.ReasonCrash,
+					Err: fmt.Errorf("dist: worker shutting down: %w", err)}
+			}
+		default:
+		}
 		writeError(conn, topts, err)
 		return
 	}
 	writeFrameTo(conn, topts, tcp.FrameResult, body)
 }
 
+// heartbeat writes a liveness beat on the control connection every
+// interval until stopped. A failed write means the coordinator is gone:
+// the job is cancelled rather than left running unobserved.
+func (w *Worker) heartbeat(conn net.Conn, st *jobState, interval time.Duration,
+	stop <-chan struct{}, done chan<- struct{}, cancel context.CancelFunc) {
+	defer close(done)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	var buf []byte
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			buf = tcp.AppendFrame(buf[:0], tcp.FrameHeartbeat,
+				appendHeartbeat(nil, st.clusterID, st.rounds()))
+			conn.SetWriteDeadline(time.Now().Add(interval))
+			if _, err := conn.Write(buf); err != nil {
+				cancel()
+				return
+			}
+		}
+	}
+}
+
 // execute runs the job's hosted slice and returns the encoded result
-// frame body.
-func (w *Worker) execute(ctx context.Context, job *Job) ([]byte, error) {
+// frame body. The engine is published into st once it exists, so
+// heartbeats carry live round counts.
+func (w *Worker) execute(ctx context.Context, job *Job, st *jobState) ([]byte, error) {
 	me := job.Workers[job.Index]
 	lo, hi := me.Lo, me.Hi
 	k := job.K()
@@ -282,6 +459,7 @@ func (w *Worker) execute(ctx context.Context, job *Job) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	st.cluster.Store(cluster)
 	kres, err := cluster.RunContext(ctx, handler)
 	if err != nil {
 		return nil, err

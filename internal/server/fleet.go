@@ -1,0 +1,466 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kmgraph/internal/core"
+	"kmgraph/internal/dist"
+	"kmgraph/internal/telemetry"
+	"kmgraph/internal/transport"
+)
+
+// This file is the server's distributed-fleet layer: graphs backed not
+// by a resident in-process cluster but by a kmworker fleet, served with
+// graceful degradation. A health prober keeps a per-fleet state gauge
+// (kmserve_graph_state: 2 healthy, 1 degraded, 0 down); requests
+// against a down fleet are shed immediately with 503 + Retry-After
+// instead of timing out, degraded fleets are attempted under the
+// coordinator's retry-with-respawn policy, and every recovery attempt
+// is visible on GET /metrics (kmgraph_dist_retries_total,
+// kmgraph_dist_heartbeats_missed_total, kmgraph_dist_recovery_seconds —
+// the dist layer's telemetry lands in this server's registry).
+
+// Fleet states, in ascending health.
+const (
+	fleetDown     = 0 // no worker reachable
+	fleetDegraded = 1 // some, but not all, workers reachable
+	fleetHealthy  = 2 // full fleet reachable
+)
+
+func fleetStateName(s int64) string {
+	switch s {
+	case fleetHealthy:
+		return "healthy"
+	case fleetDegraded:
+		return "degraded"
+	default:
+		return "down"
+	}
+}
+
+// FleetSpec describes one distributed-backed graph: the job source
+// every worker rematerializes its shard from, the worker fleet, and the
+// coordinator tuning used for jobs against it.
+type FleetSpec struct {
+	// Source is the dist source spec (store:<path>, gnm:<n>:<m>:<seed>,
+	// rmat:<n>:<m>:<seed>). Store paths must be readable by the workers.
+	Source string
+	// Addrs are the kmworker addresses. Jobs need the whole fleet.
+	Addrs []string
+	// Conn is the base algorithm configuration (K must be >=
+	// len(Addrs); zero-valued tuning fields resolve worker-side).
+	Conn core.Config
+	// Coord tunes heartbeat deadlines and retry recovery for jobs run
+	// against this fleet. The zero value uses coordinator defaults
+	// (30s heartbeat deadline, no retries).
+	Coord dist.CoordOptions
+	// ProbeInterval separates fleet health probes (default 5s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one worker dial during a probe (default 2s).
+	ProbeTimeout time.Duration
+}
+
+func (sp FleetSpec) withDefaults() FleetSpec {
+	if sp.ProbeInterval <= 0 {
+		sp.ProbeInterval = 5 * time.Second
+	}
+	if sp.ProbeTimeout <= 0 {
+		sp.ProbeTimeout = 2 * time.Second
+	}
+	return sp
+}
+
+// fleet is one registered distributed-backed graph.
+type fleet struct {
+	name  string
+	spec  FleetSpec
+	slots chan struct{}
+	cache *resultCache
+	shed  atomic.Int64
+
+	state atomic.Int64 // fleetDown / fleetDegraded / fleetHealthy
+
+	mu sync.Mutex
+	up []bool // per-address reachability from the last probe
+
+	stop      chan struct{}
+	probeDone chan struct{}
+}
+
+// RegisterFleet adds a distributed-backed graph under name. The health
+// prober starts immediately; Close stops it.
+func (s *Server) RegisterFleet(name string, spec FleetSpec) error {
+	if name == "" {
+		return errors.New("server: empty fleet name")
+	}
+	spec = spec.withDefaults()
+	if len(spec.Addrs) == 0 {
+		return fmt.Errorf("server: fleet %q has no workers", name)
+	}
+	if spec.Conn.K < len(spec.Addrs) {
+		return fmt.Errorf("server: fleet %q has k=%d for %d workers (need k >= workers)",
+			name, spec.Conn.K, len(spec.Addrs))
+	}
+	f := &fleet{
+		name:      name,
+		spec:      spec,
+		slots:     make(chan struct{}, s.cfg.MaxQueue),
+		cache:     newResultCache(s.cfg.CacheEntries),
+		up:        make([]bool, len(spec.Addrs)),
+		stop:      make(chan struct{}),
+		probeDone: make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.fleets == nil {
+		s.fleets = make(map[string]*fleet)
+	}
+	if _, dup := s.fleets[name]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("server: fleet %q already registered", name)
+	}
+	s.fleets[name] = f
+	s.mu.Unlock()
+
+	g := telemetry.Label{Name: "graph", Value: name}
+	s.registry.GaugeFunc("kmserve_graph_state",
+		"Fleet-backed graph health: 2 healthy, 1 degraded, 0 down.",
+		func() float64 { return float64(f.state.Load()) }, g)
+	s.registry.GaugeFunc("kmserve_fleet_workers_up",
+		"Workers reachable at the last fleet health probe.",
+		func() float64 {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			n := 0
+			for _, ok := range f.up {
+				if ok {
+					n++
+				}
+			}
+			return float64(n)
+		}, g)
+	s.registry.CounterFunc("kmserve_shed_total",
+		"Requests refused with 429 by the graph's admission queue.",
+		func() float64 { return float64(f.shed.Load()) }, g)
+
+	f.probeOnce()
+	go f.probeLoop()
+	return nil
+}
+
+// closeFleets stops every fleet prober (called from Server.Close).
+func (s *Server) closeFleets() {
+	s.mu.Lock()
+	fs := make([]*fleet, 0, len(s.fleets))
+	for _, f := range s.fleets {
+		fs = append(fs, f)
+	}
+	s.fleets = nil
+	s.mu.Unlock()
+	for _, f := range fs {
+		close(f.stop)
+		<-f.probeDone
+		s.registry.DropLabeled("graph", f.name)
+	}
+}
+
+// probeOnce dials every worker once and folds the result into the
+// state gauge.
+func (f *fleet) probeOnce() {
+	up := make([]bool, len(f.spec.Addrs))
+	n := 0
+	for i, a := range f.spec.Addrs {
+		c, err := net.DialTimeout("tcp", a, f.spec.ProbeTimeout)
+		if err == nil {
+			c.Close()
+			up[i] = true
+			n++
+		}
+	}
+	f.mu.Lock()
+	f.up = up
+	f.mu.Unlock()
+	switch {
+	case n == len(up):
+		f.state.Store(fleetHealthy)
+	case n > 0:
+		f.state.Store(fleetDegraded)
+	default:
+		f.state.Store(fleetDown)
+	}
+}
+
+func (f *fleet) probeLoop() {
+	defer close(f.probeDone)
+	tick := time.NewTicker(f.spec.ProbeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-tick.C:
+			f.probeOnce()
+		}
+	}
+}
+
+// retryAfter is the Retry-After hint on shed requests: the next probe
+// may flip the fleet back to healthy.
+func (f *fleet) retryAfter() string {
+	return strconv.Itoa(int(f.spec.ProbeInterval/time.Second) + 1)
+}
+
+// gate sheds requests against a known-down fleet with 503 +
+// Retry-After. Degraded fleets pass: the job runs under the retry
+// policy, which may respawn/re-dial its way to a full mesh.
+func (f *fleet) gate(w http.ResponseWriter) bool {
+	if f.state.Load() == fleetDown {
+		w.Header().Set("Retry-After", f.retryAfter())
+		writeError(w, http.StatusServiceUnavailable,
+			"fleet %q unavailable (0/%d workers reachable)", f.name, len(f.spec.Addrs))
+		return false
+	}
+	return true
+}
+
+// admit claims an admission slot, or writes 429 + Retry-After.
+func (f *fleet) admit(w http.ResponseWriter) bool {
+	select {
+	case f.slots <- struct{}{}:
+		return true
+	default:
+		f.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "fleet %q admission queue full", f.name)
+		return false
+	}
+}
+
+func (f *fleet) release() { <-f.slots }
+
+// jobError maps a fleet job failure: a link-down (worker lost, retries
+// exhausted) is a degraded-service 503 with Retry-After — the fleet may
+// come back — anything else follows the standard job mapping. A
+// link-down also triggers an immediate re-probe so the state gauge
+// reflects the loss before the next scheduled probe.
+func (f *fleet) jobError(w http.ResponseWriter, err error) {
+	if errors.Is(err, transport.ErrLinkDown) {
+		go f.probeOnce()
+		w.Header().Set("Retry-After", f.retryAfter())
+		writeError(w, http.StatusServiceUnavailable, "fleet %q degraded: %v", f.name, err)
+		return
+	}
+	jobError(w, err)
+}
+
+// fleet resolves {name}; a miss writes 404 and returns nil.
+func (s *Server) fleet(w http.ResponseWriter, r *http.Request) *fleet {
+	name := r.PathValue("name")
+	s.mu.RLock()
+	f := s.fleets[name]
+	s.mu.RUnlock()
+	if f == nil {
+		writeError(w, http.StatusNotFound, "unknown fleet %q", name)
+	}
+	return f
+}
+
+// fleetRoutes registers the fleet endpoints (called from routes).
+func (s *Server) fleetRoutes() {
+	s.handle("GET /fleet", "fleet_list", s.handleFleetList)
+	s.handle("GET /fleet/{name}", "fleet_info", s.handleFleetInfo)
+	for _, m := range []string{"GET", "POST"} {
+		s.handle(m+" /fleet/{name}/connectivity", "fleet_connectivity", s.handleFleetConnectivity)
+		s.handle(m+" /fleet/{name}/mst", "fleet_mst", s.handleFleetMST)
+	}
+}
+
+// fleetWorker is one worker's registry entry.
+type fleetWorker struct {
+	Addr string `json:"addr"`
+	Up   bool   `json:"up"`
+}
+
+// fleetInfo is one fleet's registry entry.
+type fleetInfo struct {
+	Name    string        `json:"name"`
+	Source  string        `json:"source"`
+	K       int           `json:"k"`
+	State   string        `json:"state"`
+	Workers []fleetWorker `json:"workers"`
+}
+
+func (f *fleet) info() fleetInfo {
+	f.mu.Lock()
+	up := append([]bool(nil), f.up...)
+	f.mu.Unlock()
+	ws := make([]fleetWorker, len(f.spec.Addrs))
+	for i, a := range f.spec.Addrs {
+		ws[i] = fleetWorker{Addr: a, Up: up[i]}
+	}
+	return fleetInfo{
+		Name:    f.name,
+		Source:  f.spec.Source,
+		K:       f.spec.Conn.K,
+		State:   fleetStateName(f.state.Load()),
+		Workers: ws,
+	}
+}
+
+func (s *Server) handleFleetList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	infos := make([]fleetInfo, 0, len(s.fleets))
+	for _, f := range s.fleets {
+		infos = append(infos, f.info())
+	}
+	s.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	writeJSON(w, http.StatusOK, map[string]any{"fleets": infos})
+}
+
+func (s *Server) handleFleetInfo(w http.ResponseWriter, r *http.Request) {
+	f := s.fleet(w, r)
+	if f == nil {
+		return
+	}
+	info := f.info()
+	status := http.StatusOK
+	if f.state.Load() == fleetDown {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, info)
+}
+
+// fleetConnectivityResponse answers fleet connectivity requests. Fleet
+// sources are immutable (no batch endpoint), so results cache forever.
+type fleetConnectivityResponse struct {
+	Graph          string   `json:"graph"`
+	Components     int      `json:"components"`
+	Phases         int      `json:"phases"`
+	Rounds         int      `json:"rounds"`
+	SketchFailures int64    `json:"sketch_failures"`
+	Cached         bool     `json:"cached"`
+	Labels         []uint64 `json:"labels,omitempty"`
+}
+
+func (c fleetConnectivityResponse) hit() any { c.Cached = true; return c }
+
+func (s *Server) handleFleetConnectivity(w http.ResponseWriter, r *http.Request) {
+	f := s.fleet(w, r)
+	if f == nil {
+		return
+	}
+	labels := boolParam(r, "labels")
+	shape := func(v any) any {
+		c := v.(fleetConnectivityResponse)
+		if !labels {
+			c.Labels = nil
+		}
+		return c
+	}
+	s.runFleet(w, r, f, "connectivity", shape, func(ctx context.Context) (hitMarker, error) {
+		res, err := dist.RunConnectivityOpts(ctx, f.spec.Addrs, f.spec.Source, f.spec.Conn, f.spec.Coord)
+		if err != nil {
+			return nil, err
+		}
+		return fleetConnectivityResponse{
+			Graph:          f.name,
+			Components:     res.Components,
+			Phases:         res.Phases,
+			Rounds:         res.Metrics.Rounds,
+			SketchFailures: res.SketchFailures,
+			Labels:         res.Labels,
+		}, nil
+	})
+}
+
+// fleetMSTResponse answers fleet MST requests.
+type fleetMSTResponse struct {
+	Graph       string     `json:"graph"`
+	TotalWeight int64      `json:"total_weight"`
+	EdgeCount   int        `json:"edge_count"`
+	Phases      int        `json:"phases"`
+	Rounds      int        `json:"rounds"`
+	Cached      bool       `json:"cached"`
+	Edges       []jsonEdge `json:"edges,omitempty"`
+}
+
+func (m fleetMSTResponse) hit() any { m.Cached = true; return m }
+
+func (s *Server) handleFleetMST(w http.ResponseWriter, r *http.Request) {
+	f := s.fleet(w, r)
+	if f == nil {
+		return
+	}
+	edges := boolParam(r, "edges")
+	shape := func(v any) any {
+		m := v.(fleetMSTResponse)
+		if !edges {
+			m.Edges = nil
+		}
+		return m
+	}
+	s.runFleet(w, r, f, "mst", shape, func(ctx context.Context) (hitMarker, error) {
+		cfg := core.MSTConfig{Config: f.spec.Conn}
+		res, err := dist.RunMSTOpts(ctx, f.spec.Addrs, f.spec.Source, cfg, f.spec.Coord)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]jsonEdge, len(res.Edges))
+		for i, e := range res.Edges {
+			out[i] = jsonEdge{U: e.U, V: e.V, W: e.W}
+		}
+		return fleetMSTResponse{
+			Graph:       f.name,
+			TotalWeight: res.TotalWeight,
+			EdgeCount:   len(res.Edges),
+			Phases:      res.Phases,
+			Rounds:      res.Metrics.Rounds,
+			Edges:       out,
+		}, nil
+	})
+}
+
+// runFleet is the shared protocol around a fleet job: health gate,
+// cache lookup (fleet graphs are immutable, so the epoch is always 0),
+// admission, run under the request deadline, degradation-aware error
+// mapping.
+func (s *Server) runFleet(w http.ResponseWriter, r *http.Request, f *fleet, job string,
+	shape func(any) any, run func(ctx context.Context) (hitMarker, error)) {
+	timeout, err := s.parseTimeout(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key := cacheKey{epoch: 0, job: job, args: ""}
+	if v, ok := f.cache.get(key); ok {
+		w.Header().Set("X-Kmserve-Cache", "hit")
+		writeJSON(w, http.StatusOK, shape(v.(hitMarker).hit()))
+		return
+	}
+	if !f.gate(w) {
+		return
+	}
+	if !f.admit(w) {
+		return
+	}
+	defer f.release()
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	resp, err := run(ctx)
+	if err != nil {
+		f.jobError(w, err)
+		return
+	}
+	f.cache.put(key, resp)
+	w.Header().Set("X-Kmserve-Cache", "miss")
+	writeJSON(w, http.StatusOK, shape(resp))
+}

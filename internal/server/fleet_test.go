@@ -1,0 +1,248 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"kmgraph/internal/core"
+	"kmgraph/internal/dist"
+	"kmgraph/internal/graph"
+)
+
+// startFleetWorker launches one in-process dist worker and returns it
+// with its dialable address.
+func startFleetWorker(t *testing.T) (*dist.Worker, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := dist.NewWorker(ln, dist.WorkerOptions{
+		MeshTimeout:       30 * time.Second,
+		HeartbeatInterval: 100 * time.Millisecond,
+	})
+	go w.Serve()
+	t.Cleanup(func() { w.Close() })
+	return w, w.Addr()
+}
+
+// newFleetServer registers a fleet of live workers over a gnm source
+// and returns the serving front end plus the fleet-local golden.
+func newFleetServer(t *testing.T, name string, workers int) (*Server, *httptest.Server, *core.Result) {
+	t.Helper()
+	const (
+		n, m = 4000, 12000
+		gs   = int64(3)
+		k    = 4
+		seed = int64(9)
+	)
+	cfg := core.Config{K: k, Seed: seed}
+	golden, err := core.RunSource(graph.StreamGNM(n, m, gs), cfg)
+	if err != nil {
+		t.Fatalf("golden: %v", err)
+	}
+	addrs := make([]string, workers)
+	for i := range addrs {
+		_, addrs[i] = startFleetWorker(t)
+	}
+	s := New(Config{})
+	err = s.RegisterFleet(name, FleetSpec{
+		Source: fmt.Sprintf("gnm:%d:%d:%d", n, m, gs),
+		Addrs:  addrs,
+		Conn:   cfg,
+		Coord: dist.CoordOptions{
+			Retry: dist.RetryPolicy{Attempts: 3, Backoff: 50 * time.Millisecond},
+		},
+	})
+	if err != nil {
+		t.Fatalf("RegisterFleet: %v", err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts, golden
+}
+
+func TestFleetConnectivityMatchesLocal(t *testing.T) {
+	_, ts, golden := newFleetServer(t, "web", 2)
+
+	var out struct {
+		Graph      string `json:"graph"`
+		Components int    `json:"components"`
+		Rounds     int    `json:"rounds"`
+		Cached     bool   `json:"cached"`
+	}
+	resp := getJSON(t, ts.URL+"/fleet/web/connectivity", http.StatusOK, &out)
+	if out.Components != golden.Components {
+		t.Errorf("components = %d, want %d", out.Components, golden.Components)
+	}
+	if out.Rounds != golden.Metrics.Rounds {
+		t.Errorf("rounds = %d, want %d (distributed run not bit-identical)", out.Rounds, golden.Metrics.Rounds)
+	}
+	if out.Cached || resp.Header.Get("X-Kmserve-Cache") != "miss" {
+		t.Errorf("first request: cached=%v header=%q, want fresh miss", out.Cached, resp.Header.Get("X-Kmserve-Cache"))
+	}
+
+	// Fleet graphs are immutable: the second request must be a hit.
+	resp = getJSON(t, ts.URL+"/fleet/web/connectivity", http.StatusOK, &out)
+	if !out.Cached || resp.Header.Get("X-Kmserve-Cache") != "hit" {
+		t.Errorf("second request: cached=%v header=%q, want cache hit", out.Cached, resp.Header.Get("X-Kmserve-Cache"))
+	}
+
+	var info fleetInfo
+	getJSON(t, ts.URL+"/fleet/web", http.StatusOK, &info)
+	if info.State != "healthy" || len(info.Workers) != 2 {
+		t.Errorf("info = %+v, want healthy with 2 workers", info)
+	}
+}
+
+func TestFleetDownSheds503(t *testing.T) {
+	// A listener that is opened and immediately closed yields an address
+	// with nothing behind it: every probe and dial fails fast.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+
+	s := New(Config{})
+	err = s.RegisterFleet("ghost", FleetSpec{
+		Source: "gnm:1000:3000:1",
+		Addrs:  []string{dead},
+		Conn:   core.Config{K: 2, Seed: 1},
+	})
+	if err != nil {
+		t.Fatalf("RegisterFleet: %v", err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+
+	resp, err := http.Get(ts.URL + "/fleet/ghost/connectivity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After header")
+	}
+
+	var info fleetInfo
+	getJSON(t, ts.URL+"/fleet/ghost", http.StatusServiceUnavailable, &info)
+	if info.State != "down" {
+		t.Errorf("state = %q, want down", info.State)
+	}
+}
+
+func TestFleetStateOnMetrics(t *testing.T) {
+	_, ts, _ := newFleetServer(t, "web", 2)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1<<20)
+	nr, _ := resp.Body.Read(buf)
+	body := string(buf[:nr])
+	want := `kmserve_graph_state{graph="web"} 2`
+	if !strings.Contains(body, want) {
+		t.Errorf("metrics exposition missing %q", want)
+	}
+	if !strings.Contains(body, `kmserve_fleet_workers_up{graph="web"} 2`) {
+		t.Errorf("metrics exposition missing workers-up gauge")
+	}
+}
+
+// TestFleetDegradesAndRecovers walks the full degradation arc: a lost
+// worker turns job requests into 503 + Retry-After (not hangs, not
+// 500s), and once a replacement worker is listening again the same
+// endpoint serves the golden result with no server restart.
+func TestFleetDegradesAndRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed recovery test")
+	}
+	const (
+		n, m = 4000, 12000
+		gs   = int64(3)
+		k    = 4
+		seed = int64(9)
+	)
+	cfg := core.Config{K: k, Seed: seed}
+	golden, err := core.RunSource(graph.StreamGNM(n, m, gs), cfg)
+	if err != nil {
+		t.Fatalf("golden: %v", err)
+	}
+
+	w1, a1 := startFleetWorker(t)
+	_, a2 := startFleetWorker(t)
+
+	s := New(Config{})
+	err = s.RegisterFleet("web", FleetSpec{
+		Source: fmt.Sprintf("gnm:%d:%d:%d", n, m, gs),
+		Addrs:  []string{a1, a2},
+		Conn:   cfg,
+		Coord: dist.CoordOptions{
+			HeartbeatTimeout: 5 * time.Second,
+			Retry:            dist.RetryPolicy{Attempts: 2, Backoff: 50 * time.Millisecond},
+		},
+	})
+	if err != nil {
+		t.Fatalf("RegisterFleet: %v", err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+
+	// Lose a worker: the job fails link-down after its retry budget and
+	// the endpoint degrades to 503 + Retry-After.
+	w1.Close()
+	resp, err := http.Get(ts.URL + "/fleet/web/connectivity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("with dead worker: status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("degraded 503 without Retry-After header")
+	}
+
+	// A replacement worker on the same address restores service; no
+	// server-side intervention needed.
+	ln, err := net.Listen("tcp", a1)
+	if err != nil {
+		t.Fatalf("relisten on %s: %v", a1, err)
+	}
+	w := dist.NewWorker(ln, dist.WorkerOptions{
+		MeshTimeout:       30 * time.Second,
+		HeartbeatInterval: 100 * time.Millisecond,
+	})
+	go w.Serve()
+	t.Cleanup(func() { w.Close() })
+
+	var out struct {
+		Components int `json:"components"`
+		Rounds     int `json:"rounds"`
+	}
+	getJSON(t, ts.URL+"/fleet/web/connectivity", http.StatusOK, &out)
+	if out.Components != golden.Components || out.Rounds != golden.Metrics.Rounds {
+		t.Errorf("recovered result = %d components / %d rounds, want %d / %d",
+			out.Components, out.Rounds, golden.Components, golden.Metrics.Rounds)
+	}
+}

@@ -104,6 +104,7 @@ type Server struct {
 
 	mu     sync.RWMutex
 	graphs map[string]*tenant
+	fleets map[string]*fleet
 
 	// obs maps graph name -> observer funnel; populated by JobObserver
 	// (possibly before the cluster exists) and consulted by Register.
@@ -185,8 +186,10 @@ func (s *Server) register(name string, c *kmgraph.Cluster) (*tenant, error) {
 	return t, nil
 }
 
-// Close closes every hosted cluster (waiting for in-flight jobs).
+// Close closes every hosted cluster (waiting for in-flight jobs) and
+// stops every fleet prober.
 func (s *Server) Close() error {
+	s.closeFleets()
 	s.mu.Lock()
 	ts := make([]*tenant, 0, len(s.graphs))
 	for _, t := range s.graphs {
@@ -289,6 +292,7 @@ func (s *Server) routes() {
 	}
 	s.handle("POST /graphs/{name}/verify", "verify", s.handleVerify)
 	s.handle("POST /graphs/{name}/batch", "batch", s.handleBatch)
+	s.fleetRoutes()
 }
 
 // ---- plumbing ----------------------------------------------------------

@@ -28,7 +28,7 @@ import (
 )
 
 // FrameType distinguishes the frames of the kmgraph transport protocol.
-// Types 1-2 flow on peer (worker-to-worker) links; 3-6 on control
+// Types 1-2 flow on peer (worker-to-worker) links; 3-7 on control
 // (coordinator-to-worker) links established by the dist layer.
 type FrameType byte
 
@@ -46,6 +46,11 @@ const (
 	// FrameBye announces an orderly close (a coordinator cancelling a
 	// job, or a worker done with its links).
 	FrameBye FrameType = 6
+	// FrameHeartbeat is a worker's periodic liveness beat on the control
+	// link while a job runs: the coordinator's gather distinguishes a
+	// long-running job (beats flowing) from a wedged or dead worker
+	// (silence past the heartbeat deadline).
+	FrameHeartbeat FrameType = 7
 )
 
 // MaxFrameBody bounds a frame's body; larger announcements are protocol

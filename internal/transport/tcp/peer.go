@@ -71,6 +71,7 @@ type Peer struct {
 	Lo, Hi int // remote hosted machine range
 
 	conn  net.Conn
+	addr  string // remote address, for structured link-down errors
 	k     int
 	opts  Options
 	stats linkStats
@@ -94,6 +95,7 @@ func newPeer(conn net.Conn, remote *Hello, opts Options) *Peer {
 		Lo:     remote.Lo,
 		Hi:     remote.Hi,
 		conn:   conn,
+		addr:   conn.RemoteAddr().String(),
 		k:      remote.K,
 		opts:   opts.withDefaults(),
 		stats:  newLinkStats(remote.Index),
@@ -162,15 +164,27 @@ func (p *Peer) writeRound(seq uint64, doneDelta int, msgs []transport.Message) e
 
 // recvRound blocks until the peer's announcement for barrier seq
 // arrives, the link dies, or the idle deadline passes in the read loop.
+// Failures carry the structured transport.LinkDownError: a read-loop
+// timeout classifies as a stall (the socket is formally alive), any
+// other death as a crash, and a wrong barrier sequence as a desync.
 func (p *Peer) recvRound(seq uint64) (*RoundFrame, error) {
 	f, ok := <-p.frames
 	if !ok {
-		return nil, fmt.Errorf("tcp: peer %d (machines [%d,%d)): %v: %w",
-			p.Index, p.Lo, p.Hi, p.readErr, transport.ErrLinkDown)
+		reason := transport.ReasonCrash
+		var ne net.Error
+		if errors.As(p.readErr, &ne) && ne.Timeout() {
+			reason = transport.ReasonStall
+		}
+		return nil, &transport.LinkDownError{
+			Peer: p.Index, Addr: p.addr, Round: seq - 1, Reason: reason,
+			Err: fmt.Errorf("tcp: machines [%d,%d): %v", p.Lo, p.Hi, p.readErr),
+		}
 	}
 	if f.Seq != seq {
-		return nil, fmt.Errorf("tcp: peer %d barrier desync (got seq %d, want %d): %w",
-			p.Index, f.Seq, seq, transport.ErrLinkDown)
+		return nil, &transport.LinkDownError{
+			Peer: p.Index, Addr: p.addr, Round: seq - 1, Reason: transport.ReasonDesync,
+			Err: fmt.Errorf("tcp: barrier desync (got seq %d, want %d)", f.Seq, seq),
+		}
 	}
 	return f, nil
 }

@@ -96,8 +96,10 @@ func (t *Transport) Round(in *transport.RoundIn, out *transport.RoundOut) error 
 		err := pr.writeRound(t.seq, in.DoneDelta, pr.stage)
 		pr.stage = pr.stage[:0]
 		if err != nil {
-			return fmt.Errorf("tcp: sending round %d to peer %d: %v: %w",
-				t.seq, pr.Index, err, transport.ErrLinkDown)
+			return &transport.LinkDownError{
+				Peer: pr.Index, Addr: pr.addr, Round: t.seq - 1, Reason: transport.ReasonCrash,
+				Err: fmt.Errorf("tcp: sending round %d: %v", t.seq, err),
+			}
 		}
 	}
 	t.running -= in.DoneDelta
@@ -111,8 +113,10 @@ func (t *Transport) Round(in *transport.RoundIn, out *transport.RoundOut) error 
 		t.running -= f.DoneDelta
 		for _, m := range f.Msgs {
 			if m.Dst < t.lo || m.Dst >= t.hi {
-				return fmt.Errorf("tcp: peer %d sent message for machine %d outside our [%d,%d): %w",
-					pr.Index, m.Dst, t.lo, t.hi, transport.ErrLinkDown)
+				return &transport.LinkDownError{
+					Peer: pr.Index, Addr: pr.addr, Round: t.seq - 1, Reason: transport.ReasonDesync,
+					Err: fmt.Errorf("tcp: message for machine %d outside our [%d,%d)", m.Dst, t.lo, t.hi),
+				}
 			}
 			t.sw.Enqueue(m)
 		}

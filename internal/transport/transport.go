@@ -22,7 +22,10 @@
 // what makes the two backends produce identical Metrics by construction.
 package transport
 
-import "errors"
+import (
+	"errors"
+	"strconv"
+)
 
 // Message is a point-to-point message between machines. It is the same
 // type the engine exposes as kmachine.Message (an alias).
@@ -45,6 +48,73 @@ type Params struct {
 // a job is in flight. Jobs fail with this typed error instead of hanging
 // the round barrier; callers can errors.Is against it.
 var ErrLinkDown = errors.New("transport: link down")
+
+// LinkDownReason classifies why a link was declared down. It drives the
+// coordinator's retry decisions and failure telemetry without string
+// parsing.
+type LinkDownReason string
+
+const (
+	// ReasonCrash: the peer's connection died (EOF, reset, refused).
+	ReasonCrash LinkDownReason = "crash"
+	// ReasonStall: the peer stayed silent past its liveness deadline but
+	// the connection is formally alive (a wedged or overloaded process).
+	ReasonStall LinkDownReason = "stall"
+	// ReasonDesync: the peer is alive but violated the round protocol
+	// (wrong barrier sequence, out-of-range traffic, range mismatch).
+	ReasonDesync LinkDownReason = "desync"
+	// ReasonChaos: an injected fault from the chaos transport.
+	ReasonChaos LinkDownReason = "chaos"
+)
+
+// LinkDownError is the structured form of ErrLinkDown: it names the
+// lost peer, where it was, how far the protocol got, and why the link
+// was declared dead, so logs and retry policies need no string parsing.
+// errors.Is(err, ErrLinkDown) matches it, and errors.As extracts it
+// through any number of fmt.Errorf %w wrappings.
+type LinkDownError struct {
+	// Peer is the remote participant index (-1 when unknown).
+	Peer int
+	// Addr is the peer's dialable address, when known.
+	Addr string
+	// Round is the last barrier sequence completed with the peer (0 when
+	// the link died before any barrier).
+	Round uint64
+	// Reason classifies the failure.
+	Reason LinkDownReason
+	// Err is the underlying cause, when any.
+	Err error
+}
+
+func (e *LinkDownError) Error() string {
+	s := "transport: link down"
+	if e.Peer >= 0 {
+		s += " (peer " + strconv.Itoa(e.Peer)
+		if e.Addr != "" {
+			s += " at " + e.Addr
+		}
+		s += ")"
+	}
+	if e.Reason != "" {
+		s += ": " + string(e.Reason)
+	}
+	if e.Round > 0 {
+		s += " after round " + strconv.FormatUint(e.Round, 10)
+	}
+	if e.Err != nil {
+		s += ": " + e.Err.Error()
+	}
+	return s
+}
+
+// Unwrap exposes both the ErrLinkDown sentinel (so errors.Is keeps
+// working) and the underlying cause.
+func (e *LinkDownError) Unwrap() []error {
+	if e.Err == nil {
+		return []error{ErrLinkDown}
+	}
+	return []error{ErrLinkDown, e.Err}
+}
 
 // RoundIn is what the engine hands the transport at each round barrier.
 // The struct is reused across rounds; the transport must not retain it.
