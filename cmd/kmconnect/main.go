@@ -29,8 +29,16 @@
 // written as Chrome trace-event JSON (loadable in Perfetto or
 // chrome://tracing): one span per job enclosing one span per merge
 // phase, annotated with rounds, message and payload deltas, and link
-// skew. Only the resident sketch path (-algo sketch or -store) emits
-// phase events.
+// skew. Locally, only the resident sketch path (-algo sketch or
+// -store) emits phase events. With -transport tcp, -trace instead
+// assembles a cross-process trace: every worker streams its phase
+// spans back over its control connection and the written trace has one
+// pid per worker, annotated with per-worker rounds, wire traffic, and
+// barrier waits.
+//
+// With -transport tcp -flight-dump dir/, a failed run writes each
+// side's flight-recorder snapshot (the last K rounds of every link
+// before the failure) as JSON files under dir/ — see dist.FlightDump.
 package main
 
 import (
@@ -195,20 +203,63 @@ func runStore(path string, k int, seed int64, timeout time.Duration, materialize
 	writeTrace(tracer, tracePath)
 }
 
+// distObserve wires -trace and -flight-dump into the coordinator
+// options, returning the collectors to flush afterwards.
+func distObserve(opts *dist.CoordOptions, tracePath, flightDir string) (*dist.JobTrace, *dist.FlightLog) {
+	var trace *dist.JobTrace
+	if tracePath != "" {
+		trace = &dist.JobTrace{}
+		opts.Trace = trace
+	}
+	var flight *dist.FlightLog
+	if flightDir != "" {
+		flight = &dist.FlightLog{}
+		opts.Flight = flight
+	}
+	return trace, flight
+}
+
+// distFail dumps the flight log (when -flight-dump is set) and exits.
+func distFail(err error, flight *dist.FlightLog, flightDir string) {
+	if flight != nil {
+		if derr := flight.Dump(flightDir); derr != nil {
+			fmt.Fprintf(os.Stderr, "flight dump: %v\n", derr)
+		} else {
+			fmt.Fprintf(os.Stderr, "flight dump: wrote %s\n", flightDir)
+		}
+	}
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+// writeDistTrace writes the assembled cross-process trace.
+func writeDistTrace(trace *dist.JobTrace, path string) {
+	if trace == nil {
+		return
+	}
+	if err := telemetry.WriteTrace(path, trace.Assemble()); err != nil {
+		fmt.Fprintf(os.Stderr, "writing trace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("trace: wrote %s (trace id %#x)\n", path, trace.TraceID())
+}
+
 // runDistributed coordinates a connectivity job over a kmworker fleet.
-func runDistributed(workers []string, source string, k int, seed int64, timeout time.Duration, opts dist.CoordOptions) {
+func runDistributed(workers []string, source string, k int, seed int64, timeout time.Duration,
+	opts dist.CoordOptions, tracePath, flightDir string) {
+	trace, flight := distObserve(&opts, tracePath, flightDir)
 	fmt.Printf("distributed: %s over %d workers, k=%d\n", source, len(workers), k)
 	ctx, cancel := jobCtx(timeout)
 	defer cancel()
 	start := time.Now()
 	res, err := dist.RunConnectivityOpts(ctx, workers, source, core.Config{K: k, Seed: seed}, opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		distFail(err, flight, flightDir)
 	}
 	fmt.Printf("components: %d\n", res.Components)
 	fmt.Printf("phases: %d  sketch failures: %d\n", res.Phases, res.SketchFailures)
 	fmt.Printf("cost: %s (wall %v)\n", res.Metrics.String(), time.Since(start).Round(time.Millisecond))
+	writeDistTrace(trace, tracePath)
 }
 
 // distSource maps the graph flags to a dist source spec that every
@@ -243,10 +294,11 @@ func main() {
 	workerList := flag.String("workers", "", "with -transport tcp: comma-separated kmworker addresses")
 	retries := flag.Int("retries", 1, "with -transport tcp: total job attempts; lost workers are re-dialed between attempts")
 	hbTimeout := flag.Duration("heartbeat-timeout", 30*time.Second, "with -transport tcp: silence tolerated on a worker before declaring it stalled")
+	flightDir := flag.String("flight-dump", "", "with -transport tcp: on failure, dump flight-recorder snapshots as JSON under this directory")
 	flag.Parse()
 
-	if *tracePath != "" && *storePath == "" && *algo != "sketch" {
-		fmt.Fprintln(os.Stderr, "kmconnect: -trace requires the resident engine (-algo sketch or -store)")
+	if *tracePath != "" && *transportMode == "local" && *storePath == "" && *algo != "sketch" {
+		fmt.Fprintln(os.Stderr, "kmconnect: -trace requires the resident engine (-algo sketch or -store) or -transport tcp")
 		os.Exit(2)
 	}
 	switch *transportMode {
@@ -267,7 +319,7 @@ func main() {
 		runDistributed(strings.Split(*workerList, ","), source, *k, *seed, *timeout, dist.CoordOptions{
 			HeartbeatTimeout: *hbTimeout,
 			Retry:            dist.RetryPolicy{Attempts: *retries},
-		})
+		}, *tracePath, *flightDir)
 		return
 	default:
 		fmt.Fprintf(os.Stderr, "kmconnect: unknown transport %q\n", *transportMode)

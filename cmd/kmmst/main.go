@@ -8,11 +8,14 @@
 //	kmmst [-n 2048] [-m 6144] [-k 8] [-seed 1] [-timeout 0] [-strong] [-rep]
 //	      [-trace out.json]
 //	kmmst -transport tcp -workers host:9601,host:9602 -store graph.kmgs
-//	      [-k 8] [-seed 1] [-strong]
+//	      [-k 8] [-seed 1] [-strong] [-trace out.json] [-flight-dump dir/]
 //
 // With -trace, the resident engine's phase events are written as Chrome
 // trace-event JSON (Perfetto / chrome://tracing). -rep does not use the
-// resident engine and cannot be traced.
+// resident engine and cannot be traced. With -transport tcp, -trace
+// assembles the cross-process trace streamed back by the workers (one
+// pid per worker), and -flight-dump dir/ writes each side's
+// flight-recorder snapshot on failure — see cmd/kmconnect for details.
 //
 // With -transport tcp, the k machines run distributed across the
 // kmworker processes listed in -workers; each loads its slice of the
@@ -71,7 +74,18 @@ func jobCtx(timeout time.Duration) (context.Context, context.CancelFunc) {
 }
 
 // runDistributed coordinates an MST job over a kmworker fleet.
-func runDistributed(workers []string, source string, k int, seed int64, strong bool, timeout time.Duration, opts dist.CoordOptions) {
+func runDistributed(workers []string, source string, k int, seed int64, strong bool, timeout time.Duration,
+	opts dist.CoordOptions, tracePath, flightDir string) {
+	var trace *dist.JobTrace
+	if tracePath != "" {
+		trace = &dist.JobTrace{}
+		opts.Trace = trace
+	}
+	var flight *dist.FlightLog
+	if flightDir != "" {
+		flight = &dist.FlightLog{}
+		opts.Flight = flight
+	}
 	fmt.Printf("distributed: %s over %d workers, k=%d\n", source, len(workers), k)
 	ctx, cancel := jobCtx(timeout)
 	defer cancel()
@@ -79,6 +93,13 @@ func runDistributed(workers []string, source string, k int, seed int64, strong b
 	cfg := core.MSTConfig{Config: core.Config{K: k, Seed: seed}, StrongOutput: strong}
 	res, err := dist.RunMSTOpts(ctx, workers, source, cfg, opts)
 	if err != nil {
+		if flight != nil {
+			if derr := flight.Dump(flightDir); derr != nil {
+				fmt.Fprintf(os.Stderr, "flight dump: %v\n", derr)
+			} else {
+				fmt.Fprintf(os.Stderr, "flight dump: wrote %s\n", flightDir)
+			}
+		}
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -86,6 +107,13 @@ func runDistributed(workers []string, source string, k int, seed int64, strong b
 	fmt.Printf("phases: %d  elimination iterations: %d  sketch failures: %d\n",
 		res.Phases, res.ElimIters, res.SketchFailures)
 	fmt.Printf("cost: %s (wall %v)\n", res.Metrics.String(), time.Since(start).Round(time.Millisecond))
+	if trace != nil {
+		if err := telemetry.WriteTrace(tracePath, trace.Assemble()); err != nil {
+			fmt.Fprintf(os.Stderr, "writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: wrote %s (trace id %#x)\n", tracePath, trace.TraceID())
+	}
 }
 
 func main() {
@@ -102,6 +130,7 @@ func main() {
 	workerList := flag.String("workers", "", "with -transport tcp: comma-separated kmworker addresses")
 	retries := flag.Int("retries", 1, "with -transport tcp: total job attempts; lost workers are re-dialed between attempts")
 	hbTimeout := flag.Duration("heartbeat-timeout", 30*time.Second, "with -transport tcp: silence tolerated on a worker before declaring it stalled")
+	flightDir := flag.String("flight-dump", "", "with -transport tcp: on failure, dump flight-recorder snapshots as JSON under this directory")
 	flag.Parse()
 	if *m == 0 {
 		*m = 3 * *n
@@ -120,7 +149,7 @@ func main() {
 		runDistributed(strings.Split(*workerList, ","), "store:"+*storePath, *k, *seed, *strong, *timeout, dist.CoordOptions{
 			HeartbeatTimeout: *hbTimeout,
 			Retry:            dist.RetryPolicy{Attempts: *retries},
-		})
+		}, *tracePath, *flightDir)
 		return
 	default:
 		fmt.Fprintf(os.Stderr, "kmmst: unknown transport %q\n", *transportMode)

@@ -22,7 +22,11 @@
 //
 // With -metrics-addr, the worker serves its transport telemetry
 // (per-link bytes/frames, reconnects, handshake failures, barrier-wait
-// histogram) in Prometheus exposition format on GET /metrics.
+// histogram) in Prometheus exposition format on GET /metrics, and a
+// human-readable GET /statusz debug page listing the in-flight jobs
+// (cluster and trace IDs, hosted machine range, live round count, run
+// time). Link-down failures are logged as structured JSON (slog) on
+// stderr with the failed link's flight-recorder snapshot attached.
 package main
 
 import (
@@ -30,6 +34,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -42,6 +47,22 @@ import (
 	"kmgraph/internal/transport/tcp"
 )
 
+// statusz renders the worker's in-flight jobs as a plain-text debug
+// page: one line per job plus an uptime header.
+func statusz(w *dist.Worker, started time.Time) http.HandlerFunc {
+	return func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		jobs := w.Jobs()
+		fmt.Fprintf(rw, "kmworker %s up %v, %d active job(s)\n",
+			w.Addr(), time.Since(started).Round(time.Second), len(jobs))
+		for _, j := range jobs {
+			fmt.Fprintf(rw, "cluster %016x trace %016x %s machines [%d,%d) round %d (running %v)\n",
+				j.ClusterID, j.TraceID, j.Kind, j.Lo, j.Hi, j.Rounds,
+				time.Since(j.Started).Round(time.Millisecond))
+		}
+	}
+}
+
 func main() {
 	listen := flag.String("listen", ":9601", "address to serve jobs and peer links on")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus transport telemetry on this address (empty = off)")
@@ -49,23 +70,6 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", 2*time.Second, "control-connection liveness beat interval (negative disables)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "on SIGTERM, how long to let active jobs finish before aborting them")
 	flag.Parse()
-
-	if *metricsAddr != "" {
-		reg := telemetry.NewRegistry()
-		tcp.RegisterTelemetry(reg)
-		mux := http.NewServeMux()
-		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-			reg.WritePrometheus(w)
-		})
-		mln, err := net.Listen("tcp", *metricsAddr)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "kmworker: metrics listener: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("kmworker: metrics on http://%s/metrics\n", mln.Addr())
-		go http.Serve(mln, mux)
-	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -75,8 +79,27 @@ func main() {
 	w := dist.NewWorker(ln, dist.WorkerOptions{
 		MeshTimeout:       *meshTimeout,
 		HeartbeatInterval: *heartbeat,
+		Logger:            slog.New(slog.NewJSONHandler(os.Stderr, nil)),
 	})
 	fmt.Printf("kmworker: serving on %s\n", w.Addr())
+
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		tcp.RegisterTelemetry(reg)
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			reg.WritePrometheus(w)
+		})
+		mux.HandleFunc("GET /statusz", statusz(w, time.Now()))
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kmworker: metrics listener: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("kmworker: metrics on http://%s/metrics (debug: /statusz)\n", mln.Addr())
+		go http.Serve(mln, mux)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

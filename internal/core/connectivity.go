@@ -93,6 +93,14 @@ type Config struct {
 	MaxRounds int
 	// MessageOverheadBits models per-message framing (0 = 64).
 	MessageOverheadBits int
+	// PhaseHook, when set, is called by the machine whose ID equals
+	// PhaseHookID right after each phase's end-of-phase collective, with
+	// the phase index and that machine's completed round count. It is
+	// observation only — it must not communicate or mutate state — and
+	// is never part of a distributed job spec: each participant installs
+	// its own (a worker hooks its lowest hosted machine).
+	PhaseHook   func(phase, round int) `json:"-"`
+	PhaseHookID int                    `json:"-"`
 }
 
 func (c Config) withDefaults(n int) Config {
@@ -300,6 +308,9 @@ func (m *machine) run() error {
 		active, failures, _ := m.PhaseSync()
 		if m.Ctx.ID() == 0 {
 			out.phaseRounds = append(out.phaseRounds, m.Ctx.Round())
+		}
+		if m.Cfg.PhaseHook != nil && m.Ctx.ID() == m.Cfg.PhaseHookID {
+			m.Cfg.PhaseHook(m.Phase, m.Ctx.Round())
 		}
 		out.phases = m.Phase + 1
 		if active == 0 && failures == 0 {

@@ -183,6 +183,9 @@ func (m *mstMachine) run() error {
 		m.Collapse()
 		m.BroadcastAndRelabel()
 		active, failures, _ := m.PhaseSync()
+		if m.Cfg.PhaseHook != nil && m.Ctx.ID() == m.Cfg.PhaseHookID {
+			m.Cfg.PhaseHook(m.Phase, m.Ctx.Round())
+		}
 		out.phases = m.Phase + 1
 		if active == 0 && failures == 0 {
 			break

@@ -62,6 +62,20 @@ type CoordOptions struct {
 	// Retry governs recovery after a failed attempt. The zero value
 	// never retries.
 	Retry RetryPolicy
+	// Trace, when non-nil, enables cross-process job tracing: the
+	// coordinator mints a trace ID into the job spec, workers stream
+	// phase spans back on their control connections, and Trace.Assemble
+	// returns the merged multi-pid Chrome trace after the run.
+	Trace *JobTrace
+	// Flight, when non-nil, records per-control-link activity and
+	// captures any flight-recorder snapshot a failing worker reports,
+	// for Flight.Dump / the CLIs' -flight-dump.
+	Flight *FlightLog
+	// Progress, when non-nil, is called from each control-link gather
+	// as heartbeats arrive, with the worker index and its live engine
+	// round count (kmserve surfaces these as per-worker gauges and SSE
+	// deltas). It must be fast and non-blocking.
+	Progress func(worker int, rounds uint64)
 }
 
 func (o CoordOptions) withDefaults() CoordOptions {
@@ -128,6 +142,13 @@ func runOnce(ctx context.Context, addrs []string, job Job, opts CoordOptions) (*
 	for i, a := range addrs {
 		job.Workers[i] = WorkerSpec{Addr: a, Lo: ranges[i][0], Hi: ranges[i][1]}
 	}
+	if opts.Trace != nil {
+		job.TraceID = newClusterID()
+		opts.Trace.reset(&job, ranges)
+	}
+	if opts.Flight != nil {
+		opts.Flight.reset()
+	}
 
 	conns := make([]net.Conn, len(addrs))
 	closeAll := func() {
@@ -174,7 +195,7 @@ func runOnce(ctx context.Context, addrs []string, job Job, opts CoordOptions) (*
 	results := make(chan gathered, len(conns))
 	for i, conn := range conns {
 		go func(i int, conn net.Conn) {
-			rf, err := gatherOne(conn, i, addrs[i], opts.HeartbeatTimeout)
+			rf, err := gatherOne(conn, i, addrs[i], opts)
 			results <- gathered{idx: i, rf: rf, err: err}
 		}(i, conn)
 	}
@@ -237,15 +258,45 @@ func runOnce(ctx context.Context, addrs []string, job Job, opts CoordOptions) (*
 }
 
 // gatherOne reads a worker's result (or error) frame, consuming
-// heartbeats as liveness along the way. Silence past hbTimeout declares
-// the worker stalled; a dead connection, crashed — both as structured
-// LinkDownErrors carrying the worker index and its last reported round.
-func gatherOne(conn net.Conn, idx int, addr string, hbTimeout time.Duration) (*resultFrame, error) {
+// heartbeats as liveness along the way. Silence past the heartbeat
+// timeout declares the worker stalled; a dead connection, crashed —
+// both as structured LinkDownErrors carrying the worker index, its
+// last reported round, and the coordinator's control-link flight
+// snapshot. Heartbeat round counts feed opts.Progress, span batches
+// feed opts.Trace, and every inbound frame is one recorded "round" of
+// the control link in opts.Flight.
+func gatherOne(conn net.Conn, idx int, addr string, opts CoordOptions) (*resultFrame, error) {
 	var buf []byte
 	var lastRounds uint64
+	var flight *transport.FlightRecorder
+	if opts.Flight != nil {
+		flight = opts.Flight.recorder(idx)
+	}
+	lastFrame := time.Now()
+	record := func(body []byte) {
+		if flight == nil {
+			return
+		}
+		now := time.Now()
+		flight.Record(transport.RoundFlight{
+			Seq:    lastRounds,
+			WaitNs: now.Sub(lastFrame).Nanoseconds(),
+			Links: []transport.LinkFlight{{
+				Peer: idx, FramesRecv: 1, BytesRecv: int64(len(body)),
+			}},
+		})
+		lastFrame = now
+	}
+	fail := func(ld *transport.LinkDownError) error {
+		if flight != nil {
+			flight.RecordError(lastRounds, ld)
+			ld.Flight = flight.Snapshot()
+		}
+		return ld
+	}
 	for {
-		if hbTimeout > 0 {
-			conn.SetReadDeadline(time.Now().Add(hbTimeout))
+		if opts.HeartbeatTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(opts.HeartbeatTimeout))
 		} else {
 			conn.SetReadDeadline(time.Time{})
 		}
@@ -258,22 +309,41 @@ func gatherOne(conn net.Conn, idx int, addr string, hbTimeout time.Duration) (*r
 				heartbeatsMissedCounter().Inc()
 			}
 			workerFailuresCounter(reason).Inc()
-			return nil, &transport.LinkDownError{
+			return nil, fail(&transport.LinkDownError{
 				Peer: idx, Addr: addr, Round: lastRounds, Reason: reason,
 				Err: fmt.Errorf("dist: reading result: %v", err),
-			}
+			})
 		}
 		switch t {
 		case tcp.FrameHeartbeat:
-			if _, rounds, err := decodeHeartbeat(body); err == nil {
+			if _, rounds, spans, err := decodeHeartbeat(body); err == nil {
 				lastRounds = rounds
+				if opts.Trace != nil {
+					opts.Trace.add(idx, spans)
+				}
+				if opts.Progress != nil {
+					opts.Progress(idx, rounds)
+				}
 			}
+			record(body)
 		case tcp.FrameResult:
-			return decodeResultFrame(body)
+			rf, err := decodeResultFrame(body)
+			if err != nil {
+				return nil, err
+			}
+			record(body)
+			if opts.Trace != nil {
+				opts.Trace.add(idx, rf.spans)
+			}
+			return rf, nil
 		case tcp.FrameError:
 			ef, err := decodeErrorFrame(body)
 			if err != nil {
 				return nil, err
+			}
+			record(body)
+			if opts.Flight != nil {
+				opts.Flight.setRemote(idx, ef.flight)
 			}
 			if ef.linkDown {
 				reason := ef.reason
@@ -285,10 +355,10 @@ func gatherOne(conn net.Conn, idx int, addr string, hbTimeout time.Duration) (*r
 			return nil, ef.err()
 		default:
 			workerFailuresCounter(transport.ReasonDesync).Inc()
-			return nil, &transport.LinkDownError{
+			return nil, fail(&transport.LinkDownError{
 				Peer: idx, Addr: addr, Round: lastRounds, Reason: transport.ReasonDesync,
 				Err: fmt.Errorf("dist: unexpected frame type %d from worker", t),
-			}
+			})
 		}
 	}
 }
@@ -320,6 +390,11 @@ func decodeResultFrame(body []byte) (*resultFrame, error) {
 		}
 		rf.outputs = append(rf.outputs, o)
 	}
+	spans, err := readSpans(r)
+	if err != nil {
+		return nil, err
+	}
+	rf.spans = spans
 	if err := r.Done(); err != nil {
 		return nil, err
 	}

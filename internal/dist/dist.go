@@ -31,6 +31,7 @@ import (
 	"kmgraph/internal/core"
 	"kmgraph/internal/graph"
 	"kmgraph/internal/store"
+	"kmgraph/internal/telemetry"
 	"kmgraph/internal/transport"
 	"kmgraph/internal/wire"
 )
@@ -69,8 +70,13 @@ type WorkerSpec struct {
 // handshake).
 type Job struct {
 	ClusterID uint64
-	Kind      Kind
-	Source    string // source spec, see the package comment
+	// TraceID, when non-zero, enables cross-process job tracing: each
+	// worker records phase spans and streams them back on its control
+	// connection, and the coordinator assembles one multi-pid Chrome
+	// trace tagged with this ID.
+	TraceID uint64
+	Kind    Kind
+	Source  string // source spec, see the package comment
 
 	// Algorithm configuration, pre-resolution: zero-valued fields are
 	// resolved worker-side with WithDefaults(n), identically everywhere.
@@ -97,7 +103,9 @@ func (j *Job) config() core.Config {
 	return j.Conn
 }
 
-const specVersion = 1
+// specVersion 2 added the trace ID, span batches on heartbeat and
+// result frames, and flight-recorder snapshots on error frames.
+const specVersion = 2
 
 // maxWorkers bounds a decoded worker list.
 const maxWorkers = 1 << 16
@@ -106,6 +114,7 @@ const maxWorkers = 1 << 16
 func AppendJob(b []byte, j *Job) []byte {
 	b = wire.AppendUvarint(b, specVersion)
 	b = wire.AppendU64(b, j.ClusterID)
+	b = wire.AppendU64(b, j.TraceID)
 	b = wire.AppendUvarint(b, uint64(j.Kind))
 	b = wire.AppendBytes(b, []byte(j.Source))
 	c := j.config()
@@ -141,7 +150,7 @@ func DecodeJob(body []byte) (*Job, error) {
 		}
 		return nil, fmt.Errorf("dist: job spec version %d, want %d", v, specVersion)
 	}
-	j := &Job{ClusterID: r.U64(), Kind: Kind(r.Uvarint()), Source: string(r.Bytes())}
+	j := &Job{ClusterID: r.U64(), TraceID: r.U64(), Kind: Kind(r.Uvarint()), Source: string(r.Bytes())}
 	var c core.Config
 	c.K = int(r.Uvarint())
 	c.BandwidthBits = int(r.Uvarint())
@@ -241,24 +250,30 @@ type nopCloser struct{}
 func (nopCloser) Close() error { return nil }
 
 // resultFrame is a worker's partial result: the vertex count it
-// observed, its partial Metrics, and its hosted machines' outputs.
+// observed, its partial Metrics, its hosted machines' outputs, and —
+// for traced jobs — the phase spans not yet streamed on heartbeats
+// (always including the trailing sync span, sealed at completion).
 type resultFrame struct {
 	n       int
 	lo, hi  int
 	metrics []byte // transport.AppendMetrics encoding
 	outputs []any
+	spans   []telemetry.PhaseSpan
 }
 
 // errorFrame is a worker's job failure. Link-down failures carry the
-// structured fields of transport.LinkDownError across the wire, so the
-// coordinator's classification and retry decisions see the same peer,
-// round, and reason a local caller would.
+// structured fields of transport.LinkDownError across the wire —
+// including the worker's flight-recorder snapshot — so the
+// coordinator's classification, retry decisions, and post-mortems see
+// the same peer, round, reason, and last-K-rounds history a local
+// caller would.
 type errorFrame struct {
 	msg      string
 	linkDown bool
 	peer     int // -1 when unknown
 	round    uint64
 	reason   transport.LinkDownReason
+	flight   []transport.RoundFlight
 }
 
 // err reconstructs the failure the worker reported, preserving the
@@ -271,6 +286,7 @@ func (f *errorFrame) err() error {
 		Peer:   f.peer,
 		Round:  f.round,
 		Reason: f.reason,
+		Flight: f.flight,
 		Err:    fmt.Errorf("dist: remote job failed: %s", f.msg),
 	}
 }
@@ -279,13 +295,14 @@ func appendErrorFrame(b []byte, err error) []byte {
 	f := errorFrame{msg: err.Error(), linkDown: errors.Is(err, transport.ErrLinkDown), peer: -1}
 	var ld *transport.LinkDownError
 	if errors.As(err, &ld) {
-		f.peer, f.round, f.reason = ld.Peer, ld.Round, ld.Reason
+		f.peer, f.round, f.reason, f.flight = ld.Peer, ld.Round, ld.Reason, ld.Flight
 	}
 	b = wire.AppendBytes(b, []byte(f.msg))
 	b = wire.AppendBool(b, f.linkDown)
 	b = wire.AppendVarint(b, int64(f.peer))
 	b = wire.AppendUvarint(b, f.round)
 	b = wire.AppendBytes(b, []byte(f.reason))
+	b = appendFlight(b, f.flight)
 	return b
 }
 
@@ -298,23 +315,148 @@ func decodeErrorFrame(body []byte) (*errorFrame, error) {
 		round:    r.Uvarint(),
 		reason:   transport.LinkDownReason(r.Bytes()),
 	}
+	fl, err := readFlight(r)
+	if err != nil {
+		return nil, err
+	}
+	f.flight = fl
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
 	return f, nil
 }
 
-// appendHeartbeat encodes a FrameHeartbeat body: which cluster the beat
-// is for and how many rounds its engine has completed.
-func appendHeartbeat(b []byte, clusterID, rounds uint64) []byte {
-	b = wire.AppendU64(b, clusterID)
-	b = wire.AppendUvarint(b, rounds)
+// maxFlightRecords bounds a decoded flight snapshot (a recorder ring is
+// DefaultFlightDepth deep; the bound only guards corrupt frames).
+const maxFlightRecords = 4096
+
+// appendFlight encodes a flight-recorder snapshot.
+func appendFlight(b []byte, fl []transport.RoundFlight) []byte {
+	b = wire.AppendUvarint(b, uint64(len(fl)))
+	for _, rf := range fl {
+		b = wire.AppendUvarint(b, rf.Seq)
+		b = wire.AppendVarint(b, rf.WaitNs)
+		b = wire.AppendBytes(b, []byte(rf.Err))
+		b = wire.AppendUvarint(b, uint64(len(rf.Links)))
+		for _, l := range rf.Links {
+			b = wire.AppendVarint(b, int64(l.Peer))
+			b = wire.AppendVarint(b, l.FramesSent)
+			b = wire.AppendVarint(b, l.FramesRecv)
+			b = wire.AppendVarint(b, l.BytesSent)
+			b = wire.AppendVarint(b, l.BytesRecv)
+		}
+	}
 	return b
 }
 
-func decodeHeartbeat(body []byte) (clusterID, rounds uint64, err error) {
+func readFlight(r *wire.Reader) ([]transport.RoundFlight, error) {
+	n := int(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if n > maxFlightRecords {
+		return nil, fmt.Errorf("dist: flight snapshot with %d records", n)
+	}
+	fl := make([]transport.RoundFlight, n)
+	for i := range fl {
+		fl[i].Seq = r.Uvarint()
+		fl[i].WaitNs = r.Varint()
+		fl[i].Err = string(r.Bytes())
+		nl := int(r.Uvarint())
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if nl > maxWorkers {
+			return nil, fmt.Errorf("dist: flight record with %d links", nl)
+		}
+		if nl > 0 {
+			fl[i].Links = make([]transport.LinkFlight, nl)
+			for j := range fl[i].Links {
+				fl[i].Links[j] = transport.LinkFlight{
+					Peer:       int(r.Varint()),
+					FramesSent: r.Varint(),
+					FramesRecv: r.Varint(),
+					BytesSent:  r.Varint(),
+					BytesRecv:  r.Varint(),
+				}
+			}
+		}
+	}
+	return fl, r.Err()
+}
+
+// maxSpanBatch bounds the phase spans one heartbeat carries, keeping
+// beats small and regular; the backlog drains across beats and any
+// remainder rides the result frame.
+const maxSpanBatch = 256
+
+// maxSpanDecode bounds one decoded span batch (phase counts are
+// O(log n); the bound only guards corrupt frames).
+const maxSpanDecode = 1 << 16
+
+// appendSpans encodes a phase-span batch.
+func appendSpans(b []byte, spans []telemetry.PhaseSpan) []byte {
+	b = wire.AppendUvarint(b, uint64(len(spans)))
+	for _, s := range spans {
+		b = wire.AppendVarint(b, int64(s.Phase))
+		b = wire.AppendUvarint(b, uint64(s.StartRound))
+		b = wire.AppendUvarint(b, uint64(s.EndRound))
+		b = wire.AppendUvarint(b, uint64(s.StartUs))
+		b = wire.AppendUvarint(b, uint64(s.DurUs))
+		b = wire.AppendVarint(b, s.Frames)
+		b = wire.AppendVarint(b, s.Bytes)
+		b = wire.AppendVarint(b, s.WaitNs)
+	}
+	return b
+}
+
+func readSpans(r *wire.Reader) ([]telemetry.PhaseSpan, error) {
+	n := int(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if n > maxSpanDecode {
+		return nil, fmt.Errorf("dist: span batch of %d", n)
+	}
+	spans := make([]telemetry.PhaseSpan, n)
+	for i := range spans {
+		spans[i] = telemetry.PhaseSpan{
+			Phase:      int(r.Varint()),
+			StartRound: int(r.Uvarint()),
+			EndRound:   int(r.Uvarint()),
+			StartUs:    int64(r.Uvarint()),
+			DurUs:      int64(r.Uvarint()),
+			Frames:     r.Varint(),
+			Bytes:      r.Varint(),
+			WaitNs:     r.Varint(),
+		}
+	}
+	return spans, r.Err()
+}
+
+// appendHeartbeat encodes a FrameHeartbeat body: which cluster the beat
+// is for, how many rounds its engine has completed, and a bounded batch
+// of freshly completed phase spans (empty unless the job is traced).
+func appendHeartbeat(b []byte, clusterID, rounds uint64, spans []telemetry.PhaseSpan) []byte {
+	b = wire.AppendU64(b, clusterID)
+	b = wire.AppendUvarint(b, rounds)
+	b = appendSpans(b, spans)
+	return b
+}
+
+func decodeHeartbeat(body []byte) (clusterID, rounds uint64, spans []telemetry.PhaseSpan, err error) {
 	r := wire.NewReader(body)
 	clusterID = r.U64()
 	rounds = r.Uvarint()
-	return clusterID, rounds, r.Err()
+	spans, err = readSpans(r)
+	if err != nil {
+		return clusterID, rounds, nil, err
+	}
+	return clusterID, rounds, spans, r.Err()
 }

@@ -1,0 +1,289 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kmgraph/internal/core"
+	"kmgraph/internal/graph"
+	"kmgraph/internal/store"
+	"kmgraph/internal/telemetry"
+	"kmgraph/internal/transport"
+	"kmgraph/internal/transport/chaos"
+)
+
+// sumSpanRounds totals the engine rounds one worker's spans cover.
+func sumSpanRounds(spans []telemetry.PhaseSpan) int {
+	total := 0
+	for _, sp := range spans {
+		total += sp.Rounds()
+	}
+	return total
+}
+
+// tracePids collects the distinct pids of a trace's span ("X") events.
+func tracePids(tr telemetry.Trace) map[int]int {
+	pids := make(map[int]int)
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph == "X" {
+			pids[ev.Pid]++
+		}
+	}
+	return pids
+}
+
+// TestDistTraceTelescopesConnectivity is the tentpole acceptance for
+// cross-process tracing: a traced TCP connectivity job produces one
+// span stream per worker whose round totals each telescope exactly to
+// the merged Metrics.Rounds (itself pinned bit-identical to the local
+// golden), and the assembled Chrome trace has one pid per worker.
+func TestDistTraceTelescopesConnectivity(t *testing.T) {
+	const (
+		n, m = 600, 1800
+		gs   = int64(7)
+	)
+	cfg := core.Config{K: 6, Seed: 11}
+	golden, err := core.RunSource(graph.StreamGNM(n, m, gs), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addrs := startWorkers(t, 3)
+	trace := &JobTrace{}
+	spec := fmt.Sprintf("gnm:%d:%d:%d", n, m, gs)
+	res, err := RunConnectivityOpts(context.Background(), addrs, spec, cfg, CoordOptions{Trace: trace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Rounds != golden.Metrics.Rounds {
+		t.Fatalf("merged rounds %d != golden %d", res.Metrics.Rounds, golden.Metrics.Rounds)
+	}
+	if trace.TraceID() == 0 {
+		t.Fatal("coordinator minted no trace ID")
+	}
+
+	ws := trace.WorkerSpans()
+	if len(ws) != len(addrs) {
+		t.Fatalf("trace covers %d workers, want %d", len(ws), len(addrs))
+	}
+	for _, w := range ws {
+		if len(w.Spans) == 0 {
+			t.Fatalf("worker %d streamed no spans", w.Index)
+		}
+		if got := sumSpanRounds(w.Spans); got != res.Metrics.Rounds {
+			t.Errorf("worker %d span rounds sum to %d, want merged Metrics.Rounds %d",
+				w.Index, got, res.Metrics.Rounds)
+		}
+	}
+
+	pids := tracePids(trace.Assemble())
+	if len(pids) != len(addrs) {
+		t.Fatalf("assembled trace has pids %v, want one per worker", pids)
+	}
+	for i := range addrs {
+		if pids[i] == 0 {
+			t.Errorf("assembled trace has no span events for worker pid %d", i)
+		}
+	}
+}
+
+// TestDistTraceTelescopesMST is the same telescoping acceptance for a
+// traced MST job served from a kmgs store.
+func TestDistTraceTelescopesMST(t *testing.T) {
+	const n, m = 400, 1200
+	g := graph.WithDistinctWeights(graph.GNM(n, m, 5), 6)
+	path := filepath.Join(t.TempDir(), "g.kmgs")
+	if err := store.WriteFile(path, g.Source()); err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.MSTConfig{Config: core.Config{K: 4, Seed: 3}}
+
+	addrs := startWorkers(t, 2)
+	trace := &JobTrace{}
+	res, err := RunMSTOpts(context.Background(), addrs, "store:"+path, cfg, CoordOptions{Trace: trace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := trace.WorkerSpans()
+	if len(ws) != len(addrs) {
+		t.Fatalf("trace covers %d workers, want %d", len(ws), len(addrs))
+	}
+	for _, w := range ws {
+		if got := sumSpanRounds(w.Spans); got != res.Metrics.Rounds {
+			t.Errorf("worker %d span rounds sum to %d, want merged Metrics.Rounds %d",
+				w.Index, got, res.Metrics.Rounds)
+		}
+	}
+	if pids := tracePids(trace.Assemble()); len(pids) != len(addrs) {
+		t.Fatalf("assembled trace has pids %v, want one per worker", pids)
+	}
+}
+
+// TestRetryTracesSuccessfulAttempt pins that a traced job that recovers
+// via retry reports the clean replay's spans: the per-worker round sums
+// still telescope to the recovered (bit-identical) Metrics.Rounds, not
+// to the aborted first attempt's partial progress.
+func TestRetryTracesSuccessfulAttempt(t *testing.T) {
+	const (
+		n, m = 8000, 24000
+		gs   = int64(3)
+	)
+	cfg := core.Config{K: 6, Seed: 5}
+
+	_, a0 := startWorker(t)
+	victim, a1 := startWorker(t)
+	go func() {
+		waitJobRunning(t, victim)
+		victim.Close()
+	}()
+
+	respawned := 0
+	trace := &JobTrace{}
+	opts := CoordOptions{
+		Trace: trace,
+		Retry: RetryPolicy{
+			Attempts: 3,
+			Respawn:  respawnDead(t, &respawned),
+		},
+	}
+	spec := fmt.Sprintf("gnm:%d:%d:%d", n, m, gs)
+	res, err := RunConnectivityOpts(context.Background(), []string{a0, a1}, spec, cfg, opts)
+	if err != nil {
+		t.Fatalf("job did not recover: %v", err)
+	}
+	if respawned == 0 {
+		t.Fatal("job succeeded without respawning the killed worker; the kill missed the run")
+	}
+	for _, w := range trace.WorkerSpans() {
+		if got := sumSpanRounds(w.Spans); got != res.Metrics.Rounds {
+			t.Errorf("worker %d span rounds sum to %d after recovery, want %d",
+				w.Index, got, res.Metrics.Rounds)
+		}
+	}
+}
+
+// stubTransport is a minimal inner backend for driving the chaos layer
+// directly: every Round advances with no peers and no deliveries.
+type stubTransport struct{ rounds int }
+
+func (s *stubTransport) Hosted() (int, int) { return 0, 1 }
+func (s *stubTransport) Round(in *transport.RoundIn, out *transport.RoundOut) error {
+	s.rounds++
+	out.Advanced = true
+	out.Running = 1
+	return nil
+}
+func (s *stubTransport) Pending() bool          { return false }
+func (s *stubTransport) Remnants() (int, int64) { return 0, 0 }
+func (s *stubTransport) Close() error           { return nil }
+
+// TestChaosCrashFlightSurvivesErrorFrame is the post-mortem acceptance:
+// a chaos-injected crash-at-round attaches the flight recorder's
+// snapshot of the preceding rounds to the LinkDownError, and that
+// snapshot survives the control-link error frame encode/decode — so a
+// coordinator sees the final rounds of traffic a crashed worker staged.
+func TestChaosCrashFlightSurvivesErrorFrame(t *testing.T) {
+	const crashAt = 5
+	tr := chaos.New(&stubTransport{}, chaos.Plan{CrashAtRound: crashAt})
+	var out transport.RoundOut
+	var roundErr error
+	for i := 0; i < crashAt; i++ {
+		in := transport.RoundIn{Msgs: []transport.Message{
+			{Src: 0, Dst: 0, Data: make([]byte, 16+i)},
+		}}
+		if roundErr = tr.Round(&in, &out); roundErr != nil {
+			break
+		}
+	}
+	if roundErr == nil {
+		t.Fatal("chaos plan never crashed")
+	}
+	var ld *transport.LinkDownError
+	if !errors.As(roundErr, &ld) || ld.Reason != transport.ReasonChaos {
+		t.Fatalf("err = %v, want chaos-classified LinkDownError", roundErr)
+	}
+	if len(ld.Flight) != crashAt {
+		t.Fatalf("flight snapshot has %d rounds, want %d (the staged rounds plus the crash)", len(ld.Flight), crashAt)
+	}
+	// The first crashAt-1 entries are staged traffic; the last is the
+	// crash itself.
+	for i, rf := range ld.Flight[:crashAt-1] {
+		if len(rf.Links) != 1 || rf.Links[0].FramesSent != 1 || rf.Links[0].BytesSent != int64(16+i) {
+			t.Fatalf("flight round %d = %+v, want 1 frame of %d bytes", i, rf, 16+i)
+		}
+	}
+	if ld.Flight[crashAt-1].Err == "" {
+		t.Fatal("terminal flight entry carries no error")
+	}
+
+	// The snapshot must cross the wire: encode as a worker error frame,
+	// decode as the coordinator would.
+	ef, err := decodeErrorFrame(appendErrorFrame(nil, fmt.Errorf("dist: running job: %w", roundErr)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ef.linkDown {
+		t.Fatal("chaos crash not classified link-down on the wire")
+	}
+	var rld *transport.LinkDownError
+	if !errors.As(ef.err(), &rld) {
+		t.Fatal("decoded error lost the LinkDownError type")
+	}
+	if len(rld.Flight) != len(ld.Flight) {
+		t.Fatalf("decoded flight has %d rounds, want %d", len(rld.Flight), len(ld.Flight))
+	}
+	for i := range ld.Flight {
+		want, got := ld.Flight[i], rld.Flight[i]
+		if got.Seq != want.Seq || got.WaitNs != want.WaitNs || got.Err != want.Err ||
+			len(got.Links) != len(want.Links) {
+			t.Fatalf("flight round %d drifted across the wire: %+v vs %+v", i, got, want)
+		}
+		for j := range want.Links {
+			if got.Links[j] != want.Links[j] {
+				t.Fatalf("flight round %d link %d drifted: %+v vs %+v", i, j, got.Links[j], want.Links[j])
+			}
+		}
+	}
+}
+
+// TestFlightLogDumpSchema pins the -flight-dump JSON schema: one file
+// per populated side, each parsing back into FlightDump with the
+// expected side tags and round payloads.
+func TestFlightLogDumpSchema(t *testing.T) {
+	fl := &FlightLog{}
+	fl.reset()
+	rec := fl.recorder(0)
+	rec.Record(transport.RoundFlight{Seq: 1, Links: []transport.LinkFlight{{Peer: 0, FramesRecv: 1, BytesRecv: 64}}})
+	rec.Record(transport.RoundFlight{Seq: 2, Links: []transport.LinkFlight{{Peer: 0, FramesRecv: 1, BytesRecv: 32}}})
+	fl.setRemote(1, []transport.RoundFlight{
+		{Seq: 40, WaitNs: 1000, Links: []transport.LinkFlight{{Peer: 0, FramesSent: 2, BytesSent: 99}}},
+		{Seq: 41, Err: "boom"},
+	})
+
+	dir := t.TempDir()
+	if err := fl.Dump(dir); err != nil {
+		t.Fatal(err)
+	}
+	check := func(name, side string, worker, rounds int) {
+		t.Helper()
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var d FlightDump
+		if err := json.Unmarshal(b, &d); err != nil {
+			t.Fatalf("%s does not parse: %v", name, err)
+		}
+		if d.Side != side || d.Worker != worker || len(d.Rounds) != rounds {
+			t.Fatalf("%s = side %q worker %d rounds %d, want %q/%d/%d",
+				name, d.Side, d.Worker, len(d.Rounds), side, worker, rounds)
+		}
+	}
+	check("coordinator-worker-0.json", "coordinator", 0, 2)
+	check("remote-worker-1.json", "worker", 1, 2)
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sort"
 	"sync"
@@ -12,6 +13,7 @@ import (
 
 	"kmgraph/internal/core"
 	"kmgraph/internal/kmachine"
+	"kmgraph/internal/telemetry"
 	"kmgraph/internal/transport"
 	"kmgraph/internal/transport/tcp"
 	"kmgraph/internal/wire"
@@ -28,6 +30,11 @@ type WorkerOptions struct {
 	// each job's control connection (default 2s; negative disables). The
 	// coordinator's HeartbeatTimeout must comfortably exceed it.
 	HeartbeatInterval time.Duration
+	// Logger, when non-nil, receives structured records for job
+	// failures — link-down failures include the engine's flight-recorder
+	// snapshot, so a dead mesh leaves a greppable last-K-rounds
+	// post-mortem in the worker's log.
+	Logger *slog.Logger
 }
 
 func (o WorkerOptions) withDefaults() WorkerOptions {
@@ -66,6 +73,7 @@ type Worker struct {
 // reporting.
 type JobStatus struct {
 	ClusterID uint64
+	TraceID   uint64 // 0 when the coordinator is not tracing
 	Kind      Kind
 	Lo, Hi    int // hosted machine range
 	Rounds    uint64
@@ -77,10 +85,12 @@ type JobStatus struct {
 // snapshot live round counts through it.
 type jobState struct {
 	clusterID uint64
+	traceID   uint64
 	kind      Kind
 	lo, hi    int
 	started   time.Time
 	cluster   atomic.Pointer[kmachine.Cluster]
+	spans     atomic.Pointer[telemetry.SpanRecorder] // set for traced jobs
 }
 
 // rounds reports the job's live round count (0 before the engine
@@ -92,6 +102,15 @@ func (s *jobState) rounds() uint64 {
 		}
 	}
 	return 0
+}
+
+// drainSpans pops up to max freshly completed phase spans for the next
+// heartbeat (nil for untraced jobs).
+func (s *jobState) drainSpans(max int) []telemetry.PhaseSpan {
+	if r := s.spans.Load(); r != nil {
+		return r.Drain(max)
+	}
+	return nil
 }
 
 // inboundPeer is a routed peer connection whose hello has been read.
@@ -192,6 +211,7 @@ func (w *Worker) Jobs() []JobStatus {
 	for i, st := range states {
 		out[i] = JobStatus{
 			ClusterID: st.clusterID,
+			TraceID:   st.traceID,
 			Kind:      st.kind,
 			Lo:        st.lo,
 			Hi:        st.hi,
@@ -206,6 +226,7 @@ func (w *Worker) registerJob(job *Job) (uint64, *jobState) {
 	me := job.Workers[job.Index]
 	st := &jobState{
 		clusterID: job.ClusterID,
+		traceID:   job.TraceID,
 		kind:      job.Kind,
 		lo:        me.Lo,
 		hi:        me.Hi,
@@ -363,10 +384,41 @@ func (w *Worker) runJob(conn net.Conn, job *Job) {
 			}
 		default:
 		}
+		w.logFailure(job, err)
 		writeError(conn, topts, err)
 		return
 	}
 	writeFrameTo(conn, topts, tcp.FrameResult, body)
+}
+
+// logFailure emits a structured record for a failed job. Link-down
+// failures carry the engine's flight-recorder snapshot: the same last-
+// K-rounds history the coordinator receives in the error frame, logged
+// locally so a worker's log is a self-contained post-mortem.
+func (w *Worker) logFailure(job *Job, err error) {
+	lg := w.opts.Logger
+	if lg == nil {
+		return
+	}
+	attrs := []any{
+		slog.String("cluster", fmt.Sprintf("%#x", job.ClusterID)),
+		slog.String("kind", job.Kind.String()),
+		slog.Int("worker", job.Index),
+	}
+	var ld *transport.LinkDownError
+	if errors.As(err, &ld) {
+		attrs = append(attrs,
+			slog.Int("peer", ld.Peer),
+			slog.String("reason", string(ld.Reason)),
+			slog.Uint64("round", ld.Round),
+			slog.Int("flight_rounds", len(ld.Flight)),
+			slog.Any("flight", ld.Flight),
+		)
+		lg.Error("dist: job link down", attrs...)
+		return
+	}
+	attrs = append(attrs, slog.String("err", err.Error()))
+	lg.Error("dist: job failed", attrs...)
 }
 
 // heartbeat writes a liveness beat on the control connection every
@@ -384,7 +436,7 @@ func (w *Worker) heartbeat(conn net.Conn, st *jobState, interval time.Duration,
 			return
 		case <-tick.C:
 			buf = tcp.AppendFrame(buf[:0], tcp.FrameHeartbeat,
-				appendHeartbeat(nil, st.clusterID, st.rounds()))
+				appendHeartbeat(nil, st.clusterID, st.rounds(), st.drainSpans(maxSpanBatch)))
 			conn.SetWriteDeadline(time.Now().Add(interval))
 			if _, err := conn.Write(buf); err != nil {
 				cancel()
@@ -427,16 +479,40 @@ func (w *Worker) execute(ctx context.Context, job *Job, st *jobState) ([]byte, e
 	}
 	n := part.N()
 
+	// Traced jobs record phase spans: the engine's phase hook (on the
+	// lowest hosted machine) marks each phase boundary, annotated with
+	// local wire-traffic and barrier-wait deltas read from the tcp
+	// transport's flight recorder. The heartbeat loop streams the spans
+	// back in bounded batches; the remainder rides the result frame.
+	var rec *telemetry.SpanRecorder
+	var flight *transport.FlightRecorder // set by the transport factory below
+	if job.TraceID != 0 {
+		rec = telemetry.NewSpanRecorder(func() (int64, int64, int64) {
+			if flight == nil {
+				return 0, 0, 0
+			}
+			_, fr, by, wait := flight.Totals()
+			return fr, by, wait
+		})
+		st.spans.Store(rec)
+	}
+
 	var handler kmachine.Handler
 	var resolved core.Config
 	view := func(id int) core.GraphView { return part.View(id) }
 	switch job.Kind {
 	case KindConnectivity:
 		cfg := job.Conn.WithDefaults(n)
+		if rec != nil {
+			cfg.PhaseHook, cfg.PhaseHookID = rec.Hook(), lo
+		}
 		resolved = cfg
 		handler = core.ConnectivityHandler(view, cfg)
 	case KindMST:
 		cfg := job.MST.WithDefaults(n)
+		if rec != nil {
+			cfg.PhaseHook, cfg.PhaseHookID = rec.Hook(), lo
+		}
 		resolved = cfg.Config
 		handler = core.MSTHandler(view, cfg)
 	default:
@@ -453,6 +529,7 @@ func (w *Worker) execute(ctx context.Context, job *Job, st *jobState) ([]byte, e
 		tr, err := tcp.New(p, met, workers, lo, hi, peers)
 		if err == nil {
 			peersOwned = false
+			flight = tr.Flight()
 		}
 		return tr, err
 	})
@@ -463,6 +540,14 @@ func (w *Worker) execute(ctx context.Context, job *Job, st *jobState) ([]byte, e
 	kres, err := cluster.RunContext(ctx, handler)
 	if err != nil {
 		return nil, err
+	}
+	var tail []telemetry.PhaseSpan
+	if rec != nil {
+		// Seal the trailing sync span so per-worker span rounds
+		// telescope exactly to the merged Metrics.Rounds, then flush
+		// whatever the heartbeats have not yet carried.
+		rec.Finish(kres.Metrics.Rounds)
+		tail = rec.Drain(0)
 	}
 
 	body := wire.AppendUvarint(nil, uint64(n))
@@ -475,6 +560,7 @@ func (w *Worker) execute(ctx context.Context, job *Job, st *jobState) ([]byte, e
 			return nil, err
 		}
 	}
+	body = appendSpans(body, tail)
 	return body, nil
 }
 

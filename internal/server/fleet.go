@@ -89,11 +89,32 @@ type fleet struct {
 
 	state atomic.Int64 // fleetDown / fleetDegraded / fleetHealthy
 
+	// trace accumulates the phase spans workers stream back during
+	// fleet jobs; GET /fleet/{name}/trace serves the most recent job's
+	// assembled multi-pid Chrome trace. jobRounds holds each worker's
+	// live heartbeat round count during (and after) the most recent job,
+	// surfaced as kmserve_fleet_job_rounds gauges.
+	trace     *dist.JobTrace
+	jobRounds []atomic.Uint64
+
 	mu sync.Mutex
 	up []bool // per-address reachability from the last probe
 
 	stop      chan struct{}
 	probeDone chan struct{}
+}
+
+// coordOptions returns the spec's coordinator tuning with this fleet's
+// trace collector and progress gauges wired in.
+func (f *fleet) coordOptions() dist.CoordOptions {
+	opts := f.spec.Coord
+	opts.Trace = f.trace
+	opts.Progress = func(worker int, rounds uint64) {
+		if worker >= 0 && worker < len(f.jobRounds) {
+			f.jobRounds[worker].Store(rounds)
+		}
+	}
+	return opts
 }
 
 // RegisterFleet adds a distributed-backed graph under name. The health
@@ -115,6 +136,8 @@ func (s *Server) RegisterFleet(name string, spec FleetSpec) error {
 		spec:      spec,
 		slots:     make(chan struct{}, s.cfg.MaxQueue),
 		cache:     newResultCache(s.cfg.CacheEntries),
+		trace:     &dist.JobTrace{},
+		jobRounds: make([]atomic.Uint64, len(spec.Addrs)),
 		up:        make([]bool, len(spec.Addrs)),
 		stop:      make(chan struct{}),
 		probeDone: make(chan struct{}),
@@ -150,6 +173,16 @@ func (s *Server) RegisterFleet(name string, spec FleetSpec) error {
 	s.registry.CounterFunc("kmserve_shed_total",
 		"Requests refused with 429 by the graph's admission queue.",
 		func() float64 { return float64(f.shed.Load()) }, g)
+	// One gauge per worker: the live engine round count its heartbeats
+	// reported during the most recent fleet job (previously these counts
+	// were decoded and discarded).
+	for i := range spec.Addrs {
+		w := i
+		s.registry.GaugeFunc("kmserve_fleet_job_rounds",
+			"Engine round count last reported by each worker's heartbeats during a fleet job.",
+			func() float64 { return float64(f.jobRounds[w].Load()) },
+			g, telemetry.Label{Name: "worker", Value: strconv.Itoa(w)})
+	}
 
 	f.probeOnce()
 	go f.probeLoop()
@@ -277,6 +310,7 @@ func (s *Server) fleet(w http.ResponseWriter, r *http.Request) *fleet {
 func (s *Server) fleetRoutes() {
 	s.handle("GET /fleet", "fleet_list", s.handleFleetList)
 	s.handle("GET /fleet/{name}", "fleet_info", s.handleFleetInfo)
+	s.handle("GET /fleet/{name}/trace", "fleet_trace", s.handleFleetTrace)
 	for _, m := range []string{"GET", "POST"} {
 		s.handle(m+" /fleet/{name}/connectivity", "fleet_connectivity", s.handleFleetConnectivity)
 		s.handle(m+" /fleet/{name}/mst", "fleet_mst", s.handleFleetMST)
@@ -326,6 +360,22 @@ func (s *Server) handleFleetList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"fleets": infos})
 }
 
+// handleFleetTrace serves the most recent fleet job's assembled
+// cross-process trace (one Chrome-trace pid per worker, built from the
+// phase spans workers streamed back on their control connections).
+// Before any job has run — or when no job carried a trace ID — the
+// trace is empty and the X-Kmserve-Trace-Id header reads 0. Concurrent
+// fleet jobs share the collector; the trace reflects whichever job
+// reset it last.
+func (s *Server) handleFleetTrace(w http.ResponseWriter, r *http.Request) {
+	f := s.fleet(w, r)
+	if f == nil {
+		return
+	}
+	w.Header().Set("X-Kmserve-Trace-Id", fmt.Sprintf("%016x", f.trace.TraceID()))
+	writeJSON(w, http.StatusOK, f.trace.Assemble())
+}
+
 func (s *Server) handleFleetInfo(w http.ResponseWriter, r *http.Request) {
 	f := s.fleet(w, r)
 	if f == nil {
@@ -367,7 +417,7 @@ func (s *Server) handleFleetConnectivity(w http.ResponseWriter, r *http.Request)
 		return c
 	}
 	s.runFleet(w, r, f, "connectivity", shape, func(ctx context.Context) (hitMarker, error) {
-		res, err := dist.RunConnectivityOpts(ctx, f.spec.Addrs, f.spec.Source, f.spec.Conn, f.spec.Coord)
+		res, err := dist.RunConnectivityOpts(ctx, f.spec.Addrs, f.spec.Source, f.spec.Conn, f.coordOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -410,7 +460,7 @@ func (s *Server) handleFleetMST(w http.ResponseWriter, r *http.Request) {
 	}
 	s.runFleet(w, r, f, "mst", shape, func(ctx context.Context) (hitMarker, error) {
 		cfg := core.MSTConfig{Config: f.spec.Conn}
-		res, err := dist.RunMSTOpts(ctx, f.spec.Addrs, f.spec.Source, cfg, f.spec.Coord)
+		res, err := dist.RunMSTOpts(ctx, f.spec.Addrs, f.spec.Source, cfg, f.coordOptions())
 		if err != nil {
 			return nil, err
 		}

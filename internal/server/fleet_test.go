@@ -246,3 +246,58 @@ func TestFleetDegradesAndRecovers(t *testing.T) {
 			out.Components, out.Rounds, golden.Components, golden.Metrics.Rounds)
 	}
 }
+
+// TestFleetTraceAndRoundGauges pins the fleet observability wiring: a
+// fleet job feeds the per-worker round gauges (previously the heartbeat
+// round counts were decoded and discarded) and leaves an assembled
+// cross-process trace behind GET /fleet/{name}/trace with one pid per
+// worker whose span round sums telescope to the job's merged rounds.
+func TestFleetTraceAndRoundGauges(t *testing.T) {
+	_, ts, golden := newFleetServer(t, "web", 2)
+
+	var out struct {
+		Rounds int `json:"rounds"`
+	}
+	getJSON(t, ts.URL+"/fleet/web/connectivity", http.StatusOK, &out)
+	if out.Rounds != golden.Metrics.Rounds {
+		t.Fatalf("rounds = %d, want %d", out.Rounds, golden.Metrics.Rounds)
+	}
+
+	var trace struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	resp := getJSON(t, ts.URL+"/fleet/web/trace", http.StatusOK, &trace)
+	if id := resp.Header.Get("X-Kmserve-Trace-Id"); id == "" || id == strings.Repeat("0", 16) {
+		t.Errorf("trace id header = %q, want a minted id", id)
+	}
+	perPid := map[int]float64{}
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if r, ok := ev.Args["rounds"].(float64); ok {
+			perPid[ev.Pid] += r
+		}
+	}
+	if len(perPid) != 2 {
+		t.Fatalf("trace span pids = %v, want one per worker", perPid)
+	}
+	for pid, sum := range perPid {
+		if int(sum) != golden.Metrics.Rounds {
+			t.Errorf("pid %d span rounds sum to %v, want %d", pid, sum, golden.Metrics.Rounds)
+		}
+	}
+
+	// The heartbeat round counts surface as per-worker gauges.
+	body := scrape(t, ts.URL)
+	for w := 0; w < 2; w++ {
+		sample := fmt.Sprintf(`kmserve_fleet_job_rounds{graph="web",worker="%d"}`, w)
+		if v := sampleValue(t, body, sample); v <= 0 {
+			t.Errorf("%s = %v, want > 0 after a fleet job", sample, v)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"kmgraph"
+)
+
+// TestJobsEndpointListsEngineJobs pins the jobs listing: after one
+// query, the graph's funnel has tracked the load job and the query,
+// newest first, with terminal state and round progress recorded.
+func TestJobsEndpointListsEngineJobs(t *testing.T) {
+	g := kmgraph.GNM(300, 900, 3)
+	_, base := newObservedServer(t, Config{}, "g", g, 4, 7)
+	getJSONurl(t, base+"/graphs/g/connectivity")
+
+	var doc struct {
+		Graph string        `json:"graph"`
+		Jobs  []jobProgress `json:"jobs"`
+	}
+	getJSON(t, base+"/graphs/g/jobs", http.StatusOK, &doc)
+	if doc.Graph != "g" {
+		t.Errorf("graph = %q", doc.Graph)
+	}
+	if len(doc.Jobs) < 2 {
+		t.Fatalf("tracked %d jobs, want >= 2 (load + connectivity)", len(doc.Jobs))
+	}
+	for i := 1; i < len(doc.Jobs); i++ {
+		if doc.Jobs[i-1].ID < doc.Jobs[i].ID {
+			t.Fatal("jobs not newest-first")
+		}
+	}
+	var sawConnectivity bool
+	for _, j := range doc.Jobs {
+		if j.Running {
+			t.Errorf("job %d still marked running after completion", j.ID)
+		}
+		if j.Job == "connectivity" {
+			sawConnectivity = true
+			if j.Round == 0 {
+				t.Error("connectivity job recorded no round progress")
+			}
+			if j.DurationMs <= 0 {
+				t.Error("connectivity job recorded no duration")
+			}
+		}
+	}
+	if !sawConnectivity {
+		t.Fatalf("no connectivity job in listing: %+v", doc.Jobs)
+	}
+}
+
+// sseFrame is one parsed SSE frame.
+type sseFrame struct {
+	event string
+	data  jobProgress
+}
+
+// readSSE parses frames off an event stream until the stream closes or
+// max frames arrive.
+func readSSE(t *testing.T, body *bufio.Scanner, max int) []sseFrame {
+	t.Helper()
+	var frames []sseFrame
+	var ev string
+	for body.Scan() {
+		line := body.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			ev = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			var p jobProgress
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &p); err != nil {
+				t.Fatalf("bad SSE data %q: %v", line, err)
+			}
+			frames = append(frames, sseFrame{event: ev, data: p})
+			if len(frames) >= max {
+				return frames
+			}
+		}
+	}
+	return frames
+}
+
+// TestJobEventsStreamProgressAndTerminal drives the SSE endpoint with
+// synthetic observer events (the same funnel the engine feeds): a
+// subscriber sees the current snapshot immediately, then phase/round
+// deltas as they land, then the terminal "done" frame, after which the
+// stream closes.
+func TestJobEventsStreamProgressAndTerminal(t *testing.T) {
+	g := kmgraph.GNM(50, 150, 3)
+	s, base := newObservedServer(t, Config{}, "g", g, 4, 7)
+	fn := s.JobObserver("g")
+
+	// A synthetic in-flight job, well clear of real engine sequence
+	// numbers.
+	const seq = 1000
+	fn(kmgraph.ClusterEvent{Job: "connectivity", Seq: seq, Phase: -1, Round: 3})
+
+	resp, err := http.Get(base + "/graphs/g/jobs/1000/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("SSE status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	first := readSSE(t, sc, 1)
+	if len(first) != 1 || first[0].event != "progress" || first[0].data.Round != 3 || !first[0].data.Running {
+		t.Fatalf("initial frame = %+v, want running progress at round 3", first)
+	}
+
+	// Deltas stream as the observer reports them. Waking the subscriber
+	// is asynchronous, so deliver each event, then read.
+	fn(kmgraph.ClusterEvent{Job: "connectivity", Seq: seq, Phase: 0, Round: 9, Active: 12})
+	mid := readSSE(t, sc, 1)
+	if len(mid) != 1 || mid[0].event != "progress" || mid[0].data.Round != 9 ||
+		mid[0].data.Phase != 0 || mid[0].data.Active != 12 {
+		t.Fatalf("delta frame = %+v, want phase 0 at round 9 with 12 active", mid)
+	}
+
+	fn(kmgraph.ClusterEvent{Job: "connectivity", Seq: seq, Phase: -1, Round: 15, Done: true})
+	last := readSSE(t, sc, 2) // the done frame, then EOF
+	if len(last) != 1 || last[0].event != "done" || last[0].data.Round != 15 || last[0].data.Running {
+		t.Fatalf("terminal frame = %+v, want done at round 15", last)
+	}
+}
+
+// TestJobEventsLateSubscriberGetsTerminalSnapshot pins that attaching
+// after completion still answers: one "done" frame, then the stream
+// ends (a real engine job works identically — the record outlives the
+// job).
+func TestJobEventsLateSubscriberGetsTerminalSnapshot(t *testing.T) {
+	g := kmgraph.GNM(300, 900, 3)
+	_, base := newObservedServer(t, Config{}, "g", g, 4, 7)
+	getJSONurl(t, base+"/graphs/g/connectivity")
+
+	var doc struct {
+		Jobs []jobProgress `json:"jobs"`
+	}
+	getJSON(t, base+"/graphs/g/jobs", http.StatusOK, &doc)
+	var target *jobProgress
+	for i := range doc.Jobs {
+		if doc.Jobs[i].Job == "connectivity" {
+			target = &doc.Jobs[i]
+			break
+		}
+	}
+	if target == nil {
+		t.Fatal("no connectivity job tracked")
+	}
+
+	client := http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(base + "/graphs/g/jobs/" + itoa(target.ID) + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	frames := readSSE(t, bufio.NewScanner(resp.Body), 2)
+	if len(frames) != 1 || frames[0].event != "done" || frames[0].data.Running {
+		t.Fatalf("late subscription frames = %+v, want exactly one done frame", frames)
+	}
+	if frames[0].data.Round != target.Round {
+		t.Errorf("terminal round %d, listing said %d", frames[0].data.Round, target.Round)
+	}
+
+	// Unknown jobs are a clean 404, not a hung stream.
+	getJSON(t, base+"/graphs/g/jobs/999999/events", http.StatusNotFound, nil)
+}
+
+func itoa(v int) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}

@@ -223,6 +223,10 @@ func (sw *statusWriter) WriteHeader(code int) {
 	sw.ResponseWriter.WriteHeader(code)
 }
 
+// Unwrap exposes the underlying writer to http.ResponseController, so
+// streaming handlers (SSE) can flush through the instrumentation.
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
+
 // ServeHTTP instruments every request: request-ID threading, in-flight
 // gauge, per-endpoint latency histogram and status-labeled counter, and
 // (when Config.Logger is set) one structured log record per request.
@@ -284,6 +288,8 @@ func (s *Server) routes() {
 	s.handle("GET /graphs/{name}", "info", s.handleInfo)
 	s.handle("GET /graphs/{name}/metrics", "graph_metrics", s.handleMetrics)
 	s.handle("GET /graphs/{name}/trace", "trace", s.handleTrace)
+	s.handle("GET /graphs/{name}/jobs", "jobs", s.handleJobs)
+	s.handle("GET /graphs/{name}/jobs/{id}/events", "job_events", s.handleJobEvents)
 	for _, m := range []string{"GET", "POST"} {
 		s.handle(m+" /graphs/{name}/connectivity", "connectivity", s.handleConnectivity)
 		s.handle(m+" /graphs/{name}/spanning-tree", "spanning-tree", s.handleSpanningTree)

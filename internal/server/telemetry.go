@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"time"
 
@@ -38,7 +39,8 @@ type graphObs struct {
 	tracer *telemetry.JobTracer
 
 	mu   sync.Mutex
-	open map[int]time.Time // job seq -> start wall time
+	open map[int]time.Time  // job seq -> start wall time
+	jobs map[int]*jobRecord // job seq -> live progress (see jobs.go)
 }
 
 // JobObserver returns (creating if needed) the observer hook for the
@@ -73,6 +75,7 @@ func (s *Server) dropObs(name string) {
 
 func (o *graphObs) observe(ev kmgraph.ClusterEvent) {
 	o.tracer.Observer()(ev)
+	o.trackJob(ev)
 	reg := o.srv.registry
 	graph := telemetry.Label{Name: "graph", Value: o.name}
 	job := telemetry.Label{Name: "job", Value: ev.Job}
@@ -187,15 +190,22 @@ func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleTrace serves a graph's recent job spans as Chrome trace-event
-// JSON (loadable in Perfetto / chrome://tracing). The buffer holds the
-// most recent maxTraceEvents spans.
+// JSON (loadable in Perfetto / chrome://tracing), ordered by start
+// timestamp. The buffer holds the most recent maxTraceEvents spans;
+// events are recorded in job-completion order, so once the buffer has
+// trimmed, arrival order no longer matches time order for overlapping
+// jobs — hence the sorted snapshot. The X-Kmserve-Trace-Dropped header
+// reports how many older spans the trim discarded (0 = the trace is
+// complete).
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	t := s.tenant(w, r)
 	if t == nil {
 		return
 	}
 	o := s.obsFor(t.name)
-	writeJSON(w, http.StatusOK, o.tracer.Snapshot())
+	w.Header().Set("X-Kmserve-Trace-Dropped", strconv.Itoa(o.tracer.Dropped()))
+	w.Header().Set("X-Kmserve-Trace-Limit", strconv.Itoa(maxTraceEvents))
+	writeJSON(w, http.StatusOK, o.tracer.SnapshotSorted())
 }
 
 // newRequestID mints a 16-hex-char request identifier.

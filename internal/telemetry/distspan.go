@@ -1,0 +1,186 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// PhaseSpan is one phase of a distributed job as observed by a single
+// worker: the engine rounds it covered, its wall-clock extent on the
+// worker's own clock (microseconds since that worker started its engine
+// range), and the local link traffic and barrier wait accumulated while
+// it ran. Spans are streamed to the coordinator in bounded batches
+// piggybacked on heartbeat frames and assembled into one multi-pid
+// Chrome trace.
+type PhaseSpan struct {
+	// Phase is the merge-phase index, or -1 for the trailing sync span
+	// (the work between the last phase boundary and engine completion).
+	Phase      int
+	StartRound int
+	EndRound   int
+	StartUs    int64
+	DurUs      int64
+	// Frames and Bytes are the wire frames/bytes this worker exchanged
+	// with its peers during the span; WaitNs is its accumulated round-
+	// barrier wait. All are local observations, not cluster totals.
+	Frames int64
+	Bytes  int64
+	WaitNs int64
+}
+
+// Rounds is the engine rounds the span covers. Per worker, span rounds
+// telescope: they sum exactly to the engine's final round count.
+func (s PhaseSpan) Rounds() int { return s.EndRound - s.StartRound }
+
+// maxPendingSpans bounds a recorder's unsent backlog. Phase counts are
+// O(log n) (a few hundred at n=1M), far below the cap; it only guards a
+// runaway engine against unbounded memory. Overflow drops the newest
+// span and counts it, so Dropped()>0 flags a trace that no longer
+// telescopes.
+const maxPendingSpans = 8192
+
+// SpanRecorder collects a worker's phase spans. The engine's phase hook
+// appends (engine machine goroutine); the heartbeat loop drains batches
+// (its own goroutine); Finish seals the trailing sync span.
+type SpanRecorder struct {
+	// sample returns cumulative local (frames, bytes, waitNs) — the
+	// transport flight recorder's totals. It must be safe to call from
+	// any goroutine.
+	sample func() (frames, bytes, waitNs int64)
+
+	mu        sync.Mutex
+	start     time.Time
+	lastT     time.Time
+	lastRound int
+	lastFr    int64
+	lastBy    int64
+	lastWait  int64
+	pending   []PhaseSpan
+	dropped   int
+}
+
+// NewSpanRecorder returns a recorder whose time origin is now. sample
+// may be nil (spans then carry no traffic annotations).
+func NewSpanRecorder(sample func() (frames, bytes, waitNs int64)) *SpanRecorder {
+	now := time.Now()
+	if sample == nil {
+		sample = func() (int64, int64, int64) { return 0, 0, 0 }
+	}
+	return &SpanRecorder{sample: sample, start: now, lastT: now}
+}
+
+// Hook returns the callback to install as core.Config.PhaseHook.
+func (r *SpanRecorder) Hook() func(phase, round int) {
+	return func(phase, round int) { r.record(phase, round) }
+}
+
+// Finish seals the trailing sync span: the rounds between the last
+// phase boundary and the engine's final round count. Always emitted —
+// even 0-round — so per-worker span rounds telescope exactly to the
+// job's metered Metrics.Rounds.
+func (r *SpanRecorder) Finish(finalRound int) {
+	r.record(-1, finalRound)
+}
+
+func (r *SpanRecorder) record(phase, round int) {
+	now := time.Now()
+	fr, by, wait := r.sample()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := PhaseSpan{
+		Phase:      phase,
+		StartRound: r.lastRound,
+		EndRound:   round,
+		StartUs:    r.lastT.Sub(r.start).Microseconds(),
+		DurUs:      now.Sub(r.lastT).Microseconds(),
+		Frames:     fr - r.lastFr,
+		Bytes:      by - r.lastBy,
+		WaitNs:     wait - r.lastWait,
+	}
+	r.lastT, r.lastRound = now, round
+	r.lastFr, r.lastBy, r.lastWait = fr, by, wait
+	if len(r.pending) >= maxPendingSpans {
+		r.dropped++
+		return
+	}
+	r.pending = append(r.pending, s)
+}
+
+// Drain pops up to max pending spans (all of them when max <= 0).
+func (r *SpanRecorder) Drain(max int) []PhaseSpan {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.pending)
+	if n == 0 {
+		return nil
+	}
+	if max > 0 && n > max {
+		n = max
+	}
+	out := append([]PhaseSpan(nil), r.pending[:n]...)
+	r.pending = r.pending[n:]
+	return out
+}
+
+// Dropped reports spans lost to the backlog cap.
+func (r *SpanRecorder) Dropped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// WorkerSpans is one worker's assembled span stream.
+type WorkerSpans struct {
+	Index  int
+	Lo, Hi int
+	Spans  []PhaseSpan
+}
+
+// AssembleDistTrace builds one Chrome trace from the per-worker span
+// streams of a distributed job: one pid per worker (pid = worker
+// index), phase and sync spans as "X" events, and a metadata record
+// carrying the job name and trace ID. Each worker's timeline starts at
+// its own microsecond 0 — worker clocks are not synchronized, so only
+// within-worker durations and cross-worker phase alignment are
+// meaningful, which is exactly what straggler attribution needs.
+func AssembleDistTrace(job string, traceID uint64, workers []WorkerSpans) Trace {
+	tr := Trace{DisplayTimeUnit: "ms"}
+	for _, w := range workers {
+		tr.TraceEvents = append(tr.TraceEvents,
+			TraceEvent{Name: "process_name", Ph: "M", Pid: w.Index, Tid: 1,
+				Args: map[string]any{
+					"name": fmt.Sprintf("worker %d [%d,%d)", w.Index, w.Lo, w.Hi),
+				}},
+			TraceEvent{Name: "thread_name", Ph: "M", Pid: w.Index, Tid: 1,
+				Args: map[string]any{"name": job,
+					"trace_id": fmt.Sprintf("%#x", traceID)}},
+		)
+		for _, s := range w.Spans {
+			name := "sync"
+			if s.Phase >= 0 {
+				name = fmt.Sprintf("phase %d", s.Phase)
+			}
+			tr.TraceEvents = append(tr.TraceEvents, TraceEvent{
+				Name: name, Cat: "phase", Ph: "X",
+				Ts: float64(s.StartUs), Dur: float64(s.DurUs),
+				Pid: w.Index, Tid: 1,
+				Args: map[string]any{
+					"phase":           s.Phase,
+					"round":           s.EndRound,
+					"rounds":          s.Rounds(),
+					"frames":          s.Frames,
+					"bytes":           s.Bytes,
+					"barrier_wait_ms": float64(s.WaitNs) / 1e6,
+				},
+			})
+		}
+	}
+	return tr
+}
+
+// WriteTrace writes any trace document as Chrome trace-event JSON to
+// path (the CLIs' -trace flag in TCP mode).
+func WriteTrace(path string, tr Trace) error {
+	return writeTraceFile(path, tr)
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -54,6 +55,7 @@ type JobTracer struct {
 	events    []TraceEvent
 	jobs      map[int]*traceJob
 	maxEvents int
+	dropped   int
 }
 
 // traceJob is the open-span state of one in-flight job.
@@ -235,8 +237,18 @@ func (t *JobTracer) trim() {
 	if keep < 0 {
 		keep = 0
 	}
+	t.dropped += len(t.events) - meta - keep
 	tail := t.events[len(t.events)-keep:]
 	t.events = append(t.events[:meta:meta], tail...)
+}
+
+// Dropped reports how many spans the event cap has evicted so far (the
+// serving layer surfaces it in a response header, so a trimmed trace is
+// distinguishable from a complete one).
+func (t *JobTracer) Dropped() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
 }
 
 // Snapshot returns a copy of the trace so far.
@@ -249,6 +261,23 @@ func (t *JobTracer) Snapshot() Trace {
 	}
 }
 
+// SnapshotSorted returns a copy of the trace with span events ordered
+// by start timestamp (metadata records first). Events are appended in
+// job-completion order, so after the ring trims, arrival order no
+// longer matches time order for overlapping jobs — viewers cope, but
+// diff-based tooling should get a canonical order.
+func (t *JobTracer) SnapshotSorted() Trace {
+	tr := t.Snapshot()
+	sort.SliceStable(tr.TraceEvents, func(i, j int) bool {
+		ei, ej := &tr.TraceEvents[i], &tr.TraceEvents[j]
+		if mi, mj := ei.Ph == "M", ej.Ph == "M"; mi != mj {
+			return mi
+		}
+		return ei.Ts < ej.Ts
+	})
+	return tr
+}
+
 // Write writes the trace as Chrome trace-event JSON.
 func (t *JobTracer) Write(w io.Writer) error {
 	enc := json.NewEncoder(w)
@@ -257,11 +286,16 @@ func (t *JobTracer) Write(w io.Writer) error {
 
 // WriteFile writes the trace to path (the CLIs' -trace flag).
 func (t *JobTracer) WriteFile(path string) error {
+	return writeTraceFile(path, t.Snapshot())
+}
+
+// writeTraceFile writes a trace document as JSON to path.
+func writeTraceFile(path string, tr Trace) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := t.Write(f); err != nil {
+	if err := json.NewEncoder(f).Encode(tr); err != nil {
 		f.Close()
 		return err
 	}

@@ -15,6 +15,7 @@
 package chaos
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -129,6 +130,7 @@ type Transport struct {
 	delayed []delayedMsg
 	staged  []transport.Message // scratch for the filtered round
 	journal []Fault
+	flight  *transport.FlightRecorder
 	crashed bool
 }
 
@@ -142,7 +144,45 @@ func New(inner transport.Transport, plan Plan) *Transport {
 	if plan.MaxDelayRounds <= 0 {
 		plan.MaxDelayRounds = 4
 	}
-	return &Transport{inner: inner, plan: plan}
+	return &Transport{inner: inner, plan: plan, flight: transport.NewFlightRecorder(0)}
+}
+
+// Flight returns the chaos layer's flight recorder: the last K rounds
+// of staged traffic, so injected crashes carry the same post-mortem a
+// real dead link would.
+func (t *Transport) Flight() *transport.FlightRecorder { return t.flight }
+
+// fail records a terminal flight entry and attaches the snapshot to the
+// injected link-down error.
+func (t *Transport) fail(ld *transport.LinkDownError) error {
+	t.flight.RecordError(t.round, ld)
+	ld.Flight = t.flight.Snapshot()
+	return ld
+}
+
+// record appends one flight entry for the traffic handed to the inner
+// backend this round (the chaos layer sees staged messages, not framed
+// links, so it records one aggregate pseudo-link).
+func (t *Transport) record(msgs []transport.Message) {
+	var bytes int64
+	for _, m := range msgs {
+		bytes += int64(len(m.Data))
+	}
+	t.flight.Record(transport.RoundFlight{Seq: t.round,
+		Links: []transport.LinkFlight{{Peer: -1, FramesSent: int64(len(msgs)), BytesSent: bytes}}})
+}
+
+// wrap attaches our snapshot to an inner link-down error that carries
+// none (the local backend, for one, has no recorder of its own).
+func (t *Transport) wrap(err error) error {
+	if err == nil {
+		return nil
+	}
+	var ld *transport.LinkDownError
+	if errors.As(err, &ld) && ld.Flight == nil {
+		ld.Flight = t.flight.Snapshot()
+	}
+	return err
 }
 
 // Hosted returns the wrapped transport's machine range.
@@ -196,13 +236,14 @@ func (t *Transport) Round(in *transport.RoundIn, out *transport.RoundOut) error 
 	t.round++
 	if t.plan.CrashAtRound > 0 && t.round >= t.plan.CrashAtRound {
 		t.crashed = true
-		return &transport.LinkDownError{Peer: -1, Round: t.round - 1, Reason: transport.ReasonChaos,
-			Err: fmt.Errorf("chaos: crash scheduled at round %d", t.plan.CrashAtRound)}
+		return t.fail(&transport.LinkDownError{Peer: -1, Round: t.round - 1, Reason: transport.ReasonChaos,
+			Err: fmt.Errorf("chaos: crash scheduled at round %d", t.plan.CrashAtRound)})
 	}
 	if t.zeroFault() {
 		// Pure pass-through: hand the engine's RoundIn to the inner
 		// backend untouched, so the no-fault goldens hold trivially.
-		return t.inner.Round(in, out)
+		t.record(in.Msgs)
+		return t.wrap(t.inner.Round(in, out))
 	}
 
 	t.staged = t.staged[:0]
@@ -222,6 +263,10 @@ func (t *Transport) Round(in *transport.RoundIn, out *transport.RoundOut) error 
 	for i, m := range in.Msgs {
 		if fault, err := t.apply(m, i); err != nil {
 			t.crashed = true
+			var ld *transport.LinkDownError
+			if errors.As(err, &ld) {
+				return t.fail(ld)
+			}
 			return err
 		} else if !fault {
 			t.staged = append(t.staged, m)
@@ -230,8 +275,9 @@ func (t *Transport) Round(in *transport.RoundIn, out *transport.RoundOut) error 
 
 	// The inner transport must not observe the engine's slice; swap in
 	// the filtered view with the other barrier fields intact.
+	t.record(t.staged)
 	filtered := transport.RoundIn{Msgs: t.staged, Events: in.Events, DoneDelta: in.DoneDelta}
-	return t.inner.Round(&filtered, out)
+	return t.wrap(t.inner.Round(&filtered, out))
 }
 
 // zeroFault reports whether the plan can never perturb a message.

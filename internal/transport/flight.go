@@ -1,0 +1,123 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultFlightDepth is how many rounds a FlightRecorder retains when
+// the caller does not choose a depth. Deep enough to cover the window
+// between "things went wrong" and "the link was declared down" (idle
+// deadlines span many rounds), small enough to ride along in an error
+// frame.
+const DefaultFlightDepth = 64
+
+// LinkFlight is one link's traffic during one recorded round: the
+// frames and bytes observed on the wire to/from one peer between the
+// previous barrier and this one.
+type LinkFlight struct {
+	Peer       int   `json:"peer"`
+	FramesSent int64 `json:"frames_sent"`
+	FramesRecv int64 `json:"frames_recv"`
+	BytesSent  int64 `json:"bytes_sent"`
+	BytesRecv  int64 `json:"bytes_recv"`
+}
+
+// RoundFlight is one flight-recorder entry: a barrier the recording
+// participant completed (or died at), how long it waited there, the
+// per-link traffic since the previous barrier, and — for the final
+// entry of a failed run — the error that killed the link.
+type RoundFlight struct {
+	Seq    uint64       `json:"seq"`
+	WaitNs int64        `json:"wait_ns"`
+	Links  []LinkFlight `json:"links,omitempty"`
+	Err    string       `json:"err,omitempty"`
+}
+
+// FlightRecorder is a fixed-size ring of the last N per-link round
+// events. Both sides of a distributed job keep one — workers record
+// engine barriers, the coordinator records control-connection frames —
+// so a LinkDownError can carry a replayable last-K-rounds post-mortem
+// instead of a bare classification.
+//
+// Record is called from the single goroutine driving the link (the
+// engine's Round loop, or the coordinator's gather loop); Snapshot and
+// Totals may be called concurrently from observers.
+type FlightRecorder struct {
+	mu   sync.Mutex
+	buf  []RoundFlight
+	next int
+	full bool
+
+	// Cumulative totals, readable without the lock. They let a phase
+	// hook annotate spans with local traffic deltas race-free while the
+	// engine goroutine keeps recording.
+	rounds atomic.Uint64
+	frames atomic.Int64
+	bytes  atomic.Int64
+	waitNs atomic.Int64
+}
+
+// NewFlightRecorder returns a recorder keeping the last depth rounds
+// (DefaultFlightDepth when depth <= 0).
+func NewFlightRecorder(depth int) *FlightRecorder {
+	if depth <= 0 {
+		depth = DefaultFlightDepth
+	}
+	return &FlightRecorder{buf: make([]RoundFlight, depth)}
+}
+
+// Record appends one round event, evicting the oldest once the ring is
+// full.
+func (r *FlightRecorder) Record(rf RoundFlight) {
+	var frames, bytes int64
+	for _, l := range rf.Links {
+		frames += l.FramesSent + l.FramesRecv
+		bytes += l.BytesSent + l.BytesRecv
+	}
+	r.rounds.Add(1)
+	r.frames.Add(frames)
+	r.bytes.Add(bytes)
+	r.waitNs.Add(rf.WaitNs)
+
+	r.mu.Lock()
+	r.buf[r.next] = rf
+	r.next++
+	if r.next == len(r.buf) {
+		r.next, r.full = 0, true
+	}
+	r.mu.Unlock()
+}
+
+// RecordError appends a terminal entry for a barrier that failed.
+func (r *FlightRecorder) RecordError(seq uint64, err error) {
+	rf := RoundFlight{Seq: seq}
+	if err != nil {
+		rf.Err = err.Error()
+	}
+	r.Record(rf)
+}
+
+// Snapshot returns a copy of the retained rounds, oldest first.
+func (r *FlightRecorder) Snapshot() []RoundFlight {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	out := make([]RoundFlight, 0, n)
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+	}
+	out = append(out, r.buf[:r.next]...)
+	// The ring entries' Links slices are owned by their producers and
+	// never mutated after Record, so sharing them in the copy is safe.
+	return out
+}
+
+// Totals returns the cumulative rounds, frames, bytes, and barrier-wait
+// nanoseconds recorded so far. Safe to call from any goroutine.
+func (r *FlightRecorder) Totals() (rounds uint64, frames, bytes, waitNs int64) {
+	return r.rounds.Load(), r.frames.Load(), r.bytes.Load(), r.waitNs.Load()
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"kmgraph/internal/transport"
@@ -76,6 +77,13 @@ type Peer struct {
 	opts  Options
 	stats linkStats
 
+	// Wire accounting for the flight recorder. Sent counters are only
+	// touched by the engine goroutine in writeRound; recv counters are
+	// atomics because the read loop increments them while the engine
+	// samples deltas at each barrier.
+	sentFrames, sentBytes int64
+	recvFrames, recvBytes atomic.Int64
+
 	wbuf  []byte // frame staging: header + body, one write per round
 	stage []transport.Message
 
@@ -126,6 +134,8 @@ func (p *Peer) readLoop() {
 		}
 		p.stats.framesRecv.Inc()
 		p.stats.bytesRecv.Add(int64(len(body)) + frameHeaderLen)
+		p.recvFrames.Add(1)
+		p.recvBytes.Add(int64(len(body)) + frameHeaderLen)
 		switch t {
 		case FrameRound:
 			f := &RoundFrame{}
@@ -159,6 +169,8 @@ func (p *Peer) writeRound(seq uint64, doneDelta int, msgs []transport.Message) e
 	}
 	p.stats.framesSent.Inc()
 	p.stats.bytesSent.Add(int64(len(b)))
+	p.sentFrames++
+	p.sentBytes += int64(len(b))
 	return nil
 }
 

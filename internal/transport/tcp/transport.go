@@ -1,6 +1,7 @@
 package tcp
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -35,6 +36,8 @@ type Transport struct {
 
 	inboxes     [][]transport.Message
 	barrierWait interface{ Observe(float64) }
+	flight      *transport.FlightRecorder
+	lastLinks   []transport.LinkFlight // previous cumulative per-peer counters
 
 	closeOnce sync.Once
 }
@@ -57,6 +60,8 @@ func New(p transport.Params, met *transport.Metrics, workers, lo, hi int, peers 
 		running:     p.K,
 		inboxes:     make([][]transport.Message, hi-lo),
 		barrierWait: barrierWaitHistogram(),
+		flight:      transport.NewFlightRecorder(0),
+		lastLinks:   make([]transport.LinkFlight, len(peers)),
 	}
 	sort.Slice(t.peers, func(i, j int) bool { return t.peers[i].Index < t.peers[j].Index })
 	for _, pr := range t.peers {
@@ -78,6 +83,51 @@ func New(p transport.Params, met *transport.Metrics, workers, lo, hi int, peers 
 // Hosted returns this participant's machine range.
 func (t *Transport) Hosted() (int, int) { return t.lo, t.hi }
 
+// Flight returns the transport's flight recorder: the last K barriers'
+// per-link traffic, for post-mortems and trace-span annotations.
+func (t *Transport) Flight() *transport.FlightRecorder { return t.flight }
+
+// fail records a terminal flight entry for the failing barrier and
+// attaches the recorder snapshot to the link-down error, so the abort
+// carries its own last-K-rounds post-mortem.
+func (t *Transport) fail(err error) error {
+	t.flight.RecordError(t.seq, err)
+	var ld *transport.LinkDownError
+	if errors.As(err, &ld) && ld.Flight == nil {
+		ld.Flight = t.flight.Snapshot()
+	}
+	return err
+}
+
+// recordBarrier appends one flight entry for the barrier just
+// completed, with per-peer traffic deltas since the previous one.
+func (t *Transport) recordBarrier(wait time.Duration) {
+	rf := transport.RoundFlight{Seq: t.seq, WaitNs: wait.Nanoseconds()}
+	if len(t.peers) > 0 {
+		links := make([]transport.LinkFlight, len(t.peers))
+		for i, pr := range t.peers {
+			cur := transport.LinkFlight{
+				Peer:       pr.Index,
+				FramesSent: pr.sentFrames,
+				FramesRecv: pr.recvFrames.Load(),
+				BytesSent:  pr.sentBytes,
+				BytesRecv:  pr.recvBytes.Load(),
+			}
+			prev := t.lastLinks[i]
+			t.lastLinks[i] = cur
+			links[i] = transport.LinkFlight{
+				Peer:       cur.Peer,
+				FramesSent: cur.FramesSent - prev.FramesSent,
+				FramesRecv: cur.FramesRecv - prev.FramesRecv,
+				BytesSent:  cur.BytesSent - prev.BytesSent,
+				BytesRecv:  cur.BytesRecv - prev.BytesRecv,
+			}
+		}
+		rf.Links = links
+	}
+	t.flight.Record(rf)
+}
+
 // Round runs one barrier: stage hosted traffic locally, ship each
 // peer's share in one frame, wait for every peer's frame (the barrier),
 // fold in their done counts and messages, then advance the hosted links
@@ -96,10 +146,10 @@ func (t *Transport) Round(in *transport.RoundIn, out *transport.RoundOut) error 
 		err := pr.writeRound(t.seq, in.DoneDelta, pr.stage)
 		pr.stage = pr.stage[:0]
 		if err != nil {
-			return &transport.LinkDownError{
+			return t.fail(&transport.LinkDownError{
 				Peer: pr.Index, Addr: pr.addr, Round: t.seq - 1, Reason: transport.ReasonCrash,
 				Err: fmt.Errorf("tcp: sending round %d: %v", t.seq, err),
-			}
+			})
 		}
 	}
 	t.running -= in.DoneDelta
@@ -108,20 +158,22 @@ func (t *Transport) Round(in *transport.RoundIn, out *transport.RoundOut) error 
 	for _, pr := range t.peers {
 		f, err := pr.recvRound(t.seq)
 		if err != nil {
-			return err
+			return t.fail(err)
 		}
 		t.running -= f.DoneDelta
 		for _, m := range f.Msgs {
 			if m.Dst < t.lo || m.Dst >= t.hi {
-				return &transport.LinkDownError{
+				return t.fail(&transport.LinkDownError{
 					Peer: pr.Index, Addr: pr.addr, Round: t.seq - 1, Reason: transport.ReasonDesync,
 					Err: fmt.Errorf("tcp: message for machine %d outside our [%d,%d)", m.Dst, t.lo, t.hi),
-				}
+				})
 			}
 			t.sw.Enqueue(m)
 		}
 	}
-	t.barrierWait.Observe(time.Since(start).Seconds())
+	wait := time.Since(start)
+	t.barrierWait.Observe(wait.Seconds())
+	t.recordBarrier(wait)
 
 	out.Running = t.running
 	if t.running <= 0 {

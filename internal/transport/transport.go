@@ -84,6 +84,12 @@ type LinkDownError struct {
 	Reason LinkDownReason
 	// Err is the underlying cause, when any.
 	Err error
+	// Flight is the reporting side's flight-recorder snapshot — the
+	// last K per-link round events before the link died. It rides along
+	// the error (and, for distributed jobs, the control-link error
+	// frame) so a post-mortem starts from data, not from a bare
+	// classification. Error() deliberately omits it; dump it as JSON.
+	Flight []RoundFlight
 }
 
 func (e *LinkDownError) Error() string {
