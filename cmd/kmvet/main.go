@@ -1,0 +1,68 @@
+// Command kmvet runs the engine's domain-specific static-analysis suite
+// over the given package patterns (default ./...). It exits non-zero if
+// any diagnostic survives //kmvet:ignore suppression — including ignores
+// with no justification, which are themselves findings.
+//
+// Usage:
+//
+//	kmvet [-waivers] [packages]
+//
+// Diagnostics print as file:line:col: message [analyzer]. With -waivers,
+// accepted suppressions are listed with their justifications after the
+// diagnostics (informational; they do not affect the exit code).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kmgraph/internal/analysis"
+	"kmgraph/internal/analysis/kit"
+)
+
+func main() {
+	showWaivers := flag.Bool("waivers", false, "list accepted //kmvet:ignore suppressions with their justifications")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: kmvet [-waivers] [packages]\n\nAnalyzers:\n")
+		for _, a := range analysis.Suite() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kmvet:", err)
+		os.Exit(2)
+	}
+
+	corpus, err := kit.Load(wd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kmvet:", err)
+		os.Exit(2)
+	}
+	diags, waivers, err := kit.RunAnalyzers(corpus, analysis.Suite())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kmvet:", err)
+		os.Exit(2)
+	}
+
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if *showWaivers {
+		for _, w := range waivers {
+			fmt.Printf("waived: %s: %s [%s] — %s\n", w.Pos, w.Message, w.Analyzer, w.Reason)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "kmvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

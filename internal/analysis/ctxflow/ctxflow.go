@@ -1,0 +1,96 @@
+// Package ctxflow reports context.Background() and context.TODO() calls
+// in code that already has a context.Context in scope — a function (or a
+// closure inside one) whose parameters include a ctx. Minting a fresh
+// root context there detaches the work from cancellation: a coordinator
+// tearing down a job keeps waiting on RPCs that no longer honor its
+// deadline. Entry points without a ctx parameter (mains, Run wrappers)
+// are legitimately where roots are made and are not flagged.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"kmgraph/internal/analysis/kit"
+)
+
+var Analyzer = &kit.Analyzer{
+	Name: "ctxflow",
+	Doc:  "reports context.Background/TODO in functions that already receive a ctx",
+	Run:  run,
+}
+
+func run(pass *kit.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			walkFunc(pass, fd.Type, fd.Body, hasCtxParam(pass, fd.Type))
+		}
+	}
+	return nil
+}
+
+// walkFunc inspects one function body. ctxInScope carries whether any
+// enclosing function takes a context.Context parameter; closures nested
+// in such a function capture it lexically, so the flag is sticky.
+func walkFunc(pass *kit.Pass, ft *ast.FuncType, body *ast.BlockStmt, ctxInScope bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			walkFunc(pass, n.Type, n.Body, ctxInScope || hasCtxParam(pass, n.Type))
+			return false
+		case *ast.CallExpr:
+			if !ctxInScope {
+				return true
+			}
+			if name := rootCtxCall(pass, n); name != "" {
+				pass.Reportf(n.Pos(), "context.%s() in a function that already receives a "+
+					"context.Context: pass the ctx through so cancellation propagates", name)
+			}
+		}
+		return true
+	})
+}
+
+// hasCtxParam reports whether the function type declares a parameter of
+// type context.Context.
+func hasCtxParam(pass *kit.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if t := pass.TypesInfo.TypeOf(field.Type); t != nil && isContext(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// rootCtxCall returns "Background" or "TODO" if call is context.Background()
+// or context.TODO(), "" otherwise.
+func rootCtxCall(pass *kit.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return fn.Name()
+	}
+	return ""
+}

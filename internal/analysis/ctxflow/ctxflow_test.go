@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"kmgraph/internal/analysis/ctxflow"
+	"kmgraph/internal/analysis/kit"
+)
+
+func TestCtxFlow(t *testing.T) {
+	kit.TestDir(t, "testdata/a", ctxflow.Analyzer)
+}

@@ -1,0 +1,55 @@
+package a
+
+import (
+	"context"
+	"time"
+)
+
+func entryPointOK() context.Context {
+	return context.Background() // no ctx param: this is where roots are made
+}
+
+func badFreshRoot(ctx context.Context) error {
+	return work(context.Background()) // want `context.Background\(\) in a function that already receives a context.Context`
+}
+
+func badTODO(ctx context.Context) error {
+	return work(context.TODO()) // want `context.TODO\(\) in a function that already receives a context.Context`
+}
+
+func badInClosure(ctx context.Context) {
+	go func() {
+		_ = work(context.Background()) // want `context.Background\(\)`
+	}()
+}
+
+func goodDerived(ctx context.Context) error {
+	sub, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return work(sub)
+}
+
+func goodPassThrough(ctx context.Context) error {
+	return work(ctx)
+}
+
+func waivedDetach(ctx context.Context) error {
+	return work(context.Background()) //kmvet:ignore detached audit write must survive job cancellation
+}
+
+func work(ctx context.Context) error {
+	_ = ctx
+	return nil
+}
+
+type runner struct{}
+
+func (r *runner) Run() error {
+	// Method without ctx param: minting a root here is the sanctioned
+	// wrapper pattern (mirrors kmachine.Run -> RunContext).
+	return r.RunContext(context.Background())
+}
+
+func (r *runner) RunContext(ctx context.Context) error {
+	return work(ctx)
+}

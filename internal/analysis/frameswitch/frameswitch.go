@@ -1,0 +1,133 @@
+// Package frameswitch enforces exhaustive handling of the engine's wire
+// enums. A type marked //km:exhaustive (transport frame kinds, link-down
+// reasons) defines a closed protocol vocabulary: a switch over a value of
+// that type either carries a default clause — an explicit decision about
+// unknown values — or must name every package-level constant of the type.
+// Without this, adding a frame kind silently falls through existing
+// dispatch loops and the peer times out instead of failing loudly.
+package frameswitch
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"kmgraph/internal/analysis/kit"
+)
+
+var Analyzer = &kit.Analyzer{
+	Name: "frameswitch",
+	Doc:  "reports non-exhaustive switches over //km:exhaustive enum types",
+	Run:  run,
+}
+
+func run(pass *kit.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, sw)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSwitch(pass *kit.Pass, sw *ast.SwitchStmt) {
+	tagType := pass.TypesInfo.TypeOf(sw.Tag)
+	if tagType == nil {
+		return
+	}
+	named, ok := tagType.(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return
+	}
+	key := obj.Pkg().Path() + "." + obj.Name()
+	if pass.MarkedTypes[key] != kit.ExhaustiveMark {
+		return
+	}
+
+	members := enumMembers(obj.Pkg(), named)
+	if len(members) == 0 {
+		return
+	}
+
+	covered := make(map[string]bool)
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // default clause: unknown values handled explicitly
+		}
+		for _, e := range cc.List {
+			tv, ok := pass.TypesInfo.Types[e]
+			if !ok || tv.Value == nil {
+				continue
+			}
+			covered[tv.Value.ExactString()] = true
+		}
+	}
+
+	var missing []string
+	for _, m := range members {
+		if !covered[m.val] {
+			missing = append(missing, m.name)
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(sw.Pos(), "switch over %s (//km:exhaustive) misses %s and has no default clause",
+			obj.Name(), strings.Join(missing, ", "))
+	}
+}
+
+type member struct {
+	name string
+	val  string
+}
+
+// enumMembers lists the package-level constants of the enum type, one per
+// distinct constant value (aliases like a FrameMax = FrameBye collapse).
+func enumMembers(pkg *types.Package, t *types.Named) []member {
+	byVal := make(map[string]string)
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), t) {
+			continue
+		}
+		v := c.Val().ExactString()
+		if prev, ok := byVal[v]; !ok || name < prev {
+			byVal[v] = name
+		}
+	}
+	members := make([]member, 0, len(byVal))
+	for v, name := range byVal {
+		members = append(members, member{name: name, val: v})
+	}
+	sort.Slice(members, func(i, j int) bool {
+		return lessVal(members[i].val, members[j].val)
+	})
+	return members
+}
+
+// lessVal orders constant values numerically when both parse as integers,
+// lexically otherwise (string-kinded enums).
+func lessVal(a, b string) bool {
+	var ai, bi int64
+	if _, errA := fmt.Sscan(a, &ai); errA == nil {
+		if _, errB := fmt.Sscan(b, &bi); errB == nil {
+			return ai < bi
+		}
+	}
+	return a < b
+}

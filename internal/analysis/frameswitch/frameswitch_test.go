@@ -1,0 +1,12 @@
+package frameswitch_test
+
+import (
+	"testing"
+
+	"kmgraph/internal/analysis/frameswitch"
+	"kmgraph/internal/analysis/kit"
+)
+
+func TestFrameSwitch(t *testing.T) {
+	kit.TestDir(t, "testdata/a", frameswitch.Analyzer)
+}

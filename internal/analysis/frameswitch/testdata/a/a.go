@@ -1,0 +1,94 @@
+package a
+
+// FrameType mirrors the transport's frame-kind enum.
+//
+//km:exhaustive
+type FrameType uint8
+
+const (
+	FHello FrameType = 1
+	FRound FrameType = 2
+	FBye   FrameType = 3
+
+	// FLast aliases the highest frame kind; aliases collapse by value.
+	FLast = FBye
+)
+
+// Reason is a string-kinded enum, like the transport's LinkDownReason.
+//
+//km:exhaustive
+type Reason string
+
+const (
+	ReasonCrash Reason = "crash"
+	ReasonStall Reason = "stall"
+)
+
+// Mode is deliberately unmarked: switches over it are unconstrained.
+type Mode uint8
+
+const (
+	ModeA Mode = 1
+	ModeB Mode = 2
+)
+
+func goodAllCases(f FrameType) int {
+	switch f {
+	case FHello:
+		return 1
+	case FRound:
+		return 2
+	case FBye:
+		return 3
+	}
+	return 0
+}
+
+func goodDefault(f FrameType) int {
+	switch f {
+	case FHello:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func goodAliasCovers(f FrameType) int {
+	switch f {
+	case FHello, FRound, FLast:
+		return 1
+	}
+	return 0
+}
+
+func badMissing(f FrameType) int {
+	switch f { // want `switch over FrameType \(//km:exhaustive\) misses FBye and has no default clause`
+	case FHello, FRound:
+		return 1
+	}
+	return 0
+}
+
+func badStringEnum(r Reason) int {
+	switch r { // want `switch over Reason \(//km:exhaustive\) misses ReasonStall`
+	case ReasonCrash:
+		return 1
+	}
+	return 0
+}
+
+func unmarkedIsFree(m Mode) int {
+	switch m {
+	case ModeA:
+		return 1
+	}
+	return 0
+}
+
+func waivedSwitch(f FrameType) int {
+	switch f { //kmvet:ignore handshake path only ever sees FHello
+	case FHello:
+		return 1
+	}
+	return 0
+}

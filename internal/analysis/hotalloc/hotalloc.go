@@ -1,0 +1,240 @@
+// Package hotalloc enforces the engine's allocation-free round loops
+// statically: a function annotated //km:hotpath must not contain
+// constructs that allocate on every execution. It is the compile-time
+// complement of the testing.AllocsPerRun pins — those catch a regression
+// only when the offending path happens to run under the benchmark; this
+// catches it at vet time.
+//
+// Flagged inside //km:hotpath functions:
+//   - map and slice composite literals, and heap-escaping &T{...}
+//   - make and new calls
+//   - append to a local slice declared without a capacity hint
+//     (appends to fields, parameters, and make-initialized locals pass:
+//     those are the engine's recycled buffers)
+//   - closures (func literals)
+//   - fmt.* calls (allocate and box their operands)
+//   - explicit conversions to interface types (boxing)
+//   - non-constant string concatenation
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"kmgraph/internal/analysis/kit"
+)
+
+var Analyzer = &kit.Analyzer{
+	Name: "hotalloc",
+	Doc:  "reports allocating constructs inside //km:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *kit.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !kit.HasMark(fd.Doc, kit.HotpathMark) {
+				continue
+			}
+			check(pass, fd)
+		}
+	}
+	return nil
+}
+
+func check(pass *kit.Pass, fd *ast.FuncDecl) {
+	hinted := hintedLocals(pass, fd.Body)
+	markSignature(pass, fd, hinted)
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos, "%s in //km:hotpath function %s allocates; hoist it, pool it, "+
+			"or justify with //kmvet:ignore", what, fd.Name.Name)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			report(n.Pos(), "closure")
+		case *ast.CompositeLit:
+			t := pass.TypesInfo.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				report(n.Pos(), "map literal")
+			case *types.Slice:
+				report(n.Pos(), "slice literal")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					report(n.Pos(), "heap-allocated composite literal (&T{...})")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := pass.TypesInfo.Types[ast.Expr(n)]; ok && tv.Value == nil && isString(tv.Type) {
+					report(n.Pos(), "string concatenation")
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(pass, n, hinted, report)
+		}
+		return true
+	})
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func checkCall(pass *kit.Pass, call *ast.CallExpr, hinted map[types.Object]bool, report func(token.Pos, string)) {
+	// Conversion to an interface type boxes its operand.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if _, isIface := tv.Type.Underlying().(*types.Interface); isIface && len(call.Args) == 1 {
+			if at := pass.TypesInfo.TypeOf(call.Args[0]); at != nil {
+				if _, already := at.Underlying().(*types.Interface); !already {
+					report(call.Pos(), "conversion to interface type")
+				}
+			}
+		}
+		return
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[fun]; obj != nil && obj.Parent() == types.Universe {
+			switch fun.Name {
+			case "make":
+				report(call.Pos(), "make call")
+			case "new":
+				report(call.Pos(), "new call")
+			case "append":
+				if len(call.Args) > 0 {
+					if obj := baseObject(pass, call.Args[0]); obj != nil && isLocalUnhinted(obj, hinted) {
+						report(call.Pos(), "append to unhinted local slice "+obj.Name())
+					}
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			report(call.Pos(), "fmt."+fn.Name()+" call")
+		}
+	}
+}
+
+// baseObject resolves the base identifier of a (possibly parenthesized)
+// expression to its object; selectors/indexes return nil — fields and
+// element destinations are treated as managed buffers.
+func baseObject(pass *kit.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[x]; obj != nil {
+				return obj
+			}
+			return pass.TypesInfo.Defs[x]
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isLocalUnhinted reports whether obj is a local variable whose slice
+// storage was never pre-sized: grown-from-nil appends reallocate on the
+// hot path, which is exactly what the annotation forbids.
+func isLocalUnhinted(obj types.Object, hinted map[types.Object]bool) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return false
+	}
+	if v.Parent() == v.Pkg().Scope() {
+		return false // package-level
+	}
+	if _, ok := v.Type().Underlying().(*types.Slice); !ok {
+		return false
+	}
+	return !hinted[obj]
+}
+
+// markSignature marks the function's receiver, parameters, and named
+// results as hinted: those buffers belong to the caller, and appending to
+// them is the engine's standard recycled-buffer pattern.
+func markSignature(pass *kit.Pass, fd *ast.FuncDecl, hinted map[types.Object]bool) {
+	lists := []*ast.FieldList{fd.Recv, fd.Type.Params, fd.Type.Results}
+	for _, fl := range lists {
+		if fl == nil {
+			continue
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					hinted[obj] = true
+				}
+			}
+		}
+	}
+}
+
+// hintedLocals collects local slice variables with a real initializer —
+// a make call, a slice of an existing buffer, a call result, a parameter
+// copy — anything other than "var s []T" / "s := []T{}" growth-from-nil.
+// Parameters and named results count as hinted (the caller owns them).
+func hintedLocals(pass *kit.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	hinted := make(map[types.Object]bool)
+	mark := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		switch r := rhs.(type) {
+		case nil:
+			return // var s []T — unhinted
+		case *ast.CompositeLit:
+			if len(r.Elts) == 0 {
+				return // s := []T{} — unhinted
+			}
+		case *ast.Ident:
+			if r.Name == "nil" {
+				return // s := []T(nil)-ish — unhinted
+			}
+		case *ast.CallExpr:
+			// s = append(s, ...) grows s; the assignment itself is no hint.
+			if id, ok := r.Fun.(*ast.Ident); ok && id.Name == "append" {
+				if o := pass.TypesInfo.Uses[id]; o != nil && o.Parent() == types.Universe {
+					return
+				}
+			}
+		}
+		hinted[obj] = true
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					mark(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i < len(n.Values) {
+					mark(name, n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return hinted
+}

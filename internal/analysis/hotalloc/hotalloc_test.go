@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"kmgraph/internal/analysis/hotalloc"
+	"kmgraph/internal/analysis/kit"
+)
+
+func TestHotAlloc(t *testing.T) {
+	kit.TestDir(t, "testdata/a", hotalloc.Analyzer)
+}

@@ -1,0 +1,78 @@
+package a
+
+import "fmt"
+
+type ring struct {
+	buf []byte
+}
+
+//km:hotpath
+func hotAppendUnhinted(vs []int) int {
+	var acc []int
+	for _, v := range vs {
+		acc = append(acc, v) // want `append to unhinted local slice acc`
+	}
+	return len(acc)
+}
+
+//km:hotpath
+func hotMake() {
+	_ = make([]byte, 16) // want `make call`
+	_ = new(ring)        // want `new call`
+}
+
+//km:hotpath
+func hotLiterals() {
+	_ = map[int]int{}  // want `map literal`
+	_ = []int{1, 2, 3} // want `slice literal`
+	_ = &ring{}        // want `heap-allocated composite literal`
+}
+
+//km:hotpath
+func hotClosure(vs []int) {
+	f := func(x int) int { return x * 2 } // want `closure`
+	_ = f(len(vs))
+}
+
+//km:hotpath
+func hotFmt(n int) {
+	fmt.Println(n) // want `fmt.Println call`
+}
+
+//km:hotpath
+func hotBoxing(n int) any {
+	return any(n) // want `conversion to interface type`
+}
+
+//km:hotpath
+func hotConcat(a, b string) string {
+	return a + b // want `string concatenation`
+}
+
+//km:hotpath
+func hotAppendParam(dst []byte, v byte) []byte {
+	return append(dst, v) // parameter buffers are caller-owned: ok
+}
+
+//km:hotpath
+func (r *ring) hotAppendField(v byte) {
+	r.buf = append(r.buf, v) // recycled field buffer: ok
+}
+
+//km:hotpath
+func hotConstConcat() string {
+	return "a" + "b" // constant-folded: ok
+}
+
+//km:hotpath
+func hotWaived() []byte {
+	return make([]byte, 64) //kmvet:ignore amortized chunk growth, measured by AllocsPerRun pin
+}
+
+// Not annotated: everything here is legal.
+func coldPath() {
+	m := map[string]int{"a": 1}
+	s := fmt.Sprint(m)
+	f := func() string { return s }
+	_ = f()
+}

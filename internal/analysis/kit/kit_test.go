@@ -1,0 +1,86 @@
+package kit
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+// boomAnalyzer reports every call to a function literally named "boom" —
+// a minimal analyzer for exercising the directive plumbing.
+var boomAnalyzer = &Analyzer{
+	Name: "boom",
+	Doc:  "reports calls to boom",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "boom" {
+					pass.Reportf(call.Pos(), "boom call")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestIgnoreDirectives(t *testing.T) {
+	c, err := LoadDir("testdata/ignore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, waivers, err := RunAnalyzers(c, []*Analyzer{boomAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Line 6: plain boom -> kept. Line 7: justified ignore -> waived.
+	// Line 8: empty-reason ignore -> reported by "kmvet". Line 9: boom under
+	// the empty ignore -> kept (an unjustified ignore suppresses nothing).
+	var kept []string
+	for _, d := range diags {
+		kept = append(kept, d.String())
+	}
+	if len(diags) != 3 {
+		t.Fatalf("want 3 surviving diagnostics, got %d:\n%s", len(diags), strings.Join(kept, "\n"))
+	}
+	if diags[0].Pos.Line != 6 || diags[0].Analyzer != "boom" {
+		t.Errorf("diag 0: want boom at line 6, got %s", diags[0])
+	}
+	if diags[1].Pos.Line != 8 || diags[1].Analyzer != "kmvet" ||
+		!strings.Contains(diags[1].Message, "requires a justification") {
+		t.Errorf("diag 1: want kmvet empty-reason report at line 8, got %s", diags[1])
+	}
+	if diags[2].Pos.Line != 9 || diags[2].Analyzer != "boom" {
+		t.Errorf("diag 2: want boom at line 9, got %s", diags[2])
+	}
+
+	if len(waivers) != 1 {
+		t.Fatalf("want 1 waiver, got %d", len(waivers))
+	}
+	if waivers[0].Pos.Line != 7 || waivers[0].Reason != "intentionally detonated for the waiver test" {
+		t.Errorf("waiver: got line %d reason %q", waivers[0].Pos.Line, waivers[0].Reason)
+	}
+}
+
+func TestMarkWord(t *testing.T) {
+	cases := []struct {
+		text, want string
+	}{
+		{"//km:hotpath", "hotpath"},
+		{"//km:hotpath this function feeds the round loop", "hotpath"},
+		{"//km:exhaustive", "exhaustive"},
+		{"// km:hotpath", ""}, // space breaks the directive, as with go:build
+		{"//kmvet:ignore x", ""},
+		{"// ordinary comment", ""},
+	}
+	for _, c := range cases {
+		if got := markWord(c.text); got != c.want {
+			t.Errorf("markWord(%q) = %q, want %q", c.text, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package kit
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+// LoadedPackage is one package type-checked from source.
+type LoadedPackage struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	Directives map[string]bool // package-level //km: words
+}
+
+// Corpus is a set of source-loaded packages sharing one FileSet, one
+// export-data importer, and the cross-package directive index.
+type Corpus struct {
+	Fset        *token.FileSet
+	Pkgs        []*LoadedPackage
+	MarkedTypes map[string]string
+
+	ignores map[string]map[int]*ignoreDirective // filename -> line -> directive
+}
+
+func newCorpus() *Corpus {
+	return &Corpus{
+		Fset:        token.NewFileSet(),
+		MarkedTypes: make(map[string]string),
+		ignores:     make(map[string]map[int]*ignoreDirective),
+	}
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	Standard   bool
+	DepOnly    bool
+}
+
+const listFields = "ImportPath,Dir,Export,GoFiles,CgoFiles,Standard,DepOnly"
+
+// goList runs `go list -export -deps -json` in dir for the given patterns
+// and decodes the package stream (dependency order: imports first).
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-export", "-deps", "-json=" + listFields}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %w\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports from gc export data produced by
+// `go list -export`, caching loaded packages across the whole corpus.
+type exportImporter struct {
+	gc      types.ImporterFrom
+	exports map[string]string
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	ei := &exportImporter{exports: exports}
+	ei.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("kmvet: no export data for %q", path)
+		}
+		return os.Open(e)
+	}).(types.ImporterFrom)
+	return ei
+}
+
+func (ei *exportImporter) Import(path string) (*types.Package, error) {
+	return ei.ImportFrom(path, "", 0)
+}
+
+func (ei *exportImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return ei.gc.ImportFrom(path, dir, mode)
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// Load lists patterns from dir (a directory inside the target module),
+// parses and type-checks every non-dependency package from source, and
+// returns the corpus in dependency order.
+func Load(dir string, patterns []string) (*Corpus, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	c := newCorpus()
+	imp := newExportImporter(c.Fset, exports)
+	for _, lp := range listed {
+		if lp.Standard || lp.DepOnly {
+			continue
+		}
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("kmvet: %s uses cgo (unsupported)", lp.ImportPath)
+		}
+		pkg := &LoadedPackage{
+			ImportPath: lp.ImportPath,
+			Dir:        lp.Dir,
+			Directives: make(map[string]bool),
+		}
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(c.Fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			pkg.Files = append(pkg.Files, f)
+			c.collectFileDirectives(pkg, f)
+		}
+		conf := types.Config{Importer: imp}
+		info := newInfo()
+		tpkg, err := conf.Check(lp.ImportPath, c.Fset, pkg.Files, info)
+		if err != nil {
+			return nil, fmt.Errorf("kmvet: type-checking %s: %w", lp.ImportPath, err)
+		}
+		pkg.Types, pkg.Info = tpkg, info
+		c.Pkgs = append(c.Pkgs, pkg)
+	}
+	return c, nil
+}
+
+// LoadDir parses and type-checks a standalone directory of Go files (an
+// analyzer's testdata corpus — outside any module, stdlib imports only).
+func LoadDir(dir string) (*Corpus, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	c := newCorpus()
+	pkg := &LoadedPackage{ImportPath: "", Dir: dir, Directives: make(map[string]bool)}
+	importSet := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		f, err := parser.ParseFile(c.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				return nil, err
+			}
+			importSet[path] = true
+		}
+	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("kmvet: no Go files in %s", dir)
+	}
+	pkg.ImportPath = pkg.Files[0].Name.Name
+	// Directive collection ran per-file at parse time for Load; here the
+	// files were parsed before the package name was known, so index now.
+	for _, f := range pkg.Files {
+		c.collectFileDirectives(pkg, f)
+	}
+
+	exports := make(map[string]string)
+	if len(importSet) > 0 {
+		var paths []string
+		for p := range importSet {
+			if p != "unsafe" {
+				paths = append(paths, p)
+			}
+		}
+		sort.Strings(paths)
+		listed, err := goList(dir, paths)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	conf := types.Config{Importer: newExportImporter(c.Fset, exports)}
+	info := newInfo()
+	tpkg, err := conf.Check(pkg.ImportPath, c.Fset, pkg.Files, info)
+	if err != nil {
+		return nil, fmt.Errorf("kmvet: type-checking %s: %w", dir, err)
+	}
+	pkg.Types, pkg.Info = tpkg, info
+	c.Pkgs = append(c.Pkgs, pkg)
+	return c, nil
+}

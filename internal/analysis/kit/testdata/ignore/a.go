@@ -1,0 +1,10 @@
+package a
+
+func boom() {}
+
+func use() {
+	boom()
+	boom() //kmvet:ignore intentionally detonated for the waiver test
+	//kmvet:ignore
+	boom()
+}

@@ -1,0 +1,237 @@
+// Package maporder reports map iterations whose loop body has an
+// order-dependent effect: appending to (or encoding into) state declared
+// outside the loop, sending on a channel, or invoking an emitting call
+// (Append*/Encode*/Write*/Send*/Exchange*/...) against an outer receiver.
+// Go randomizes map iteration order per run, so any such loop injects
+// nondeterminism into whatever the accumulated state feeds — in this
+// engine, wire frames, merged Metrics, and sketch folds, where the golden
+// fingerprints require bit-exact replay.
+//
+// The canonical collect-keys-then-sort idiom is recognized and exempt: an
+// append whose destination is later passed to a sort.*/slices.Sort* call
+// in the same function is ordered before use.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"kmgraph/internal/analysis/kit"
+)
+
+var Analyzer = &kit.Analyzer{
+	Name: "maporder",
+	Doc: "reports map iterations with order-dependent effects (appends, sends, " +
+		"or emitting calls against state declared outside the loop)",
+	Run: run,
+}
+
+// emittingPrefixes name call families that serialize or transmit: feeding
+// them in map order puts map order on the wire.
+var emittingPrefixes = []string{
+	"Append", "Encode", "Write", "Send", "Emit", "Push", "Exchange", "Transmit", "Broadcast",
+}
+
+func run(pass *kit.Pass) error {
+	for _, f := range pass.Files {
+		var funcStack []ast.Node // enclosing FuncDecl/FuncLit chain
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				if b := body(n); b != nil {
+					funcStack = append(funcStack, n)
+					ast.Inspect(b, walk)
+					funcStack = funcStack[:len(funcStack)-1]
+				}
+				return false
+			case *ast.RangeStmt:
+				if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap && len(funcStack) > 0 {
+						checkRange(pass, n, body(funcStack[len(funcStack)-1]))
+					}
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+	return nil
+}
+
+func body(fn ast.Node) *ast.BlockStmt {
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		return fn.Body
+	case *ast.FuncLit:
+		return fn.Body
+	}
+	return nil
+}
+
+// checkRange inspects one map-range body for order-dependent effects.
+func checkRange(pass *kit.Pass, rng *ast.RangeStmt, enclosing *ast.BlockStmt) {
+	mapStr := types.ExprString(rng.X)
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos, "iterating %s (a map) %s: map order is random per run; "+
+			"iterate sorted keys (core.SortedKeys) or justify with //kmvet:ignore",
+			mapStr, what)
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			report(n.Pos(), "sends on a channel in map order")
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+				if t := pass.TypesInfo.TypeOf(n.Lhs[0]); t != nil && isString(t) &&
+					declaredOutside(pass, n.Lhs[0], rng) {
+					report(n.Pos(), "concatenates onto an outer string")
+				}
+			}
+		case *ast.CallExpr:
+			if dest, ok := appendDest(pass, n); ok {
+				if declaredOutside(pass, dest, rng) && !sortedLater(pass, enclosing, dest, rng.End()) {
+					report(n.Pos(), "appends to "+types.ExprString(dest)+" declared outside the loop")
+				}
+				return true
+			}
+			if name, recv := emittingCall(pass, n); name != "" {
+				// Flag only when the emitted-into destination outlives the
+				// loop: the receiver for methods, the first argument for
+				// append-style package functions.
+				dest := recv
+				if dest == nil && len(n.Args) > 0 {
+					dest = n.Args[0]
+				}
+				if dest != nil && declaredOutside(pass, dest, rng) && !sortedLater(pass, enclosing, dest, rng.End()) {
+					report(n.Pos(), "calls "+name+" against "+types.ExprString(dest)+" declared outside the loop")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// appendDest returns the destination expression of a builtin append call.
+func appendDest(pass *kit.Pass, call *ast.CallExpr) (ast.Expr, bool) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return nil, false
+	}
+	if obj := pass.TypesInfo.Uses[id]; obj == nil || obj.Parent() != types.Universe {
+		return nil, false
+	}
+	return call.Args[0], true
+}
+
+// emittingCall reports whether call invokes an emitting-named function or
+// method, returning its name and (for methods) the receiver expression.
+func emittingCall(pass *kit.Pass, call *ast.CallExpr) (string, ast.Expr) {
+	var name string
+	var recv ast.Expr
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+		if sel, ok := pass.TypesInfo.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			recv = fun.X
+		}
+	case *ast.Ident:
+		name = fun.Name
+	default:
+		return "", nil
+	}
+	for _, p := range emittingPrefixes {
+		if strings.HasPrefix(name, p) {
+			return name, recv
+		}
+	}
+	return "", nil
+}
+
+// rootObject resolves an expression to the object of its base identifier
+// (stripping selectors, indexes, slices, stars, parens).
+func rootObject(pass *kit.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[x]; obj != nil {
+				return obj
+			}
+			return pass.TypesInfo.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.CallExpr:
+			// e.g. m.Pool().Put — the root is the call's receiver chain.
+			e = x.Fun
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether e's root object is declared outside the
+// range statement (fields and package vars always are).
+func declaredOutside(pass *kit.Pass, e ast.Expr, rng *ast.RangeStmt) bool {
+	obj := rootObject(pass, e)
+	if obj == nil {
+		return false // nil literal, composite, etc. — freshly built
+	}
+	return obj.Pos() < rng.Pos() || obj.Pos() >= rng.End()
+}
+
+// sortedLater reports whether the enclosing function, after the range
+// statement, passes dest's object to a sort.*/slices.Sort* call — the
+// collect-then-sort idiom.
+func sortedLater(pass *kit.Pass, enclosing *ast.BlockStmt, dest ast.Expr, after token.Pos) bool {
+	obj := rootObject(pass, dest)
+	if obj == nil || enclosing == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < after || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		pkgPath := fn.Pkg().Path()
+		if pkgPath != "sort" && pkgPath != "slices" {
+			return true
+		}
+		name := fn.Name()
+		if !strings.HasPrefix(name, "Sort") && !strings.HasPrefix(name, "Stable") &&
+			name != "Ints" && name != "Strings" && name != "Float64s" &&
+			name != "Slice" && name != "SliceStable" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if rootObject(pass, arg) == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"kmgraph/internal/analysis/kit"
+	"kmgraph/internal/analysis/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	kit.TestDir(t, "testdata/a", maporder.Analyzer)
+}

@@ -1,0 +1,93 @@
+package a
+
+import (
+	"bytes"
+	"sort"
+)
+
+// AppendU mimics the engine's wire.AppendUvarint: an emitting-named
+// package function whose first argument is the destination buffer.
+func AppendU(dst []byte, v uint64) []byte {
+	return append(dst, byte(v))
+}
+
+func badAppendOuter(m map[uint64]int) []uint64 {
+	var out []uint64
+	for k := range m {
+		out = append(out, k) // want `appends to out declared outside the loop`
+	}
+	return out
+}
+
+func badChannelSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `sends on a channel in map order`
+	}
+}
+
+func badStringConcat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `concatenates onto an outer string`
+	}
+	return s
+}
+
+func badEmitMethod(m map[string]int) string {
+	var b bytes.Buffer
+	for k := range m {
+		b.WriteString(k) // want `calls WriteString against b declared outside the loop`
+	}
+	return b.String()
+}
+
+func badEmitFirstArg(m map[uint64]int) []byte {
+	var frame []byte
+	for k := range m {
+		frame = AppendU(frame, k) // want `calls AppendU against frame declared outside the loop`
+	}
+	return frame
+}
+
+func goodCollectThenSort(m map[uint64]int) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func goodInnerOnly(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		local := []int{}
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}
+
+func goodOrderFree(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func waivedAppend(m map[uint64]struct{}) []uint64 {
+	var pool []uint64
+	for k := range m {
+		pool = append(pool, k) //kmvet:ignore free-list recycling is value-independent
+	}
+	return pool
+}
+
+func badSliceRangeIsFine(xs []int, m map[int]int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, m[x])
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+// Package roundpurity enforces determinism inside round-loop packages.
+// A package carrying a //km:roundpure directive (in any file) executes
+// inside the engine's lock-step round loop, where every machine must make
+// bit-identical decisions from the same inputs. Three constructs break
+// that replayability and are reported:
+//
+//   - wall-clock reads: time.Now, time.Since, time.Until
+//   - the global math/rand (and math/rand/v2) source: package-level
+//     Intn/Float64/Shuffle/... — seeded per-process, not per-machine.
+//     Constructors (New, NewSource, NewPCG, NewChaCha8, NewZipf) stay
+//     legal: injecting a seeded *rand.Rand is exactly the sanctioned
+//     pattern.
+//   - branching on map iteration order is maporder's job; here the
+//     remaining temporal sources are closed off.
+package roundpurity
+
+import (
+	"go/ast"
+	"go/types"
+
+	"kmgraph/internal/analysis/kit"
+)
+
+var Analyzer = &kit.Analyzer{
+	Name: "roundpurity",
+	Doc:  "reports wall-clock and global-rand use in //km:roundpure packages",
+	Run:  run,
+}
+
+// timeBanned are time-package functions that read the wall clock.
+var timeBanned = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// randAllowed are math/rand(/v2) functions that construct generators
+// rather than draw from the shared global source.
+var randAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+func run(pass *kit.Pass) error {
+	if !pass.PkgDirectives[kit.RoundPureMark] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			// Only package-level functions matter: methods on an injected
+			// *rand.Rand or a stored time.Time are the sanctioned pattern.
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if timeBanned[fn.Name()] {
+					pass.Reportf(sel.Pos(), "time.%s in //km:roundpure package %s: wall-clock reads "+
+						"diverge across machines; take timestamps outside the round loop", fn.Name(), pass.Pkg.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !randAllowed[fn.Name()] {
+					pass.Reportf(sel.Pos(), "global rand.%s in //km:roundpure package %s: the process-global "+
+						"source is not replayable; draw from an injected seeded *rand.Rand", fn.Name(), pass.Pkg.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package roundpurity_test
+
+import (
+	"testing"
+
+	"kmgraph/internal/analysis/kit"
+	"kmgraph/internal/analysis/roundpurity"
+)
+
+func TestRoundPurity(t *testing.T) {
+	kit.TestDir(t, "testdata/a", roundpurity.Analyzer)
+}
+
+func TestUnmarkedPackageIsExempt(t *testing.T) {
+	kit.TestDir(t, "testdata/plain", roundpurity.Analyzer)
+}

@@ -1,0 +1,42 @@
+// Package a stands in for a round-loop package.
+//
+//km:roundpure
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func badClock() int64 {
+	return time.Now().UnixNano() // want `time.Now in //km:roundpure package a`
+}
+
+func badElapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since in //km:roundpure package a`
+}
+
+func badGlobalRand() int {
+	return rand.Intn(10) // want `global rand.Intn in //km:roundpure package a`
+}
+
+func badGlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global rand.Shuffle`
+}
+
+func goodSeededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func goodStoredTime(t time.Time) int64 {
+	return t.UnixNano()
+}
+
+func goodDurationMath(d time.Duration) time.Duration {
+	return d * 2
+}
+
+func waivedClock() int64 {
+	return time.Now().UnixNano() //kmvet:ignore telemetry-only timestamp, never crosses the wire
+}

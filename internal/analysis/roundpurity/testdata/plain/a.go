@@ -1,0 +1,16 @@
+// Package a is NOT marked //km:roundpure: wall-clock and global rand are
+// allowed, so nothing below is a finding.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clockOK() int64 {
+	return time.Now().UnixNano()
+}
+
+func randOK() int {
+	return rand.Intn(10)
+}

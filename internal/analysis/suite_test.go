@@ -1,0 +1,56 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kmgraph/internal/analysis"
+	"kmgraph/internal/analysis/kit"
+)
+
+// moduleRoot walks up from the test's working directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestSuiteCleanOnRepo is the vet gate: the full kmvet suite over ./...
+// must report zero findings. Every accepted suppression must carry a
+// justification (the kit enforces this by reporting empty ignores).
+func TestSuiteCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	root := moduleRoot(t)
+	corpus, err := kit.Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, waivers, err := kit.RunAnalyzers(corpus, analysis.Suite())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	for _, w := range waivers {
+		if w.Reason == "" {
+			t.Errorf("waiver without justification: %s", w.Diagnostic)
+		}
+	}
+	t.Logf("suite clean: %d packages, %d waivers", len(corpus.Pkgs), len(waivers))
+}

@@ -37,6 +37,8 @@
 //
 // All communication goes through proxy.Comm exchanges, so the engine's
 // per-link bandwidth accounting prices every step exactly as Lemma 1 does.
+//
+//km:roundpure
 package core
 
 import (
@@ -333,16 +335,19 @@ func (m *machine) run() error {
 // the proxies forward the distinct labels they proxy to machine 0, which
 // returns the count (and -1 is returned on all other machines).
 func (m *machine) countComponents() int {
+	// Collect the distinct labels first, then emit in sorted order: the
+	// send order reaches the proxies' recorded streams, and building it
+	// from map iteration would shuffle it per run.
 	var out []proxy.Out
 	seen := make(map[uint64]bool)
 	for _, l := range m.Labels {
-		if !seen[l] {
-			seen[l] = true
-			out = append(out, proxy.Out{
-				Dst:  m.ProxyOf(0, l),
-				Data: wire.AppendUvarint(nil, l),
-			})
-		}
+		seen[l] = true
+	}
+	for _, l := range SortedKeys(seen) {
+		out = append(out, proxy.Out{
+			Dst:  m.ProxyOf(0, l),
+			Data: wire.AppendUvarint(nil, l),
+		})
 	}
 	recv := m.Comm.Exchange(out)
 	distinct := make(map[uint64]bool)

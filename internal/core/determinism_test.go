@@ -1,0 +1,64 @@
+package core
+
+import (
+	"hash/fnv"
+	"testing"
+
+	"kmgraph/internal/graph"
+)
+
+// fingerprintMetrics folds every accounting field so any run-to-run drift
+// — rounds, per-link bits, per-machine counters — shows as a mismatch.
+func fingerprintMetrics(res *Result) uint64 {
+	h := fnv.New64a()
+	add := func(x int64) {
+		var b [8]byte
+		for i := range b {
+			b[i] = byte(uint64(x) >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	m := &res.Metrics
+	add(int64(m.Rounds))
+	add(m.Messages)
+	add(m.PayloadBytes)
+	add(m.MaxLinkBits)
+	for _, row := range m.LinkBits {
+		for _, b := range row {
+			add(b)
+		}
+	}
+	for i := range m.SentMsgs {
+		add(m.SentMsgs[i])
+		add(m.RecvMsgs[i])
+	}
+	add(int64(res.Components))
+	add(int64(res.ProtocolCount))
+	add(int64(res.Phases))
+	return h.Sum64()
+}
+
+// TestCountComponentsDeterministic reruns the §2.6 output protocol —
+// whose proxy fan-out is built from per-machine label maps, an input Go
+// reshuffles on every run — and requires bit-identical accounting every
+// time. This pins the countComponents fix: distinct labels are now
+// collected and emitted in sorted order instead of map order.
+func TestCountComponentsDeterministic(t *testing.T) {
+	g := graph.DisjointComponents(150, 5, 0.3, 2)
+	var first uint64
+	for i := 0; i < 5; i++ {
+		res, err := Run(g, Config{K: 4, Seed: 3, CountComponents: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ProtocolCount != 5 {
+			t.Fatalf("run %d: protocol count = %d, want 5", i, res.ProtocolCount)
+		}
+		fp := fingerprintMetrics(res)
+		if i == 0 {
+			first = fp
+		} else if fp != first {
+			t.Fatalf("run %d: fingerprint %#x != first run %#x", i, fp, first)
+		}
+	}
+}

@@ -61,6 +61,8 @@ type CompState struct {
 }
 
 // Encode appends the wire encoding of the state.
+//
+//km:hotpath
 func (st *CompState) Encode(buf []byte) []byte {
 	buf = wire.AppendUvarint(buf, st.Label)
 	buf = wire.AppendUvarint(buf, st.Cur)
@@ -149,6 +151,8 @@ type Merger struct {
 
 // StateKeys returns m.States' labels in ascending order through a reused
 // buffer (valid until the next StateKeys call).
+//
+//km:hotpath
 func (m *Merger) StateKeys() []uint64 {
 	ls := m.keyBuf[:0]
 	for l := range m.States {
@@ -164,6 +168,8 @@ func (m *Merger) StateKeys() []uint64 {
 // component state's pooled accumulator (creating the state on first
 // sight) and records the sender as a part holder. Static connectivity,
 // MST iteration 0, and the resident bank path all run exactly this code.
+//
+//km:hotpath
 func (m *Merger) AccumulateParts(recv []kmachine.Message, seed uint64) {
 	m.ResetStates()
 	for _, msg := range recv {
@@ -176,7 +182,7 @@ func (m *Merger) AccumulateParts(recv []kmachine.Message, seed uint64) {
 			st.Sum = m.Pool().Get(seed)
 		}
 		if err := st.Sum.AddEncoded(msg.Data[len(msg.Data)-r.Len():]); err != nil {
-			panic(fmt.Sprintf("core: bad sketch from %d: %v", msg.Src, err))
+			panic(fmt.Sprintf("core: bad sketch from %d: %v", msg.Src, err)) //kmvet:ignore panic path; never executes on protocol-conformant traffic
 		}
 		st.Holders[msg.Src/8] |= 1 << uint(msg.Src%8)
 	}
@@ -227,7 +233,7 @@ func (m *Merger) ResetStates() {
 			m.Pool().Put(st.Sum)
 			st.Sum = nil
 		}
-		m.stFree = append(m.stFree, st)
+		m.stFree = append(m.stFree, st) //kmvet:ignore free-list recycling; recycled states are fully reset by NewState before reuse
 		delete(m.States, l)
 	}
 }
@@ -376,13 +382,15 @@ func (m *Merger) ProxyOf(slot int, label uint64) int {
 // Parts groups this machine's vertices by current component label. The
 // returned map and its slices are reused by the next Parts call on this
 // Merger — consume the grouping within the phase step that requested it.
+//
+//km:hotpath
 func (m *Merger) Parts() map[uint64][]int {
 	if m.partsMap == nil {
-		m.partsMap = make(map[uint64][]int, len(m.View.Owned()))
+		m.partsMap = make(map[uint64][]int, len(m.View.Owned())) //kmvet:ignore one-time lazy init; reused by every later call
 	}
 	p := m.partsMap
 	for l, s := range p {
-		m.partsFree = append(m.partsFree, s[:0])
+		m.partsFree = append(m.partsFree, s[:0]) //kmvet:ignore free-list recycling; recycled slices are truncated and value-independent
 		delete(p, l)
 	}
 	for _, v := range m.View.Owned() {
@@ -420,6 +428,8 @@ func (m *Merger) PhaseFailures() uint64 {
 // ApplyRank applies the merge rule to a component that sampled nbrLabel:
 // the DRR rule (§2.5, connect iff the neighbor's rank is higher) or the
 // footnote-9 coin rule (connect iff self drew 0 and the neighbor drew 1).
+//
+//km:hotpath
 func (m *Merger) ApplyRank(st *CompState, nbrLabel uint64) {
 	if m.Cfg.CoinMerge {
 		self := m.Sh.Rank(m.Phase, st.Label) & 1

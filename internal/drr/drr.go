@@ -8,6 +8,8 @@
 // The decision rule and forest analysis are pure functions used both by
 // the distributed connectivity/MST algorithms (which evaluate ranks via
 // the shared hash) and by the standalone Lemma 6 experiment (E3).
+//
+//km:roundpure
 package drr
 
 import "math/rand"

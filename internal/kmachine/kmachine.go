@@ -34,6 +34,8 @@
 // sharded across a bounded set of workers (destinations are independent;
 // global counters are merged in destination order after the join), with a
 // serial fallback otherwise. Both paths produce bit-identical Metrics.
+//
+//km:roundpure
 package kmachine
 
 import (
@@ -228,14 +230,18 @@ func (c *Ctx) SetOutput(v any) { c.output = v }
 // round. Sending to self is free local bookkeeping delivered next round.
 // The engine retains data until delivery; callers must not mutate it after
 // sending (encode into Arena buffers to reuse scratch space safely).
+//
+//km:hotpath
 func (c *Ctx) Send(dst int, data []byte) {
 	if dst < 0 || dst >= c.cfg.K {
-		panic(fmt.Sprintf("kmachine: send to invalid machine %d", dst))
+		panic(fmt.Sprintf("kmachine: send to invalid machine %d", dst)) //kmvet:ignore panic path; unreachable for in-range destinations
 	}
 	c.outbox = append(c.outbox, Message{Src: c.id, Dst: dst, Data: data})
 }
 
 // Broadcast sends data to every other machine (K-1 messages).
+//
+//km:hotpath
 func (c *Ctx) Broadcast(data []byte) {
 	for d := 0; d < c.cfg.K; d++ {
 		if d != c.id {
@@ -249,6 +255,8 @@ type abortPanic struct{}
 // submit sends an event to the coordinator, aborting the machine if the
 // coordinator has already exited (a cancelled run must not wedge machines
 // in barrier calls, whatever state they were in when the abort hit).
+//
+//km:hotpath
 func (c *Ctx) submit(e event) {
 	select {
 	case c.evCh <- e:
@@ -281,6 +289,8 @@ func (c *Ctx) Unpark() { c.submit(event{id: c.id, unpark: true}) }
 // round, sorted by (Src, send order). The returned slice is reused by the
 // engine: it stays valid until the second-next Step call; do not retain it
 // (retaining the payload bytes of individual messages is fine).
+//
+//km:hotpath
 func (c *Ctx) Step() []Message {
 	c.submit(event{id: c.id, outbox: c.outbox})
 	c.outbox = nil

@@ -164,9 +164,12 @@ func run(g *graph.Graph, cfg Config, unweighted bool) (*Result, error) {
 			union[graph.EdgeID(e.U, e.V, n)] = e
 		}
 	}
-	var edges []graph.Edge
-	for _, e := range union {
-		edges = append(edges, e)
+	// Emit the union in sorted EdgeID order: FromEdges lays out adjacency
+	// in edge-list order, so iterating the map here would shuffle neighbor
+	// order — and the MST phase's tie-breaks — per run.
+	edges := make([]graph.Edge, 0, len(union))
+	for _, id := range core.SortedKeys(union) {
+		edges = append(edges, union[id])
 	}
 	filtered := graph.FromEdges(n, edges)
 

@@ -881,13 +881,13 @@ func (e *Engine) Metrics() Metrics {
 	e.statMu.Lock()
 	defer e.statMu.Unlock()
 	return Metrics{
-		Load:        e.loadMetrics,
-		Total:       e.lastSnapshot,
-		LoadRounds:  e.loadMetrics.Rounds,
-		Jobs:        e.jobs,
-		Batches:     e.batches,
-		Queries:     e.queries,
-		Edges:       e.edges,
+		Load:           e.loadMetrics,
+		Total:          e.lastSnapshot,
+		LoadRounds:     e.loadMetrics.Rounds,
+		Jobs:           e.jobs,
+		Batches:        e.batches,
+		Queries:        e.queries,
+		Edges:          e.edges,
 		Epoch:          e.epoch.Load(),
 		QueuedJobs:     e.queued,
 		RunningJobs:    e.running,

@@ -159,7 +159,7 @@ func (c *bankCache) mergeRelabel(relabel map[uint64]uint64, localParts map[uint6
 		if !ok {
 			nl = l
 		}
-		groups[nl] = append(groups[nl], l)
+		groups[nl] = append(groups[nl], l) //kmvet:ignore sketch addition is cell-wise linear; fold order immaterial
 	}
 	next := make(map[uint64]map[int]*sketch.Sketch, len(groups))
 	for nl, srcs := range groups {

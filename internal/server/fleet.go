@@ -194,7 +194,7 @@ func (s *Server) closeFleets() {
 	s.mu.Lock()
 	fs := make([]*fleet, 0, len(s.fleets))
 	for _, f := range s.fleets {
-		fs = append(fs, f)
+		fs = append(fs, f) //kmvet:ignore shutdown fan-out; prober close order immaterial
 	}
 	s.fleets = nil
 	s.mu.Unlock()

@@ -60,7 +60,7 @@ type jobRecord struct {
 func (j *jobRecord) notify() {
 	for ch := range j.subs {
 		select {
-		case ch <- struct{}{}:
+		case ch <- struct{}{}: //kmvet:ignore coalescing non-blocking wakeups; delivery order immaterial
 		default:
 		}
 	}

@@ -193,7 +193,7 @@ func (s *Server) Close() error {
 	s.mu.Lock()
 	ts := make([]*tenant, 0, len(s.graphs))
 	for _, t := range s.graphs {
-		ts = append(ts, t)
+		ts = append(ts, t) //kmvet:ignore shutdown fan-out; tenant close order immaterial
 	}
 	s.graphs = make(map[string]*tenant)
 	s.mu.Unlock()

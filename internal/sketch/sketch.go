@@ -21,6 +21,8 @@
 // test and reveals (id, sign). All hash functions and the fingerprint base
 // z derive from a shared seed, so machines build *identical* projections —
 // the distributed analogue of the paper's shared sketch matrix L_j.
+//
+//km:roundpure
 package sketch
 
 import (
@@ -270,6 +272,8 @@ func (s *Sketch) powN(e uint64) uint64 {
 }
 
 // AddItem adds sign (+1 or -1) to slot id.
+//
+//km:hotpath
 func (s *Sketch) AddItem(id uint64, sign int) {
 	s.addItemZ(id, sign, s.powZ(id))
 }
@@ -277,6 +281,8 @@ func (s *Sketch) AddItem(id uint64, sign int) {
 // addItemZ is AddItem with the fingerprint power z^id supplied by the
 // caller (AddVertex computes it incrementally from the two power ladders;
 // the value is identical to powZ(id) either way).
+//
+//km:hotpath
 func (s *Sketch) addItemZ(id uint64, sign int, zid uint64) {
 	idf := field.Reduce(id)
 	mix := idMix(id)
@@ -309,6 +315,8 @@ func (s *Sketch) addItemZ(id uint64, sign int, zid uint64) {
 // entries referring to heavier edges" step of the paper's MST elimination
 // (§3.1). The sign convention implements a_u: +1 when u is the smaller
 // endpoint.
+//
+//km:hotpath
 func (s *Sketch) AddVertex(u int, adj []graph.Half, filter func(u int, h graph.Half) bool) {
 	// Fingerprint powers factor over the edge-slot id x·N + y:
 	// z^(x·N+y) = (z^N)^x · z^y. The per-vertex factors z^(u·N) and z^u are
@@ -349,9 +357,11 @@ func (s *Sketch) Clone() *Sketch {
 
 // Add accumulates other into s (vector addition). Shapes and seeds must
 // match; this is the linearity that merges component parts (Lemma 2).
+//
+//km:hotpath
 func (s *Sketch) Add(other *Sketch) error {
 	if s.p != other.p || s.seed != other.seed {
-		return fmt.Errorf("sketch: shape/seed mismatch")
+		return fmt.Errorf("sketch: shape/seed mismatch") //kmvet:ignore error path; shapes are fixed per run
 	}
 	nb := s.p.Buckets
 	for rl, t := range other.touched {
@@ -467,6 +477,8 @@ func (s *Sketch) SampleEdge() (x, y int, insideSmaller bool, st Status) {
 // EncodeTo appends a compact wire encoding: per (rep, level) a bucket
 // bitmap of nonzero testers followed by their contents. Zero sketches cost
 // a few bytes; dense ones are bounded by Cells() * ~17 bytes.
+//
+//km:hotpath
 func (s *Sketch) EncodeTo(buf []byte) []byte {
 	nb := s.p.Buckets
 	for rl, t := range s.touched {

@@ -62,4 +62,7 @@ func (l *Local) Pending() bool { return l.sw.Active() }
 func (l *Local) Remnants() (int, int64) { return l.sw.Remnants() }
 
 // Close is a no-op for the in-process backend.
-func (l *Local) Close() error { return nil }
+func (l *Local) Close() error {
+	l.sw.Stop()
+	return nil
+}

@@ -1,0 +1,79 @@
+package transport
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"testing"
+)
+
+func fingerprintMetrics(m *Metrics) uint64 {
+	h := fnv.New64a()
+	add := func(x int64) {
+		var b [8]byte
+		for i := range b {
+			b[i] = byte(uint64(x) >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	add(int64(m.Rounds))
+	add(m.Messages)
+	add(m.PayloadBytes)
+	add(m.MaxLinkBits)
+	add(int64(m.DroppedMessages))
+	add(m.DroppedBytes)
+	for _, row := range m.LinkBits {
+		for _, b := range row {
+			add(b)
+		}
+	}
+	for i := range m.SentMsgs {
+		add(m.SentMsgs[i])
+		add(m.RecvMsgs[i])
+	}
+	return h.Sum64()
+}
+
+// TestMergeMetricsOrderIndependent merges the same per-worker partials in
+// deliberately shuffled orders and requires the same fingerprint every
+// time: the coordinator gathers worker results from concurrent links, so
+// arrival order must never reach the merged accounting.
+func TestMergeMetricsOrderIndependent(t *testing.T) {
+	const k = 6
+	rng := rand.New(rand.NewSource(42))
+	parts := make([]*Metrics, 4)
+	for p := range parts {
+		m := NewMetrics(k)
+		m.Rounds = 37
+		m.Messages = rng.Int63n(1000)
+		m.PayloadBytes = rng.Int63n(100000)
+		for s := 0; s < k; s++ {
+			m.SentMsgs[s] = rng.Int63n(500)
+			m.RecvMsgs[s] = rng.Int63n(500)
+			for d := 0; d < k; d++ {
+				if s != d {
+					m.LinkBits[s][d] = rng.Int63n(1 << 20)
+				}
+			}
+		}
+		parts[p] = m
+	}
+
+	merge := func(order []int) uint64 {
+		dst := NewMetrics(k)
+		for _, i := range order {
+			if err := MergeMetrics(dst, parts[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		snap := dst.Snapshot()
+		return fingerprintMetrics(&snap)
+	}
+
+	first := merge([]int{0, 1, 2, 3})
+	for trial := 0; trial < 10; trial++ {
+		order := rng.Perm(len(parts))
+		if fp := merge(order); fp != first {
+			t.Fatalf("order %v: fingerprint %#x != canonical %#x", order, fp, first)
+		}
+	}
+}

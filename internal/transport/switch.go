@@ -77,6 +77,18 @@ type Switch struct {
 
 	workers int
 	next    atomic.Int64 // destination cursor for the sharded transmit
+
+	// Persistent transmit pool: workers park on wake and each drains
+	// destinations from the shared cursor until it passes roundN, then
+	// checks in on roundWG. Spawned lazily on the first sharded round
+	// (guarded by a plain nil check — the Switch is single-driver) and
+	// torn down by Stop; the round loop itself never creates a goroutine
+	// (or its closure) per round.
+	stopOnce sync.Once
+	wake     chan struct{}
+	stop     chan struct{}
+	roundN   int
+	roundWG  sync.WaitGroup
 }
 
 // NewSwitch returns a link simulator for destinations [lo, hi) of a
@@ -114,8 +126,11 @@ func NewSwitch(p Params, lo, hi int, met *Metrics, workers int) *Switch {
 // It is the single enqueue path for every staged message — local or
 // arriving from a peer — so the accounting can never drift between
 // backends. The destination must be hosted.
+//
+//km:hotpath
 func (s *Switch) Enqueue(m Message) {
 	if m.Dst < s.lo || m.Dst >= s.hi {
+		//kmvet:ignore panic path; unreachable for hosted destinations
 		panic(fmt.Sprintf("transport: enqueue for non-hosted machine %d (hosted [%d,%d))",
 			m.Dst, s.lo, s.hi))
 	}
@@ -138,6 +153,8 @@ func (s *Switch) Enqueue(m Message) {
 // hosted destination index di. It touches only di-indexed state (queues,
 // bitmaps, inbox, counters) plus distinct LinkBits elements, so distinct
 // destinations can run concurrently.
+//
+//km:hotpath
 func (s *Switch) transmitDst(di int) {
 	d := s.lo + di
 	buf := s.inbox[di]
@@ -198,6 +215,8 @@ func (s *Switch) transmitDst(di int) {
 // deliveries land in the per-destination inboxes (see Inbox) and the
 // double buffers are flipped, so a buffer returned last round stays
 // untouched for one more round.
+//
+//km:hotpath
 func (s *Switch) TransmitRound() {
 	n := s.hi - s.lo
 	for di := 0; di < n; di++ {
@@ -206,24 +225,16 @@ func (s *Switch) TransmitRound() {
 		s.dstMsgs[di], s.dstBytes[di], s.dstDrained[di] = 0, 0, 0
 	}
 	if s.workers > 1 && (s.active >= TransmitParallelMinLinks || TransmitForceParallel) {
-		s.next.Store(0)
-		var wg sync.WaitGroup
-		wg.Add(s.workers)
-		for w := 0; w < s.workers; w++ {
-			go func() {
-				defer wg.Done()
-				for {
-					di := int(s.next.Add(1)) - 1
-					if di >= n {
-						return
-					}
-					if s.dstActive[di] > 0 {
-						s.transmitDst(di)
-					}
-				}
-			}()
+		if s.wake == nil {
+			s.startPool()
 		}
-		wg.Wait()
+		s.next.Store(0)
+		s.roundN = n
+		s.roundWG.Add(s.workers)
+		for w := 0; w < s.workers; w++ {
+			s.wake <- struct{}{}
+		}
+		s.roundWG.Wait()
 	} else {
 		for di := 0; di < n; di++ {
 			if s.dstActive[di] > 0 {
@@ -236,6 +247,50 @@ func (s *Switch) TransmitRound() {
 		s.met.PayloadBytes += s.dstBytes[di]
 		s.active -= int(s.dstDrained[di])
 	}
+}
+
+// startPool launches the persistent transmit workers. Each wake token
+// admits one worker to one round; the token send happens-before the
+// worker's read of roundN and the queue state, and the worker's writes
+// happen-before roundWG.Wait returns.
+func (s *Switch) startPool() {
+	s.wake = make(chan struct{})
+	s.stop = make(chan struct{})
+	for w := 0; w < s.workers; w++ {
+		go s.poolWorker()
+	}
+}
+
+func (s *Switch) poolWorker() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.wake:
+			for {
+				di := int(s.next.Add(1)) - 1
+				if di >= s.roundN {
+					break
+				}
+				if s.dstActive[di] > 0 {
+					s.transmitDst(di)
+				}
+			}
+			s.roundWG.Done()
+		}
+	}
+}
+
+// Stop tears down the transmit pool, if one was started. The Switch
+// remains usable afterward on the serial path only; transport backends
+// call Stop from Close.
+func (s *Switch) Stop() {
+	s.stopOnce.Do(func() {
+		if s.stop != nil {
+			close(s.stop)
+		}
+		s.workers = 1
+	})
 }
 
 // Inbox returns hosted destination d's deliveries from the last

@@ -30,6 +30,8 @@ import (
 // FrameType distinguishes the frames of the kmgraph transport protocol.
 // Types 1-2 flow on peer (worker-to-worker) links; 3-7 on control
 // (coordinator-to-worker) links established by the dist layer.
+//
+//km:exhaustive
 type FrameType byte
 
 const (

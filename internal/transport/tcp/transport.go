@@ -199,6 +199,7 @@ func (t *Transport) Remnants() (int, int64) { return t.sw.Remnants() }
 // Close tears down every peer link (best-effort Bye, then the socket).
 func (t *Transport) Close() error {
 	t.closeOnce.Do(func() {
+		t.sw.Stop()
 		for _, pr := range t.peers {
 			pr.Close()
 		}

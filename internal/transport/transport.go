@@ -52,6 +52,8 @@ var ErrLinkDown = errors.New("transport: link down")
 // LinkDownReason classifies why a link was declared down. It drives the
 // coordinator's retry decisions and failure telemetry without string
 // parsing.
+//
+//km:exhaustive
 type LinkDownReason string
 
 const (

@@ -6,6 +6,8 @@
 // helpers rather than passed as Go values. Encoders are append-style
 // (allocation-friendly); decoding uses a cursor type that latches errors so
 // call sites can decode whole messages and check failure once.
+//
+//km:roundpure
 package wire
 
 import (
@@ -51,6 +53,8 @@ func NewArena(chunkSize int) *Arena {
 // capacity is safe — the slice transparently escapes to its own heap
 // allocation and Commit detects it — but costs the allocation the arena
 // exists to avoid, so pass an honest upper bound.
+//
+//km:hotpath
 func (a *Arena) Grab(hint int) []byte {
 	if hint < 1 {
 		hint = 1
@@ -60,7 +64,7 @@ func (a *Arena) Grab(hint int) []byte {
 		if size < hint {
 			size = hint
 		}
-		a.chunk = make([]byte, 0, size)
+		a.chunk = make([]byte, 0, size) //kmvet:ignore amortized chunk growth; one make per DefaultArenaChunk of traffic
 	}
 	return a.chunk[len(a.chunk):]
 }
@@ -69,6 +73,8 @@ func (a *Arena) Grab(hint int) []byte {
 // chunk's committed prefix and the buffer is returned for sending. A
 // buffer that escaped the chunk (grew past its capacity) is returned
 // unchanged; the chunk space it vacated is reused by the next Grab.
+//
+//km:hotpath
 func (a *Arena) Commit(b []byte) []byte {
 	if cap(b) == cap(a.chunk)-len(a.chunk) && cap(b) > 0 {
 		a.chunk = a.chunk[:len(a.chunk)+len(b)]
@@ -77,6 +83,8 @@ func (a *Arena) Commit(b []byte) []byte {
 }
 
 // Copy interns a byte string into the arena and returns the stable copy.
+//
+//km:hotpath
 func (a *Arena) Copy(b []byte) []byte {
 	buf := a.Grab(len(b))
 	buf = append(buf, b...)
@@ -87,27 +95,37 @@ func (a *Arena) Copy(b []byte) []byte {
 var ErrOverflow = errors.New("wire: varint overflow")
 
 // AppendUvarint appends x in unsigned LEB128 form.
+//
+//km:hotpath
 func AppendUvarint(b []byte, x uint64) []byte {
 	return binary.AppendUvarint(b, x)
 }
 
 // AppendVarint appends x in zig-zag signed LEB128 form.
+//
+//km:hotpath
 func AppendVarint(b []byte, x int64) []byte {
 	return binary.AppendVarint(b, x)
 }
 
 // AppendU64 appends x as 8 fixed little-endian bytes.
+//
+//km:hotpath
 func AppendU64(b []byte, x uint64) []byte {
 	return binary.LittleEndian.AppendUint64(b, x)
 }
 
 // AppendBytes appends a length-prefixed byte string.
+//
+//km:hotpath
 func AppendBytes(b, s []byte) []byte {
 	b = AppendUvarint(b, uint64(len(s)))
 	return append(b, s...)
 }
 
 // AppendBool appends a single 0/1 byte.
+//
+//km:hotpath
 func AppendBool(b []byte, v bool) []byte {
 	if v {
 		return append(b, 1)
@@ -136,6 +154,8 @@ func (r *Reader) Err() error { return r.err }
 func (r *Reader) Len() int { return len(r.buf) - r.off }
 
 // Uvarint decodes an unsigned LEB128 value.
+//
+//km:hotpath
 func (r *Reader) Uvarint() uint64 {
 	if r.err != nil {
 		return 0
@@ -154,6 +174,8 @@ func (r *Reader) Uvarint() uint64 {
 }
 
 // Varint decodes a zig-zag signed LEB128 value.
+//
+//km:hotpath
 func (r *Reader) Varint() int64 {
 	if r.err != nil {
 		return 0
@@ -172,6 +194,8 @@ func (r *Reader) Varint() int64 {
 }
 
 // U64 decodes 8 fixed little-endian bytes.
+//
+//km:hotpath
 func (r *Reader) U64() uint64 {
 	if r.err != nil {
 		return 0
@@ -187,6 +211,8 @@ func (r *Reader) U64() uint64 {
 
 // Bytes decodes a length-prefixed byte string. The returned slice aliases
 // the underlying buffer.
+//
+//km:hotpath
 func (r *Reader) Bytes() []byte {
 	n := r.Uvarint()
 	if r.err != nil {
@@ -202,6 +228,8 @@ func (r *Reader) Bytes() []byte {
 }
 
 // Bool decodes a single 0/1 byte.
+//
+//km:hotpath
 func (r *Reader) Bool() bool {
 	if r.err != nil {
 		return false
@@ -216,6 +244,8 @@ func (r *Reader) Bool() bool {
 }
 
 // Int decodes a non-negative int encoded with AppendUvarint.
+//
+//km:hotpath
 func (r *Reader) Int() int {
 	return int(r.Uvarint())
 }
